@@ -1,0 +1,26 @@
+//! Fig. 10 bench: regenerates the energy-workload table, then times the
+//! residency-weighted power computation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use darkgates::experiments::fig10;
+use dg_cstates::power::{GatingConfig, IdlePowerModel};
+use dg_cstates::states::PackageCstate;
+use dg_workloads::energy::ready_mode;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    dg_bench::print_fig10();
+
+    let model = IdlePowerModel::new();
+    let cfg = GatingConfig::skylake(true, 4);
+    let rmt = ready_mode();
+    let mut g = c.benchmark_group("fig10");
+    g.bench_function("rmt_average_power", |b| {
+        b.iter(|| black_box(rmt.average_power(&model, &cfg, PackageCstate::C8)))
+    });
+    g.bench_function("full_fig10", |b| b.iter(|| black_box(fig10())));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Fig. 3 bench: regenerates the Broadwell guardband-reduction motivation
+//! table, then times a single Broadwell SPEC run (the unit of the sweep).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dg_power::units::Volts;
+use dg_soc::products::Product;
+use dg_soc::run::run_spec;
+use dg_workloads::spec::{by_name, SpecMode};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    dg_bench::print_fig3();
+
+    let tdp = Product::broadwell_tdp_levels()[3];
+    let product = Product::broadwell(tdp, Volts::from_mv(-100.0));
+    let namd = by_name("444.namd").unwrap();
+    let mut g = c.benchmark_group("fig3");
+    g.sample_size(10);
+    g.bench_function("broadwell_spec_run", |b| {
+        b.iter(|| black_box(run_spec(&product, &namd, SpecMode::Base)))
+    });
+    g.bench_function("broadwell_product_build", |b| {
+        b.iter(|| black_box(Product::broadwell(tdp, Volts::from_mv(-100.0))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

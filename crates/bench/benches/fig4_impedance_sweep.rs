@@ -1,0 +1,29 @@
+//! Fig. 4 bench: regenerates the impedance–frequency profiles, then times
+//! the AC sweep of each topology.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dg_pdn::impedance::ImpedanceAnalyzer;
+use dg_pdn::skylake::{PdnVariant, SkylakePdn};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    dg_bench::print_fig4();
+
+    let gated = SkylakePdn::build(PdnVariant::Gated);
+    let bypassed = SkylakePdn::build(PdnVariant::Bypassed);
+    let analyzer = ImpedanceAnalyzer::default();
+    let mut g = c.benchmark_group("fig4");
+    g.bench_function("sweep_gated", |b| {
+        b.iter(|| black_box(analyzer.profile(&gated.ladder)))
+    });
+    g.bench_function("sweep_bypassed", |b| {
+        b.iter(|| black_box(analyzer.profile(&bypassed.ladder)))
+    });
+    g.bench_function("build_pdn", |b| {
+        b.iter(|| black_box(SkylakePdn::build(PdnVariant::Bypassed)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Fig. 7 bench: regenerates the per-benchmark gain table at 91 W, then
+//! times a single SPEC simulation (the unit the figure is built from).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use darkgates::units::Watts;
+use darkgates::DarkGates;
+use dg_soc::run::run_spec;
+use dg_workloads::spec::{by_name, SpecMode};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    dg_bench::print_fig7();
+
+    let s = DarkGates::desktop().product(Watts::new(91.0));
+    let namd = by_name("444.namd").unwrap();
+    let bwaves = by_name("410.bwaves").unwrap();
+    let mut g = c.benchmark_group("fig7");
+    g.sample_size(10);
+    g.bench_function("spec_run_scalable", |b| {
+        b.iter(|| black_box(run_spec(&s, &namd, SpecMode::Base)))
+    });
+    g.bench_function("spec_run_memory_bound", |b| {
+        b.iter(|| black_box(run_spec(&s, &bwaves, SpecMode::Base)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Fig. 8 bench: regenerates the TDP-sweep table, then times one
+//! (product, mode) cell of the sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use darkgates::units::Watts;
+use darkgates::DarkGates;
+use dg_soc::run::run_spec;
+use dg_workloads::spec::{by_name, SpecMode};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    dg_bench::print_fig8();
+
+    let s = DarkGates::desktop().product(Watts::new(35.0));
+    let gcc = by_name("403.gcc").unwrap();
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("rate_run_35w", |b| {
+        b.iter(|| black_box(run_spec(&s, &gcc, SpecMode::Rate)))
+    });
+    g.bench_function("product_build", |b| {
+        b.iter(|| black_box(DarkGates::desktop().product(Watts::new(35.0))))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Fig. 9 bench: regenerates the graphics-degradation table, then times a
+//! single 3DMark scene evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use darkgates::units::Watts;
+use darkgates::DarkGates;
+use dg_soc::run::run_graphics;
+use dg_workloads::graphics::three_dmark_suite;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    dg_bench::print_fig9();
+
+    let s = DarkGates::desktop().product(Watts::new(35.0));
+    let scene = three_dmark_suite().into_iter().last().unwrap();
+    let mut g = c.benchmark_group("fig9");
+    g.bench_function("graphics_run", |b| {
+        b.iter(|| black_box(run_graphics(&s, &scene)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,132 @@
+//! Microbenchmarks of the substrate kernels: the per-step costs that
+//! dominate the experiment harness's runtime.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dg_cstates::resolve::{resolve, PlatformInputs};
+use dg_cstates::states::{CoreCstate, GraphicsCstate, MemoryState};
+use dg_pdn::skylake::{PdnVariant, SkylakePdn};
+use dg_pdn::transient::{LoadStep, TransientSim};
+use dg_pdn::units::{Amps, Hertz, Seconds, Volts, Watts};
+use dg_power::dynamic::CdynProfile;
+use dg_power::leakage::LeakageModel;
+use dg_power::pstate::PStateTable;
+use dg_power::thermal::ThermalModel;
+use dg_power::vf::VfCurve;
+use dg_pmu::dvfs::{DvfsRequest, DvfsSolver};
+use dg_pmu::pbm::TurboController;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("substrates");
+
+    // PDN: one impedance point and a short transient.
+    let pdn = SkylakePdn::build(PdnVariant::Gated);
+    g.bench_function("pdn_impedance_at", |b| {
+        b.iter(|| black_box(pdn.ladder.impedance_magnitude(Hertz::from_mhz(57.0))))
+    });
+    let sim = TransientSim::new(
+        Volts::new(1.1),
+        Seconds::from_ns(0.5),
+        Seconds::from_us(2.0),
+    )
+    .unwrap();
+    let step = LoadStep::step(Amps::new(5.0), Amps::new(45.0), Seconds::from_us(0.5));
+    g.bench_function("pdn_transient_2us", |b| {
+        b.iter(|| black_box(sim.run(&pdn.ladder, step)))
+    });
+
+    // Power: curve inversion and P-state generation.
+    let curve = VfCurve::skylake_core();
+    g.bench_function("vf_inverse", |b| {
+        b.iter(|| black_box(curve.max_frequency_at(Volts::new(1.2)).unwrap()))
+    });
+    g.bench_function("pstate_table_build", |b| {
+        b.iter(|| {
+            black_box(PStateTable::from_curve(&curve, PStateTable::standard_bin()).unwrap())
+        })
+    });
+
+    // PMU: a full DVFS solve.
+    let table = PStateTable::from_curve(
+        &curve.with_guardband(Volts::from_mv(180.0)),
+        PStateTable::standard_bin(),
+    )
+    .unwrap();
+    let solver = DvfsSolver::new(
+        LeakageModel::skylake_core(),
+        ThermalModel::for_tdp(Watts::new(65.0)),
+    );
+    g.bench_function("dvfs_solve", |b| {
+        b.iter(|| {
+            let req = DvfsRequest {
+                table: &table,
+                active_cores: 4,
+                cdyn_per_core: CdynProfile::core_typical(),
+                budget: Watts::new(62.0),
+                overhead: Watts::new(3.0),
+                vmax: Volts::new(1.35),
+                tjmax: dg_power::units::Celsius::new(93.0),
+            };
+            black_box(solver.solve(&req).unwrap())
+        })
+    });
+
+    // PBM: turbo filter step.
+    let mut turbo = TurboController::new(Watts::new(91.0), Watts::new(113.75));
+    g.bench_function("turbo_step", |b| {
+        b.iter(|| black_box(turbo.step(Watts::new(80.0), Seconds::new(0.25))))
+    });
+
+    // C-states: package resolution and governor selection.
+    let inputs = PlatformInputs::all_cores(CoreCstate::Cc7, 4)
+        .graphics(GraphicsCstate::Rc6)
+        .memory(MemoryState::SelfRefresh)
+        .llc_flushed(true);
+    g.bench_function("cstate_resolve", |b| b.iter(|| black_box(resolve(&inputs))));
+
+    let mut governor = dg_cstates::governor::IdleGovernor::new(
+        dg_cstates::power::GatingConfig::skylake(true, 4),
+        dg_cstates::states::PackageCstate::C8,
+        Seconds::from_ms(2.0),
+    );
+    g.bench_function("governor_select", |b| {
+        b.iter(|| {
+            let s = governor.select();
+            governor.record_idle(Seconds::from_ms(5.0));
+            black_box(s)
+        })
+    });
+
+    // Thermal network: 6-node steady-state solve.
+    let net = dg_power::thermal_network::ThermalNetwork::skylake_floorplan();
+    let powers: Vec<Watts> = vec![
+        Watts::new(12.0),
+        Watts::new(1.4),
+        Watts::new(1.4),
+        Watts::new(1.4),
+        Watts::new(8.0),
+        Watts::new(3.0),
+    ];
+    g.bench_function("thermal_network_solve", |b| {
+        b.iter(|| black_box(net.steady_state(&powers)))
+    });
+
+    // Pcode: one firmware step under load.
+    let product = dg_soc::products::Product::skylake_s(Watts::new(91.0));
+    let mut pcode = dg_pmu::pcode::Pcode::boot(dg_soc::trace_run::pcode_config(&product));
+    pcode.handle(dg_pmu::pcode::PcodeEvent::WorkloadChange {
+        active_cores: 4,
+        cdyn: CdynProfile::core_typical(),
+    });
+    g.bench_function("pcode_step", |b| {
+        b.iter(|| {
+            pcode.step(Seconds::from_ms(10.0));
+            black_box(pcode.junction_temperature())
+        })
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

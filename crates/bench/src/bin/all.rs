@@ -1,0 +1,23 @@
+//! Regenerates every figure and table of the paper's evaluation.
+//! Run: `cargo run --release -p dg-bench --bin all`
+fn main() {
+    dg_bench::print_table1();
+    println!();
+    dg_bench::print_table2();
+    println!();
+    dg_bench::print_fig1_5_6();
+    println!();
+    dg_bench::print_fig2();
+    println!();
+    dg_bench::print_fig3();
+    println!();
+    dg_bench::print_fig4();
+    println!();
+    dg_bench::print_fig7();
+    println!();
+    dg_bench::print_fig8();
+    println!();
+    dg_bench::print_fig9();
+    println!();
+    dg_bench::print_fig10();
+}

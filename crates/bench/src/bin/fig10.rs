@@ -1,0 +1,4 @@
+//! Regenerates fig10 of the paper. Run: `cargo run --release -p dg-bench --bin fig10`
+fn main() {
+    dg_bench::print_fig10();
+}

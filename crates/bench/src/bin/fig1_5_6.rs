@@ -1,0 +1,5 @@
+//! Regenerates the Figs. 1/5/6 structural data (domains, ladder stages).
+//! Run: `cargo run --release -p dg-bench --bin fig1_5_6`
+fn main() {
+    dg_bench::print_fig1_5_6();
+}

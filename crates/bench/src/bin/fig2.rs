@@ -1,0 +1,5 @@
+//! Regenerates the Fig. 2 background data (load-line, virus levels).
+//! Run: `cargo run --release -p dg-bench --bin fig2`
+fn main() {
+    dg_bench::print_fig2();
+}

@@ -1,0 +1,4 @@
+//! Regenerates fig3 of the paper. Run: `cargo run --release -p dg-bench --bin fig3`
+fn main() {
+    dg_bench::print_fig3();
+}

@@ -1,0 +1,4 @@
+//! Regenerates fig4 of the paper. Run: `cargo run --release -p dg-bench --bin fig4`
+fn main() {
+    dg_bench::print_fig4();
+}

@@ -1,0 +1,4 @@
+//! Regenerates fig7 of the paper. Run: `cargo run --release -p dg-bench --bin fig7`
+fn main() {
+    dg_bench::print_fig7();
+}

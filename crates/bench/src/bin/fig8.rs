@@ -1,0 +1,4 @@
+//! Regenerates fig8 of the paper. Run: `cargo run --release -p dg-bench --bin fig8`
+fn main() {
+    dg_bench::print_fig8();
+}

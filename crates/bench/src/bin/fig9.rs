@@ -1,0 +1,4 @@
+//! Regenerates fig9 of the paper. Run: `cargo run --release -p dg-bench --bin fig9`
+fn main() {
+    dg_bench::print_fig9();
+}

@@ -1,0 +1,4 @@
+//! Regenerates table1 of the paper. Run: `cargo run --release -p dg-bench --bin table1`
+fn main() {
+    dg_bench::print_table1();
+}

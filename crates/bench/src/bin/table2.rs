@@ -1,0 +1,4 @@
+//! Regenerates table2 of the paper. Run: `cargo run --release -p dg-bench --bin table2`
+fn main() {
+    dg_bench::print_table2();
+}

@@ -1,0 +1,110 @@
+//! Property-based tests for the idle governor.
+
+use dg_cstates::governor::IdleGovernor;
+use dg_cstates::power::{GatingConfig, IdlePowerModel};
+use dg_cstates::states::PackageCstate;
+use dg_power::units::Seconds;
+use proptest::prelude::*;
+
+fn governor(bypassed: bool) -> IdleGovernor {
+    IdleGovernor::new(
+        GatingConfig::skylake(bypassed, 4),
+        PackageCstate::C8,
+        Seconds::from_ms(2.0),
+    )
+}
+
+proptest! {
+    /// The energy-optimal selection is never beaten by ANY fixed state for
+    /// the exact predicted duration (it is an argmin by construction, so
+    /// this guards the expected-energy bookkeeping).
+    #[test]
+    fn energy_optimal_is_optimal(dur_us in 10.0..5_000_000.0f64) {
+        let g = governor(true);
+        let predicted = Seconds::from_us(dur_us);
+        let chosen = g.select_energy_optimal(predicted);
+        let e_chosen = g.expected_energy(chosen, predicted);
+        for state in &PackageCstate::ALL[1..] {
+            if *state > PackageCstate::C8 {
+                break;
+            }
+            prop_assert!(
+                e_chosen <= g.expected_energy(*state, predicted) + 1e-15,
+                "{chosen} ({e_chosen}) beaten by {state}"
+            );
+        }
+    }
+
+    /// Break-even selection is monotone: longer predictions never pick a
+    /// shallower state.
+    #[test]
+    fn selection_monotone_in_prediction(
+        d1_us in 10.0..2_000_000.0f64,
+        d2_us in 10.0..2_000_000.0f64,
+        bypassed in prop::bool::ANY,
+    ) {
+        let g = governor(bypassed);
+        let (lo, hi) = if d1_us <= d2_us { (d1_us, d2_us) } else { (d2_us, d1_us) };
+        let s_lo = g.select_for(Seconds::from_us(lo));
+        let s_hi = g.select_for(Seconds::from_us(hi));
+        prop_assert!(s_hi >= s_lo, "{lo}us -> {s_lo}, {hi}us -> {s_hi}");
+    }
+
+    /// Selections always respect the platform ceiling and the wake budget.
+    #[test]
+    fn selections_respect_constraints(
+        dur_us in 10.0..5_000_000.0f64,
+        bypassed in prop::bool::ANY,
+        wake_budget_us in 50.0..2_000.0f64,
+    ) {
+        use dg_cstates::latency::LatencyTable;
+        let mut g = IdleGovernor::new(
+            GatingConfig::skylake(bypassed, 4),
+            PackageCstate::C7,
+            Seconds::from_us(wake_budget_us),
+        );
+        g.record_idle(Seconds::from_us(dur_us));
+        let s = g.select();
+        prop_assert!(s <= PackageCstate::C7);
+        let latency = LatencyTable::skylake();
+        prop_assert!(
+            s == PackageCstate::C2
+                || latency.exit(s) <= Seconds::from_us(wake_budget_us)
+        );
+    }
+
+    /// The predictor's estimate is always bracketed by the extremes of the
+    /// observations (plus its initial 1 ms seed).
+    #[test]
+    fn predictor_bracketed(durs in prop::collection::vec(1e-6..10.0f64, 1..40)) {
+        let mut g = governor(false);
+        for &d in &durs {
+            g.record_idle(Seconds::new(d));
+        }
+        let est = g.predictor().predict().value();
+        let lo = durs.iter().cloned().fold(1e-3_f64, f64::min);
+        let hi = durs.iter().cloned().fold(1e-3_f64, f64::max);
+        prop_assert!(est >= lo - 1e-12 && est <= hi + 1e-12, "{est} not in [{lo}, {hi}]");
+    }
+
+    /// evaluate() produces a power bracketed by the cheapest and most
+    /// expensive idle states, for any idle distribution.
+    #[test]
+    fn evaluate_bracketed(
+        durs in prop::collection::vec(100e-6..2.0f64, 1..30),
+        bypassed in prop::bool::ANY,
+    ) {
+        let model = IdlePowerModel::new();
+        let cfg = GatingConfig::skylake(bypassed, 4);
+        let durations: Vec<Seconds> = durs.iter().map(|d| Seconds::new(*d)).collect();
+        let avg = governor(bypassed).evaluate(&durations).value();
+        let floor = model
+            .package_idle_power(PackageCstate::C8, &cfg)
+            .value();
+        let ceiling = model
+            .package_idle_power(PackageCstate::C2, &cfg)
+            .value();
+        prop_assert!(avg >= floor - 1e-9, "avg {avg} below floor {floor}");
+        prop_assert!(avg <= ceiling + 1e-9, "avg {avg} above ceiling {ceiling}");
+    }
+}

@@ -1,0 +1,310 @@
+//! Alternative power-delivery architectures: MBVR, IVR, LDO.
+//!
+//! The paper (Sec. 2.3) names the three PDNs used by recent client
+//! processors: motherboard voltage regulators (MBVR — the architecture
+//! DarkGates targets), fully-integrated voltage regulators (IVR/FIVR,
+//! Haswell/Ice Lake), and low-dropout regulators (LDO, Skylake-X-class).
+//! DarkGates exists precisely because MBVR parts share one rail across
+//! per-core power-gates; IVR and LDO parts slice the problem differently.
+//! This module models the conversion/efficiency trade-offs so the designs
+//! can be compared quantitatively.
+
+use crate::error::PdnError;
+use crate::units::{Amps, Volts, Watts};
+use serde::{Deserialize, Serialize};
+
+/// Which delivery architecture a product uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PdnArchitecture {
+    /// Motherboard VR: one shared rail, per-core power-gates (the
+    /// DarkGates baseline).
+    Mbvr,
+    /// Fully-integrated VR: high-voltage input rail, on-die buck per
+    /// domain; per-core voltages, lower input current.
+    Ivr,
+    /// Low-dropout regulator per domain off a shared rail: cheap per-core
+    /// voltage, linear (dropout) losses.
+    Ldo,
+}
+
+impl PdnArchitecture {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            PdnArchitecture::Mbvr => "motherboard VR",
+            PdnArchitecture::Ivr => "integrated VR (FIVR)",
+            PdnArchitecture::Ldo => "LDO per domain",
+        }
+    }
+
+    /// Whether the architecture gives each core its own voltage domain
+    /// without dedicated power-gates.
+    pub fn per_core_voltage(self) -> bool {
+        !matches!(self, PdnArchitecture::Mbvr)
+    }
+}
+
+/// An integrated (buck) voltage regulator model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IvrModel {
+    /// Input rail voltage (e.g. 1.8 V for FIVR).
+    pub v_in: Volts,
+    /// Peak conversion efficiency (at the sweet-spot load).
+    pub eta_peak: f64,
+    /// Load fraction at which the peak efficiency occurs.
+    pub sweet_spot: f64,
+}
+
+impl IvrModel {
+    /// A Haswell-class FIVR: 1.8 V input, ~90 % peak efficiency at 60 %
+    /// load.
+    pub fn fivr() -> Self {
+        IvrModel {
+            v_in: Volts::new(1.8),
+            eta_peak: 0.90,
+            sweet_spot: 0.60,
+        }
+    }
+
+    /// Creates a model with validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::InvalidComponent`] if the input voltage or
+    /// efficiency parameters are out of range.
+    pub fn new(v_in: Volts, eta_peak: f64, sweet_spot: f64) -> Result<Self, PdnError> {
+        if !(v_in.value() > 0.0 && v_in.is_finite()) {
+            return Err(PdnError::InvalidComponent {
+                what: "IVR input voltage",
+                value: v_in.value(),
+            });
+        }
+        if !(0.0 < eta_peak && eta_peak <= 1.0) {
+            return Err(PdnError::InvalidComponent {
+                what: "IVR peak efficiency",
+                value: eta_peak,
+            });
+        }
+        if !(0.0 < sweet_spot && sweet_spot <= 1.0) {
+            return Err(PdnError::InvalidComponent {
+                what: "IVR sweet spot",
+                value: sweet_spot,
+            });
+        }
+        Ok(IvrModel {
+            v_in,
+            eta_peak,
+            sweet_spot,
+        })
+    }
+
+    /// Conversion efficiency at `load_fraction` of full load: a shallow
+    /// parabola peaking at the sweet spot, sagging toward light load
+    /// (switching losses dominate) and full load (conduction losses).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `load_fraction` is outside `[0, 1]`.
+    pub fn efficiency(&self, load_fraction: f64) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&load_fraction),
+            "load fraction {load_fraction} out of range"
+        );
+        let sag = (load_fraction - self.sweet_spot).powi(2);
+        // Light-load penalty dominates: quadratic sag plus a 1/x-ish term
+        // as the load approaches zero.
+        let light = 0.05 * (0.05 / (load_fraction + 0.05));
+        (self.eta_peak - 0.25 * sag - light).clamp(0.05, 1.0)
+    }
+
+    /// Input power drawn from the platform rail for a given output power.
+    pub fn input_power(&self, output: Watts, load_fraction: f64) -> Watts {
+        output / self.efficiency(load_fraction)
+    }
+
+    /// Input current relief vs. a direct rail at `v_out`: the IVR draws
+    /// from the high-voltage rail, cutting input current by roughly
+    /// `v_out/v_in / η`.
+    pub fn input_current(&self, output: Watts, v_out: Volts, load_fraction: f64) -> Amps {
+        if v_out.value() <= 0.0 {
+            return Amps::ZERO;
+        }
+        self.input_power(output, load_fraction) / self.v_in
+    }
+}
+
+/// A low-dropout regulator model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LdoModel {
+    /// The shared input rail the LDO drops from.
+    pub v_rail: Volts,
+    /// Minimum dropout voltage the LDO needs.
+    pub dropout: Volts,
+}
+
+impl LdoModel {
+    /// A Skylake-X-class core LDO from a 1.35 V rail, 50 mV dropout.
+    pub fn skylake_x() -> Self {
+        LdoModel {
+            v_rail: Volts::new(1.35),
+            dropout: Volts::from_mv(50.0),
+        }
+    }
+
+    /// The highest output voltage this LDO can regulate.
+    pub fn max_output(&self) -> Volts {
+        self.v_rail - self.dropout
+    }
+
+    /// LDO efficiency at output voltage `v_out`: `v_out / v_rail`
+    /// (linear regulation burns the headroom as heat).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v_out` exceeds [`max_output`].
+    ///
+    /// [`max_output`]: LdoModel::max_output
+    pub fn efficiency(&self, v_out: Volts) -> f64 {
+        assert!(
+            v_out <= self.max_output(),
+            "output {v_out} above LDO capability {}",
+            self.max_output()
+        );
+        (v_out / self.v_rail).max(0.0)
+    }
+
+    /// Input power drawn from the rail for a given output power.
+    pub fn input_power(&self, output: Watts, v_out: Volts) -> Watts {
+        let eta = self.efficiency(v_out);
+        if eta <= 0.0 {
+            return Watts::ZERO;
+        }
+        output / eta
+    }
+}
+
+/// Delivery loss (input − output power) of each architecture at an
+/// operating point, for apples-to-apples comparison. The MBVR loss is the
+/// load-line I²R term.
+pub fn delivery_loss(
+    arch: PdnArchitecture,
+    output: Watts,
+    v_out: Volts,
+    loadline_mohm: f64,
+    load_fraction: f64,
+) -> Watts {
+    match arch {
+        PdnArchitecture::Mbvr => {
+            if v_out.value() <= 0.0 {
+                return Watts::ZERO;
+            }
+            let i = output / v_out;
+            Watts::new(loadline_mohm / 1000.0 * i.value() * i.value())
+        }
+        PdnArchitecture::Ivr => {
+            let m = IvrModel::fivr();
+            m.input_power(output, load_fraction) - output
+        }
+        PdnArchitecture::Ldo => {
+            let m = LdoModel::skylake_x();
+            m.input_power(output, v_out.min(m.max_output())) - output
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ivr_efficiency_peaks_at_sweet_spot() {
+        let m = IvrModel::fivr();
+        let at_peak = m.efficiency(0.60);
+        assert!(at_peak > m.efficiency(0.10));
+        assert!(at_peak > m.efficiency(1.00));
+        assert!((0.80..=0.92).contains(&at_peak), "peak {at_peak}");
+    }
+
+    #[test]
+    fn ivr_input_power_exceeds_output() {
+        let m = IvrModel::fivr();
+        let out = Watts::new(40.0);
+        let input = m.input_power(out, 0.6);
+        assert!(input > out);
+        assert!(input.value() < 50.0);
+    }
+
+    #[test]
+    fn ivr_cuts_input_current() {
+        let m = IvrModel::fivr();
+        let out = Watts::new(40.0);
+        let v_core = Volts::new(1.0);
+        let direct = out / v_core;
+        let via_ivr = m.input_current(out, v_core, 0.6);
+        assert!(
+            via_ivr.value() < 0.7 * direct.value(),
+            "IVR {via_ivr} vs direct {direct}"
+        );
+    }
+
+    #[test]
+    fn ivr_validation() {
+        assert!(IvrModel::new(Volts::ZERO, 0.9, 0.6).is_err());
+        assert!(IvrModel::new(Volts::new(1.8), 1.2, 0.6).is_err());
+        assert!(IvrModel::new(Volts::new(1.8), 0.9, 0.0).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn ivr_bad_load_panics() {
+        IvrModel::fivr().efficiency(1.5);
+    }
+
+    #[test]
+    fn ldo_efficiency_is_voltage_ratio() {
+        let m = LdoModel::skylake_x();
+        let eta = m.efficiency(Volts::new(1.0));
+        assert!((eta - 1.0 / 1.35).abs() < 1e-12);
+        assert!((m.max_output().value() - 1.30).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "above LDO capability")]
+    fn ldo_over_voltage_panics() {
+        LdoModel::skylake_x().efficiency(Volts::new(1.34));
+    }
+
+    #[test]
+    fn ldo_cheap_at_high_output_voltage() {
+        let m = LdoModel::skylake_x();
+        let out = Watts::new(12.0);
+        let near_rail = m.input_power(out, Volts::new(1.25)) - out;
+        let deep_drop = m.input_power(out, Volts::new(0.70)) - out;
+        assert!(near_rail < deep_drop);
+    }
+
+    #[test]
+    fn loss_comparison_across_architectures() {
+        // A 40 W core domain at 1.1 V with a 1.6 mΩ load-line.
+        let out = Watts::new(40.0);
+        let v = Volts::new(1.1);
+        let mbvr = delivery_loss(PdnArchitecture::Mbvr, out, v, 1.6, 0.6);
+        let ivr = delivery_loss(PdnArchitecture::Ivr, out, v, 1.6, 0.6);
+        let ldo = delivery_loss(PdnArchitecture::Ldo, out, v, 1.6, 0.6);
+        // MBVR's resistive path loss is the smallest at this point —
+        // which is why high-power desktops keep MBVR and need DarkGates.
+        assert!(mbvr < ivr, "mbvr {mbvr} vs ivr {ivr}");
+        assert!(mbvr < ldo, "mbvr {mbvr} vs ldo {ldo}");
+        // The LDO burns the full headroom: worst at low output voltage.
+        let ldo_low = delivery_loss(PdnArchitecture::Ldo, out, Volts::new(0.8), 1.6, 0.6);
+        assert!(ldo_low > ldo);
+    }
+
+    #[test]
+    fn architecture_labels_and_traits() {
+        assert!(!PdnArchitecture::Mbvr.per_core_voltage());
+        assert!(PdnArchitecture::Ivr.per_core_voltage());
+        assert!(PdnArchitecture::Ldo.per_core_voltage());
+        assert!(PdnArchitecture::Ivr.label().contains("FIVR"));
+    }
+}

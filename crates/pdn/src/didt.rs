@@ -1,0 +1,244 @@
+//! di/dt noise characterization and voltage-emergency detection.
+//!
+//! Fast current transients (pipeline restarts, power-gate wake-ups,
+//! AVX bursts) excite the PDN's resonances and can drive the die voltage
+//! below the functional floor `Vmin` — a *voltage emergency*
+//! (paper Sec. 2.4.2 and its references). This module sweeps a family of
+//! load-step events over a ladder, reports the droop of each, and checks
+//! whether the applied guardband prevents every emergency.
+
+use crate::ladder::Ladder;
+use crate::transient::{LoadStep, TransientSim};
+use crate::units::{Amps, Seconds, Volts};
+use serde::{Deserialize, Serialize};
+
+/// A named di/dt event class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DidtEvent {
+    /// Event name (e.g. `"1-core pipeline restart"`).
+    pub name: String,
+    /// Current step magnitude.
+    pub delta: Amps,
+    /// Ramp time of the event.
+    pub slew: Seconds,
+}
+
+/// The standard event family for a 4-core client part: pipeline restarts
+/// per active-core count plus a staggered full-domain power-gate wake.
+pub fn client_event_family() -> Vec<DidtEvent> {
+    vec![
+        DidtEvent {
+            name: "1-core pipeline restart".to_owned(),
+            delta: Amps::new(12.0),
+            slew: Seconds::from_ns(2.0),
+        },
+        DidtEvent {
+            name: "2-core pipeline restart".to_owned(),
+            delta: Amps::new(24.0),
+            slew: Seconds::from_ns(2.0),
+        },
+        DidtEvent {
+            name: "4-core pipeline restart".to_owned(),
+            delta: Amps::new(48.0),
+            slew: Seconds::from_ns(2.0),
+        },
+        DidtEvent {
+            name: "staggered power-gate wake".to_owned(),
+            delta: Amps::new(30.0),
+            slew: Seconds::from_ns(15.0),
+        },
+        DidtEvent {
+            name: "AVX burst".to_owned(),
+            delta: Amps::new(35.0),
+            slew: Seconds::from_ns(5.0),
+        },
+    ]
+}
+
+/// Result of simulating one event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DidtResult {
+    /// The event.
+    pub event: DidtEvent,
+    /// Worst droop below the pre-event level.
+    pub droop: Volts,
+    /// Minimum die voltage reached.
+    pub v_min: Volts,
+    /// Whether the voltage fell below the functional floor.
+    pub emergency: bool,
+}
+
+/// Noise analysis of a ladder under the event family.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NoiseAnalysis {
+    /// Per-event results.
+    pub results: Vec<DidtResult>,
+    /// The worst droop across all events.
+    pub worst_droop: Volts,
+    /// Number of emergencies.
+    pub emergencies: usize,
+}
+
+impl NoiseAnalysis {
+    /// `true` when no event drove the rail below Vmin.
+    pub fn is_safe(&self) -> bool {
+        self.emergencies == 0
+    }
+}
+
+/// Simulates every event in `events` on `ladder`.
+///
+/// `v_nominal` is the rail setpoint (including guardband); `v_min_limit`
+/// is the functional floor; `quiescent` the pre-event current.
+pub fn analyze(
+    ladder: &Ladder,
+    events: &[DidtEvent],
+    v_nominal: Volts,
+    v_min_limit: Volts,
+    quiescent: Amps,
+) -> NoiseAnalysis {
+    let sim = TransientSim {
+        source: v_nominal,
+        dt: Seconds::from_ns(0.2),
+        duration: Seconds::from_us(30.0),
+        decimate: 256,
+    };
+    let mut results = Vec::with_capacity(events.len());
+    let mut worst = Volts::ZERO;
+    let mut emergencies = 0;
+    for event in events {
+        let step = LoadStep {
+            from: quiescent,
+            to: quiescent + event.delta,
+            at: Seconds::from_us(1.0),
+            slew: event.slew,
+        };
+        let r = sim.run(ladder, step);
+        let droop = r.droop();
+        let emergency = r.v_min < v_min_limit;
+        if emergency {
+            emergencies += 1;
+        }
+        worst = worst.max(droop);
+        results.push(DidtResult {
+            event: event.clone(),
+            droop,
+            v_min: r.v_min,
+            emergency,
+        });
+    }
+    NoiseAnalysis {
+        results,
+        worst_droop: worst,
+        emergencies,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::skylake::{PdnVariant, SkylakePdn};
+
+    #[test]
+    fn droop_grows_with_event_magnitude() {
+        let pdn = SkylakePdn::build(PdnVariant::Bypassed);
+        let events = client_event_family();
+        let a = analyze(
+            &pdn.ladder,
+            &events,
+            Volts::new(1.0),
+            Volts::new(0.60),
+            Amps::new(5.0),
+        );
+        let one_core = &a.results[0];
+        let four_core = &a.results[2];
+        assert!(four_core.droop > one_core.droop);
+        assert_eq!(a.results.len(), events.len());
+    }
+
+    #[test]
+    fn bypassed_droops_less_than_gated() {
+        let gated = SkylakePdn::build(PdnVariant::Gated);
+        let bypassed = SkylakePdn::build(PdnVariant::Bypassed);
+        let events = client_event_family();
+        let ag = analyze(
+            &gated.ladder,
+            &events,
+            Volts::new(1.0),
+            Volts::new(0.60),
+            Amps::new(5.0),
+        );
+        let ab = analyze(
+            &bypassed.ladder,
+            &events,
+            Volts::new(1.0),
+            Volts::new(0.60),
+            Amps::new(5.0),
+        );
+        assert!(
+            ab.worst_droop < ag.worst_droop,
+            "bypassed {} vs gated {}",
+            ab.worst_droop,
+            ag.worst_droop
+        );
+    }
+
+    #[test]
+    fn adequate_guardband_prevents_emergencies() {
+        let pdn = SkylakePdn::build(PdnVariant::Gated);
+        // Run a Vmin-level rail with a generous guardband above it.
+        let v_min = Volts::new(0.60);
+        let a = analyze(
+            &pdn.ladder,
+            &client_event_family(),
+            v_min + Volts::from_mv(320.0),
+            v_min,
+            Amps::new(5.0),
+        );
+        assert!(a.is_safe(), "emergencies: {}", a.emergencies);
+    }
+
+    #[test]
+    fn missing_guardband_causes_emergencies() {
+        let pdn = SkylakePdn::build(PdnVariant::Gated);
+        let v_min = Volts::new(0.60);
+        // Only 40 mV above Vmin: the 4-core restart must punch through.
+        let a = analyze(
+            &pdn.ladder,
+            &client_event_family(),
+            v_min + Volts::from_mv(40.0),
+            v_min,
+            Amps::new(5.0),
+        );
+        assert!(!a.is_safe());
+        assert!(a.results.iter().any(|r| r.emergency));
+    }
+
+    #[test]
+    fn slower_slew_softens_the_droop() {
+        let pdn = SkylakePdn::build(PdnVariant::Bypassed);
+        let sharp = DidtEvent {
+            name: "sharp".into(),
+            delta: Amps::new(30.0),
+            slew: Seconds::from_ns(1.0),
+        };
+        let staggered = DidtEvent {
+            name: "staggered".into(),
+            delta: Amps::new(30.0),
+            slew: Seconds::from_ns(500.0),
+        };
+        let a = analyze(
+            &pdn.ladder,
+            &[sharp, staggered],
+            Volts::new(1.0),
+            Volts::new(0.6),
+            Amps::new(5.0),
+        );
+        assert!(
+            a.results[1].droop <= a.results[0].droop,
+            "staggered {} vs sharp {}",
+            a.results[1].droop,
+            a.results[0].droop
+        );
+    }
+}

@@ -1,0 +1,291 @@
+//! Package voltage-domain layout and the DarkGates shorting transform.
+//!
+//! The paper's Figs. 1(b), 5 and 6: the mobile package routes five core
+//! voltage domains (the un-gated `V_CU` plus per-core gated `V_C0G..V_C3G`)
+//! from the die bumps to the VR; the DarkGates desktop package *shorts*
+//! them into one domain, pooling bumps, routes, and decap attach points.
+//! Pooling the bumps is also what alleviates electromigration (Sec. 4.2:
+//! "all bumps are shared between the cores").
+
+use crate::error::PdnError;
+use crate::units::Amps;
+use serde::{Deserialize, Serialize};
+
+/// One package-level voltage domain.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VoltageDomain {
+    /// Domain name (e.g. `"VC0G"`).
+    pub name: String,
+    /// Number of supply bumps allocated to this domain.
+    pub bumps: usize,
+    /// Whether an on-die power-gate sits between this domain and the load.
+    pub gated: bool,
+}
+
+impl VoltageDomain {
+    /// Creates a domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::InvalidComponent`] if `bumps` is zero.
+    pub fn new(name: impl Into<String>, bumps: usize, gated: bool) -> Result<Self, PdnError> {
+        if bumps == 0 {
+            return Err(PdnError::InvalidComponent {
+                what: "bump count",
+                value: 0.0,
+            });
+        }
+        Ok(VoltageDomain {
+            name: name.into(),
+            bumps,
+            gated,
+        })
+    }
+}
+
+/// A package's core-rail domain layout.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PackageLayout {
+    /// Package name.
+    pub name: String,
+    domains: Vec<VoltageDomain>,
+    /// Reliability limit per bump (EM-driven).
+    pub max_current_per_bump: Amps,
+}
+
+impl PackageLayout {
+    /// Creates a layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::InvalidComponent`] if no domains are given, the
+    /// bump limit is non-positive, or domain names repeat.
+    pub fn new(
+        name: impl Into<String>,
+        domains: Vec<VoltageDomain>,
+        max_current_per_bump: Amps,
+    ) -> Result<Self, PdnError> {
+        if domains.is_empty() {
+            return Err(PdnError::InvalidComponent {
+                what: "domain list",
+                value: 0.0,
+            });
+        }
+        if !(max_current_per_bump.value() > 0.0 && max_current_per_bump.is_finite()) {
+            return Err(PdnError::InvalidComponent {
+                what: "per-bump current limit",
+                value: max_current_per_bump.value(),
+            });
+        }
+        let mut names: Vec<&str> = domains.iter().map(|d| d.name.as_str()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        if names.len() != before {
+            return Err(PdnError::InvalidComponent {
+                what: "domain names (duplicate)",
+                value: before as f64,
+            });
+        }
+        Ok(PackageLayout {
+            name: name.into(),
+            domains,
+            max_current_per_bump,
+        })
+    }
+
+    /// The mobile (Skylake-H-like, BGA) layout: the un-gated `VCU` domain
+    /// plus four gated per-core domains (Fig. 1(b)).
+    pub fn skylake_mobile() -> Self {
+        let domains = vec![
+            VoltageDomain::new("VCU", 64, false).expect("constant is valid"),
+            VoltageDomain::new("VC0G", 44, true).expect("constant is valid"),
+            VoltageDomain::new("VC1G", 44, true).expect("constant is valid"),
+            VoltageDomain::new("VC2G", 44, true).expect("constant is valid"),
+            VoltageDomain::new("VC3G", 44, true).expect("constant is valid"),
+        ];
+        PackageLayout::new("Skylake-H BGA", domains, Amps::new(0.75))
+            .expect("constants are valid")
+    }
+
+    /// The DarkGates desktop (Skylake-S-like, LGA) layout: the mobile
+    /// layout with all core domains shorted (Figs. 5, 6).
+    pub fn skylake_desktop() -> Self {
+        let mut layout = Self::skylake_mobile()
+            .short_domains("VCC_CORES", |_| true)
+            .expect("mobile layout has domains");
+        layout.name = "Skylake-S LGA".to_owned();
+        layout
+    }
+
+    /// The domains.
+    pub fn domains(&self) -> &[VoltageDomain] {
+        &self.domains
+    }
+
+    /// Looks up a domain.
+    pub fn domain(&self, name: &str) -> Option<&VoltageDomain> {
+        self.domains.iter().find(|d| d.name == name)
+    }
+
+    /// Total bumps across all domains (conserved by shorting).
+    pub fn total_bumps(&self) -> usize {
+        self.domains.iter().map(|d| d.bumps).sum()
+    }
+
+    /// The DarkGates package transform: merges every domain selected by
+    /// `select` into a single *un-gated* domain named `merged_name`,
+    /// pooling their bumps. Unselected domains are kept.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::InvalidComponent`] if `select` matches nothing.
+    pub fn short_domains(
+        &self,
+        merged_name: impl Into<String>,
+        select: impl Fn(&VoltageDomain) -> bool,
+    ) -> Result<PackageLayout, PdnError> {
+        let (merged, kept): (Vec<_>, Vec<_>) = self.domains.iter().partition(|d| select(d));
+        if merged.is_empty() {
+            return Err(PdnError::InvalidComponent {
+                what: "shorting selection (matched no domain)",
+                value: 0.0,
+            });
+        }
+        let pooled = VoltageDomain {
+            name: merged_name.into(),
+            bumps: merged.iter().map(|d| d.bumps).sum(),
+            gated: false,
+        };
+        let mut domains = vec![pooled];
+        domains.extend(kept.into_iter().cloned());
+        PackageLayout::new(
+            format!("{} (shorted)", self.name),
+            domains,
+            self.max_current_per_bump,
+        )
+    }
+
+    /// Maximum current a domain can carry within the per-bump EM limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domain does not exist.
+    pub fn current_capacity(&self, domain: &str) -> Amps {
+        let d = self
+            .domain(domain)
+            .unwrap_or_else(|| panic!("no domain named {domain}"));
+        self.max_current_per_bump * d.bumps as f64
+    }
+
+    /// Per-bump current in a domain at load `current`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the domain does not exist.
+    pub fn per_bump_current(&self, domain: &str, current: Amps) -> Amps {
+        let d = self
+            .domain(domain)
+            .unwrap_or_else(|| panic!("no domain named {domain}"));
+        current / d.bumps as f64
+    }
+
+    /// `true` when carrying `current` through `domain` stays within the EM
+    /// limit.
+    pub fn within_em_limit(&self, domain: &str, current: Amps) -> bool {
+        self.per_bump_current(domain, current) <= self.max_current_per_bump
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mobile_layout_has_five_domains() {
+        let p = PackageLayout::skylake_mobile();
+        assert_eq!(p.domains().len(), 5);
+        assert!(!p.domain("VCU").unwrap().gated);
+        for core in ["VC0G", "VC1G", "VC2G", "VC3G"] {
+            assert!(p.domain(core).unwrap().gated);
+        }
+    }
+
+    #[test]
+    fn desktop_shorting_pools_all_bumps() {
+        let mobile = PackageLayout::skylake_mobile();
+        let desktop = PackageLayout::skylake_desktop();
+        assert_eq!(desktop.domains().len(), 1);
+        let merged = desktop.domain("VCC_CORES").unwrap();
+        assert!(!merged.gated);
+        assert_eq!(merged.bumps, mobile.total_bumps());
+        // Shorting conserves bumps.
+        assert_eq!(desktop.total_bumps(), mobile.total_bumps());
+    }
+
+    #[test]
+    fn shorting_alleviates_em() {
+        // Sec. 4.2: one core drawing a burst through its private domain
+        // vs. through the pooled domain.
+        let mobile = PackageLayout::skylake_mobile();
+        let desktop = PackageLayout::skylake_desktop();
+        let burst = Amps::new(34.0);
+        let private = mobile.per_bump_current("VC0G", burst);
+        let pooled = desktop.per_bump_current("VCC_CORES", burst);
+        assert!(
+            pooled.value() < 0.25 * private.value(),
+            "pooled {pooled} vs private {private}"
+        );
+        // The private domain violates the EM limit on this burst; the
+        // pooled one does not.
+        assert!(!mobile.within_em_limit("VC0G", burst));
+        assert!(desktop.within_em_limit("VCC_CORES", burst));
+    }
+
+    #[test]
+    fn capacity_scales_with_bumps() {
+        let p = PackageLayout::skylake_mobile();
+        let cap_core = p.current_capacity("VC0G");
+        let cap_all = PackageLayout::skylake_desktop().current_capacity("VCC_CORES");
+        assert!((cap_core.value() - 33.0).abs() < 1e-9);
+        assert!(cap_all.value() > 4.0 * cap_core.value());
+    }
+
+    #[test]
+    fn partial_shorting_keeps_other_domains() {
+        let p = PackageLayout::skylake_mobile();
+        // Short only cores 0 and 1.
+        let partial = p
+            .short_domains("VC01", |d| d.name == "VC0G" || d.name == "VC1G")
+            .unwrap();
+        assert_eq!(partial.domains().len(), 4);
+        assert_eq!(partial.domain("VC01").unwrap().bumps, 88);
+        assert!(partial.domain("VCU").is_some());
+        assert!(partial.domain("VC2G").is_some());
+    }
+
+    #[test]
+    fn empty_selection_rejected() {
+        let p = PackageLayout::skylake_mobile();
+        assert!(p.short_domains("X", |d| d.name == "nope").is_err());
+    }
+
+    #[test]
+    fn validation() {
+        assert!(VoltageDomain::new("x", 0, false).is_err());
+        let d = vec![VoltageDomain::new("a", 10, false).unwrap()];
+        assert!(PackageLayout::new("p", vec![], Amps::new(1.0)).is_err());
+        assert!(PackageLayout::new("p", d.clone(), Amps::ZERO).is_err());
+        let dup = vec![
+            VoltageDomain::new("a", 10, false).unwrap(),
+            VoltageDomain::new("a", 10, false).unwrap(),
+        ];
+        assert!(PackageLayout::new("p", dup, Amps::new(1.0)).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "no domain named")]
+    fn unknown_domain_panics() {
+        PackageLayout::skylake_mobile().current_capacity("nope");
+    }
+}

@@ -1,0 +1,457 @@
+//! Time-domain transient simulation of load-step voltage droops.
+//!
+//! A current step at the die (e.g. cores waking from idle and issuing a burst
+//! of wide vector operations) excites the PDN's resonances and produces the
+//! first/second/third voltage droops. The worst-case droop sets the droop
+//! guardband `V_gb` that the PMU must add above the nominal voltage
+//! (paper Sec. 2.4.2).
+//!
+//! The ladder is converted into a chain of L–R series branches and grounded
+//! node capacitors (cap-bank ESR/ESL are a frequency-domain refinement and
+//! are ignored here; the dominant droop physics — path L/R against node C —
+//! is retained). The resulting ODE system is integrated with classical RK4.
+
+use crate::error::PdnError;
+use crate::ladder::Ladder;
+use crate::units::{Amps, Seconds, Volts};
+use serde::{Deserialize, Serialize};
+
+/// Minimum branch inductance substituted for ideal (zero-L) branches to keep
+/// the ODE system well-posed. 1 pH is far below any physical routing segment.
+const MIN_BRANCH_INDUCTANCE: f64 = 1e-12;
+
+/// Parasitic die capacitance added when the final ladder stage has no shunt
+/// bank, so the load node always has a state variable.
+const PARASITIC_NODE_CAP: f64 = 1e-9;
+
+/// A current step applied at the die node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LoadStep {
+    /// Quiescent current before the step.
+    pub from: Amps,
+    /// Current after the step.
+    pub to: Amps,
+    /// Time at which the ramp starts.
+    pub at: Seconds,
+    /// Ramp duration (0 for an ideal step; a staggered power-gate wake-up is
+    /// typically 10–20 ns, paper Sec. 2.1).
+    pub slew: Seconds,
+}
+
+impl LoadStep {
+    /// An ideal step from `from` to `to` at `at`.
+    pub fn step(from: Amps, to: Amps, at: Seconds) -> Self {
+        LoadStep {
+            from,
+            to,
+            at,
+            slew: Seconds::ZERO,
+        }
+    }
+
+    /// The load current at time `t`.
+    pub fn current_at(&self, t: Seconds) -> Amps {
+        if t < self.at {
+            return self.from;
+        }
+        if self.slew.value() <= 0.0 {
+            return self.to;
+        }
+        let progress = ((t - self.at).value() / self.slew.value()).clamp(0.0, 1.0);
+        self.from + (self.to - self.from) * progress
+    }
+}
+
+/// Result of a transient simulation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransientResult {
+    /// Decimated `(time, die-voltage)` waveform.
+    pub samples: Vec<(Seconds, Volts)>,
+    /// Minimum die voltage observed.
+    pub v_min: Volts,
+    /// Time at which the minimum occurred.
+    pub t_min: Seconds,
+    /// Steady-state die voltage before the step.
+    pub v_initial: Volts,
+    /// Die voltage at the end of the simulated window.
+    pub v_final: Volts,
+}
+
+impl TransientResult {
+    /// Worst droop magnitude relative to the pre-step steady state.
+    pub fn droop(&self) -> Volts {
+        (self.v_initial - self.v_min).max(Volts::ZERO)
+    }
+
+    /// The resistive (DC) part of the voltage change: initial minus final.
+    pub fn dc_shift(&self) -> Volts {
+        self.v_initial - self.v_final
+    }
+
+    /// The dynamic overshoot beyond the final DC level (first-droop depth).
+    pub fn dynamic_droop(&self) -> Volts {
+        (self.v_final - self.v_min).max(Volts::ZERO)
+    }
+}
+
+/// Fixed-step RK4 transient simulator over a [`Ladder`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TransientSim {
+    /// VR setpoint voltage at the head of the ladder.
+    pub source: Volts,
+    /// Integration time step.
+    pub dt: Seconds,
+    /// Total simulated duration.
+    pub duration: Seconds,
+    /// Store every `decimate`-th sample in the output waveform.
+    pub decimate: usize,
+}
+
+impl TransientSim {
+    /// Creates a simulator with validation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::InvalidTimeStep`] if `dt` or `duration` is not
+    /// strictly positive, or if `dt > duration`.
+    pub fn new(source: Volts, dt: Seconds, duration: Seconds) -> Result<Self, PdnError> {
+        if !(dt.value() > 0.0 && duration.value() > 0.0 && dt.value() <= duration.value()) {
+            return Err(PdnError::InvalidTimeStep { dt: dt.value() });
+        }
+        Ok(TransientSim {
+            source,
+            dt,
+            duration,
+            decimate: 16,
+        })
+    }
+
+    /// A simulator tuned for droop capture: 0.1 ns step over 20 µs.
+    pub fn droop_capture(source: Volts) -> Self {
+        TransientSim {
+            source,
+            dt: Seconds::from_ns(0.1),
+            duration: Seconds::from_us(20.0),
+            decimate: 64,
+        }
+    }
+
+    /// Runs the simulation of `step` applied to `ladder`'s die node.
+    ///
+    /// The system starts in the exact DC steady state for `step.from`.
+    pub fn run(&self, ladder: &Ladder, step: LoadStep) -> TransientResult {
+        let model = ChainModel::from_ladder(ladder, self.source);
+        let n = model.nodes();
+        // State layout: [i_0..i_{n-1}, v_0..v_{n-1}]
+        let mut state = model.steady_state(step.from);
+        let v_initial = Volts::new(state[2 * n - 1]);
+
+        let dt = self.dt.value();
+        let steps = (self.duration.value() / dt).ceil() as usize;
+        let mut samples = Vec::with_capacity(steps / self.decimate.max(1) + 2);
+        let mut v_min = v_initial;
+        let mut t_min = Seconds::ZERO;
+
+        let mut k1 = vec![0.0; 2 * n];
+        let mut k2 = vec![0.0; 2 * n];
+        let mut k3 = vec![0.0; 2 * n];
+        let mut k4 = vec![0.0; 2 * n];
+        let mut tmp = vec![0.0; 2 * n];
+
+        samples.push((Seconds::ZERO, v_initial));
+        for s in 0..steps {
+            let t = s as f64 * dt;
+            let i_mid = step.current_at(Seconds::new(t + 0.5 * dt)).value();
+            let i_now = step.current_at(Seconds::new(t)).value();
+            let i_end = step.current_at(Seconds::new(t + dt)).value();
+
+            model.derivative(&state, i_now, &mut k1);
+            axpy(&state, &k1, 0.5 * dt, &mut tmp);
+            model.derivative(&tmp, i_mid, &mut k2);
+            axpy(&state, &k2, 0.5 * dt, &mut tmp);
+            model.derivative(&tmp, i_mid, &mut k3);
+            axpy(&state, &k3, dt, &mut tmp);
+            model.derivative(&tmp, i_end, &mut k4);
+
+            for j in 0..2 * n {
+                state[j] += dt / 6.0 * (k1[j] + 2.0 * k2[j] + 2.0 * k3[j] + k4[j]);
+            }
+
+            let v_die = Volts::new(state[2 * n - 1]);
+            let t_now = Seconds::new(t + dt);
+            if v_die < v_min {
+                v_min = v_die;
+                t_min = t_now;
+            }
+            if s % self.decimate.max(1) == 0 {
+                samples.push((t_now, v_die));
+            }
+        }
+        let v_final = Volts::new(state[2 * n - 1]);
+        samples.push((self.duration, v_final));
+
+        TransientResult {
+            samples,
+            v_min,
+            t_min,
+            v_initial,
+            v_final,
+        }
+    }
+
+    /// Convenience: worst droop for a current step of `delta` amps starting
+    /// from `quiescent`, applied after 1 µs with a 10 ns slew (a typical
+    /// staggered wake-up).
+    pub fn droop_for_step(&self, ladder: &Ladder, quiescent: Amps, delta: Amps) -> Volts {
+        let step = LoadStep {
+            from: quiescent,
+            to: quiescent + delta,
+            at: Seconds::from_us(1.0),
+            slew: Seconds::from_ns(10.0),
+        };
+        self.run(ladder, step).droop()
+    }
+}
+
+/// Internal chain model: series branches (R, L) between grounded C nodes.
+#[derive(Debug)]
+struct ChainModel {
+    source: f64,
+    r: Vec<f64>,
+    l: Vec<f64>,
+    c: Vec<f64>,
+}
+
+impl ChainModel {
+    fn from_ladder(ladder: &Ladder, source: Volts) -> Self {
+        let mut r = Vec::new();
+        let mut l = Vec::new();
+        let mut c = Vec::new();
+
+        // VR branch: load-line resistance + equivalent output inductance.
+        let vr = ladder.vr();
+        let mut pending_r = vr.loadline.value();
+        let mut pending_l = vr.equivalent_inductance();
+
+        for stage in ladder.stages() {
+            pending_r += stage.series.resistance.value();
+            pending_l += stage.series.inductance.value();
+            if let Some(bank) = &stage.shunt {
+                r.push(pending_r);
+                l.push(pending_l.max(MIN_BRANCH_INDUCTANCE));
+                c.push(bank.total_capacitance().value());
+                pending_r = 0.0;
+                pending_l = 0.0;
+            }
+        }
+        // Trailing series segments without a shunt: give the die node a
+        // parasitic capacitance so the load has a state variable.
+        if pending_r > 0.0 || pending_l > 0.0 || c.is_empty() {
+            r.push(pending_r);
+            l.push(pending_l.max(MIN_BRANCH_INDUCTANCE));
+            c.push(PARASITIC_NODE_CAP);
+        }
+
+        ChainModel {
+            source: source.value(),
+            r,
+            l,
+            c,
+        }
+    }
+
+    fn nodes(&self) -> usize {
+        self.c.len()
+    }
+
+    /// DC steady state for a constant load current: every branch carries the
+    /// load current; node voltages drop cumulatively along the chain.
+    fn steady_state(&self, load: Amps) -> Vec<f64> {
+        let n = self.nodes();
+        let mut state = vec![0.0; 2 * n];
+        let i0 = load.value();
+        let mut v = self.source;
+        for k in 0..n {
+            state[k] = i0;
+            v -= self.r[k] * i0;
+            state[n + k] = v;
+        }
+        state
+    }
+
+    /// Computes `d(state)/dt` into `out` for die load current `i_load`.
+    fn derivative(&self, state: &[f64], i_load: f64, out: &mut [f64]) {
+        let n = self.nodes();
+        let (i, v) = state.split_at(n);
+        for k in 0..n {
+            let v_prev = if k == 0 { self.source } else { v[k - 1] };
+            out[k] = (v_prev - v[k] - self.r[k] * i[k]) / self.l[k];
+        }
+        for k in 0..n {
+            let i_out = if k + 1 < n { i[k + 1] } else { i_load };
+            out[n + k] = (i[k] - i_out) / self.c[k];
+        }
+    }
+}
+
+/// `out = x + a * scale`, element-wise.
+fn axpy(x: &[f64], a: &[f64], scale: f64, out: &mut [f64]) {
+    for ((o, &xi), &ai) in out.iter_mut().zip(x).zip(a) {
+        *o = xi + ai * scale;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elements::{CapBank, SeriesBranch};
+    use crate::ladder::{Ladder, VrOutputModel};
+    use crate::units::{Farads, Henries, Ohms};
+
+    fn small_ladder() -> Ladder {
+        let vr = VrOutputModel::new(Ohms::from_mohm(1.6), Hz(300e3)).unwrap();
+        let mut b = Ladder::builder("t", vr);
+        b.series_with_decap(
+            "board",
+            SeriesBranch::new(Ohms::from_mohm(0.3), Henries::from_ph(150.0)).unwrap(),
+            CapBank::new(
+                Farads::from_uf(500.0),
+                Ohms::from_mohm(5.0),
+                Henries::from_nh(2.0),
+                1,
+            )
+            .unwrap(),
+        );
+        b.series_with_decap(
+            "die",
+            SeriesBranch::new(Ohms::from_mohm(0.4), Henries::from_ph(20.0)).unwrap(),
+            CapBank::new(
+                Farads::from_nf(200.0),
+                Ohms::from_mohm(0.3),
+                Henries::from_ph(1.0),
+                1,
+            )
+            .unwrap(),
+        );
+        b.build().unwrap()
+    }
+
+    #[allow(non_snake_case)]
+    fn Hz(v: f64) -> crate::units::Hertz {
+        crate::units::Hertz::new(v)
+    }
+
+    #[test]
+    fn validation_rejects_bad_steps() {
+        assert!(TransientSim::new(Volts::new(1.0), Seconds::ZERO, Seconds::from_us(1.0)).is_err());
+        assert!(TransientSim::new(Volts::new(1.0), Seconds::from_us(2.0), Seconds::from_us(1.0))
+            .is_err());
+    }
+
+    #[test]
+    fn no_step_means_no_droop() {
+        let sim = TransientSim::new(
+            Volts::new(1.0),
+            Seconds::from_ns(0.5),
+            Seconds::from_us(2.0),
+        )
+        .unwrap();
+        let step = LoadStep::step(Amps::new(10.0), Amps::new(10.0), Seconds::from_us(0.5));
+        let r = sim.run(&small_ladder(), step);
+        assert!(r.droop().as_mv() < 0.5, "droop {}", r.droop());
+    }
+
+    #[test]
+    fn step_produces_droop_exceeding_dc_shift() {
+        let sim = TransientSim::new(
+            Volts::new(1.1),
+            Seconds::from_ns(0.2),
+            Seconds::from_us(50.0),
+        )
+        .unwrap();
+        let step = LoadStep {
+            from: Amps::new(5.0),
+            to: Amps::new(45.0),
+            at: Seconds::from_us(1.0),
+            slew: Seconds::from_ns(10.0),
+        };
+        let r = sim.run(&small_ladder(), step);
+        // DC shift = ΔI * R_path = 40 A * 2.3 mΩ = 92 mV.
+        let expected_dc = 40.0 * small_ladder().dc_resistance().value();
+        assert!(
+            (r.dc_shift().value() - expected_dc).abs() < 0.25 * expected_dc,
+            "dc shift {} vs {}",
+            r.dc_shift(),
+            expected_dc
+        );
+        // The transient minimum is at or below the final DC level.
+        assert!(r.v_min <= r.v_final);
+        assert!(r.droop() >= r.dc_shift() * 0.95);
+    }
+
+    #[test]
+    fn steady_state_matches_ohms_law() {
+        let ladder = small_ladder();
+        let model = ChainModel::from_ladder(&ladder, Volts::new(1.0));
+        let st = model.steady_state(Amps::new(20.0));
+        let n = model.nodes();
+        let v_die = st[2 * n - 1];
+        let expected = 1.0 - 20.0 * ladder.dc_resistance().value();
+        assert!((v_die - expected).abs() < 1e-9);
+        // Derivative at steady state is ~zero.
+        let mut d = vec![0.0; 2 * n];
+        model.derivative(&st, 20.0, &mut d);
+        for x in d {
+            assert!(x.abs() < 1e-6, "nonzero derivative {x}");
+        }
+    }
+
+    #[test]
+    fn load_step_current_profile() {
+        let s = LoadStep {
+            from: Amps::new(1.0),
+            to: Amps::new(3.0),
+            at: Seconds::from_us(1.0),
+            slew: Seconds::from_ns(100.0),
+        };
+        assert_eq!(s.current_at(Seconds::ZERO).value(), 1.0);
+        assert_eq!(s.current_at(Seconds::from_us(2.0)).value(), 3.0);
+        let mid = s.current_at(Seconds::new(1.0e-6 + 50e-9)).value();
+        assert!((mid - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ideal_step_is_instant() {
+        let s = LoadStep::step(Amps::ZERO, Amps::new(10.0), Seconds::from_us(1.0));
+        assert_eq!(s.current_at(Seconds::new(0.999e-6)).value(), 0.0);
+        assert_eq!(s.current_at(Seconds::from_us(1.0)).value(), 10.0);
+    }
+
+    #[test]
+    fn droop_for_step_increases_with_delta() {
+        let sim = TransientSim {
+            source: Volts::new(1.1),
+            dt: Seconds::from_ns(0.2),
+            duration: Seconds::from_us(20.0),
+            decimate: 64,
+        };
+        let ladder = small_ladder();
+        let d_small = sim.droop_for_step(&ladder, Amps::new(5.0), Amps::new(10.0));
+        let d_large = sim.droop_for_step(&ladder, Amps::new(5.0), Amps::new(40.0));
+        assert!(d_large > d_small);
+    }
+
+    #[test]
+    fn ladder_without_trailing_cap_gets_parasitic_node() {
+        let vr = VrOutputModel::new(Ohms::from_mohm(1.6), Hz(300e3)).unwrap();
+        let mut b = Ladder::builder("bare", vr);
+        b.series(
+            "route",
+            SeriesBranch::new(Ohms::from_mohm(1.0), Henries::from_ph(50.0)).unwrap(),
+        );
+        let ladder = b.build().unwrap();
+        let model = ChainModel::from_ladder(&ladder, Volts::new(1.0));
+        assert_eq!(model.nodes(), 1);
+        assert!((model.c[0] - PARASITIC_NODE_CAP).abs() < 1e-18);
+    }
+}

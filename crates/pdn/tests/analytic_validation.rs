@@ -1,0 +1,158 @@
+//! Numerical validation: the RK4 transient solver against closed-form
+//! series-RLC theory.
+//!
+//! A single-stage ladder (source → R–L branch → C node → load) is the
+//! classic series RLC circuit. For a current step ΔI at the node, the
+//! voltage deviation obeys a damped second-order response with
+//!
+//! * natural frequency `ω₀ = 1/√(LC)`,
+//! * damping ratio `ζ = (R/2)·√(C/L)`,
+//!
+//! For a *current* step drawn from the capacitor node, the voltage rings
+//! around the new IR level; at light damping the first droop peaks a
+//! quarter period after the step (`t_peak ≈ π/(2·ω_d)`) with magnitude
+//! `ΔV_peak ≈ ΔI·(R + √(L/C)·exp(−ζ·π/2))`. The simulator must reproduce
+//! these to within integration error.
+
+use dg_pdn::elements::{CapBank, SeriesBranch};
+use dg_pdn::ladder::{Ladder, VrOutputModel};
+use dg_pdn::transient::{LoadStep, TransientSim};
+use dg_pdn::units::{Amps, Farads, Henries, Hertz, Ohms, Seconds, Volts};
+
+/// Builds a single-section ladder with the VR modeled as an almost-ideal
+/// source (tiny load-line, huge bandwidth) so the section dominates.
+fn rlc_ladder(r_mohm: f64, l_ph: f64, c_nf: f64) -> Ladder {
+    let vr = VrOutputModel::new(Ohms::from_mohm(1e-3), Hertz::from_ghz(100.0)).unwrap();
+    let mut b = Ladder::builder("rlc", vr);
+    b.series_with_decap(
+        "section",
+        SeriesBranch::new(Ohms::from_mohm(r_mohm), Henries::from_ph(l_ph)).unwrap(),
+        CapBank::new(Farads::from_nf(c_nf), Ohms::ZERO, Henries::ZERO, 1).unwrap(),
+    );
+    b.build().unwrap()
+}
+
+struct Theory {
+    zeta: f64,
+    omega0: f64,
+    r: f64,
+    char_imp: f64,
+}
+
+fn theory(r_mohm: f64, l_ph: f64, c_nf: f64) -> Theory {
+    let r = r_mohm * 1e-3;
+    let l = l_ph * 1e-12;
+    let c = c_nf * 1e-9;
+    Theory {
+        zeta: (r / 2.0) * (c / l).sqrt(),
+        omega0: 1.0 / (l * c).sqrt(),
+        r,
+        char_imp: (l / c).sqrt(),
+    }
+}
+
+fn run_step(ladder: &Ladder, delta_a: f64) -> dg_pdn::transient::TransientResult {
+    let sim = TransientSim {
+        source: Volts::new(1.0),
+        dt: Seconds::from_ns(0.01),
+        // Long enough for the lightest-damped case's ringing to fully
+        // decay before the final (DC) sample.
+        duration: Seconds::from_us(8.0),
+        decimate: 8,
+    };
+    let step = LoadStep::step(Amps::ZERO, Amps::new(delta_a), Seconds::from_us(0.5));
+    sim.run(ladder, step)
+}
+
+#[test]
+fn underdamped_peak_matches_theory() {
+    // R = 0.5 mΩ, L = 100 pH, C = 500 nF → ζ ≈ 0.018 (very underdamped).
+    let (r, l, c) = (0.5, 100.0, 500.0);
+    let th = theory(r, l, c);
+    assert!(th.zeta < 0.1, "test expects light damping, ζ = {}", th.zeta);
+
+    let ladder = rlc_ladder(r, l, c);
+    let delta = 10.0;
+    let result = run_step(&ladder, delta);
+
+    // First droop at a quarter period: IR level plus the decayed
+    // characteristic-impedance swing.
+    let decay = (-th.zeta * std::f64::consts::FRAC_PI_2).exp();
+    let expected = delta * (th.r + th.char_imp * decay);
+    let measured = result.droop().value();
+    let err = (measured - expected).abs() / expected;
+    assert!(
+        err < 0.08,
+        "droop {measured:.6} V vs theory {expected:.6} V (err {err:.3})"
+    );
+
+    // Peak time ≈ π/(2·ω_d) after the step.
+    let omega_d = th.omega0 * (1.0 - th.zeta * th.zeta).sqrt();
+    let t_peak_theory = std::f64::consts::FRAC_PI_2 / omega_d;
+    let t_peak_measured = result.t_min.value() - 0.5e-6;
+    assert!(
+        (t_peak_measured - t_peak_theory).abs() < 0.2 * t_peak_theory,
+        "t_peak {t_peak_measured:.3e} vs theory {t_peak_theory:.3e}"
+    );
+}
+
+#[test]
+fn overdamped_step_has_no_overshoot() {
+    // R = 20 mΩ, L = 20 pH, C = 2000 nF → ζ ≈ 3.2 (overdamped).
+    let (r, l, c) = (20.0, 20.0, 2000.0);
+    let th = theory(r, l, c);
+    assert!(th.zeta > 1.0);
+
+    let ladder = rlc_ladder(r, l, c);
+    let delta = 10.0;
+    let result = run_step(&ladder, delta);
+
+    // No resonant overshoot: the droop settles to exactly the IR drop.
+    let ir = delta * (th.r + 1e-6); // section R + the tiny source R
+    let measured = result.droop().value();
+    assert!(
+        (measured - ir).abs() / ir < 0.05,
+        "droop {measured:.6} vs IR {ir:.6}"
+    );
+    // Minimum equals the final value: monotone approach.
+    assert!((result.v_min - result.v_final).abs().value() < 1e-4);
+}
+
+#[test]
+fn dc_shift_is_exact_for_any_damping() {
+    for (r, l, c) in [(0.5, 100.0, 500.0), (2.0, 50.0, 1000.0), (5.0, 20.0, 2000.0)] {
+        let ladder = rlc_ladder(r, l, c);
+        let delta = 20.0;
+        let result = run_step(&ladder, delta);
+        let expected = delta * (r * 1e-3 + 1e-6);
+        let measured = result.dc_shift().value();
+        assert!(
+            (measured - expected).abs() < 0.02 * expected,
+            "R={r}: dc shift {measured:.6} vs {expected:.6}"
+        );
+    }
+}
+
+#[test]
+fn impedance_peak_matches_rlc_resonance() {
+    // The AC analyzer's resonant peak must sit at f₀ = ω₀/2π for a lightly
+    // damped section.
+    use dg_pdn::impedance::ImpedanceAnalyzer;
+    let (r, l, c) = (0.2, 100.0, 500.0);
+    let th = theory(r, l, c);
+    let f0 = th.omega0 / (2.0 * std::f64::consts::PI);
+    let ladder = rlc_ladder(r, l, c);
+    let analyzer = ImpedanceAnalyzer::new(
+        Hertz::new(f0 / 30.0),
+        Hertz::new(f0 * 30.0),
+        1200,
+    )
+    .unwrap();
+    let profile = analyzer.profile(&ladder);
+    let (f_peak, _) = profile.peak();
+    assert!(
+        (f_peak.value() - f0).abs() < 0.1 * f0,
+        "peak at {} vs theory {f0}",
+        f_peak.value()
+    );
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the PDN extension modules: package domains,
+//! di/dt analysis, and the delivery-architecture models.
+
+use dg_pdn::architectures::{delivery_loss, IvrModel, LdoModel, PdnArchitecture};
+use dg_pdn::didt::{analyze, DidtEvent};
+use dg_pdn::package::{PackageLayout, VoltageDomain};
+use dg_pdn::skylake::{PdnVariant, SkylakePdn};
+use dg_pdn::units::{Amps, Seconds, Volts, Watts};
+use proptest::prelude::*;
+
+proptest! {
+    /// Shorting any non-empty subset of domains conserves total bumps and
+    /// never reduces the merged domain's capacity below the largest
+    /// constituent's.
+    #[test]
+    fn shorting_conserves_bumps(mask in 1u8..31) {
+        let layout = PackageLayout::skylake_mobile();
+        let names = ["VCU", "VC0G", "VC1G", "VC2G", "VC3G"];
+        let selected: Vec<&str> = names
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| mask & (1 << i) != 0)
+            .map(|(_, n)| *n)
+            .collect();
+        let before = layout.total_bumps();
+        let shorted = layout
+            .short_domains("MERGED", |d| selected.contains(&d.name.as_str()))
+            .expect("non-empty selection");
+        prop_assert_eq!(shorted.total_bumps(), before);
+        let merged_cap = shorted.current_capacity("MERGED");
+        for name in &selected {
+            prop_assert!(merged_cap.value() >= layout.current_capacity(name).value());
+        }
+        // Domain count shrinks by (selected - 1).
+        prop_assert_eq!(
+            shorted.domains().len(),
+            layout.domains().len() - selected.len() + 1
+        );
+    }
+
+    /// Per-bump current scales inversely with bump count.
+    #[test]
+    fn per_bump_current_inverse_in_bumps(bumps in 1usize..500, current in 0.1..200.0f64) {
+        let d = VoltageDomain::new("d", bumps, false).unwrap();
+        let layout = PackageLayout::new("p", vec![d], Amps::new(0.75)).unwrap();
+        let per = layout.per_bump_current("d", Amps::new(current));
+        prop_assert!((per.value() - current / bumps as f64).abs() < 1e-12);
+        prop_assert_eq!(
+            layout.within_em_limit("d", Amps::new(current)),
+            per.value() <= 0.75
+        );
+    }
+
+}
+
+proptest! {
+    // Each case runs two 30 µs transient simulations; keep the case count
+    // low so debug-mode test runs stay fast.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Droop grows monotonically with the event's current step.
+    #[test]
+    fn droop_monotone_in_step(d1 in 5.0..30.0f64, extra in 1.0..30.0f64) {
+        let pdn = SkylakePdn::build(PdnVariant::Gated);
+        let mk = |delta: f64| DidtEvent {
+            name: "e".into(),
+            delta: Amps::new(delta),
+            slew: Seconds::from_ns(5.0),
+        };
+        let a = analyze(
+            &pdn.ladder,
+            &[mk(d1), mk(d1 + extra)],
+            Volts::new(1.0),
+            Volts::new(0.6),
+            Amps::new(5.0),
+        );
+        prop_assert!(a.results[1].droop >= a.results[0].droop);
+        prop_assert!(a.worst_droop >= a.results[1].droop);
+    }
+
+    /// IVR efficiency stays in (0, 1] and input power is never below the
+    /// output for any load point.
+    #[test]
+    fn ivr_physical(load in 0.001..=1.0f64, out_w in 0.1..80.0f64) {
+        let m = IvrModel::fivr();
+        let eta = m.efficiency(load);
+        prop_assert!(eta > 0.0 && eta <= 1.0);
+        let input = m.input_power(Watts::new(out_w), load);
+        prop_assert!(input.value() >= out_w);
+    }
+
+    /// LDO efficiency equals the voltage ratio for all valid outputs, and
+    /// delivery loss is non-negative for every architecture.
+    #[test]
+    fn architecture_losses_nonnegative(
+        out_w in 0.5..60.0f64,
+        v_out in 0.65..1.25f64,
+        load in 0.05..=1.0f64,
+    ) {
+        let ldo = LdoModel::skylake_x();
+        let eta = ldo.efficiency(Volts::new(v_out));
+        prop_assert!((eta - v_out / 1.35).abs() < 1e-12);
+        for arch in [PdnArchitecture::Mbvr, PdnArchitecture::Ivr, PdnArchitecture::Ldo] {
+            let loss = delivery_loss(arch, Watts::new(out_w), Volts::new(v_out), 1.6, load);
+            prop_assert!(loss.value() >= 0.0, "{arch:?}: {loss}");
+            prop_assert!(loss.is_finite());
+        }
+    }
+}

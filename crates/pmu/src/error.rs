@@ -1,0 +1,59 @@
+//! Error types for the PMU firmware model.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the PMU algorithms.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PmuError {
+    /// No P-state satisfies the voltage / power / thermal constraints.
+    NoFeasibleOperatingPoint {
+        /// The binding budget in watts.
+        budget_w: f64,
+        /// The voltage ceiling in volts.
+        vmax_v: f64,
+    },
+    /// A request parameter was invalid.
+    InvalidRequest {
+        /// Why the request was rejected.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for PmuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PmuError::NoFeasibleOperatingPoint { budget_w, vmax_v } => write!(
+                f,
+                "no feasible operating point under budget {budget_w} W and Vmax {vmax_v} V"
+            ),
+            PmuError::InvalidRequest { reason } => write!(f, "invalid PMU request: {reason}"),
+        }
+    }
+}
+
+impl Error for PmuError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = PmuError::NoFeasibleOperatingPoint {
+            budget_w: 10.0,
+            vmax_v: 1.35,
+        };
+        assert!(e.to_string().contains("no feasible"));
+        assert!(PmuError::InvalidRequest { reason: "zero cores" }
+            .to_string()
+            .contains("zero cores"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<PmuError>();
+    }
+}

@@ -1,0 +1,198 @@
+//! Transistor aging (NBTI/EM-class) model.
+//!
+//! Sustained voltage and temperature stress shifts transistor thresholds,
+//! slowing circuits over the product's lifetime (paper Sec. 2.4.2:
+//! NBTI/EM/TDDB degrade reliability; Vmax exists to bound it). We use the
+//! standard compact reaction–diffusion form:
+//!
+//! ```text
+//! ΔVth(t) = A · exp(γ·V) · exp(−Ea/kT) · (duty · t)^n
+//! ```
+//!
+//! with the power-law exponent `n ≈ 0.17` of NBTI. The firmware sizes a
+//! *reliability guardband* equal to the end-of-life ΔVth so the part still
+//! meets timing in year N — and DarkGates, which increases both `duty`
+//! (no more gated recovery) and `T` (+~5 °C), must size it larger
+//! (cross-checked against `dg_pmu::reliability`).
+
+use dg_pdn::units::{Celsius, Volts};
+use serde::{Deserialize, Serialize};
+
+/// Boltzmann constant in eV/K.
+const K_B_EV: f64 = 8.617e-5;
+
+/// Seconds per (365-day) year.
+pub const SECONDS_PER_YEAR: f64 = 365.0 * 24.0 * 3600.0;
+
+/// A calibrated aging model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AgingModel {
+    /// Prefactor in volts.
+    pub a: f64,
+    /// Voltage acceleration γ in 1/V.
+    pub gamma: f64,
+    /// Activation energy in eV.
+    pub ea: f64,
+    /// Time power-law exponent.
+    pub n: f64,
+}
+
+impl AgingModel {
+    /// NBTI-flavored calibration for a 14 nm-class HKMG process:
+    /// ≈35 mV shift after 7 years at 1.2 V / 80 °C / 100 % duty.
+    pub fn nbti_14nm() -> Self {
+        AgingModel {
+            a: 3.25e-3,
+            gamma: 2.0,
+            ea: 0.10,
+            n: 0.17,
+        }
+    }
+
+    /// Threshold shift after `years` of stress at voltage `v`,
+    /// temperature `t`, and duty factor `duty ∈ [0, 1]` (fraction of
+    /// lifetime actually under stress — power-gated time does not age).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duty` is outside `[0, 1]` or `years` is negative.
+    pub fn vth_shift(&self, v: Volts, t: Celsius, years: f64, duty: f64) -> Volts {
+        assert!((0.0..=1.0).contains(&duty), "duty {duty} out of range");
+        assert!(years >= 0.0, "negative lifetime");
+        if duty == 0.0 || years == 0.0 {
+            return Volts::ZERO;
+        }
+        let t_kelvin = t.value() + 273.15;
+        let stress_seconds = duty * years * SECONDS_PER_YEAR;
+        let shift = self.a
+            * (self.gamma * v.value()).exp()
+            * (-self.ea / (K_B_EV * t_kelvin)).exp()
+            * stress_seconds.powf(self.n);
+        Volts::new(shift)
+    }
+
+    /// The reliability guardband needed for a rated lifetime: the
+    /// end-of-life ΔVth under the given stress conditions.
+    pub fn lifetime_guardband(&self, v: Volts, t: Celsius, years: f64, duty: f64) -> Volts {
+        self.vth_shift(v, t, years, duty)
+    }
+
+    /// The *additional* guardband DarkGates needs: bypassing raises the
+    /// stress duty from `duty_gated` to `duty_bypassed` and the junction
+    /// temperature by `extra_t`.
+    pub fn darkgates_adder(
+        &self,
+        v: Volts,
+        t: Celsius,
+        years: f64,
+        duty_gated: f64,
+        duty_bypassed: f64,
+        extra_t: Celsius,
+    ) -> Volts {
+        let base = self.vth_shift(v, t, years, duty_gated);
+        let stressed = self.vth_shift(v, t + extra_t, years, duty_bypassed);
+        (stressed - base).max(Volts::ZERO)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> AgingModel {
+        AgingModel::nbti_14nm()
+    }
+
+    #[test]
+    fn calibration_anchor() {
+        // ≈35 mV after 7 years at 1.2 V / 80 °C / full duty.
+        let shift = model().vth_shift(Volts::new(1.2), Celsius::new(80.0), 7.0, 1.0);
+        assert!(
+            (25.0..45.0).contains(&shift.as_mv()),
+            "7-year shift {shift}"
+        );
+    }
+
+    #[test]
+    fn aging_is_sublinear_in_time() {
+        let m = model();
+        let v = Volts::new(1.2);
+        let t = Celsius::new(80.0);
+        let one = m.vth_shift(v, t, 1.0, 1.0).value();
+        let four = m.vth_shift(v, t, 4.0, 1.0).value();
+        // t^0.17: 4 years ages ~1.27×, far below 4×.
+        let ratio = four / one;
+        assert!((1.2..1.4).contains(&ratio), "time ratio {ratio}");
+    }
+
+    #[test]
+    fn voltage_and_temperature_accelerate_aging() {
+        let m = model();
+        let base = m.vth_shift(Volts::new(1.0), Celsius::new(60.0), 5.0, 1.0);
+        assert!(m.vth_shift(Volts::new(1.3), Celsius::new(60.0), 5.0, 1.0) > base);
+        assert!(m.vth_shift(Volts::new(1.0), Celsius::new(95.0), 5.0, 1.0) > base);
+    }
+
+    #[test]
+    fn gated_time_does_not_age() {
+        let m = model();
+        assert_eq!(
+            m.vth_shift(Volts::new(1.2), Celsius::new(80.0), 7.0, 0.0),
+            Volts::ZERO
+        );
+        let half = m.vth_shift(Volts::new(1.2), Celsius::new(80.0), 7.0, 0.5);
+        let full = m.vth_shift(Volts::new(1.2), Celsius::new(80.0), 7.0, 1.0);
+        assert!(half < full);
+    }
+
+    #[test]
+    fn darkgates_adder_in_paper_band() {
+        // A 35 W part: gates used to idle the cores ~55% of the time
+        // (duty 0.45); bypassing raises duty to ~1.0 and T by ~5 °C.
+        // The paper budgets <20 mV for this.
+        let m = model();
+        let adder = m.darkgates_adder(
+            Volts::new(1.15),
+            Celsius::new(70.0),
+            7.0,
+            0.45,
+            1.0,
+            Celsius::new(5.0),
+        );
+        assert!(
+            (5.0..20.0).contains(&adder.as_mv()),
+            "35W-class adder {adder}"
+        );
+        // A 91 W part: cores already active most of the time (duty 0.86).
+        let adder_hi = m.darkgates_adder(
+            Volts::new(1.2),
+            Celsius::new(80.0),
+            7.0,
+            0.86,
+            1.0,
+            Celsius::new(5.0),
+        );
+        assert!(
+            adder_hi.as_mv() < 8.0,
+            "91W-class adder {adder_hi}"
+        );
+        assert!(adder_hi < adder);
+    }
+
+    #[test]
+    #[should_panic(expected = "duty")]
+    fn invalid_duty_panics() {
+        model().vth_shift(Volts::new(1.0), Celsius::new(60.0), 1.0, 1.5);
+    }
+
+    #[test]
+    fn lifetime_guardband_equals_eol_shift() {
+        let m = model();
+        let v = Volts::new(1.25);
+        let t = Celsius::new(85.0);
+        assert_eq!(
+            m.lifetime_guardband(v, t, 10.0, 0.8),
+            m.vth_shift(v, t, 10.0, 0.8)
+        );
+    }
+}

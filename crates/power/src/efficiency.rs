@@ -1,0 +1,165 @@
+//! Energy-efficiency analysis: energy per cycle and the Pn operating
+//! point.
+//!
+//! The paper repeatedly references Pn, "the most energy-efficient
+//! frequency (i.e., the maximum possible frequency at the minimum
+//! functional voltage)" (Sec. 7.2) — the point the driver core runs at
+//! during graphics workloads. More generally, the energy-per-cycle curve
+//! `E(f) = (P_dyn(f) + P_lkg(f)) / f` is non-monotone: at low frequency
+//! leakage energy dominates (finishing late wastes static energy), at high
+//! frequency the V² term dominates. This module computes the curve and its
+//! minimum.
+
+use crate::dynamic::CdynProfile;
+use crate::leakage::LeakageModel;
+use crate::pstate::{PState, PStateTable};
+use dg_pdn::units::Celsius;
+use serde::{Deserialize, Serialize};
+
+/// One point of the energy-per-cycle curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyPoint {
+    /// The operating point.
+    pub state: PState,
+    /// Energy per cycle in joules (dynamic + leakage share).
+    pub energy_per_cycle: f64,
+}
+
+/// Energy per cycle at one operating point.
+pub fn energy_per_cycle(
+    state: PState,
+    cdyn: CdynProfile,
+    leakage: &LeakageModel,
+    tj: Celsius,
+) -> f64 {
+    let p_dyn = cdyn.power(state.voltage, state.frequency).value();
+    let p_lkg = leakage.power(state.voltage, tj).value();
+    (p_dyn + p_lkg) / state.frequency.value()
+}
+
+/// The full energy-per-cycle curve over a P-state table.
+pub fn energy_curve(
+    table: &PStateTable,
+    cdyn: CdynProfile,
+    leakage: &LeakageModel,
+    tj: Celsius,
+) -> Vec<EnergyPoint> {
+    table
+        .states()
+        .iter()
+        .map(|&state| EnergyPoint {
+            state,
+            energy_per_cycle: energy_per_cycle(state, cdyn, leakage, tj),
+        })
+        .collect()
+}
+
+/// The most energy-efficient operating point (Pn) for a workload: the
+/// table entry minimizing energy per cycle.
+pub fn most_efficient_state(
+    table: &PStateTable,
+    cdyn: CdynProfile,
+    leakage: &LeakageModel,
+    tj: Celsius,
+) -> PState {
+    energy_curve(table, cdyn, leakage, tj)
+        .into_iter()
+        .min_by(|a, b| {
+            a.energy_per_cycle
+                .partial_cmp(&b.energy_per_cycle)
+                .expect("finite energies")
+        })
+        .expect("table is non-empty")
+        .state
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vf::VfCurve;
+    use dg_pdn::units::Volts;
+
+    fn table() -> PStateTable {
+        PStateTable::from_curve(
+            &VfCurve::skylake_core().with_guardband(Volts::from_mv(150.0)),
+            PStateTable::standard_bin(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn curve_covers_every_state() {
+        let t = table();
+        let c = energy_curve(
+            &t,
+            CdynProfile::core_typical(),
+            &LeakageModel::skylake_core(),
+            Celsius::new(60.0),
+        );
+        assert_eq!(c.len(), t.len());
+        for p in &c {
+            assert!(p.energy_per_cycle > 0.0 && p.energy_per_cycle.is_finite());
+        }
+    }
+
+    #[test]
+    fn high_frequency_energy_dominated_by_v_squared() {
+        let t = table();
+        let leak = LeakageModel::skylake_core();
+        let cdyn = CdynProfile::core_typical();
+        let tj = Celsius::new(60.0);
+        let mid = energy_per_cycle(
+            t.at_frequency(dg_pdn::units::Hertz::from_ghz(2.0)).unwrap(),
+            cdyn,
+            &leak,
+            tj,
+        );
+        let top = energy_per_cycle(t.p0(), cdyn, &leak, tj);
+        assert!(top > 1.3 * mid, "top {top} vs mid {mid}");
+    }
+
+    #[test]
+    fn hot_leaky_part_prefers_higher_pn() {
+        // More leakage pushes the efficient point upward (race-to-halt).
+        let t = table();
+        let cdyn = CdynProfile::core_typical();
+        let cool = most_efficient_state(
+            &t,
+            cdyn,
+            &LeakageModel::skylake_core(),
+            Celsius::new(40.0),
+        );
+        let hot = most_efficient_state(
+            &t,
+            cdyn,
+            &LeakageModel::skylake_core().scaled(6.0),
+            Celsius::new(90.0),
+        );
+        assert!(hot.frequency >= cool.frequency);
+    }
+
+    #[test]
+    fn pn_is_global_minimum() {
+        let t = table();
+        let leak = LeakageModel::skylake_core();
+        let cdyn = CdynProfile::core_typical();
+        let tj = Celsius::new(60.0);
+        let pn = most_efficient_state(&t, cdyn, &leak, tj);
+        let e_pn = energy_per_cycle(pn, cdyn, &leak, tj);
+        for &s in t.states() {
+            assert!(e_pn <= energy_per_cycle(s, cdyn, &leak, tj) + 1e-18);
+        }
+    }
+
+    #[test]
+    fn memory_bound_code_prefers_lower_pn_than_virus() {
+        // Lighter dynamic load shifts the balance toward leakage, raising
+        // the efficient frequency; a virus-class load prefers lower V.
+        let t = table();
+        let leak = LeakageModel::skylake_core();
+        let tj = Celsius::new(60.0);
+        let light = most_efficient_state(&t, CdynProfile::core_memory_bound(), &leak, tj);
+        let heavy = most_efficient_state(&t, CdynProfile::core_virus(), &leak, tj);
+        assert!(light.frequency >= heavy.frequency);
+    }
+}

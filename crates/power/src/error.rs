@@ -1,0 +1,87 @@
+//! Error types for the power-modeling crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or querying power models.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum PowerError {
+    /// A V/F curve was built with fewer than two points or with points that
+    /// are not strictly increasing in both frequency and voltage.
+    InvalidCurve {
+        /// Why the curve was rejected.
+        reason: &'static str,
+    },
+    /// A query fell outside a model's calibrated range.
+    OutOfRange {
+        /// What was queried (e.g. `"frequency"`).
+        what: &'static str,
+        /// The queried value in base SI units.
+        value: f64,
+        /// Calibrated minimum.
+        min: f64,
+        /// Calibrated maximum.
+        max: f64,
+    },
+    /// A model parameter was non-positive or non-finite.
+    InvalidParameter {
+        /// Which parameter was rejected.
+        what: &'static str,
+        /// The offending value.
+        value: f64,
+    },
+}
+
+impl fmt::Display for PowerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PowerError::InvalidCurve { reason } => write!(f, "invalid V/F curve: {reason}"),
+            PowerError::OutOfRange {
+                what,
+                value,
+                min,
+                max,
+            } => write!(
+                f,
+                "{what} {value} outside calibrated range [{min}, {max}]"
+            ),
+            PowerError::InvalidParameter { what, value } => {
+                write!(f, "invalid {what}: {value}")
+            }
+        }
+    }
+}
+
+impl Error for PowerError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(PowerError::InvalidCurve { reason: "too few points" }
+            .to_string()
+            .contains("too few points"));
+        let e = PowerError::OutOfRange {
+            what: "frequency",
+            value: 9e9,
+            min: 8e8,
+            max: 4.2e9,
+        };
+        assert!(e.to_string().contains("frequency"));
+        assert!(PowerError::InvalidParameter {
+            what: "thermal resistance",
+            value: -1.0
+        }
+        .to_string()
+        .contains("thermal resistance"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: std::error::Error + Send + Sync + 'static>() {}
+        assert_traits::<PowerError>();
+    }
+}

@@ -1,0 +1,262 @@
+//! CPI-stack performance model.
+//!
+//! The abstract scalability factor of [`crate::spec`] has a
+//! microarchitectural origin: runtime splits into a *core* part (cycles
+//! that scale with frequency) and a *memory* part (DRAM latency in
+//! nanoseconds, fixed in wall-clock time). This module models it
+//! explicitly:
+//!
+//! ```text
+//! time/instr = CPI_core / f   +   MPKI/1000 · blocking · t_DRAM
+//! ```
+//!
+//! where `MPKI` is the LLC misses per kilo-instruction and `blocking` the
+//! fraction of miss latency the out-of-order window cannot hide. The
+//! frequency scalability at a reference frequency then *emerges*:
+//! `s(f_ref) = t_core / (t_core + t_mem)` — and conversely a benchmark's
+//! published scalability pins its memory time. Both directions are
+//! provided, so the abstract suite and the CPI view stay consistent.
+
+use crate::spec::SpecBenchmark;
+use serde::{Deserialize, Serialize};
+
+/// Effective DRAM access time seen by a blocked core, seconds
+/// (row activation + transfer + queueing, ~70 ns for DDR4-2133).
+pub const DRAM_LATENCY_S: f64 = 70e-9;
+
+/// A benchmark's CPI-stack characterization.
+///
+/// # Examples
+///
+/// ```
+/// use dg_workloads::cpi::CpiModel;
+/// use dg_workloads::spec::by_name;
+///
+/// let mcf = by_name("429.mcf").expect("mcf is in the suite");
+/// let stack = CpiModel::from_benchmark(&mcf, 0.9, 4.2e9);
+/// // The derived stack reproduces the table's scalability...
+/// assert!((stack.scalability_at(4.2e9) - mcf.scalability).abs() < 1e-9);
+/// // ...and mcf's effective CPI is dominated by memory stalls.
+/// assert!(stack.effective_cpi(4.2e9) > 3.0 * 0.9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpiModel {
+    /// Core cycles per instruction when never missing (pipeline quality).
+    pub cpi_core: f64,
+    /// Effective *blocking* LLC misses per kilo-instruction: real MPKI
+    /// scaled by the fraction of miss latency that memory-level
+    /// parallelism cannot hide.
+    pub blocking_mpki: f64,
+}
+
+impl CpiModel {
+    /// Creates a model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cpi_core` is not strictly positive or `blocking_mpki`
+    /// is negative.
+    pub fn new(cpi_core: f64, blocking_mpki: f64) -> Self {
+        assert!(
+            cpi_core > 0.0 && cpi_core.is_finite(),
+            "invalid core CPI {cpi_core}"
+        );
+        assert!(
+            blocking_mpki >= 0.0 && blocking_mpki.is_finite(),
+            "invalid MPKI {blocking_mpki}"
+        );
+        CpiModel {
+            cpi_core,
+            blocking_mpki,
+        }
+    }
+
+    /// Derives the CPI stack that reproduces `benchmark`'s scalability at
+    /// `f_ref_hz`, assuming the given core CPI: the memory time is pinned
+    /// by `s = t_core/(t_core + t_mem)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the reference frequency is not strictly positive.
+    pub fn from_benchmark(benchmark: &SpecBenchmark, cpi_core: f64, f_ref_hz: f64) -> Self {
+        assert!(f_ref_hz > 0.0, "reference frequency must be positive");
+        let s = benchmark.scalability;
+        let t_core = cpi_core / f_ref_hz;
+        let t_mem = if s >= 1.0 {
+            0.0
+        } else {
+            t_core * (1.0 - s) / s.max(1e-9)
+        };
+        let blocking_mpki = t_mem / DRAM_LATENCY_S * 1000.0;
+        CpiModel::new(cpi_core, blocking_mpki)
+    }
+
+    /// Wall-clock time per instruction at core frequency `f_hz`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequency is not strictly positive.
+    pub fn time_per_instruction(&self, f_hz: f64) -> f64 {
+        assert!(f_hz > 0.0, "frequency must be positive");
+        self.cpi_core / f_hz + self.blocking_mpki / 1000.0 * DRAM_LATENCY_S
+    }
+
+    /// Effective (wall-clock) CPI at `f_hz`: core CPI plus memory cycles,
+    /// which *grow* with frequency — the mechanism behind sub-linear
+    /// scaling.
+    pub fn effective_cpi(&self, f_hz: f64) -> f64 {
+        self.time_per_instruction(f_hz) * f_hz
+    }
+
+    /// Instructions per second at `f_hz`.
+    pub fn ips(&self, f_hz: f64) -> f64 {
+        1.0 / self.time_per_instruction(f_hz)
+    }
+
+    /// The frequency scalability this stack exhibits at `f_ref_hz`
+    /// (the inverse of [`from_benchmark`]).
+    ///
+    /// [`from_benchmark`]: CpiModel::from_benchmark
+    pub fn scalability_at(&self, f_ref_hz: f64) -> f64 {
+        let t_core = self.cpi_core / f_ref_hz;
+        let t_mem = self.blocking_mpki / 1000.0 * DRAM_LATENCY_S;
+        t_core / (t_core + t_mem)
+    }
+
+    /// Relative performance between two frequencies (the CPI-stack
+    /// equivalent of [`SpecBenchmark::speedup`]).
+    pub fn speedup(&self, f_hz: f64, f_ref_hz: f64) -> f64 {
+        self.time_per_instruction(f_ref_hz) / self.time_per_instruction(f_hz)
+    }
+}
+
+/// Derives CPI stacks for the whole SPEC suite (core CPI 0.7 for fp-heavy
+/// codes, 0.9 for int codes — superscalar sustained rates).
+pub fn suite_cpi_models(f_ref_hz: f64) -> Vec<(SpecBenchmark, CpiModel)> {
+    crate::spec::suite()
+        .into_iter()
+        .map(|b| {
+            let cpi_core = match b.suite {
+                crate::spec::SpecSuite::Fp => 0.70,
+                crate::spec::SpecSuite::Int => 0.90,
+            };
+            let m = CpiModel::from_benchmark(&b, cpi_core, f_ref_hz);
+            (b, m)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::by_name;
+
+    const F_REF: f64 = 4.2e9;
+
+    #[test]
+    fn round_trip_scalability() {
+        for (b, m) in suite_cpi_models(F_REF) {
+            let derived = m.scalability_at(F_REF);
+            assert!(
+                (derived - b.scalability).abs() < 1e-9,
+                "{}: derived {derived} vs table {}",
+                b.name,
+                b.scalability
+            );
+        }
+    }
+
+    #[test]
+    fn cpi_and_abstract_speedups_agree() {
+        // The CPI stack and the abstract scalability model are the same
+        // model in different coordinates: speedups must match exactly.
+        for (b, m) in suite_cpi_models(F_REF) {
+            for f in [3.6e9, 4.0e9, 4.6e9] {
+                let via_cpi = m.speedup(f, F_REF);
+                let via_s = b.speedup(f, F_REF);
+                assert!(
+                    (via_cpi - via_s).abs() < 1e-9,
+                    "{}: cpi {via_cpi} vs abstract {via_s}",
+                    b.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn memory_bound_codes_have_high_mpki() {
+        let models = suite_cpi_models(F_REF);
+        let find = |name: &str| {
+            models
+                .iter()
+                .find(|(b, _)| b.name == name)
+                .map(|(_, m)| *m)
+                .unwrap()
+        };
+        let bwaves = find("410.bwaves");
+        let gamess = find("416.gamess");
+        assert!(
+            bwaves.blocking_mpki > 10.0 * gamess.blocking_mpki,
+            "bwaves {} vs gamess {}",
+            bwaves.blocking_mpki,
+            gamess.blocking_mpki
+        );
+        // Blocking MPKI magnitudes are physically plausible (< 40).
+        for (b, m) in &models {
+            assert!(
+                m.blocking_mpki < 40.0,
+                "{}: blocking MPKI {}",
+                b.name,
+                m.blocking_mpki
+            );
+        }
+    }
+
+    #[test]
+    fn effective_cpi_grows_with_frequency() {
+        let b = by_name("429.mcf").unwrap();
+        let m = CpiModel::from_benchmark(&b, 0.9, F_REF);
+        let low = m.effective_cpi(2.0e9);
+        let high = m.effective_cpi(4.6e9);
+        assert!(
+            high > low,
+            "memory cycles must grow with f: {low} -> {high}"
+        );
+        // A pure-compute stack has frequency-independent CPI.
+        let pure = CpiModel::new(1.0, 0.0);
+        assert!((pure.effective_cpi(2.0e9) - pure.effective_cpi(4.6e9)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ips_monotone_in_frequency() {
+        let m = CpiModel::new(0.8, 3.0);
+        assert!(m.ips(4.0e9) > m.ips(2.0e9));
+        // But sub-linear: doubling f does not double IPS.
+        let ratio = m.ips(4.0e9) / m.ips(2.0e9);
+        assert!(ratio < 2.0 && ratio > 1.0);
+    }
+
+    #[test]
+    fn fully_scalable_benchmark_has_zero_memory_time() {
+        let b = SpecBenchmark {
+            name: "synthetic",
+            suite: crate::spec::SpecSuite::Int,
+            scalability: 1.0,
+        };
+        let m = CpiModel::from_benchmark(&b, 1.0, F_REF);
+        assert_eq!(m.blocking_mpki, 0.0);
+        assert!((m.speedup(8.4e9, F_REF) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid core CPI")]
+    fn zero_cpi_panics() {
+        CpiModel::new(0.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "frequency must be positive")]
+    fn zero_frequency_panics() {
+        CpiModel::new(1.0, 1.0).time_per_instruction(0.0);
+    }
+}

@@ -1,0 +1,347 @@
+//! SPEC CPU2006-style benchmark suite model.
+//!
+//! The paper's CPU evaluation (Sec. 7.1) runs SPEC CPU2006 and observes
+//! that each benchmark's gain from a higher core clock is proportional to
+//! its *performance scalability* with frequency (footnote 14): a workload
+//! whose runtime is `s/f + (1−s)/f_ref` gains `s·Δf/f` from a small clock
+//! bump, nothing from the memory-bound remainder.
+//!
+//! We keep the 29 real benchmark names and assign each a scalability factor
+//! calibrated from its published compute/memory character (compute-bound
+//! codes like `416.gamess` and `444.namd` near 0.85+, memory-bound codes
+//! like `410.bwaves` and `433.milc` below 0.1). The suite mean is ≈0.52,
+//! which reproduces the paper's ≈4.6 % average gain at a ≈9.5 % frequency
+//! uplift.
+
+use dg_power::dynamic::CdynProfile;
+use serde::{Deserialize, Serialize};
+
+/// Which half of SPEC CPU2006 a benchmark belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpecSuite {
+    /// SPECint (integer).
+    Int,
+    /// SPECfp (floating point).
+    Fp,
+}
+
+/// Run mode (paper Sec. 3): `base` runs one copy on one core; `rate` runs
+/// one copy per core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SpecMode {
+    /// Single-copy, single-core.
+    Base,
+    /// One copy per core (throughput).
+    Rate,
+}
+
+impl SpecMode {
+    /// Number of active cores in this mode on an `n`-core part.
+    pub fn active_cores(self, n: usize) -> usize {
+        match self {
+            SpecMode::Base => 1,
+            SpecMode::Rate => n,
+        }
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SpecMode::Base => "base",
+            SpecMode::Rate => "rate",
+        }
+    }
+}
+
+/// One SPEC CPU2006 benchmark.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpecBenchmark {
+    /// Official benchmark name (e.g. `"444.namd"`).
+    pub name: &'static str,
+    /// Which suite it belongs to.
+    pub suite: SpecSuite,
+    /// Frequency scalability `s ∈ [0, 1]`.
+    pub scalability: f64,
+}
+
+impl SpecBenchmark {
+    /// Relative performance at frequency `f_hz` versus `f_ref_hz`:
+    /// `1 / (s·(f_ref/f) + (1−s))`.
+    ///
+    /// Equal frequencies give exactly 1.0; a perfectly scalable workload
+    /// (`s = 1`) gives `f/f_ref`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either frequency is not strictly positive.
+    pub fn speedup(&self, f_hz: f64, f_ref_hz: f64) -> f64 {
+        assert!(
+            f_hz > 0.0 && f_ref_hz > 0.0,
+            "frequencies must be positive"
+        );
+        let s = self.scalability;
+        1.0 / (s * (f_ref_hz / f_hz) + (1.0 - s))
+    }
+
+    /// Per-copy relative performance in rate mode with shared-memory
+    /// contention: with `copies` copies running, the memory-bound fraction
+    /// of the runtime stretches by `1 + k·(copies − 1)` (shared LLC/DRAM
+    /// bandwidth), so frequency gains dilute.
+    ///
+    /// The headline evaluation harness (`dg-soc::run_spec`) deliberately
+    /// uses the *uncontended* model: the paper's measured rate gains at
+    /// 91 W exceed its base gains, which implies bandwidth was not the
+    /// binding constraint on the suite mean, and our fused-ceiling
+    /// calibration absorbs the average contention. This method exposes the
+    /// contended model for sensitivity studies (see the
+    /// `ablation_rate_contention` bench).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frequencies are non-positive or `copies` is zero.
+    pub fn rate_speedup(&self, f_hz: f64, f_ref_hz: f64, copies: usize) -> f64 {
+        assert!(
+            f_hz > 0.0 && f_ref_hz > 0.0,
+            "frequencies must be positive"
+        );
+        assert!(copies >= 1, "rate mode needs at least one copy");
+        let s = self.scalability;
+        let stretch = 1.0 + RATE_CONTENTION_PER_COPY * (copies - 1) as f64;
+        let ref_time = s + (1.0 - s) * stretch;
+        let time = s * (f_ref_hz / f_hz) + (1.0 - s) * stretch;
+        ref_time / time
+    }
+
+    /// The dynamic-capacitance profile this benchmark exercises per core.
+    ///
+    /// Compute-bound codes switch more logic per cycle; memory-bound codes
+    /// spend cycles stalled. Calibration: `C_dyn = 0.95 + 0.65·s` nF,
+    /// spanning the `core_memory_bound`..`core_typical`+ band.
+    pub fn cdyn(&self) -> CdynProfile {
+        CdynProfile::from_nf(0.95 + 0.65 * self.scalability)
+            .expect("derived capacitance is positive")
+    }
+}
+
+/// Memory-bandwidth contention stretch per additional rate-mode copy
+/// (fraction of the memory-bound time added per extra copy).
+pub const RATE_CONTENTION_PER_COPY: f64 = 0.06;
+
+/// The full 29-benchmark suite with calibrated scalability factors.
+pub fn suite() -> Vec<SpecBenchmark> {
+    fn b(name: &'static str, suite: SpecSuite, scalability: f64) -> SpecBenchmark {
+        SpecBenchmark {
+            name,
+            suite,
+            scalability,
+        }
+    }
+    use SpecSuite::{Fp, Int};
+    vec![
+        // SPECint 2006 (12)
+        b("400.perlbench", Int, 0.72),
+        b("401.bzip2", Int, 0.65),
+        b("403.gcc", Int, 0.58),
+        b("429.mcf", Int, 0.22),
+        b("445.gobmk", Int, 0.75),
+        b("456.hmmer", Int, 0.83),
+        b("458.sjeng", Int, 0.80),
+        b("462.libquantum", Int, 0.12),
+        b("464.h264ref", Int, 0.78),
+        b("471.omnetpp", Int, 0.33),
+        b("473.astar", Int, 0.48),
+        b("483.xalancbmk", Int, 0.50),
+        // SPECfp 2006 (17)
+        b("410.bwaves", Fp, 0.06),
+        b("416.gamess", Fp, 0.87),
+        b("433.milc", Fp, 0.08),
+        b("434.zeusmp", Fp, 0.50),
+        b("435.gromacs", Fp, 0.76),
+        b("436.cactusADM", Fp, 0.38),
+        b("437.leslie3d", Fp, 0.25),
+        b("444.namd", Fp, 0.86),
+        b("447.dealII", Fp, 0.70),
+        b("450.soplex", Fp, 0.40),
+        b("453.povray", Fp, 0.85),
+        b("454.calculix", Fp, 0.72),
+        b("459.GemsFDTD", Fp, 0.18),
+        b("465.tonto", Fp, 0.68),
+        b("470.lbm", Fp, 0.10),
+        b("481.wrf", Fp, 0.45),
+        b("482.sphinx3", Fp, 0.55),
+    ]
+}
+
+/// Looks up a benchmark by its official name.
+pub fn by_name(name: &str) -> Option<SpecBenchmark> {
+    suite().into_iter().find(|b| b.name == name)
+}
+
+/// The integer subset.
+pub fn int_benchmarks() -> Vec<SpecBenchmark> {
+    suite()
+        .into_iter()
+        .filter(|b| b.suite == SpecSuite::Int)
+        .collect()
+}
+
+/// The floating-point subset.
+pub fn fp_benchmarks() -> Vec<SpecBenchmark> {
+    suite()
+        .into_iter()
+        .filter(|b| b.suite == SpecSuite::Fp)
+        .collect()
+}
+
+/// Arithmetic-mean scalability of the whole suite.
+pub fn mean_scalability() -> f64 {
+    let s = suite();
+    s.iter().map(|b| b.scalability).sum::<f64>() / s.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_has_29_benchmarks_12_int_17_fp() {
+        assert_eq!(suite().len(), 29);
+        assert_eq!(int_benchmarks().len(), 12);
+        assert_eq!(fp_benchmarks().len(), 17);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<_> = suite().iter().map(|b| b.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 29);
+    }
+
+    #[test]
+    fn scalabilities_in_unit_interval() {
+        for b in suite() {
+            assert!(
+                (0.0..=1.0).contains(&b.scalability),
+                "{}: {}",
+                b.name,
+                b.scalability
+            );
+        }
+    }
+
+    #[test]
+    fn mean_scalability_calibrated() {
+        let m = mean_scalability();
+        assert!((0.48..0.56).contains(&m), "mean scalability {m}");
+    }
+
+    #[test]
+    fn paper_extremes_present() {
+        // Fig. 7's extremes: gamess/namd highly scalable, bwaves/milc not.
+        assert!(by_name("416.gamess").unwrap().scalability > 0.8);
+        assert!(by_name("444.namd").unwrap().scalability > 0.8);
+        assert!(by_name("410.bwaves").unwrap().scalability < 0.1);
+        assert!(by_name("433.milc").unwrap().scalability < 0.1);
+        assert!(by_name("no.such").is_none());
+    }
+
+    #[test]
+    fn speedup_identity_at_equal_frequency() {
+        for b in suite() {
+            assert!((b.speedup(4.2e9, 4.2e9) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn speedup_linear_for_fully_scalable() {
+        let b = SpecBenchmark {
+            name: "synthetic",
+            suite: SpecSuite::Int,
+            scalability: 1.0,
+        };
+        assert!((b.speedup(4.62e9, 4.2e9) - 1.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_null_for_memory_bound() {
+        let b = SpecBenchmark {
+            name: "synthetic",
+            suite: SpecSuite::Fp,
+            scalability: 0.0,
+        };
+        assert!((b.speedup(5.0e9, 4.2e9) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn speedup_monotone_in_scalability() {
+        let f = 4.6e9;
+        let fr = 4.2e9;
+        let sorted = {
+            let mut v = suite();
+            v.sort_by(|a, b| a.scalability.partial_cmp(&b.scalability).unwrap());
+            v
+        };
+        for w in sorted.windows(2) {
+            assert!(w[0].speedup(f, fr) <= w[1].speedup(f, fr));
+        }
+    }
+
+    #[test]
+    fn top_gain_matches_paper_band() {
+        // At the paper's ~9.5% frequency uplift, the best benchmark gains
+        // ~8% and the suite average ~4.6%.
+        let f = 4.6e9;
+        let fr = 4.2e9;
+        let gains: Vec<f64> = suite().iter().map(|b| b.speedup(f, fr) - 1.0).collect();
+        let max = gains.iter().cloned().fold(0.0, f64::max);
+        let mean = gains.iter().sum::<f64>() / gains.len() as f64;
+        assert!((0.070..0.090).contains(&max), "max gain {max}");
+        assert!((0.040..0.055).contains(&mean), "mean gain {mean}");
+    }
+
+    #[test]
+    fn rate_contention_dilutes_gains() {
+        let b = by_name("403.gcc").unwrap();
+        let f = 4.4e9;
+        let fr = 4.0e9;
+        let solo = b.rate_speedup(f, fr, 1);
+        let four = b.rate_speedup(f, fr, 4);
+        // One copy matches the uncontended model exactly.
+        assert!((solo - b.speedup(f, fr)).abs() < 1e-12);
+        // Contention dilutes the frequency gain.
+        assert!(four < solo, "four-copy {four} vs solo {solo}");
+        assert!(four > 1.0);
+        // Fully scalable code is immune to memory contention.
+        let cpu = SpecBenchmark {
+            name: "synthetic",
+            suite: SpecSuite::Int,
+            scalability: 1.0,
+        };
+        assert!((cpu.rate_speedup(f, fr, 4) - f / fr).abs() < 1e-12);
+        // Identity at equal frequencies regardless of copies.
+        assert!((b.rate_speedup(fr, fr, 4) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cdyn_tracks_scalability() {
+        let hot = by_name("416.gamess").unwrap().cdyn();
+        let cold = by_name("410.bwaves").unwrap().cdyn();
+        assert!(hot.as_nf() > cold.as_nf());
+        assert!((0.9..1.7).contains(&hot.as_nf()));
+    }
+
+    #[test]
+    fn mode_active_cores() {
+        assert_eq!(SpecMode::Base.active_cores(4), 1);
+        assert_eq!(SpecMode::Rate.active_cores(4), 4);
+        assert_eq!(SpecMode::Base.label(), "base");
+        assert_eq!(SpecMode::Rate.label(), "rate");
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_frequency_panics() {
+        by_name("444.namd").unwrap().speedup(0.0, 4.2e9);
+    }
+}

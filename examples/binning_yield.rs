@@ -1,0 +1,81 @@
+//! Binning yield: how DarkGates moves a whole die population up the
+//! frequency-bin ladder.
+//!
+//! Samples a population of dies with process variation, bins each under
+//! the gated and bypassed guardbands against the same voltage budget, and
+//! prints the two bin histograms side by side.
+//!
+//! Run with: `cargo run --release -p darkgates --example binning_yield`
+
+use darkgates::units::{Hertz, Volts, Watts};
+use darkgates::DarkGates;
+use dg_power::pstate::PStateTable;
+use dg_power::variation::{bin_population, ProcessVariation};
+use dg_power::vf::VfCurve;
+
+fn main() {
+    let tdp = Watts::new(91.0);
+    let gb_gated = DarkGates::mobile().guardband_manager().total_guardband(tdp);
+    let gb_byp = DarkGates::desktop()
+        .guardband_manager()
+        .total_guardband(tdp);
+
+    let nominal = VfCurve::skylake_core();
+    // The budget every die is screened against: the voltage the nominal
+    // gated die needs at its 4.2 GHz anchor.
+    let budget = nominal
+        .voltage_at(Hertz::from_ghz(4.2))
+        .expect("anchor on curve")
+        + gb_gated;
+
+    let population = ProcessVariation::mature_14nm().population(2026, 2000);
+    let bin = PStateTable::standard_bin();
+    let gated = bin_population(&population, &nominal, gb_gated, budget, bin);
+    let bypassed = bin_population(&population, &nominal, gb_byp, budget, bin);
+
+    println!("=== Binning 2000 dies against a {:.3} V budget ===\n", budget.value());
+    println!(
+        "guardbands: gated {:.1} mV, bypassed {:.1} mV\n",
+        gb_gated.as_mv(),
+        gb_byp.as_mv()
+    );
+    println!("{:>9} {:>12} {:>12}", "bin", "gated", "bypassed");
+
+    let mut freqs: Vec<Hertz> = gated
+        .bins
+        .iter()
+        .chain(bypassed.bins.iter())
+        .map(|(f, _)| *f)
+        .collect();
+    freqs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+    freqs.dedup_by(|a, b| (a.value() - b.value()).abs() < 1.0);
+
+    let count_at = |report: &dg_power::variation::BinningReport, f: Hertz| {
+        report
+            .bins
+            .iter()
+            .find(|(bf, _)| (bf.value() - f.value()).abs() < 1.0)
+            .map(|(_, n)| *n)
+            .unwrap_or(0)
+    };
+    for f in freqs {
+        println!(
+            "{:>7.1}G {:>12} {:>12}",
+            f.as_ghz(),
+            count_at(&gated, f),
+            count_at(&bypassed, f)
+        );
+    }
+    println!(
+        "\nmedian bin: gated {:.1} GHz -> bypassed {:.1} GHz",
+        gated.median_bin().expect("yield").as_ghz(),
+        bypassed.median_bin().expect("yield").as_ghz()
+    );
+    println!(
+        "rejects: gated {}, bypassed {}",
+        gated.rejects, bypassed.rejects
+    );
+    println!("\nEvery die gains ~4 bins: the guardband saving is common-mode");
+    println!("across variation, so the whole population shifts upward.");
+    let _ = Volts::ZERO;
+}

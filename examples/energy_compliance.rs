@@ -1,0 +1,63 @@
+//! Energy compliance: ENERGY STAR and Ready Mode on the three Fig. 10
+//! configurations, showing why DarkGates *needs* package C8.
+//!
+//! Run with: `cargo run --release -p darkgates --example energy_compliance`
+
+use darkgates::experiments::fig10;
+use darkgates::units::Watts;
+use darkgates::DarkGates;
+use dg_soc::run::run_energy;
+use dg_workloads::energy::{energy_star, ready_mode};
+
+fn main() {
+    println!("=== Desktop energy-efficiency compliance (Fig. 10) ===\n");
+
+    for row in fig10() {
+        println!("{}", row.workload);
+        println!(
+            "  DarkGates + C7 (reference): {:>6.3} W   {}",
+            row.dg_c7_power.value(),
+            verdict(row.dg_c7_meets_limit)
+        );
+        println!(
+            "  DarkGates + C8:             {:>6.3} W   {}   (−{:.0}%)",
+            row.dg_c8_power.value(),
+            verdict(row.dg_c8_meets_limit),
+            row.dg_c8_reduction * 100.0
+        );
+        println!(
+            "  Non-DarkGates + C7:         {:>6.3} W   {}   (−{:.0}%)",
+            row.non_dg_c7_power.value(),
+            verdict(row.non_dg_meets_limit),
+            row.non_dg_reduction * 100.0
+        );
+        println!();
+    }
+
+    println!("Full-product runs (run_energy on the 91 W catalog parts):");
+    for dg in [DarkGates::desktop(), DarkGates::mobile()] {
+        let product = dg.product(Watts::new(91.0));
+        for wl in [energy_star(), ready_mode()] {
+            let r = run_energy(&product, &wl);
+            println!(
+                "  {:<28} {:<18} {:>6.3} W  {}",
+                product.name,
+                r.workload,
+                r.avg_power.value(),
+                verdict(r.meets_limit)
+            );
+        }
+    }
+
+    println!("\nWithout C8, the bypassed cores leak through package C7's");
+    println!("always-on core VR and the desktop misses both programs'");
+    println!("limits; C8 turns the core VR off and recovers compliance.");
+}
+
+fn verdict(ok: bool) -> &'static str {
+    if ok {
+        "PASS"
+    } else {
+        "FAIL"
+    }
+}

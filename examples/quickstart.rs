@@ -1,0 +1,66 @@
+//! Quickstart: build both sides of the DarkGates hybrid, compare their
+//! guardbands, frequency ceilings, a benchmark run, and idle power.
+//!
+//! Run with: `cargo run --release -p darkgates --example quickstart`
+
+use darkgates::units::Watts;
+use darkgates::DarkGates;
+use dg_cstates::power::IdlePowerModel;
+use dg_soc::run::run_spec;
+use dg_workloads::spec::{by_name, SpecMode};
+
+fn main() {
+    let tdp = Watts::new(91.0);
+    let desktop = DarkGates::desktop();
+    let mobile = DarkGates::mobile();
+
+    println!("=== DarkGates quickstart (91 W desktop vs. gated baseline) ===\n");
+
+    // Component 1: the package-level PDN.
+    let pdn_d = desktop.build_pdn();
+    let pdn_m = mobile.build_pdn();
+    println!("PDN DC resistance:");
+    println!("  bypassed (Skylake-S): {:.3}", pdn_d.dc_resistance());
+    println!("  gated    (Skylake-H): {:.3}", pdn_m.dc_resistance());
+
+    // Component 2: the firmware guardbands.
+    let gb_d = desktop.guardband_manager().total_guardband(tdp);
+    let gb_m = mobile.guardband_manager().total_guardband(tdp);
+    println!("\nTotal voltage guardband at {tdp}:");
+    println!("  bypassed: {:.1} mV", gb_d.as_mv());
+    println!("  gated:    {:.1} mV", gb_m.as_mv());
+    println!("  saving:   {:.1} mV", (gb_m - gb_d).as_mv());
+
+    // The products that fall out.
+    let s = desktop.product(tdp);
+    let h = mobile.product(tdp);
+    println!("\nFused 1-core turbo ceilings:");
+    println!("  {}: {:.1} GHz", s.name, s.fmax_1c().as_ghz());
+    println!("  {}: {:.1} GHz", h.name, h.fmax_1c().as_ghz());
+
+    // Run a scalable benchmark on both.
+    let namd = by_name("444.namd").expect("444.namd is in the suite");
+    let rs = run_spec(&s, &namd, SpecMode::Base);
+    let rh = run_spec(&h, &namd, SpecMode::Base);
+    println!("\n444.namd (SPEC base):");
+    println!(
+        "  DarkGates: {:.2} GHz sustained, {:.1} W package",
+        rs.sustained_frequency.as_ghz(),
+        rs.avg_power.value()
+    );
+    println!(
+        "  baseline:  {:.2} GHz sustained, {:.1} W package",
+        rh.sustained_frequency.as_ghz(),
+        rh.avg_power.value()
+    );
+    println!("  performance gain: {:+.1}%", (rs.perf / rh.perf - 1.0) * 100.0);
+
+    // Component 3: idle power with the deeper C-state.
+    let model = IdlePowerModel::new();
+    println!("\nFully-idle package power:");
+    for dg in [&desktop, &mobile] {
+        let state = dg.deepest_package_cstate();
+        let p = model.package_idle_power(state, &dg.gating_config());
+        println!("  {:?} at package {state}: {:.2}", dg.mode(), p);
+    }
+}

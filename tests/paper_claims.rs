@@ -1,0 +1,173 @@
+//! Integration tests asserting the paper's headline claims end-to-end.
+
+use darkgates::experiments;
+use darkgates::overhead;
+use darkgates::units::{Volts, Watts};
+use darkgates::DarkGates;
+use dg_soc::run::{run_energy, run_spec};
+use dg_workloads::energy::{energy_star, ready_mode};
+use dg_workloads::spec::{by_name, SpecMode};
+
+/// Abstract (paragraph 3): "DarkGates improves the performance of SPEC
+/// CPU2006 workloads by up to 8.1% (4.6% on average) for a 91W TDP
+/// desktop system."
+#[test]
+fn headline_91w_spec_gains() {
+    let r = experiments::fig7();
+    assert!(
+        (0.038..0.058).contains(&r.average),
+        "average gain {} vs paper 4.6%",
+        r.average
+    );
+    assert!(
+        (0.070..0.095).contains(&r.max),
+        "max gain {} vs paper 8.1%",
+        r.max
+    );
+}
+
+/// Sec. 7.1: gains correlate with frequency scalability — the top
+/// benchmarks are gamess/namd-like, the memory-bound ones gain nothing.
+#[test]
+fn gains_track_scalability() {
+    let r = experiments::fig7();
+    let find = |name: &str| {
+        r.rows
+            .iter()
+            .find(|x| x.benchmark == name)
+            .unwrap_or_else(|| panic!("{name} missing"))
+    };
+    assert!(find("416.gamess").gain > 0.06);
+    assert!(find("444.namd").gain > 0.06);
+    assert!(find("410.bwaves").gain < 0.01);
+    assert!(find("433.milc").gain < 0.01);
+
+    // Spearman-ish check: sort by scalability; gains must be
+    // non-decreasing within a small tolerance.
+    let mut rows = r.rows.clone();
+    rows.sort_by(|a, b| a.scalability.partial_cmp(&b.scalability).unwrap());
+    for w in rows.windows(2) {
+        assert!(
+            w[1].gain >= w[0].gain - 0.01,
+            "{} ({}) vs {} ({})",
+            w[0].benchmark,
+            w[0].gain,
+            w[1].benchmark,
+            w[1].gain
+        );
+    }
+}
+
+/// Fig. 4: the gated PDN has roughly twice the impedance of the bypassed
+/// one.
+#[test]
+fn impedance_halving() {
+    let r = experiments::fig4();
+    assert!(
+        (1.5..3.0).contains(&r.mean_ratio),
+        "mean ratio {}",
+        r.mean_ratio
+    );
+    // The gated profile is above the bypassed one everywhere.
+    assert!(r.gated.dominates(&r.bypassed, 1.0));
+}
+
+/// Sec. 4.2: the guardband saving converts into ~4 extra 100 MHz bins of
+/// fused ceiling at 91 W.
+#[test]
+fn four_bins_of_fmax() {
+    let s = DarkGates::desktop().product(Watts::new(91.0));
+    let h = DarkGates::mobile().product(Watts::new(91.0));
+    let delta = s.fmax_1c().as_mhz() - h.fmax_1c().as_mhz();
+    assert!((300.0..=500.0).contains(&delta), "uplift {delta} MHz");
+}
+
+/// Sec. 4.2 reliability: <5 mV at 91 W, <20 mV at 35 W.
+#[test]
+fn reliability_guardband_endpoints() {
+    let m = DarkGates::desktop().reliability_model();
+    assert!(m.guardband(Watts::new(91.0)) <= Volts::from_mv(5.0));
+    assert!(m.guardband(Watts::new(35.0)) <= Volts::from_mv(20.0));
+    assert!(m.guardband(Watts::new(35.0)) > Volts::from_mv(10.0));
+    assert!((m.extra_temperature().value() - 5.0).abs() < 1e-9);
+}
+
+/// Sec. 4.3: bypassed package C7 costs >3× the gated baseline's C7.
+#[test]
+fn c7_power_blowup() {
+    use dg_cstates::power::IdlePowerModel;
+    use dg_cstates::states::PackageCstate;
+    let model = IdlePowerModel::new();
+    let dg = DarkGates::desktop().gating_config();
+    let base = DarkGates::mobile().gating_config();
+    let ratio = model.package_idle_power(PackageCstate::C7, &dg)
+        / model.package_idle_power(PackageCstate::C7, &base);
+    assert!(ratio > 3.0, "C7 ratio {ratio}");
+}
+
+/// Abstract: DarkGates fulfills the ENERGY STAR and RMT requirements.
+#[test]
+fn energy_programs_met() {
+    let product = DarkGates::desktop().product(Watts::new(91.0));
+    for wl in [energy_star(), ready_mode()] {
+        let r = run_energy(&product, &wl);
+        assert!(r.meets_limit, "{} misses its limit: {}", wl.name, r.avg_power);
+    }
+}
+
+/// Fig. 10 headline: C8 cuts ENERGY STAR by ~33% and RMT by ~68% relative
+/// to DarkGates clamped at C7.
+#[test]
+fn fig10_reductions() {
+    let rows = experiments::fig10();
+    let es = rows.iter().find(|r| r.workload.contains("ENERGY")).unwrap();
+    let rmt = rows.iter().find(|r| r.workload.contains("RMT")).unwrap();
+    assert!(
+        (0.25..0.42).contains(&es.dg_c8_reduction),
+        "ENERGY STAR {}",
+        es.dg_c8_reduction
+    );
+    assert!(
+        (0.55..0.78).contains(&rmt.dg_c8_reduction),
+        "RMT {}",
+        rmt.dg_c8_reduction
+    );
+}
+
+/// Sec. 5: the firmware overhead is ~0.3 KB, under 0.004% of the die.
+#[test]
+fn implementation_overhead() {
+    let r = overhead::report();
+    assert_eq!(r.firmware_bytes, 300);
+    assert!(r.firmware_die_fraction < 4e-5);
+    assert_eq!(r.c8_hardware_cost, 0);
+}
+
+/// Sanity anchor: the baseline 91 W part is the i7-6700K-class 4.2 GHz /
+/// 4-core configuration of Table 2.
+#[test]
+fn table2_anchor() {
+    let t = experiments::table2();
+    assert_eq!(t.cores, 4);
+    assert!((t.core_freq_ghz.1 - 4.2).abs() < 1e-9);
+    assert!((t.tdp_w.0 - 35.0).abs() < 1e-9);
+    assert!((t.tdp_w.1 - 91.0).abs() < 1e-9);
+}
+
+/// The DarkGates part never loses on CPU workloads at any TDP: spot-check
+/// one scalable and one memory-bound benchmark per TDP level in both
+/// modes.
+#[test]
+fn never_loses_on_cpu() {
+    for tdp in dg_soc::products::Product::skylake_tdp_levels() {
+        let s = DarkGates::desktop().product(tdp);
+        let h = DarkGates::mobile().product(tdp);
+        for name in ["444.namd", "410.bwaves"] {
+            let b = by_name(name).unwrap();
+            for mode in [SpecMode::Base, SpecMode::Rate] {
+                let gain = run_spec(&s, &b, mode).perf / run_spec(&h, &b, mode).perf - 1.0;
+                assert!(gain > -0.005, "{tdp} {name} {mode:?}: gain {gain}");
+            }
+        }
+    }
+}
