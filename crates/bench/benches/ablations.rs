@@ -141,8 +141,8 @@ fn print_governor_ablation() {
     let latency = dg_cstates::latency::LatencyTable::skylake();
     for (label, bypassed) in [("bypassed (DarkGates)", true), ("gated (baseline)", false)] {
         let cfg = GatingConfig::skylake(bypassed, 4);
-        let adaptive = IdleGovernor::new(cfg, PackageCstate::C8, Seconds::from_ms(2.0))
-            .evaluate(&mixed);
+        let adaptive =
+            IdleGovernor::new(cfg, PackageCstate::C8, Seconds::from_ms(2.0)).evaluate(&mixed);
         let static_power = |state: PackageCstate| {
             let p = model.package_idle_power(state, &cfg).value();
             let shallow = model.package_idle_power(PackageCstate::C2, &cfg).value();

@@ -7,13 +7,13 @@ use dg_cstates::states::{CoreCstate, GraphicsCstate, MemoryState};
 use dg_pdn::skylake::{PdnVariant, SkylakePdn};
 use dg_pdn::transient::{LoadStep, TransientSim};
 use dg_pdn::units::{Amps, Hertz, Seconds, Volts, Watts};
+use dg_pmu::dvfs::{DvfsRequest, DvfsSolver};
+use dg_pmu::pbm::TurboController;
 use dg_power::dynamic::CdynProfile;
 use dg_power::leakage::LeakageModel;
 use dg_power::pstate::PStateTable;
 use dg_power::thermal::ThermalModel;
 use dg_power::vf::VfCurve;
-use dg_pmu::dvfs::{DvfsRequest, DvfsSolver};
-use dg_pmu::pbm::TurboController;
 use std::hint::black_box;
 
 fn bench(c: &mut Criterion) {
@@ -41,9 +41,7 @@ fn bench(c: &mut Criterion) {
         b.iter(|| black_box(curve.max_frequency_at(Volts::new(1.2)).unwrap()))
     });
     g.bench_function("pstate_table_build", |b| {
-        b.iter(|| {
-            black_box(PStateTable::from_curve(&curve, PStateTable::standard_bin()).unwrap())
-        })
+        b.iter(|| black_box(PStateTable::from_curve(&curve, PStateTable::standard_bin()).unwrap()))
     });
 
     // PMU: a full DVFS solve.

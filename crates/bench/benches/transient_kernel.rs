@@ -1,0 +1,60 @@
+//! Benchmarks of the transient (time-domain) kernel: the fixed-step RK4
+//! integrator behind every droop capture and di/dt analysis. These pin the
+//! wins of the early-exit settling detector and the cached DC initial
+//! state, so regressions in the kernel show up here before they show up as
+//! minutes in a sweep.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dg_pdn::didt::{analyze, client_event_family};
+use dg_pdn::skylake::{PdnVariant, SkylakePdn};
+use dg_pdn::transient::{LoadStep, TransientSim};
+use dg_pdn::units::{Amps, Seconds, Volts};
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("transient_kernel");
+    g.sample_size(10);
+
+    let pdn = SkylakePdn::build(PdnVariant::Bypassed);
+    let step = LoadStep::step(Amps::new(5.0), Amps::new(48.0), Seconds::from_us(1.0));
+
+    // The paper-calibrated droop capture: 0.1 ns over 20 µs — 200k RK4
+    // steps without early exit, a fraction of that with it.
+    let droop = TransientSim::droop_capture(Volts::new(1.0));
+    g.bench_function("droop_capture_20us", |b| {
+        b.iter(|| black_box(droop.run(&pdn.ladder, step)))
+    });
+
+    // The full di/dt event-family sweep used by the noise analysis: five
+    // events, 0.2 ns over 30 µs each.
+    let events = client_event_family();
+    g.bench_function("didt_family_30us", |b| {
+        b.iter(|| {
+            black_box(analyze(
+                &pdn.ladder,
+                &events,
+                Volts::new(1.0),
+                Volts::new(0.85),
+                Amps::new(10.0),
+            ))
+        })
+    });
+
+    // A short window whose tail the early exit cannot skip — guards the
+    // per-step cost of the RK4 inner loop itself.
+    let short = TransientSim::new(
+        Volts::new(1.1),
+        Seconds::from_ns(0.5),
+        Seconds::from_us(2.0),
+    )
+    .unwrap();
+    let short_step = LoadStep::step(Amps::new(5.0), Amps::new(45.0), Seconds::from_us(0.5));
+    g.bench_function("short_2us_no_exit", |b| {
+        b.iter(|| black_box(short.run(&pdn.ladder, short_step)))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

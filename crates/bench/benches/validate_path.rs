@@ -1,0 +1,40 @@
+//! End-to-end benchmark of the `validate` work: the five graded figure
+//! experiments plus the full evaluation sweep. This is the number the
+//! parallel engine and the substrate caches exist to improve; track it
+//! across PRs.
+//!
+//! Note the process-wide substrate caches are warm after the first
+//! iteration, so these means measure the steady-state (cached) path —
+//! the same regime a long experiment sweep runs in.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use darkgates::experiments;
+use std::hint::black_box;
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("validate_path");
+    g.sample_size(10);
+
+    // Exactly the datasets the validate binary grades.
+    g.bench_function("graded_figures", |b| {
+        b.iter(|| {
+            black_box((
+                experiments::fig4(),
+                experiments::fig7(),
+                experiments::fig8(),
+                experiments::fig9(),
+                experiments::fig10(),
+            ))
+        })
+    });
+
+    // The full sweep the `all` binary prints (adds the Fig. 3 grids).
+    g.bench_function("evaluate_all", |b| {
+        b.iter(|| black_box(experiments::evaluate_all()))
+    });
+
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,6 +1,12 @@
 //! Regenerates every figure and table of the paper's evaluation.
 //! Run: `cargo run --release -p dg-bench --bin all`
+//!
+//! All figure datasets are computed once up front via
+//! [`darkgates::experiments::evaluate_all`] (each figure fans out over the
+//! `dg-engine` worker pool internally); printing then just formats the
+//! precomputed rows.
 fn main() {
+    let eval = darkgates::experiments::evaluate_all();
     dg_bench::print_table1();
     println!();
     dg_bench::print_table2();
@@ -9,15 +15,15 @@ fn main() {
     println!();
     dg_bench::print_fig2();
     println!();
-    dg_bench::print_fig3();
+    dg_bench::print_fig3_data(&eval.fig3, &eval.fig3_sweep);
     println!();
-    dg_bench::print_fig4();
+    dg_bench::print_fig4_data(&eval.fig4);
     println!();
-    dg_bench::print_fig7();
+    dg_bench::print_fig7_data(&eval.fig7);
     println!();
-    dg_bench::print_fig8();
+    dg_bench::print_fig8_data(&eval.fig8);
     println!();
-    dg_bench::print_fig9();
+    dg_bench::print_fig9_data(&eval.fig9);
     println!();
-    dg_bench::print_fig10();
+    dg_bench::print_fig10_data(&eval.fig10);
 }

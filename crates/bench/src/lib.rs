@@ -2,15 +2,22 @@
 //! regenerates one of the paper's figures/tables and prints its rows in
 //! the same structure the paper reports.
 
-use darkgates::experiments;
+use darkgates::experiments::{
+    self, Fig10Row, Fig3Row, Fig3SweepPoint, Fig4Result, Fig7Result, Fig8Cell, Fig9Row,
+};
 use dg_workloads::spec::SpecSuite;
 
 /// Prints Fig. 3: Broadwell −100 mV guardband gains per TDP/suite/mode.
 pub fn print_fig3() {
+    print_fig3_data(&experiments::fig3(), &experiments::fig3_sweep());
+}
+
+/// Prints precomputed Fig. 3 datasets (grid and sweep).
+pub fn print_fig3_data(rows: &[Fig3Row], sweep: &[Fig3SweepPoint]) {
     println!("Fig. 3 — Broadwell, guardband reduced by 100 mV");
     println!("(average SPEC CPU2006 performance improvement)");
     println!("{:>6} {:>10} {:>6} {:>8}", "TDP", "suite", "mode", "gain");
-    for row in experiments::fig3() {
+    for row in rows {
         println!(
             "{:>5}W {:>10} {:>6} {:>7.1}%",
             row.tdp.value(),
@@ -23,8 +30,11 @@ pub fn print_fig3() {
         );
     }
     println!("\nsweep: gain vs frequency increase (base mode, suite mean)");
-    println!("{:>6} {:>12} {:>10} {:>8}", "TDP", "reduction", "uplift", "gain");
-    for p in experiments::fig3_sweep() {
+    println!(
+        "{:>6} {:>12} {:>10} {:>8}",
+        "TDP", "reduction", "uplift", "gain"
+    );
+    for p in sweep {
         println!(
             "{:>5}W {:>9.0} mV {:>6.0} MHz {:>7.1}%",
             p.tdp.value(),
@@ -38,7 +48,11 @@ pub fn print_fig3() {
 /// Prints Fig. 4: the impedance–frequency profiles (decimated) and the
 /// headline ratio.
 pub fn print_fig4() {
-    let r = experiments::fig4();
+    print_fig4_data(&experiments::fig4());
+}
+
+/// Prints a precomputed Fig. 4 dataset.
+pub fn print_fig4_data(r: &Fig4Result) {
     println!("Fig. 4 — impedance–frequency profile");
     println!(
         "{:>14} {:>14} {:>14} {:>7}",
@@ -65,7 +79,11 @@ pub fn print_fig4() {
 
 /// Prints Fig. 7: per-benchmark SPEC gains at 91 W.
 pub fn print_fig7() {
-    let r = experiments::fig7();
+    print_fig7_data(&experiments::fig7());
+}
+
+/// Prints a precomputed Fig. 7 dataset.
+pub fn print_fig7_data(r: &Fig7Result) {
     println!("Fig. 7 — SPEC CPU2006 base gains at 91 W (DarkGates vs. baseline)");
     println!(
         "{:<18} {:>6} {:>12} {:>8}",
@@ -92,9 +110,14 @@ pub fn print_fig7() {
 
 /// Prints Fig. 8: average base/rate gains across the TDP levels.
 pub fn print_fig8() {
+    print_fig8_data(&experiments::fig8());
+}
+
+/// Prints a precomputed Fig. 8 dataset.
+pub fn print_fig8_data(cells: &[Fig8Cell]) {
     println!("Fig. 8 — average SPEC gains per TDP (DarkGates vs. baseline)");
     println!("{:>6} {:>10} {:>10}", "TDP", "base", "rate");
-    for c in experiments::fig8() {
+    for c in cells {
         println!(
             "{:>5}W {:>9.1}% {:>9.1}%",
             c.tdp.value(),
@@ -107,9 +130,14 @@ pub fn print_fig8() {
 
 /// Prints Fig. 9: 3DMark degradation per TDP.
 pub fn print_fig9() {
+    print_fig9_data(&experiments::fig9());
+}
+
+/// Prints a precomputed Fig. 9 dataset.
+pub fn print_fig9_data(rows: &[Fig9Row]) {
     println!("Fig. 9 — 3DMark degradation of DarkGates vs. baseline");
     println!("{:>6} {:>13}", "TDP", "degradation");
-    for r in experiments::fig9() {
+    for r in rows {
         println!("{:>5}W {:>12.1}%", r.tdp.value(), r.degradation * 100.0);
     }
     println!("paper: 2% at 35 W, none at 45 W and above");
@@ -117,8 +145,13 @@ pub fn print_fig9() {
 
 /// Prints Fig. 10: energy-workload average power for the three configs.
 pub fn print_fig10() {
+    print_fig10_data(&experiments::fig10());
+}
+
+/// Prints a precomputed Fig. 10 dataset.
+pub fn print_fig10_data(rows: &[Fig10Row]) {
     println!("Fig. 10 — energy-efficiency workloads (vs. DarkGates+C7)");
-    for r in experiments::fig10() {
+    for r in rows {
         println!("{}:", r.workload);
         println!(
             "  DarkGates+C7     {:>6.3} W  {}",
@@ -141,15 +174,16 @@ pub fn print_fig10() {
     println!("paper: ENERGY STAR -33%, RMT -68% for DarkGates+C8");
 }
 
-
-
 /// Prints Figs. 1/5/6-style structural data: the two packages' voltage
 /// domains (bumps, gating) and their ladder stages.
 pub fn print_fig1_5_6() {
     use darkgates::DarkGates;
     use dg_pdn::package::PackageLayout;
     println!("Figs. 1/5/6 — package voltage domains and PDN stages");
-    for layout in [PackageLayout::skylake_mobile(), PackageLayout::skylake_desktop()] {
+    for layout in [
+        PackageLayout::skylake_mobile(),
+        PackageLayout::skylake_desktop(),
+    ] {
         println!("{}:", layout.name);
         for d in layout.domains() {
             println!(

@@ -117,10 +117,7 @@ mod tests {
     fn desktop_and_mobile_decode_correctly() {
         assert_eq!(DarkGates::desktop().mode(), OperatingMode::Bypass);
         assert_eq!(DarkGates::mobile().mode(), OperatingMode::Normal);
-        assert_eq!(
-            DarkGates::from_fuse(Fuse::desktop()),
-            DarkGates::desktop()
-        );
+        assert_eq!(DarkGates::from_fuse(Fuse::desktop()), DarkGates::desktop());
         assert_eq!(DarkGates::desktop().fuse(), Fuse::desktop());
     }
 

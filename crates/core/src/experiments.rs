@@ -32,48 +32,41 @@ pub struct Fig3Row {
 }
 
 /// Runs the Fig. 3 experiment: Broadwell, guardband reduced by 100 mV,
-/// four TDP levels, SPECint/fp × base/rate. TDP levels run on parallel
-/// threads (each cell is independent and deterministic).
+/// four TDP levels, SPECint/fp × base/rate.
+///
+/// The 16 grid cells are independent, so they fan out over the
+/// [`dg_engine`] pool as one flat job list in row order; within a cell the
+/// per-benchmark sum stays sequential in suite order, so the result is
+/// bit-identical for any thread count.
 pub fn fig3() -> Vec<Fig3Row> {
-    let tdps = Product::broadwell_tdp_levels();
-    let mut per_tdp: Vec<Vec<Fig3Row>> = Vec::with_capacity(tdps.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = tdps
-            .iter()
-            .map(|&tdp| {
-                scope.spawn(move || {
-                    let baseline = Product::broadwell(tdp, Volts::ZERO);
-                    let reduced = Product::broadwell(tdp, Volts::from_mv(-100.0));
-                    let mut rows = Vec::new();
-                    for mode in [SpecMode::Base, SpecMode::Rate] {
-                        for suite_kind in [SpecSuite::Int, SpecSuite::Fp] {
-                            let benchmarks: Vec<_> = suite()
-                                .into_iter()
-                                .filter(|b| b.suite == suite_kind)
-                                .collect();
-                            let mut total = 0.0;
-                            for b in &benchmarks {
-                                let perf_red = run_spec(&reduced, b, mode).perf;
-                                let perf_base = run_spec(&baseline, b, mode).perf;
-                                total += perf_red / perf_base - 1.0;
-                            }
-                            rows.push(Fig3Row {
-                                tdp,
-                                suite: suite_kind,
-                                mode,
-                                gain: total / benchmarks.len() as f64,
-                            });
-                        }
-                    }
-                    rows
-                })
-            })
-            .collect();
-        for h in handles {
-            per_tdp.push(h.join().expect("fig3 worker panicked"));
+    let mut jobs = Vec::new();
+    for tdp in Product::broadwell_tdp_levels() {
+        for mode in [SpecMode::Base, SpecMode::Rate] {
+            for suite_kind in [SpecSuite::Int, SpecSuite::Fp] {
+                jobs.push((tdp, mode, suite_kind));
+            }
         }
-    });
-    per_tdp.into_iter().flatten().collect()
+    }
+    dg_engine::par_map(&jobs, |_, &(tdp, mode, suite_kind)| {
+        let baseline = Product::broadwell(tdp, Volts::ZERO);
+        let reduced = Product::broadwell(tdp, Volts::from_mv(-100.0));
+        let benchmarks: Vec<_> = suite()
+            .into_iter()
+            .filter(|b| b.suite == suite_kind)
+            .collect();
+        let mut total = 0.0;
+        for b in &benchmarks {
+            let perf_red = run_spec(&reduced, b, mode).perf;
+            let perf_base = run_spec(&baseline, b, mode).perf;
+            total += perf_red / perf_base - 1.0;
+        }
+        Fig3Row {
+            tdp,
+            suite: suite_kind,
+            mode,
+            gain: total / benchmarks.len() as f64,
+        }
+    })
 }
 
 /// One point of the Fig. 3 guardband sweep: mean SPEC base gain on
@@ -94,43 +87,32 @@ pub struct Fig3SweepPoint {
 /// increases, i.e. as the guardband reduction deepens toward the paper's
 /// 100 mV operating point.
 pub fn fig3_sweep() -> Vec<Fig3SweepPoint> {
-    let tdps = Product::broadwell_tdp_levels();
-    let mut per_tdp = Vec::with_capacity(tdps.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = tdps
-            .iter()
-            .map(|&tdp| {
-                scope.spawn(move || {
-                    let baseline = Product::broadwell(tdp, Volts::ZERO);
-                    let mut points = Vec::new();
-                    for reduction_mv in [25.0, 50.0, 75.0, 100.0] {
-                        let reduced = Product::broadwell(tdp, Volts::from_mv(-reduction_mv));
-                        let all = suite();
-                        let gain: f64 = all
-                            .iter()
-                            .map(|b| {
-                                run_spec(&reduced, b, SpecMode::Base).perf
-                                    / run_spec(&baseline, b, SpecMode::Base).perf
-                                    - 1.0
-                            })
-                            .sum::<f64>()
-                            / all.len() as f64;
-                        points.push(Fig3SweepPoint {
-                            tdp,
-                            reduction_mv,
-                            uplift_mhz: reduced.fmax_1c().as_mhz() - baseline.fmax_1c().as_mhz(),
-                            gain,
-                        });
-                    }
-                    points
-                })
-            })
-            .collect();
-        for h in handles {
-            per_tdp.push(h.join().expect("fig3 sweep worker panicked"));
+    let mut jobs = Vec::new();
+    for tdp in Product::broadwell_tdp_levels() {
+        for reduction_mv in [25.0, 50.0, 75.0, 100.0] {
+            jobs.push((tdp, reduction_mv));
         }
-    });
-    per_tdp.into_iter().flatten().collect()
+    }
+    dg_engine::par_map(&jobs, |_, &(tdp, reduction_mv)| {
+        let baseline = Product::broadwell(tdp, Volts::ZERO);
+        let reduced = Product::broadwell(tdp, Volts::from_mv(-reduction_mv));
+        let all = suite();
+        let gain: f64 = all
+            .iter()
+            .map(|b| {
+                run_spec(&reduced, b, SpecMode::Base).perf
+                    / run_spec(&baseline, b, SpecMode::Base).perf
+                    - 1.0
+            })
+            .sum::<f64>()
+            / all.len() as f64;
+        Fig3SweepPoint {
+            tdp,
+            reduction_mv,
+            uplift_mhz: reduced.fmax_1c().as_mhz() - baseline.fmax_1c().as_mhz(),
+            gain,
+        }
+    })
 }
 
 // ---------------------------------------------------------------- Fig. 4
@@ -189,21 +171,25 @@ pub struct Fig7Result {
 }
 
 /// Runs the Fig. 7 experiment: SPEC base on Skylake-S vs. Skylake-H, 91 W.
+///
+/// Benchmarks fan out over the [`dg_engine`] pool; rows come back in suite
+/// order and the average/max reductions run over that ordered list, so the
+/// result is bit-identical for any thread count.
 pub fn fig7() -> Fig7Result {
     let tdp = Watts::new(91.0);
     let s = DarkGates::desktop().product(tdp);
     let h = DarkGates::mobile().product(tdp);
-    let mut rows = Vec::new();
-    for b in suite() {
+    let benchmarks = suite();
+    let rows = dg_engine::par_map(&benchmarks, |_, b| {
         let gain =
-            run_spec(&s, &b, SpecMode::Base).perf / run_spec(&h, &b, SpecMode::Base).perf - 1.0;
-        rows.push(Fig7Row {
+            run_spec(&s, b, SpecMode::Base).perf / run_spec(&h, b, SpecMode::Base).perf - 1.0;
+        Fig7Row {
             benchmark: b.name.to_owned(),
             suite: b.suite,
             scalability: b.scalability,
             gain,
-        });
-    }
+        }
+    });
     let average = rows.iter().map(|r| r.gain).sum::<f64>() / rows.len() as f64;
     let max = rows.iter().map(|r| r.gain).fold(0.0, f64::max);
     Fig7Result { rows, average, max }
@@ -223,41 +209,39 @@ pub struct Fig8Cell {
 }
 
 /// Runs the Fig. 8 experiment: average SPEC base/rate gains at
-/// 35/45/65/91 W. TDP levels run on parallel threads.
+/// 35/45/65/91 W.
+///
+/// Each (TDP, mode) cell is an independent job on the [`dg_engine`] pool
+/// (8 jobs instead of 4 threads, so the grid load-balances better); the
+/// per-benchmark sum inside a cell stays sequential in suite order, and
+/// cells are reassembled into TDP order, so the result is bit-identical
+/// for any thread count.
 pub fn fig8() -> Vec<Fig8Cell> {
     let tdps = Product::skylake_tdp_levels();
-    let mut cells = Vec::with_capacity(tdps.len());
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = tdps
-            .iter()
-            .map(|&tdp| {
-                scope.spawn(move || {
-                    let s = DarkGates::desktop().product(tdp);
-                    let h = DarkGates::mobile().product(tdp);
-                    let gain = |mode: SpecMode| {
-                        let all = suite();
-                        let total: f64 = all
-                            .iter()
-                            .map(|b| {
-                                run_spec(&s, b, mode).perf / run_spec(&h, b, mode).perf
-                                    - 1.0
-                            })
-                            .sum();
-                        total / all.len() as f64
-                    };
-                    Fig8Cell {
-                        tdp,
-                        base_gain: gain(SpecMode::Base),
-                        rate_gain: gain(SpecMode::Rate),
-                    }
-                })
-            })
-            .collect();
-        for h in handles {
-            cells.push(h.join().expect("fig8 worker panicked"));
+    let mut jobs = Vec::new();
+    for &tdp in &tdps {
+        for mode in [SpecMode::Base, SpecMode::Rate] {
+            jobs.push((tdp, mode));
         }
+    }
+    let gains = dg_engine::par_map(&jobs, |_, &(tdp, mode)| {
+        let s = DarkGates::desktop().product(tdp);
+        let h = DarkGates::mobile().product(tdp);
+        let all = suite();
+        let total: f64 = all
+            .iter()
+            .map(|b| run_spec(&s, b, mode).perf / run_spec(&h, b, mode).perf - 1.0)
+            .sum();
+        total / all.len() as f64
     });
-    cells
+    tdps.iter()
+        .zip(gains.chunks_exact(2))
+        .map(|(&tdp, pair)| Fig8Cell {
+            tdp,
+            base_gain: pair[0],
+            rate_gain: pair[1],
+        })
+        .collect()
 }
 
 // ---------------------------------------------------------------- Fig. 9
@@ -273,10 +257,10 @@ pub struct Fig9Row {
 }
 
 /// Runs the Fig. 9 experiment: 3DMark on Skylake-S vs. Skylake-H across
-/// the TDP levels.
+/// the TDP levels (one [`dg_engine`] job per TDP, scene sums sequential).
 pub fn fig9() -> Vec<Fig9Row> {
-    let mut rows = Vec::new();
-    for tdp in Product::skylake_tdp_levels() {
+    let tdps = Product::skylake_tdp_levels();
+    dg_engine::par_map(&tdps, |_, &tdp| {
         let s = DarkGates::desktop().product(tdp);
         let h = DarkGates::mobile().product(tdp);
         let scenes = three_dmark_suite();
@@ -284,12 +268,11 @@ pub fn fig9() -> Vec<Fig9Row> {
             .iter()
             .map(|w| 1.0 - run_graphics(&s, w).fps / run_graphics(&h, w).fps)
             .sum();
-        rows.push(Fig9Row {
+        Fig9Row {
             tdp,
             degradation: total / scenes.len() as f64,
-        });
-    }
-    rows
+        }
+    })
 }
 
 // --------------------------------------------------------------- Fig. 10
@@ -380,16 +363,54 @@ pub fn table2() -> Table2 {
     Table2 {
         desktop: s.name.clone(),
         mobile: h.name.clone(),
-        core_freq_ghz: (
-            s.table_1c.pn().frequency.as_ghz(),
-            h.fmax_1c().as_ghz(),
-        ),
+        core_freq_ghz: (s.table_1c.pn().frequency.as_ghz(), h.fmax_1c().as_ghz()),
         gfx_freq_mhz: (
             s.table_gfx.pn().frequency.as_mhz(),
             s.table_gfx.p0().frequency.as_mhz(),
         ),
         tdp_w: (35.0, 91.0),
         cores: s.core_count,
+    }
+}
+
+// ----------------------------------------------------------- Full sweep
+
+/// Every figure dataset of the evaluation, computed in one pass.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Fig. 3 grid rows.
+    pub fig3: Vec<Fig3Row>,
+    /// Fig. 3 guardband-reduction sweep.
+    pub fig3_sweep: Vec<Fig3SweepPoint>,
+    /// Fig. 4 impedance comparison.
+    pub fig4: Fig4Result,
+    /// Fig. 7 per-benchmark gains.
+    pub fig7: Fig7Result,
+    /// Fig. 8 TDP sweep.
+    pub fig8: Vec<Fig8Cell>,
+    /// Fig. 9 graphics sweep.
+    pub fig9: Vec<Fig9Row>,
+    /// Fig. 10 energy workloads.
+    pub fig10: Vec<Fig10Row>,
+}
+
+/// Runs every figure experiment once and returns the combined datasets.
+///
+/// This is the single entry point the `validate` and `all` binaries use so
+/// a full evaluation computes each dataset exactly once. The figures run
+/// in sequence — each one already saturates the [`dg_engine`] pool
+/// internally, and the shared substrate caches warmed by the first figure
+/// (impedance profiles, guardband managers, finished products) feed all
+/// later ones.
+pub fn evaluate_all() -> Evaluation {
+    Evaluation {
+        fig3: fig3(),
+        fig3_sweep: fig3_sweep(),
+        fig4: fig4(),
+        fig7: fig7(),
+        fig8: fig8(),
+        fig9: fig9(),
+        fig10: fig10(),
     }
 }
 

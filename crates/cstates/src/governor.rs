@@ -152,11 +152,17 @@ impl IdleGovernor {
             && self.predictor.overestimates() >= DEMOTION_THRESHOLD
             && best > PackageCstate::C2
         {
-            let idx = PackageCstate::ALL.iter().position(|s| *s == best).expect("known state");
+            let idx = PackageCstate::ALL
+                .iter()
+                .position(|s| *s == best)
+                .expect("known state");
             best = PackageCstate::ALL[idx - 1];
             self.stats.demotions += 1;
         }
-        let idx = PackageCstate::ALL.iter().position(|s| *s == best).expect("known state");
+        let idx = PackageCstate::ALL
+            .iter()
+            .position(|s| *s == best)
+            .expect("known state");
         self.stats.selections[idx] += 1;
         best
     }
@@ -199,7 +205,9 @@ impl IdleGovernor {
 
     /// Pure selection for a given predicted idle duration (no statistics).
     pub fn select_for(&self, predicted: Seconds) -> PackageCstate {
-        let shallow = self.model.package_idle_power(PackageCstate::C2, &self.config);
+        let shallow = self
+            .model
+            .package_idle_power(PackageCstate::C2, &self.config);
         let mut best = PackageCstate::C2;
         for state in PackageCstate::ALL.into_iter().skip(2) {
             if state > self.deepest {
@@ -386,9 +394,6 @@ mod tests {
 
     #[test]
     fn empty_evaluation_is_zero() {
-        assert_eq!(
-            governor(true, PackageCstate::C8).evaluate(&[]),
-            Watts::ZERO
-        );
+        assert_eq!(governor(true, PackageCstate::C8).evaluate(&[]), Watts::ZERO);
     }
 }

@@ -148,13 +148,7 @@ mod tests {
     #[test]
     fn break_even_positive_and_sensible() {
         let t = LatencyTable::skylake();
-        let be = break_even_time(
-            &t,
-            Watts::new(1.5),
-            Watts::new(0.45),
-            PackageCstate::C8,
-        )
-        .unwrap();
+        let be = break_even_time(&t, Watts::new(1.5), Watts::new(0.45), PackageCstate::C8).unwrap();
         // 1.5 W × 320 µs / 1.05 W ≈ 457 µs.
         assert!((be.value() - 457e-6).abs() < 10e-6, "break-even {be}");
     }
@@ -170,10 +164,8 @@ mod tests {
     fn deeper_states_have_longer_break_even() {
         let t = LatencyTable::skylake();
         // Same power saving, deeper state ⇒ longer break-even.
-        let be7 =
-            break_even_time(&t, Watts::new(1.0), Watts::new(0.5), PackageCstate::C7).unwrap();
-        let be8 =
-            break_even_time(&t, Watts::new(1.0), Watts::new(0.5), PackageCstate::C8).unwrap();
+        let be7 = break_even_time(&t, Watts::new(1.0), Watts::new(0.5), PackageCstate::C7).unwrap();
+        let be8 = break_even_time(&t, Watts::new(1.0), Watts::new(0.5), PackageCstate::C8).unwrap();
         assert!(be8 > be7);
     }
 }

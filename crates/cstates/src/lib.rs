@@ -38,6 +38,6 @@ pub use power::{GatingConfig, IdlePowerModel};
 pub use residency::ResidencyTracker;
 pub use resolve::{resolve, PlatformInputs};
 pub use states::{
-    core_state_from_threads, CoreCstate, DisplayState, GraphicsCstate, MemoryState,
-    PackageCstate, ThreadCstate,
+    core_state_from_threads, CoreCstate, DisplayState, GraphicsCstate, MemoryState, PackageCstate,
+    ThreadCstate,
 };

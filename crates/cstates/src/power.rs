@@ -197,7 +197,10 @@ mod tests {
         let p_gated = m.package_idle_power(PackageCstate::C7, &gated);
         let p_byp = m.package_idle_power(PackageCstate::C7, &bypassed);
         let ratio = p_byp / p_gated;
-        assert!(ratio > 3.0, "C7 ratio {ratio} (gated {p_gated}, byp {p_byp})");
+        assert!(
+            ratio > 3.0,
+            "C7 ratio {ratio} (gated {p_gated}, byp {p_byp})"
+        );
     }
 
     #[test]

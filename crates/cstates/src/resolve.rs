@@ -86,11 +86,7 @@ impl PlatformInputs {
 
     /// The shallowest core state (the binding constraint).
     pub fn shallowest_core(&self) -> CoreCstate {
-        self.cores
-            .iter()
-            .copied()
-            .min()
-            .expect("at least one core")
+        self.cores.iter().copied().min().expect("at least one core")
     }
 }
 

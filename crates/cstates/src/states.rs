@@ -387,10 +387,7 @@ mod tests {
 
     #[test]
     fn platform_deepest_constants() {
-        assert_eq!(
-            PackageCstate::legacy_desktop_deepest(),
-            PackageCstate::C7
-        );
+        assert_eq!(PackageCstate::legacy_desktop_deepest(), PackageCstate::C7);
         assert_eq!(
             PackageCstate::darkgates_desktop_deepest(),
             PackageCstate::C8

@@ -3,9 +3,7 @@
 use dg_cstates::power::{GatingConfig, IdlePowerModel};
 use dg_cstates::residency::ResidencyTracker;
 use dg_cstates::resolve::{resolve, PlatformInputs};
-use dg_cstates::states::{
-    CoreCstate, DisplayState, GraphicsCstate, MemoryState, PackageCstate,
-};
+use dg_cstates::states::{CoreCstate, DisplayState, GraphicsCstate, MemoryState, PackageCstate};
 use dg_power::units::{Seconds, Watts};
 use proptest::prelude::*;
 

@@ -1,0 +1,278 @@
+//! Deterministic data-parallel execution engine for DarkGates experiments.
+//!
+//! The experiment pipeline is embarrassingly parallel at several levels
+//! (benchmarks within a figure, TDP×suite×mode grid cells, frequency
+//! samples within an impedance sweep, claims within a validation run).
+//! This crate provides the two primitives the rest of the workspace builds
+//! on:
+//!
+//! * [`par_map`] — map a closure over an indexed slice on a transient
+//!   thread pool, returning results **in input order**. Output is
+//!   bit-identical to the sequential loop for any thread count, because
+//!   each result is written back to its input index and any reduction is
+//!   done by the caller in index order.
+//! * [`par_tasks`] — run a set of heterogeneous boxed closures
+//!   concurrently, again collecting results in input order.
+//!
+//! Nested calls degrade gracefully: a `par_map` issued from inside a
+//! worker thread runs inline on that worker (no thread explosion, no
+//! deadlock), so library code can parallelise internally without caring
+//! whether the caller already did.
+//!
+//! Thread count resolution order: the test override set via
+//! [`set_thread_override`], then the `DG_NUM_THREADS` environment
+//! variable, then `RAYON_NUM_THREADS` (honoured for familiarity), then
+//! [`std::thread::available_parallelism`].
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide thread-count override, used by determinism tests.
+/// 0 means "no override".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// True while the current thread is a pool worker; nested parallel
+    /// calls detect this and run inline.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Forces every subsequent parallel call to use exactly `n` threads
+/// (`n = 1` makes the engine run fully inline). Returns a guard that
+/// restores the previous setting when dropped, so tests can scope the
+/// override.
+pub fn set_thread_override(n: usize) -> ThreadOverrideGuard {
+    assert!(n > 0, "thread override must be positive");
+    let prev = THREAD_OVERRIDE.swap(n, Ordering::SeqCst);
+    ThreadOverrideGuard { prev }
+}
+
+/// Restores the previous thread-count setting on drop.
+#[must_use = "dropping the guard immediately restores the previous thread count"]
+pub struct ThreadOverrideGuard {
+    prev: usize,
+}
+
+impl Drop for ThreadOverrideGuard {
+    fn drop(&mut self) {
+        THREAD_OVERRIDE.store(self.prev, Ordering::SeqCst);
+    }
+}
+
+/// The number of worker threads parallel calls will use.
+pub fn num_threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
+    if forced > 0 {
+        return forced;
+    }
+    for var in ["DG_NUM_THREADS", "RAYON_NUM_THREADS"] {
+        if let Some(n) = std::env::var(var).ok().and_then(|v| v.parse().ok()) {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` in parallel, returning outputs in input order.
+///
+/// `f` receives `(index, &item)`. The result at position `i` is always
+/// `f(i, &items[i])`, regardless of thread count or scheduling, so any
+/// caller-side reduction done in index order is bit-identical to the
+/// sequential loop. Panics in `f` propagate to the caller.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 || IN_WORKER.with(Cell::get) {
+        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+    }
+
+    // Work-stealing via a shared atomic cursor: each worker claims the
+    // next unprocessed index, computes, and stashes (index, value) in a
+    // local bucket. Buckets are merged into slot order afterwards, so the
+    // output permutation is independent of which worker ran which index.
+    let cursor = AtomicUsize::new(0);
+    let buckets: Vec<Mutex<Vec<(usize, U)>>> =
+        (0..threads).map(|_| Mutex::new(Vec::new())).collect();
+
+    std::thread::scope(|scope| {
+        for bucket in &buckets {
+            let cursor = &cursor;
+            let f = &f;
+            scope.spawn(move || {
+                IN_WORKER.with(|w| w.set(true));
+                let mut local = Vec::new();
+                loop {
+                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    local.push((i, f(i, &items[i])));
+                }
+                *bucket.lock().expect("bucket poisoned") = local;
+                IN_WORKER.with(|w| w.set(false));
+            });
+        }
+    });
+
+    let mut slots: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+    for bucket in buckets {
+        for (i, v) in bucket.into_inner().expect("bucket poisoned") {
+            debug_assert!(slots[i].is_none(), "index {i} produced twice");
+            slots[i] = Some(v);
+        }
+    }
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| s.unwrap_or_else(|| panic!("index {i} never produced")))
+        .collect()
+}
+
+/// A boxed unit of work for [`par_tasks`].
+pub type Task<'a, U> = Box<dyn FnOnce() -> U + Send + 'a>;
+
+/// Runs heterogeneous closures concurrently, returning their results in
+/// input order. Useful when the units of work differ in shape (e.g. "all
+/// figure datasets at once").
+pub fn par_tasks<U: Send>(tasks: Vec<Task<'_, U>>) -> Vec<U> {
+    let threads = num_threads().min(tasks.len().max(1));
+    if threads <= 1 || tasks.len() <= 1 || IN_WORKER.with(Cell::get) {
+        return tasks.into_iter().map(|t| t()).collect();
+    }
+
+    let slots: Vec<Mutex<Option<U>>> = (0..tasks.len()).map(|_| Mutex::new(None)).collect();
+    let queue: Mutex<Vec<(usize, Task<'_, U>)>> =
+        Mutex::new(tasks.into_iter().enumerate().rev().collect());
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let queue = &queue;
+            let slots = &slots;
+            scope.spawn(move || {
+                IN_WORKER.with(|w| w.set(true));
+                loop {
+                    let Some((i, task)) = queue.lock().expect("queue poisoned").pop() else {
+                        break;
+                    };
+                    *slots[i].lock().expect("slot poisoned") = Some(task());
+                }
+                IN_WORKER.with(|w| w.set(false));
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| {
+            s.into_inner()
+                .expect("slot poisoned")
+                .unwrap_or_else(|| panic!("task {i} never ran"))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The override is process-global, so tests that touch it must not
+    /// interleave. Poisoning is expected (one test panics on purpose).
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let _l = serial();
+        let items: Vec<u64> = (0..257).collect();
+        let out = par_map(&items, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * 3 + 1
+        });
+        let expected: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn par_map_matches_sequential_for_any_thread_count() {
+        let _l = serial();
+        let items: Vec<f64> = (0..100).map(|i| 1.0 + i as f64 * 0.37).collect();
+        let work = |_: usize, &x: &f64| (x.sin() * x.ln()).exp();
+        let baseline: Vec<u64> = {
+            let _g = set_thread_override(1);
+            par_map(&items, work).iter().map(|v| v.to_bits()).collect()
+        };
+        for threads in [2, 3, 8] {
+            let _g = set_thread_override(threads);
+            let out: Vec<u64> = par_map(&items, work).iter().map(|v| v.to_bits()).collect();
+            assert_eq!(out, baseline, "thread count {threads} changed results");
+        }
+    }
+
+    #[test]
+    fn nested_par_map_runs_inline_without_deadlock() {
+        let _l = serial();
+        let _g = set_thread_override(2);
+        let outer: Vec<usize> = (0..8).collect();
+        let out = par_map(&outer, |_, &o| {
+            let inner: Vec<usize> = (0..16).collect();
+            par_map(&inner, |_, &i| o * 100 + i).iter().sum::<usize>()
+        });
+        let expected: Vec<usize> = outer.iter().map(|&o| o * 100 * 16 + 120).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn par_tasks_keeps_submission_order() {
+        let _l = serial();
+        let _g = set_thread_override(4);
+        let tasks: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..23usize)
+            .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> usize + Send>)
+            .collect();
+        let out = par_tasks(tasks);
+        let expected: Vec<usize> = (0..23).map(|i| i * i).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn override_guard_restores_previous_value() {
+        let _l = serial();
+        let before = num_threads();
+        {
+            let _g = set_thread_override(3);
+            assert_eq!(num_threads(), 3);
+            {
+                let _h = set_thread_override(1);
+                assert_eq!(num_threads(), 1);
+            }
+            assert_eq!(num_threads(), 3);
+        }
+        assert_eq!(num_threads(), before);
+    }
+
+    #[test]
+    #[should_panic]
+    fn worker_panics_propagate() {
+        let _l = serial();
+        let _g = set_thread_override(2);
+        let items: Vec<u32> = (0..64).collect();
+        let _ = par_map(&items, |_, &x| {
+            if x == 40 {
+                panic!("deliberate");
+            }
+            x
+        });
+    }
+}

@@ -1,0 +1,252 @@
+//! Shared substrate cache.
+//!
+//! The experiment harness rebuilds the same physical substrates over and
+//! over: every `Product::build` sweeps a full impedance profile to size its
+//! guardband, every figure builds the same two Skylake PDNs, and every
+//! transient run re-derives the same DC operating point. These quantities
+//! are pure functions of the circuit values, so they are cached
+//! process-wide, keyed by *content* (an FNV-1a hash over the exact `f64`
+//! bit patterns of every component value). Two ladders with identical
+//! element values share one cache entry no matter how they were built;
+//! perturbing any value (as the sensitivity analysis does) produces a new
+//! key and a fresh computation.
+//!
+//! All entries are wrapped in [`Arc`], so a cache hit is a pointer bump and
+//! results can be shared freely across the worker threads of
+//! [`dg_engine`]'s pool.
+
+use crate::impedance::{ImpedanceAnalyzer, ImpedanceProfile};
+use crate::ladder::Ladder;
+use crate::skylake::{PdnVariant, SkylakePdn};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Incremental FNV-1a hasher over 64-bit words. Collision quality is ample
+/// for the handful of distinct substrates an experiment run touches, and
+/// the hash is stable across platforms (unlike `DefaultHasher`).
+#[derive(Debug, Clone, Copy)]
+pub struct ContentKey(u64);
+
+impl ContentKey {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    /// Starts a new key.
+    pub fn new() -> Self {
+        ContentKey(Self::OFFSET)
+    }
+
+    /// Folds a raw 64-bit word into the key.
+    pub fn word(mut self, w: u64) -> Self {
+        for byte in w.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+        self
+    }
+
+    /// Folds an `f64` by exact bit pattern (so `-0.0 != 0.0`, and NaNs with
+    /// different payloads differ — exactness matters more than canonic
+    /// equality for a cache key).
+    pub fn f64(self, v: f64) -> Self {
+        self.word(v.to_bits())
+    }
+
+    /// Folds a byte string (names participate in the key only through
+    /// [`Self::bytes`]; the numeric content is what matters, but names are
+    /// cheap and keep logically distinct substrates distinct).
+    pub fn bytes(mut self, bytes: &[u8]) -> Self {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+        self
+    }
+
+    /// The finished key value.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for ContentKey {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Content key of a ladder: VR model plus every stage's series R/L and
+/// shunt C/ESR/ESL/count, in order.
+pub fn ladder_key(ladder: &Ladder) -> u64 {
+    let vr = ladder.vr();
+    let mut k = ContentKey::new()
+        .f64(vr.loadline.value())
+        .f64(vr.bandwidth.value());
+    for stage in ladder.stages() {
+        k = k
+            .bytes(stage.name.as_bytes())
+            .f64(stage.series.resistance.value())
+            .f64(stage.series.inductance.value());
+        match &stage.shunt {
+            Some(bank) => {
+                k = k
+                    .word(1)
+                    .f64(bank.capacitance.value())
+                    .f64(bank.esr.value())
+                    .f64(bank.esl.value())
+                    .word(bank.count as u64);
+            }
+            None => k = k.word(0),
+        }
+    }
+    k.finish()
+}
+
+fn analyzer_key(analyzer: &ImpedanceAnalyzer) -> ContentKey {
+    ContentKey::new()
+        .f64(analyzer.start.value())
+        .f64(analyzer.stop.value())
+        .word(analyzer.points as u64)
+}
+
+type ProfileMap = Mutex<HashMap<u64, Arc<ImpedanceProfile>>>;
+
+fn profile_map() -> &'static ProfileMap {
+    static MAP: OnceLock<ProfileMap> = OnceLock::new();
+    MAP.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The impedance profile of `ladder` under `analyzer`, computed once per
+/// distinct (sweep, circuit) content and shared thereafter.
+pub fn impedance_profile(analyzer: &ImpedanceAnalyzer, ladder: &Ladder) -> Arc<ImpedanceProfile> {
+    let key = analyzer_key(analyzer).word(ladder_key(ladder)).finish();
+    if let Some(hit) = profile_map()
+        .lock()
+        .expect("profile cache poisoned")
+        .get(&key)
+    {
+        return Arc::clone(hit);
+    }
+    // Compute outside the lock: profiles take milliseconds and other
+    // threads may want unrelated entries meanwhile. A racing miss on the
+    // same key computes twice and the entries are identical.
+    let fresh = Arc::new(analyzer.profile(ladder));
+    let mut map = profile_map().lock().expect("profile cache poisoned");
+    Arc::clone(map.entry(key).or_insert(fresh))
+}
+
+/// The default-sweep impedance profile of the calibrated Skylake PDN of
+/// `variant` — the hottest substrate in the workspace (two of these back
+/// every product build). A dedicated `OnceLock` per variant skips even the
+/// hashing of the general cache.
+pub fn skylake_profile(variant: PdnVariant) -> Arc<ImpedanceProfile> {
+    static GATED: OnceLock<Arc<ImpedanceProfile>> = OnceLock::new();
+    static BYPASSED: OnceLock<Arc<ImpedanceProfile>> = OnceLock::new();
+    let slot = match variant {
+        PdnVariant::Gated => &GATED,
+        PdnVariant::Bypassed => &BYPASSED,
+    };
+    Arc::clone(slot.get_or_init(|| {
+        let pdn = SkylakePdn::build(variant);
+        impedance_profile(&ImpedanceAnalyzer::default(), &pdn.ladder)
+    }))
+}
+
+type SteadyStateMap = Mutex<HashMap<u64, Arc<Vec<f64>>>>;
+
+fn steady_state_map() -> &'static SteadyStateMap {
+    static MAP: OnceLock<SteadyStateMap> = OnceLock::new();
+    MAP.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The DC steady state of `ladder`'s transient chain model for a given
+/// source voltage and load current (the initial condition of every
+/// transient run). Keyed by content, so the five-event di/dt sweeps that
+/// all start from the same quiescent point derive it once.
+pub fn dc_steady_state(
+    ladder: &Ladder,
+    source: f64,
+    load: f64,
+    compute: impl FnOnce() -> Vec<f64>,
+) -> Arc<Vec<f64>> {
+    let key = ContentKey::new()
+        .word(ladder_key(ladder))
+        .f64(source)
+        .f64(load)
+        .finish();
+    let mut map = steady_state_map()
+        .lock()
+        .expect("steady-state cache poisoned");
+    Arc::clone(map.entry(key).or_insert_with(|| Arc::new(compute())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::units::Hertz;
+
+    #[test]
+    fn skylake_profiles_are_shared_and_stable() {
+        let a = skylake_profile(PdnVariant::Gated);
+        let b = skylake_profile(PdnVariant::Gated);
+        assert!(Arc::ptr_eq(&a, &b), "same variant must share one profile");
+        let c = skylake_profile(PdnVariant::Bypassed);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn cached_profile_matches_cold_computation_bitwise() {
+        let pdn = SkylakePdn::build(PdnVariant::Bypassed);
+        let analyzer = ImpedanceAnalyzer::default();
+        let cold = analyzer.profile(&pdn.ladder);
+        let cached = impedance_profile(&analyzer, &pdn.ladder);
+        assert_eq!(cold.points().len(), cached.points().len());
+        for (a, b) in cold.points().iter().zip(cached.points()) {
+            assert_eq!(a.0.value().to_bits(), b.0.value().to_bits());
+            assert_eq!(a.1.value().to_bits(), b.1.value().to_bits());
+        }
+    }
+
+    #[test]
+    fn perturbed_ladder_gets_its_own_entry() {
+        let pdn = SkylakePdn::build(PdnVariant::Gated);
+        let base_key = ladder_key(&pdn.ladder);
+        let perturbed = pdn
+            .ladder
+            .with_mapped_stage("power-gate", |s| {
+                s.series.resistance = s.series.resistance * 1.01;
+            })
+            .expect("gated ladder has a power-gate stage");
+        assert_ne!(base_key, ladder_key(&perturbed));
+        // And the same content always produces the same key.
+        assert_eq!(
+            base_key,
+            ladder_key(&SkylakePdn::build(PdnVariant::Gated).ladder)
+        );
+    }
+
+    #[test]
+    fn distinct_sweeps_do_not_collide() {
+        let pdn = SkylakePdn::build(PdnVariant::Gated);
+        let narrow = ImpedanceAnalyzer::new(Hertz::new(1e5), Hertz::new(1e7), 16).unwrap();
+        let p = impedance_profile(&narrow, &pdn.ladder);
+        let q = impedance_profile(&ImpedanceAnalyzer::default(), &pdn.ladder);
+        assert_ne!(p.points().len(), q.points().len());
+    }
+
+    #[test]
+    fn steady_state_computed_once_per_operating_point() {
+        let pdn = SkylakePdn::build(PdnVariant::Bypassed);
+        let mut calls = 0;
+        let a = dc_steady_state(&pdn.ladder, 1.0, 20.0, || {
+            calls += 1;
+            vec![1.0, 2.0]
+        });
+        let b = dc_steady_state(&pdn.ladder, 1.0, 20.0, || {
+            calls += 1;
+            unreachable!("second lookup must hit the cache")
+        });
+        assert_eq!(calls, 1);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+}

@@ -68,7 +68,10 @@ impl SeriesBranch {
 
     /// Phasor impedance `R + jωL` at frequency `f`.
     pub fn impedance(&self, f: Hertz) -> Complex {
-        Complex::new(self.resistance.value(), f.angular() * self.inductance.value())
+        Complex::new(
+            self.resistance.value(),
+            f.angular() * self.inductance.value(),
+        )
     }
 
     /// Combines two branches in series (summing R and L).
@@ -190,9 +193,7 @@ impl CapBank {
             return None;
         }
         let f = 1.0
-            / (2.0
-                * std::f64::consts::PI
-                * (self.esl.value() * self.capacitance.value()).sqrt());
+            / (2.0 * std::f64::consts::PI * (self.esl.value() * self.capacitance.value()).sqrt());
         Some(Hertz::new(f))
     }
 

@@ -67,12 +67,15 @@ impl ImpedanceAnalyzer {
     }
 
     /// Sweeps the ladder and returns its impedance profile.
+    ///
+    /// Sample points are independent, so the sweep fans out over the
+    /// [`dg_engine`] worker pool; results are collected in frequency order,
+    /// making the profile bit-identical to a sequential sweep for any
+    /// thread count. See [`crate::cache::impedance_profile`] for the
+    /// memoized variant the product builders use.
     pub fn profile(&self, ladder: &Ladder) -> ImpedanceProfile {
-        let points = self
-            .frequencies()
-            .into_iter()
-            .map(|f| (f, ladder.impedance_magnitude(f)))
-            .collect();
+        let frequencies = self.frequencies();
+        let points = dg_engine::par_map(&frequencies, |_, &f| (f, ladder.impedance_magnitude(f)));
         ImpedanceProfile {
             name: ladder.name().to_owned(),
             points,
@@ -92,9 +95,14 @@ impl ImpedanceProfile {
     ///
     /// # Panics
     ///
-    /// Panics if `points` is empty.
+    /// Panics if `points` is empty or the frequencies are not strictly
+    /// increasing (lookups binary-search on frequency).
     pub fn from_points(name: impl Into<String>, points: Vec<(Hertz, Ohms)>) -> Self {
         assert!(!points.is_empty(), "impedance profile cannot be empty");
+        assert!(
+            points.windows(2).all(|w| w[0].0 < w[1].0),
+            "profile frequencies must be strictly increasing"
+        );
         ImpedanceProfile {
             name: name.into(),
             points,
@@ -121,16 +129,27 @@ impl ImpedanceProfile {
     }
 
     /// Impedance at the sample closest (in log-frequency) to `f`.
+    ///
+    /// Binary-searches the (ascending) frequency axis, then picks the
+    /// nearer of the two bracketing samples. `|ln f − ln a| ≤ |ln b − ln f|`
+    /// rearranges to `f·f ≤ a·b`, so the nearest-in-log decision needs no
+    /// logarithms. Exact midpoints resolve to the lower-frequency sample,
+    /// matching the original linear scan (which kept the first minimum).
     pub fn at(&self, f: Hertz) -> Ohms {
-        self.points
-            .iter()
-            .min_by(|a, b| {
-                let da = (a.0.value().ln() - f.value().ln()).abs();
-                let db = (b.0.value().ln() - f.value().ln()).abs();
-                da.partial_cmp(&db).expect("finite frequencies")
-            })
-            .expect("profile is non-empty")
-            .1
+        let idx = self.points.partition_point(|p| p.0 < f);
+        if idx == 0 {
+            return self.points[0].1;
+        }
+        if idx == self.points.len() {
+            return self.points[idx - 1].1;
+        }
+        let below = self.points[idx - 1];
+        let above = self.points[idx];
+        if f.value() * f.value() <= below.0.value() * above.0.value() {
+            below.1
+        } else {
+            above.1
+        }
     }
 
     /// The lowest sampled impedance.
@@ -277,6 +296,43 @@ mod tests {
         assert!((p.at(Hertz::new(9e4)).as_mohm() - 3.0).abs() < 1e-12);
         assert!((p.at(Hertz::new(1.0)).as_mohm() - 2.0).abs() < 1e-12);
         assert!((p.at(Hertz::new(1e9)).as_mohm() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn at_bin_edges_pin_nearest_sample_semantics() {
+        // Powers of two make the log-midpoint comparison exact in f64:
+        // samples at 2^10 and 2^14 Hz have their geometric midpoint at
+        // 2^12 Hz, and (2^12)^2 == 2^10 * 2^14 with no rounding.
+        let points = vec![
+            (Hertz::new(1024.0), Ohms::from_mohm(1.0)),
+            (Hertz::new(16384.0), Ohms::from_mohm(2.0)),
+        ];
+        let p = ImpedanceProfile::from_points("edges", points);
+        // Exact samples return themselves.
+        assert_eq!(p.at(Hertz::new(1024.0)).as_mohm(), 1.0);
+        assert_eq!(p.at(Hertz::new(16384.0)).as_mohm(), 2.0);
+        // Exact geometric midpoint ties resolve to the lower-frequency
+        // sample (the original linear scan kept the first minimum).
+        assert_eq!(p.at(Hertz::new(4096.0)).as_mohm(), 1.0);
+        // A hair past the midpoint flips to the upper sample.
+        assert_eq!(p.at(Hertz::new(4097.0)).as_mohm(), 2.0);
+        // And a hair below stays on the lower one.
+        assert_eq!(p.at(Hertz::new(4095.0)).as_mohm(), 1.0);
+        // Out-of-range queries clamp to the end samples.
+        assert_eq!(p.at(Hertz::new(1.0)).as_mohm(), 1.0);
+        assert_eq!(p.at(Hertz::new(1e12)).as_mohm(), 2.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_profile_panics() {
+        ImpedanceProfile::from_points(
+            "bad",
+            vec![
+                (Hertz::new(1e5), Ohms::from_mohm(1.0)),
+                (Hertz::new(1e4), Ohms::from_mohm(2.0)),
+            ],
+        );
     }
 
     #[test]

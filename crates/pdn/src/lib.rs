@@ -38,6 +38,7 @@
 //! ```
 
 pub mod architectures;
+pub mod cache;
 pub mod complex;
 pub mod didt;
 pub mod elements;
@@ -53,10 +54,10 @@ pub mod units;
 pub mod vr;
 
 pub use architectures::{delivery_loss, IvrModel, LdoModel, PdnArchitecture};
+pub use didt::{analyze as didt_analyze, client_event_family, DidtEvent, NoiseAnalysis};
 pub use error::PdnError;
 pub use impedance::{ImpedanceAnalyzer, ImpedanceProfile};
 pub use ladder::{Ladder, LadderBuilder, Stage};
-pub use didt::{analyze as didt_analyze, client_event_family, DidtEvent, NoiseAnalysis};
 pub use loadline::{LoadLine, VirusLevel, VirusLevelTable};
 pub use package::{PackageLayout, VoltageDomain};
 pub use sensitivity::{peak_sensitivities, target_impedance, ElementKind, Sensitivity};

@@ -104,8 +104,7 @@ impl PackageLayout {
             VoltageDomain::new("VC2G", 44, true).expect("constant is valid"),
             VoltageDomain::new("VC3G", 44, true).expect("constant is valid"),
         ];
-        PackageLayout::new("Skylake-H BGA", domains, Amps::new(0.75))
-            .expect("constants are valid")
+        PackageLayout::new("Skylake-H BGA", domains, Amps::new(0.75)).expect("constants are valid")
     }
 
     /// The DarkGates desktop (Skylake-S-like, LGA) layout: the mobile

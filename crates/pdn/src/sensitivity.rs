@@ -71,9 +71,7 @@ fn scaled(ladder: &Ladder, stage: &str, kind: ElementKind, factor: f64) -> Optio
         ElementKind::SeriesR if original.series.resistance.value() == 0.0 => return None,
         ElementKind::SeriesL if original.series.inductance.value() == 0.0 => return None,
         ElementKind::ShuntC | ElementKind::ShuntEsr if original.shunt.is_none() => return None,
-        ElementKind::ShuntEsr
-            if original.shunt.as_ref().expect("checked").esr.value() == 0.0 =>
-        {
+        ElementKind::ShuntEsr if original.shunt.as_ref().expect("checked").esr.value() == 0.0 => {
             return None
         }
         _ => {}
@@ -188,9 +186,7 @@ mod tests {
         let perturbed = scaled(&pdn.ladder, "power-gate", ElementKind::SeriesR, 1.5)
             .expect("gate stage perturbable");
         let f = Hertz::new(100e3);
-        assert!(
-            perturbed.impedance_magnitude(f) > pdn.ladder.impedance_magnitude(f)
-        );
+        assert!(perturbed.impedance_magnitude(f) > pdn.ladder.impedance_magnitude(f));
     }
 
     #[test]
@@ -201,7 +197,11 @@ mod tests {
             .iter()
             .find(|e| e.stage == "die" && e.element == ElementKind::ShuntC)
             .expect("die capacitance sensitivity present");
-        assert!(die_c.peak_sensitivity < 0.0, "S = {}", die_c.peak_sensitivity);
+        assert!(
+            die_c.peak_sensitivity < 0.0,
+            "S = {}",
+            die_c.peak_sensitivity
+        );
     }
 
     #[test]
@@ -218,7 +218,12 @@ mod tests {
         let target = Ohms::from_mohm(4.0);
         let vg = violations(&gated.ladder, &a, target);
         let vb = violations(&bypassed.ladder, &a, target);
-        assert!(vg.len() > vb.len(), "gated {} vs bypassed {}", vg.len(), vb.len());
+        assert!(
+            vg.len() > vb.len(),
+            "gated {} vs bypassed {}",
+            vg.len(),
+            vb.len()
+        );
     }
 
     #[test]

@@ -106,17 +106,12 @@ pub struct SkylakePdn {
 impl SkylakePdn {
     /// Builds the calibrated PDN for `variant`.
     pub fn build(variant: PdnVariant) -> Self {
-        let vr_model = VrOutputModel::new(
-            Ohms::from_mohm(LOADLINE_MOHM),
-            Hertz::new(VR_BANDWIDTH_HZ),
-        )
-        .expect("constants are valid");
+        let vr_model =
+            VrOutputModel::new(Ohms::from_mohm(LOADLINE_MOHM), Hertz::new(VR_BANDWIDTH_HZ))
+                .expect("constants are valid");
 
-        let board = SeriesBranch::new(
-            Ohms::from_mohm(BOARD_R_MOHM),
-            Henries::from_ph(BOARD_L_PH),
-        )
-        .expect("constants are valid");
+        let board = SeriesBranch::new(Ohms::from_mohm(BOARD_R_MOHM), Henries::from_ph(BOARD_L_PH))
+            .expect("constants are valid");
         let bulk = CapBank::new(
             Farads::from_uf(560.0),
             Ohms::from_mohm(6.0),
@@ -222,13 +217,19 @@ impl SkylakePdn {
     }
 
     /// Impedance profile over the default Fig. 4 sweep.
+    ///
+    /// Served from the content-keyed [`crate::cache`]: the first call per
+    /// distinct circuit sweeps, later calls (or calls on any ladder with
+    /// identical element values) clone the cached profile.
     pub fn impedance_profile(&self) -> ImpedanceProfile {
-        ImpedanceAnalyzer::default().profile(&self.ladder)
+        (*crate::cache::impedance_profile(&ImpedanceAnalyzer::default(), &self.ladder)).clone()
     }
 
-    /// Peak impedance over the default sweep.
+    /// Peak impedance over the default sweep (cached, no profile clone).
     pub fn peak_impedance(&self) -> Ohms {
-        self.impedance_profile().peak().1
+        crate::cache::impedance_profile(&ImpedanceAnalyzer::default(), &self.ladder)
+            .peak()
+            .1
     }
 
     /// Total DC path resistance from VR to the core load.

@@ -449,9 +449,7 @@ mod tests {
         let v = Volts::new(-0.5);
         assert_eq!(v.abs().value(), 0.5);
         assert_eq!(
-            Volts::new(2.0)
-                .clamp(Volts::ZERO, Volts::new(1.35))
-                .value(),
+            Volts::new(2.0).clamp(Volts::ZERO, Volts::new(1.35)).value(),
             1.35
         );
     }

@@ -120,7 +120,11 @@ fn overdamped_step_has_no_overshoot() {
 
 #[test]
 fn dc_shift_is_exact_for_any_damping() {
-    for (r, l, c) in [(0.5, 100.0, 500.0), (2.0, 50.0, 1000.0), (5.0, 20.0, 2000.0)] {
+    for (r, l, c) in [
+        (0.5, 100.0, 500.0),
+        (2.0, 50.0, 1000.0),
+        (5.0, 20.0, 2000.0),
+    ] {
         let ladder = rlc_ladder(r, l, c);
         let delta = 20.0;
         let result = run_step(&ladder, delta);
@@ -142,12 +146,8 @@ fn impedance_peak_matches_rlc_resonance() {
     let th = theory(r, l, c);
     let f0 = th.omega0 / (2.0 * std::f64::consts::PI);
     let ladder = rlc_ladder(r, l, c);
-    let analyzer = ImpedanceAnalyzer::new(
-        Hertz::new(f0 / 30.0),
-        Hertz::new(f0 * 30.0),
-        1200,
-    )
-    .unwrap();
+    let analyzer =
+        ImpedanceAnalyzer::new(Hertz::new(f0 / 30.0), Hertz::new(f0 * 30.0), 1200).unwrap();
     let profile = analyzer.profile(&ladder);
     let (f_peak, _) = profile.peak();
     assert!(

@@ -129,9 +129,7 @@ impl DvfsSolver {
                 continue;
             }
             let op = self.evaluate(state, req.active_cores, req.cdyn_per_core, req.overhead);
-            if op.total_power <= req.budget
-                && op.tj.value() <= req.tjmax.value() + TJ_EPSILON
-            {
+            if op.total_power <= req.budget && op.tj.value() <= req.tjmax.value() + TJ_EPSILON {
                 return Ok(op);
             }
         }
@@ -184,10 +182,7 @@ mod tests {
         let op = s.solve(&request(&t, 1, 500.0, 1.35)).unwrap();
         assert!(op.state.voltage <= Volts::new(1.35));
         // The next bin up must violate Vmax.
-        let next = t
-            .states()
-            .iter()
-            .find(|x| x.frequency > op.state.frequency);
+        let next = t.states().iter().find(|x| x.frequency > op.state.frequency);
         if let Some(n) = next {
             assert!(n.voltage > Volts::new(1.35));
         }
@@ -283,7 +278,9 @@ mod tests {
     fn evaluate_fixed_point_converges() {
         let t = table(150.0);
         let s = solver(65.0);
-        let state = t.at_frequency(dg_power::units::Hertz::from_ghz(3.5)).unwrap();
+        let state = t
+            .at_frequency(dg_power::units::Hertz::from_ghz(3.5))
+            .unwrap();
         let op = s.evaluate(state, 4, CdynProfile::core_typical(), Watts::new(3.0));
         // Self-consistency: recomputing power at the reported Tj reproduces
         // the reported power.

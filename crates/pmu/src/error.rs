@@ -46,9 +46,11 @@ mod tests {
             vmax_v: 1.35,
         };
         assert!(e.to_string().contains("no feasible"));
-        assert!(PmuError::InvalidRequest { reason: "zero cores" }
-            .to_string()
-            .contains("zero cores"));
+        assert!(PmuError::InvalidRequest {
+            reason: "zero cores"
+        }
+        .to_string()
+        .contains("zero cores"));
     }
 
     #[test]

@@ -10,9 +10,10 @@
 
 use crate::reliability::ReliabilityModel;
 use dg_pdn::impedance::ImpedanceProfile;
-use dg_pdn::skylake::{PdnVariant, SkylakePdn};
+use dg_pdn::skylake::PdnVariant;
 use dg_pdn::units::{Amps, Ohms, Volts, Watts};
 use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
 
 /// Worst-case transient current step for the droop guardband: a
 /// domain-wide di/dt event (simultaneous pipeline restart across the
@@ -41,9 +42,21 @@ impl GuardbandManager {
     }
 
     /// Builds the manager for the calibrated Skylake PDN of `variant`.
+    ///
+    /// The full impedance sweep behind this used to run on every call —
+    /// once per product build, hundreds of times per figure grid. The
+    /// calibrated Skylake substrates are fixed, so the manager is now built
+    /// once per variant and cloned out of a `OnceLock` (backed in turn by
+    /// the content-keyed profile cache in `dg_pdn::cache`).
     pub fn for_variant(variant: PdnVariant) -> Self {
-        let pdn = SkylakePdn::build(variant);
-        Self::from_profile(variant, &pdn.impedance_profile())
+        static GATED: OnceLock<GuardbandManager> = OnceLock::new();
+        static BYPASSED: OnceLock<GuardbandManager> = OnceLock::new();
+        let slot = match variant {
+            PdnVariant::Gated => &GATED,
+            PdnVariant::Bypassed => &BYPASSED,
+        };
+        slot.get_or_init(|| Self::from_profile(variant, &dg_pdn::cache::skylake_profile(variant)))
+            .clone()
     }
 
     /// The PDN variant this manager serves.

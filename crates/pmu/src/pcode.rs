@@ -193,10 +193,7 @@ impl Pcode {
 
     /// The firmware's gating view of the package.
     pub fn gating_config(&self) -> GatingConfig {
-        GatingConfig::skylake(
-            self.cfg.mode == OperatingMode::Bypass,
-            self.cfg.core_count,
-        )
+        GatingConfig::skylake(self.cfg.mode == OperatingMode::Bypass, self.cfg.core_count)
     }
 
     /// Current core frequency (`None` while idle or unloaded).
@@ -349,8 +346,7 @@ impl Pcode {
     fn step_running(&mut self, dt: Seconds) {
         if self.license_stall.value() > 0.0 {
             // Wide-unit power-gates waking: run at the floor meanwhile.
-            self.license_stall =
-                Seconds::new((self.license_stall - dt).value().max(0.0));
+            self.license_stall = Seconds::new((self.license_stall - dt).value().max(0.0));
         }
         if self.active_cores == 0 {
             // Active but unloaded: uncore floor plus idle-core leakage.

@@ -202,10 +202,12 @@ mod tests {
         assert!(bus.output() > Volts::ZERO);
         bus.step(Seconds::from_us(50.0));
         assert!(bus.is_settled());
-        assert!((bus.output() - VidCode::encode(Volts::new(1.0)).decode())
-            .abs()
-            .value()
-            < 1e-9);
+        assert!(
+            (bus.output() - VidCode::encode(Volts::new(1.0)).decode())
+                .abs()
+                .value()
+                < 1e-9
+        );
     }
 
     #[test]

@@ -172,10 +172,7 @@ mod tests {
             1.0,
             Celsius::new(5.0),
         );
-        assert!(
-            adder_hi.as_mv() < 8.0,
-            "91W-class adder {adder_hi}"
-        );
+        assert!(adder_hi.as_mv() < 8.0, "91W-class adder {adder_hi}");
         assert!(adder_hi < adder);
     }
 

@@ -31,7 +31,9 @@ impl CdynProfile {
                 value: cdyn_nf,
             });
         }
-        Ok(CdynProfile { cdyn: cdyn_nf * 1e-9 })
+        Ok(CdynProfile {
+            cdyn: cdyn_nf * 1e-9,
+        })
     }
 
     /// A CPU core running a power-virus (maximum possible `C_dyn`).

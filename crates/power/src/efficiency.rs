@@ -123,12 +123,8 @@ mod tests {
         // More leakage pushes the efficient point upward (race-to-halt).
         let t = table();
         let cdyn = CdynProfile::core_typical();
-        let cool = most_efficient_state(
-            &t,
-            cdyn,
-            &LeakageModel::skylake_core(),
-            Celsius::new(40.0),
-        );
+        let cool =
+            most_efficient_state(&t, cdyn, &LeakageModel::skylake_core(), Celsius::new(40.0));
         let hot = most_efficient_state(
             &t,
             cdyn,

@@ -42,10 +42,7 @@ impl fmt::Display for PowerError {
                 value,
                 min,
                 max,
-            } => write!(
-                f,
-                "{what} {value} outside calibrated range [{min}, {max}]"
-            ),
+            } => write!(f, "{what} {value} outside calibrated range [{min}, {max}]"),
             PowerError::InvalidParameter { what, value } => {
                 write!(f, "invalid {what}: {value}")
             }
@@ -61,9 +58,11 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        assert!(PowerError::InvalidCurve { reason: "too few points" }
-            .to_string()
-            .contains("too few points"));
+        assert!(PowerError::InvalidCurve {
+            reason: "too few points"
+        }
+        .to_string()
+        .contains("too few points"));
         let e = PowerError::OutOfRange {
             what: "frequency",
             value: 9e9,

@@ -105,11 +105,7 @@ impl PStateTable {
 
     /// The highest state at or below frequency `f`, if any.
     pub fn floor_frequency(&self, f: Hertz) -> Option<PState> {
-        self.states
-            .iter()
-            .rev()
-            .find(|s| s.frequency <= f)
-            .copied()
+        self.states.iter().rev().find(|s| s.frequency <= f).copied()
     }
 
     /// Iterates from the highest state downward (the order in which the

@@ -208,8 +208,7 @@ impl ThermalNetwork {
         // Stability: substep below 0.25 × min(C/Gmax).
         let mut g_max: f64 = 0.0;
         for i in 0..n {
-            let total =
-                self.to_ambient[i] + self.coupling[i].iter().sum::<f64>();
+            let total = self.to_ambient[i] + self.coupling[i].iter().sum::<f64>();
             g_max = g_max.max(total / self.capacity[i]);
         }
         let max_sub = 0.25 / g_max;
@@ -348,7 +347,10 @@ mod tests {
         let g91 = big.steady_state(&watts([active, 0.0, 0.0, 0.0, 0.0, 3.0]));
         let b91 = big.steady_state(&watts([active, 1.4, 1.4, 1.4, 0.0, 3.0]));
         let delta91 = b91[hot_idx].value() - g91[hot_idx].value();
-        assert!(delta91 < delta, "91 W delta {delta91} vs 45 W delta {delta}");
+        assert!(
+            delta91 < delta,
+            "91 W delta {delta91} vs 45 W delta {delta}"
+        );
     }
 
     #[test]

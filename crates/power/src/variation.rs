@@ -185,8 +185,8 @@ mod tests {
     fn population_statistics_match_parameters() {
         let pv = ProcessVariation::mature_14nm();
         let pop = pv.population(42, 4000);
-        let mean_v: f64 = pop.iter().map(|d| d.voltage_offset.value()).sum::<f64>()
-            / pop.len() as f64;
+        let mean_v: f64 =
+            pop.iter().map(|d| d.voltage_offset.value()).sum::<f64>() / pop.len() as f64;
         let var_v: f64 = pop
             .iter()
             .map(|d| (d.voltage_offset.value() - mean_v).powi(2))

@@ -123,11 +123,8 @@ impl VfCurve {
     /// Panics if the shift would push the lowest point to zero volts or
     /// below.
     pub fn with_voltage_offset(&self, offset: Volts) -> Self {
-        let points: Vec<(Hertz, Volts)> = self
-            .points
-            .iter()
-            .map(|&(f, v)| (f, v + offset))
-            .collect();
+        let points: Vec<(Hertz, Volts)> =
+            self.points.iter().map(|&(f, v)| (f, v + offset)).collect();
         assert!(
             points[0].1.value() > 0.0,
             "offset {offset} drives the curve non-positive"
@@ -364,10 +361,7 @@ mod tests {
         assert!(f_loose > f_tight);
         // ~100 mV at ~22 mV/100MHz top slope ⇒ roughly 300–600 MHz.
         let delta_mhz = f_loose.as_mhz() - f_tight.as_mhz();
-        assert!(
-            (250.0..700.0).contains(&delta_mhz),
-            "delta {delta_mhz} MHz"
-        );
+        assert!((250.0..700.0).contains(&delta_mhz), "delta {delta_mhz} MHz");
     }
 
     #[test]

@@ -1,6 +1,6 @@
+use dg_power::units::{Volts, Watts};
 use dg_soc::products::Product;
 use dg_soc::run::run_spec;
-use dg_power::units::{Watts, Volts};
 use dg_workloads::spec::{suite, SpecMode};
 
 fn main() {
@@ -12,11 +12,17 @@ fn main() {
             for b in suite() {
                 let gs = run_spec(&s, &b, mode).perf;
                 let gh = run_spec(&h, &b, mode).perf;
-                gains.push(gs/gh - 1.0);
+                gains.push(gs / gh - 1.0);
             }
-            let mean = gains.iter().sum::<f64>()/gains.len() as f64;
+            let mean = gains.iter().sum::<f64>() / gains.len() as f64;
             let max = gains.iter().cloned().fold(0.0, f64::max);
-            println!("TDP {:>2}W {:?}: mean {:.2}% max {:.2}%", tdp.value(), mode, mean*100.0, max*100.0);
+            println!(
+                "TDP {:>2}W {:?}: mean {:.2}% max {:.2}%",
+                tdp.value(),
+                mode,
+                mean * 100.0,
+                max * 100.0
+            );
         }
     }
     // Fig 3: Broadwell -100mV
@@ -30,8 +36,13 @@ fn main() {
                 let g = run_spec(&red, &b, mode).perf / run_spec(&base, &b, mode).perf - 1.0;
                 gains.push(g);
             }
-            let mean = gains.iter().sum::<f64>()/gains.len() as f64;
-            println!("BDW {:>2}W {:?}: mean {:.2}%", tdp.value(), mode, mean*100.0);
+            let mean = gains.iter().sum::<f64>() / gains.len() as f64;
+            println!(
+                "BDW {:>2}W {:?}: mean {:.2}%",
+                tdp.value(),
+                mode,
+                mean * 100.0
+            );
         }
     }
     let _ = Watts::ZERO;

@@ -26,6 +26,8 @@ use dg_power::thermal::ThermalModel;
 use dg_power::units::{Hertz, Volts, Watts};
 use dg_power::vf::VfCurve;
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
 
 /// Uncore active floor charged off the top of the TDP (matches the C0
 /// entry of [`dg_cstates::power::UNCORE_POWER_W`]).
@@ -105,10 +107,24 @@ impl Product {
 
     /// A Skylake product in an explicit mode.
     ///
+    /// Product configuration is a pure function of `(tdp, mode)`, and the
+    /// experiment grids request the same handful of SKUs hundreds of
+    /// times, so finished products are memoized process-wide and cloned
+    /// out. Construction happens outside the cache lock: concurrent
+    /// builders of *different* SKUs never serialize, and a panic on an
+    /// unknown TDP cannot poison the cache.
+    ///
     /// # Panics
     ///
     /// Panics if `tdp` is not one of the catalog's levels.
     pub fn skylake(tdp: Watts, mode: OperatingMode) -> Self {
+        static CACHE: OnceLock<Mutex<HashMap<(u64, bool), Product>>> = OnceLock::new();
+        let key = (tdp.value().to_bits(), mode == OperatingMode::Bypass);
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        if let Some(hit) = cache.lock().expect("product cache poisoned").get(&key) {
+            return hit.clone();
+        }
+
         let (f1c, fac) = lookup_fused(&SKYLAKE_FUSED_GATED, tdp)
             .unwrap_or_else(|| panic!("no Skylake SKU at {tdp}"));
         let curve = VfCurve::skylake_core();
@@ -116,7 +132,13 @@ impl Product {
             OperatingMode::Bypass => format!("Skylake-S (DarkGates) {}W", tdp.value()),
             OperatingMode::Normal => format!("Skylake-H (baseline) {}W", tdp.value()),
         };
-        Self::build(name, mode, tdp, &curve, f1c, fac, None)
+        let fresh = Self::build(name, mode, tdp, &curve, f1c, fac, None);
+        cache
+            .lock()
+            .expect("product cache poisoned")
+            .entry(key)
+            .or_insert(fresh)
+            .clone()
     }
 
     /// The Broadwell predecessor (gated) used for the motivational Fig. 3
@@ -129,6 +151,13 @@ impl Product {
     /// Panics if `tdp` is not one of the catalog's levels
     /// (35/45/65/95 W).
     pub fn broadwell(tdp: Watts, guardband_delta: Volts) -> Self {
+        static CACHE: OnceLock<Mutex<HashMap<(u64, u64), Product>>> = OnceLock::new();
+        let key = (tdp.value().to_bits(), guardband_delta.value().to_bits());
+        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+        if let Some(hit) = cache.lock().expect("product cache poisoned").get(&key) {
+            return hit.clone();
+        }
+
         let (f1c, fac) = lookup_fused(&BROADWELL_FUSED, tdp)
             .unwrap_or_else(|| panic!("no Broadwell SKU at {tdp}"));
         let curve = broadwell_core_curve();
@@ -137,7 +166,7 @@ impl Product {
             tdp.value(),
             guardband_delta.as_mv()
         );
-        Self::build(
+        let fresh = Self::build(
             name,
             OperatingMode::Normal,
             tdp,
@@ -145,7 +174,13 @@ impl Product {
             f1c,
             fac,
             Some(guardband_delta),
-        )
+        );
+        cache
+            .lock()
+            .expect("product cache poisoned")
+            .entry(key)
+            .or_insert(fresh)
+            .clone()
     }
 
     fn build(

@@ -3,8 +3,8 @@
 use crate::products::Product;
 use crate::sim::{SimConfig, Simulator};
 use dg_cstates::power::IdlePowerModel;
-use dg_power::units::{Celsius, Hertz, Watts};
 use dg_pmu::pbm::PowerBudgetManager;
+use dg_power::units::{Celsius, Hertz, Watts};
 use dg_workloads::energy::EnergyWorkload;
 use dg_workloads::graphics::GraphicsWorkload;
 use dg_workloads::spec::{SpecBenchmark, SpecMode};
@@ -81,9 +81,7 @@ pub fn run_graphics(product: &Product, workload: &GraphicsWorkload) -> GraphicsR
     // Driver core at the most efficient frequency Pn.
     let pn = product.table_ac.pn();
     let driver_power = (workload.driver_cdyn().power(pn.voltage, pn.frequency)
-        + product
-            .core_leakage
-            .power(pn.voltage, Celsius::new(70.0)))
+        + product.core_leakage.power(pn.voltage, Celsius::new(70.0)))
         * workload.driver_cores as f64;
 
     let idle_cores = product.core_count - workload.driver_cores;
@@ -92,10 +90,7 @@ pub fn run_graphics(product: &Product, workload: &GraphicsWorkload) -> GraphicsR
     // less than during an all-out CPU burst, but still charged to the
     // compute budget (the Fig. 9 mechanism).
     let idle_leak = if product.gating_config().bypassed {
-        product
-            .core_leakage
-            .power(pn.voltage, Celsius::new(70.0))
-            * idle_cores as f64
+        product.core_leakage.power(pn.voltage, Celsius::new(70.0)) * idle_cores as f64
     } else {
         idle_model.active_idle_core_leakage(idle_cores, &product.gating_config())
     };
@@ -177,10 +172,7 @@ mod tests {
         let fs = run_graphics(&s, scene);
         let fh = run_graphics(&h, scene);
         let degradation = 1.0 - fs.fps / fh.fps;
-        assert!(
-            degradation.abs() < 0.005,
-            "65 W degradation {degradation}"
-        );
+        assert!(degradation.abs() < 0.005, "65 W degradation {degradation}");
     }
 
     #[test]

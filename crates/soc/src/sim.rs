@@ -9,12 +9,12 @@
 
 use crate::products::Product;
 use dg_cstates::power::IdlePowerModel;
+use dg_pmu::pbm::TurboController;
 use dg_power::dynamic::CdynProfile;
 use dg_power::energy::EnergyCounter;
 use dg_power::leakage::LeakageModel;
 use dg_power::pstate::{PState, PStateTable};
 use dg_power::units::{Celsius, Hertz, Seconds, Watts};
-use dg_pmu::pbm::TurboController;
 use serde::{Deserialize, Serialize};
 
 /// Margin below Tjmax at which reactive throttling engages.

@@ -4,8 +4,8 @@
 
 use crate::products::Product;
 use dg_cstates::governor::IdleGovernor;
-use dg_pmu::pcode::{Pcode, PcodeConfig, PcodeEvent};
 use dg_cstates::latency::LatencyTable;
+use dg_pmu::pcode::{Pcode, PcodeConfig, PcodeEvent};
 use dg_power::units::{Hertz, Seconds, Watts};
 use dg_workloads::trace::{PhaseTrace, TracePhaseKind};
 use serde::{Deserialize, Serialize};

@@ -381,9 +381,7 @@ mod tests {
         let m = model();
         let bypassed = GatingConfig::skylake(true, 4);
         let es = energy_star();
-        let avg = es
-            .average_power(&m, &bypassed, PackageCstate::C8)
-            .value();
+        let avg = es.average_power(&m, &bypassed, PackageCstate::C8).value();
         let tec = es.tec_kwh_per_year(&m, &bypassed, PackageCstate::C8);
         assert!((tec - avg * 8.760).abs() < 1e-9, "tec {tec} vs avg {avg}");
         // The compliant configuration sits under the TEC limit too.

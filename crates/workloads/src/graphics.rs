@@ -31,10 +31,7 @@ impl GraphicsWorkload {
     ///
     /// Panics if either frequency is not strictly positive.
     pub fn fps_speedup(&self, f_hz: f64, f_ref_hz: f64) -> f64 {
-        assert!(
-            f_hz > 0.0 && f_ref_hz > 0.0,
-            "frequencies must be positive"
-        );
+        assert!(f_hz > 0.0 && f_ref_hz > 0.0, "frequencies must be positive");
         let s = self.gfx_scalability;
         1.0 / (s * (f_ref_hz / f_hz) + (1.0 - s))
     }
@@ -98,7 +95,12 @@ mod tests {
     #[test]
     fn scenes_are_gpu_bound() {
         for w in three_dmark_suite() {
-            assert!(w.gfx_scalability >= 0.9, "{}: {}", w.name, w.gfx_scalability);
+            assert!(
+                w.gfx_scalability >= 0.9,
+                "{}: {}",
+                w.name,
+                w.gfx_scalability
+            );
             assert_eq!(w.driver_cores, 1);
         }
     }

@@ -75,10 +75,7 @@ impl SpecBenchmark {
     ///
     /// Panics if either frequency is not strictly positive.
     pub fn speedup(&self, f_hz: f64, f_ref_hz: f64) -> f64 {
-        assert!(
-            f_hz > 0.0 && f_ref_hz > 0.0,
-            "frequencies must be positive"
-        );
+        assert!(f_hz > 0.0 && f_ref_hz > 0.0, "frequencies must be positive");
         let s = self.scalability;
         1.0 / (s * (f_ref_hz / f_hz) + (1.0 - s))
     }
@@ -100,10 +97,7 @@ impl SpecBenchmark {
     ///
     /// Panics if the frequencies are non-positive or `copies` is zero.
     pub fn rate_speedup(&self, f_hz: f64, f_ref_hz: f64, copies: usize) -> f64 {
-        assert!(
-            f_hz > 0.0 && f_ref_hz > 0.0,
-            "frequencies must be positive"
-        );
+        assert!(f_hz > 0.0 && f_ref_hz > 0.0, "frequencies must be positive");
         assert!(copies >= 1, "rate mode needs at least one copy");
         let s = self.scalability;
         let stretch = 1.0 + RATE_CONTENTION_PER_COPY * (copies - 1) as f64;

@@ -97,9 +97,8 @@ mod tests {
     fn different_seeds_diverge() {
         let mut a = SyntheticWorkloadGen::new(1);
         let mut b = SyntheticWorkloadGen::new(2);
-        let diverged = (0..10).any(|_| {
-            a.spec_benchmark().scalability != b.spec_benchmark().scalability
-        });
+        let diverged =
+            (0..10).any(|_| a.spec_benchmark().scalability != b.spec_benchmark().scalability);
         assert!(diverged);
     }
 

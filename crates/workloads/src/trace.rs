@@ -151,13 +151,7 @@ pub fn bursty(
 /// An RMT-shaped trace: ~1 % short active bursts on one core, ~99 % long
 /// idle gaps (paper Sec. 6).
 pub fn rmt_trace(seed: u64, total: Seconds) -> PhaseTrace {
-    let mut t = bursty(
-        seed,
-        total,
-        Seconds::from_ms(30.0),
-        Seconds::new(3.0),
-        1,
-    );
+    let mut t = bursty(seed, total, Seconds::from_ms(30.0), Seconds::new(3.0), 1);
     t.name = "rmt-trace".to_owned();
     t
 }
@@ -195,16 +189,40 @@ mod tests {
 
     #[test]
     fn bursty_is_reproducible() {
-        let a = bursty(7, Seconds::new(10.0), Seconds::new(0.1), Seconds::new(0.4), 2);
-        let b = bursty(7, Seconds::new(10.0), Seconds::new(0.1), Seconds::new(0.4), 2);
+        let a = bursty(
+            7,
+            Seconds::new(10.0),
+            Seconds::new(0.1),
+            Seconds::new(0.4),
+            2,
+        );
+        let b = bursty(
+            7,
+            Seconds::new(10.0),
+            Seconds::new(0.1),
+            Seconds::new(0.4),
+            2,
+        );
         assert_eq!(a, b);
-        let c = bursty(8, Seconds::new(10.0), Seconds::new(0.1), Seconds::new(0.4), 2);
+        let c = bursty(
+            8,
+            Seconds::new(10.0),
+            Seconds::new(0.1),
+            Seconds::new(0.4),
+            2,
+        );
         assert_ne!(a, c);
     }
 
     #[test]
     fn durations_sum_to_total() {
-        let t = bursty(1, Seconds::new(20.0), Seconds::new(0.2), Seconds::new(0.5), 4);
+        let t = bursty(
+            1,
+            Seconds::new(20.0),
+            Seconds::new(0.2),
+            Seconds::new(0.5),
+            4,
+        );
         assert!((t.total_duration().value() - 20.0).abs() < 1e-9);
     }
 
@@ -240,7 +258,13 @@ mod tests {
 
     #[test]
     fn busy_phase_cdyn_accessor() {
-        let t = bursty(5, Seconds::new(5.0), Seconds::new(0.1), Seconds::new(0.1), 2);
+        let t = bursty(
+            5,
+            Seconds::new(5.0),
+            Seconds::new(0.1),
+            Seconds::new(0.1),
+            2,
+        );
         let busy = t
             .phases
             .iter()

@@ -33,7 +33,10 @@ fn main() {
     let gated = bin_population(&population, &nominal, gb_gated, budget, bin);
     let bypassed = bin_population(&population, &nominal, gb_byp, budget, bin);
 
-    println!("=== Binning 2000 dies against a {:.3} V budget ===\n", budget.value());
+    println!(
+        "=== Binning 2000 dies against a {:.3} V budget ===\n",
+        budget.value()
+    );
     println!(
         "guardbands: gated {:.1} mV, bypassed {:.1} mV\n",
         gb_gated.as_mv(),

@@ -22,10 +22,7 @@ fn main() {
     println!("Peak PDN impedance:");
     println!("  gated:    {:.3} mΩ", z_gated.as_mohm());
     println!("  bypassed: {:.3} mΩ", z_byp.as_mohm());
-    println!(
-        "  ratio:    {:.2}×  (paper Fig. 4: ≈2×)\n",
-        z_gated / z_byp
-    );
+    println!("  ratio:    {:.2}×  (paper Fig. 4: ≈2×)\n", z_gated / z_byp);
 
     let rel = desktop.reliability_model();
     let tdp = Watts::new(91.0);
@@ -74,8 +71,11 @@ fn main() {
 
     let total_g = mobile.guardband_manager().total_guardband(tdp);
     let total_b = desktop.guardband_manager().total_guardband(tdp);
-    println!("\nProduction setting (ΔI = 48 A): {:.1} mV gated vs {:.1} mV bypassed",
-        total_g.as_mv(), total_b.as_mv());
+    println!(
+        "\nProduction setting (ΔI = 48 A): {:.1} mV gated vs {:.1} mV bypassed",
+        total_g.as_mv(),
+        total_b.as_mv()
+    );
     println!(
         "net saving {:.1} mV → the +400 MHz fused ceiling of the catalog.",
         (total_g - total_b).as_mv()

@@ -53,7 +53,10 @@ fn main() {
         rh.sustained_frequency.as_ghz(),
         rh.avg_power.value()
     );
-    println!("  performance gain: {:+.1}%", (rs.perf / rh.perf - 1.0) * 100.0);
+    println!(
+        "  performance gain: {:+.1}%",
+        (rs.perf / rh.perf - 1.0) * 100.0
+    );
 
     // Component 3: idle power with the deeper C-state.
     let model = IdlePowerModel::new();

@@ -8,8 +8,8 @@
 
 use darkgates::DarkGates;
 use dg_soc::products::Product;
-use dg_workloads::spec::{suite, SpecMode};
 use dg_soc::run::run_spec;
+use dg_workloads::spec::{suite, SpecMode};
 
 fn main() {
     println!("=== Skylake die → two packages (segment binning) ===\n");

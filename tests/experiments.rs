@@ -67,8 +67,12 @@ fn fig3_sweep_gain_grows_with_frequency() {
         assert_eq!(series.len(), 4);
         for w in series.windows(2) {
             assert!(w[1].uplift_mhz >= w[0].uplift_mhz);
-            assert!(w[1].gain >= w[0].gain - 1e-9,
-                "{tdp_w} W: gain fell from {} to {}", w[0].gain, w[1].gain);
+            assert!(
+                w[1].gain >= w[0].gain - 1e-9,
+                "{tdp_w} W: gain fell from {} to {}",
+                w[0].gain,
+                w[1].gain
+            );
         }
         // The 100 mV endpoint matches the main fig3 experiment's regime.
         assert!(series[3].gain > 0.02);
@@ -160,12 +164,7 @@ fn fig9_graphics_degradation() {
     );
     // 45 W and up: no meaningful degradation.
     for r in &rows[1..] {
-        assert!(
-            r.degradation.abs() < 0.01,
-            "{}: {}",
-            r.tdp,
-            r.degradation
-        );
+        assert!(r.degradation.abs() < 0.01, "{}: {}", r.tdp, r.degradation);
     }
 }
 

@@ -111,7 +111,11 @@ fn energy_programs_met() {
     let product = DarkGates::desktop().product(Watts::new(91.0));
     for wl in [energy_star(), ready_mode()] {
         let r = run_energy(&product, &wl);
-        assert!(r.meets_limit, "{} misses its limit: {}", wl.name, r.avg_power);
+        assert!(
+            r.meets_limit,
+            "{} misses its limit: {}",
+            wl.name, r.avg_power
+        );
     }
 }
 

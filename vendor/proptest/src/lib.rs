@@ -1,0 +1,437 @@
+//! Offline stand-in for the `proptest` API surface this workspace uses.
+//!
+//! The build environment cannot resolve crates.io, so this crate provides a
+//! deterministic, dependency-free property-testing harness with the same
+//! source-level surface as the subset of proptest the repo's test suites
+//! use:
+//!
+//! * `proptest! { #[test] fn name(x in strategy, ...) { body } }` with an
+//!   optional leading `#![proptest_config(ProptestConfig::with_cases(n))]`,
+//! * numeric range strategies (`0.0..1.0f64`, `1..8usize`, `0..=4u8`, ...),
+//! * `prop::bool::ANY`, `prop::collection::vec`, `prop::sample::select`,
+//! * tuple strategies and `.prop_map`,
+//! * `prop_assert!`, `prop_assert_eq!`, `prop_assume!`.
+//!
+//! Differences from real proptest: cases are generated from a fixed seed
+//! derived from the test's name (fully deterministic, no persistence
+//! files) and failing cases are reported without shrinking. Each failure
+//! message includes the case index so a run can be reproduced by seed.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// Deterministic per-test RNG handed to strategies.
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// Creates the RNG for `test_name`, deterministically: the seed is an
+    /// FNV-1a hash of the name, so every run of a given test generates the
+    /// same case sequence.
+    pub fn deterministic(test_name: &str) -> Self {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng(StdRng::seed_from_u64(h))
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        self.0.gen_range(0.0..1.0)
+    }
+}
+
+/// Outcome of one generated case: rejected by `prop_assume!` or failed by a
+/// `prop_assert!`.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case did not satisfy an assumption; skip it.
+    Reject,
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+/// Runner configuration, mirroring `proptest::test_runner::ProptestConfig`.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256; 64 keeps the workspace's heavier
+        // simulator properties fast while still sweeping the input space.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A value generator, mirroring `proptest::strategy::Strategy`.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! float_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                lo + (rng.unit_f64() as $t) * (hi - lo)
+            }
+        }
+    )*};
+}
+float_range_strategies!(f32, f64);
+
+macro_rules! int_range_strategies {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end - self.start) as u64;
+                self.start + (rng.next_u64() % span) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi - lo) as u64 + 1;
+                lo + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+int_range_strategies!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategies {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+tuple_strategies! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+    (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+}
+
+/// Namespaced strategy constructors, mirroring `proptest::prop`.
+pub mod prop {
+    /// Boolean strategies.
+    pub mod bool {
+        use crate::{Strategy, TestRng};
+
+        /// The strategy type behind [`ANY`].
+        #[derive(Debug, Clone, Copy)]
+        pub struct Any;
+
+        /// Generates `true` / `false` with equal probability.
+        pub const ANY: Any = Any;
+
+        impl Strategy for Any {
+            type Value = bool;
+            fn generate(&self, rng: &mut TestRng) -> bool {
+                crate::TestRng::next_u64(rng) & 1 == 1
+            }
+        }
+    }
+
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use std::ops::{Range, RangeInclusive};
+
+        /// Length bounds accepted by [`vec`].
+        pub trait SizeBounds {
+            /// Inclusive `(min, max)` lengths.
+            fn bounds(&self) -> (usize, usize);
+        }
+
+        impl SizeBounds for Range<usize> {
+            fn bounds(&self) -> (usize, usize) {
+                assert!(self.start < self.end, "empty size range");
+                (self.start, self.end - 1)
+            }
+        }
+
+        impl SizeBounds for RangeInclusive<usize> {
+            fn bounds(&self) -> (usize, usize) {
+                (*self.start(), *self.end())
+            }
+        }
+
+        impl SizeBounds for usize {
+            fn bounds(&self) -> (usize, usize) {
+                (*self, *self)
+            }
+        }
+
+        /// The strategy returned by [`vec`].
+        pub struct VecStrategy<S> {
+            elem: S,
+            min: usize,
+            max: usize,
+        }
+
+        /// A vector of `min..=max` values drawn from `elem`.
+        pub fn vec<S: Strategy>(elem: S, size: impl SizeBounds) -> VecStrategy<S> {
+            let (min, max) = size.bounds();
+            VecStrategy { elem, min, max }
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+                let span = (self.max - self.min) as u64 + 1;
+                let len = self.min + (crate::TestRng::next_u64(rng) % span) as usize;
+                (0..len).map(|_| self.elem.generate(rng)).collect()
+            }
+        }
+    }
+
+    /// Sampling strategies.
+    pub mod sample {
+        use crate::{Strategy, TestRng};
+
+        /// The strategy returned by [`select`].
+        pub struct Select<T>(Vec<T>);
+
+        /// Uniformly selects one of `options`.
+        pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+            assert!(!options.is_empty(), "select needs at least one option");
+            Select(options)
+        }
+
+        impl<T: Clone> Strategy for Select<T> {
+            type Value = T;
+            fn generate(&self, rng: &mut TestRng) -> T {
+                let i = (crate::TestRng::next_u64(rng) % self.0.len() as u64) as usize;
+                self.0[i].clone()
+            }
+        }
+    }
+}
+
+/// The common import surface, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+/// Declares deterministic property tests. See the crate docs for the
+/// supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!(($cfg); $($rest)*);
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!(($crate::ProptestConfig::default()); $($rest)*);
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {$(
+        $(#[$attr])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::deterministic(stringify!($name));
+            for case in 0..config.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                // Generated values are bound (typed) above and moved into a
+                // zero-argument closure so that `$body` sees concretely-typed
+                // names and `prop_assert!`'s early `return Err(..)` exits only
+                // the case, not the whole test.
+                let outcome = (move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $(let $arg = $arg;)+
+                    $body
+                    Ok(())
+                })();
+                match outcome {
+                    Ok(()) | Err($crate::TestCaseError::Reject) => {}
+                    Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!("property {} failed at case {}: {}", stringify!($name), case, msg)
+                    }
+                }
+            }
+        }
+    )*};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {{
+        let ok: bool = $cond;
+        if !ok {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    }};
+    ($cond:expr, $($fmt:tt)+) => {{
+        let ok: bool = $cond;
+        if !ok {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Fails the current case unless the operands compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {} (left: {:?}, right: {:?})",
+                stringify!($lhs),
+                stringify!($rhs),
+                l,
+                r
+            )));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$lhs, &$rhs);
+        if !(*l == *r) {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// Rejects (skips) the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {{
+        let ok: bool = $cond;
+        if !ok {
+            return Err($crate::TestCaseError::Reject);
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_label() -> impl Strategy<Value = &'static str> {
+        prop::sample::select(vec!["a", "b", "c"])
+    }
+
+    proptest! {
+        /// Range strategies stay in bounds and the harness runs the body.
+        #[test]
+        fn ranges_in_bounds(x in 0.25..0.75f64, n in 1..5usize, b in prop::bool::ANY) {
+            prop_assert!((0.25..0.75).contains(&x), "x {x}");
+            prop_assert!((1..5).contains(&n));
+            prop_assert!(if b { n >= 1 } else { n < 5 });
+        }
+
+        /// Vec and tuple strategies compose; prop_map transforms.
+        #[test]
+        fn composite_strategies(
+            pairs in prop::collection::vec((1..4usize, 0.0..1.0f64), 2..6),
+            label in arb_label(),
+            scaled in (0..10u8).prop_map(|v| v as f64 * 0.5),
+        ) {
+            prop_assert!((2..6).contains(&pairs.len()));
+            for (n, f) in &pairs {
+                prop_assert!((1..4).contains(n));
+                prop_assert!((0.0..1.0).contains(f));
+            }
+            prop_assert!(["a", "b", "c"].contains(&label));
+            prop_assert!((0.0..=4.5).contains(&scaled));
+            prop_assert_eq!(label.len(), 1);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// Assumptions reject without failing.
+        #[test]
+        fn assume_rejects(x in 0.0..1.0f64) {
+            prop_assume!(x < 0.5);
+            prop_assert!(x < 0.5);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let mut a = crate::TestRng::deterministic("t");
+        let mut b = crate::TestRng::deterministic("t");
+        let s = 0.0..1.0f64;
+        for _ in 0..32 {
+            assert_eq!(
+                Strategy::generate(&s, &mut a).to_bits(),
+                Strategy::generate(&s, &mut b).to_bits()
+            );
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! This workspace only uses `#[derive(Serialize, Deserialize)]` as metadata —
+//! nothing serializes values — so the derives expand to nothing. The sibling
+//! `serde` stand-in provides blanket trait impls, which keeps any future
+//! `T: Serialize` bound satisfied without per-type codegen.
+
+use proc_macro::TokenStream;
+
+/// No-op `Serialize` derive.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `Deserialize` derive.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
