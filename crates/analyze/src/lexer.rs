@@ -1,0 +1,530 @@
+//! A small comment- and string-aware lexer for Rust source files.
+//!
+//! The rule engine does not need a full parse tree; it needs a view of the
+//! source in which comments, string literals and char literals cannot be
+//! mistaken for code. [`lex`] produces that view: a *masked* copy of the
+//! file (same byte length, newlines preserved) in which the contents of
+//! every comment and literal are replaced by spaces, plus the extracted
+//! comment text (for `dg-analyze:` directives) and the line spans of
+//! `#[cfg(test)]` items and `#[test]` functions.
+//!
+//! Handled syntax: line comments (`//`, `///`, `//!`), nested block
+//! comments (`/* /* */ */`), plain strings with escapes, raw strings with
+//! any number of `#`s (`r"…"`, `r##"…"##`), byte and raw-byte strings,
+//! char literals (including `'\u{…}'`) and lifetimes (`'a`, which are
+//! *not* char literals).
+
+/// A comment extracted from the source, with its position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-indexed line of the `//` or `/*` that opens the comment.
+    pub line: usize,
+    /// Comment text without the delimiters (`//`, `///`, `/* */`, …).
+    pub text: String,
+    /// `true` if source code precedes the comment on its line
+    /// (a trailing comment annotates its own line, a full-line comment
+    /// annotates the next line of code).
+    pub trailing: bool,
+}
+
+/// The result of lexing one source file.
+#[derive(Debug, Clone)]
+pub struct Lexed {
+    /// The source with comment and literal *contents* blanked out.
+    /// Same length and line structure as the input, so byte offsets and
+    /// line numbers agree with the original file.
+    pub masked: String,
+    /// All comments, in source order.
+    pub comments: Vec<Comment>,
+    /// `in_test[line - 1]` is `true` when the 1-indexed `line` falls
+    /// inside a `#[cfg(test)]` item or a `#[test]` function.
+    pub in_test: Vec<bool>,
+}
+
+impl Lexed {
+    /// Converts a byte offset into `masked` to a 1-indexed line number.
+    pub fn line_of(&self, offset: usize) -> usize {
+        self.masked[..offset.min(self.masked.len())]
+            .bytes()
+            .filter(|&b| b == b'\n')
+            .count()
+            + 1
+    }
+
+    /// `true` when the 1-indexed `line` is inside test-only code.
+    pub fn is_test_line(&self, line: usize) -> bool {
+        line >= 1 && self.in_test.get(line - 1).copied().unwrap_or(false)
+    }
+}
+
+/// Lexes `src`, producing the masked view, comments, and test spans.
+pub fn lex(src: &str) -> Lexed {
+    let bytes = src.as_bytes();
+    let mut masked = Vec::with_capacity(bytes.len());
+    let mut comments = Vec::new();
+    let mut line = 1usize;
+    let mut line_has_code = false;
+    let mut i = 0usize;
+
+    // Pushes a byte to the masked output, preserving newlines so that
+    // offsets and line numbers stay aligned with the original.
+    fn blank(out: &mut Vec<u8>, b: u8) {
+        out.push(if b == b'\n' { b'\n' } else { b' ' });
+    }
+
+    while i < bytes.len() {
+        let b = bytes[i];
+        let next = bytes.get(i + 1).copied();
+
+        // --- line comment -------------------------------------------------
+        if b == b'/' && next == Some(b'/') {
+            let start_line = line;
+            let trailing = line_has_code;
+            let mut text = Vec::new();
+            // Skip the `//` plus any further `/` or `!` doc markers.
+            let mut j = i + 2;
+            while j < bytes.len() && (bytes[j] == b'/' || bytes[j] == b'!') {
+                j += 1;
+            }
+            for &b in &bytes[i..j] {
+                blank(&mut masked, b);
+            }
+            i = j;
+            while i < bytes.len() && bytes[i] != b'\n' {
+                text.push(bytes[i]);
+                blank(&mut masked, bytes[i]);
+                i += 1;
+            }
+            comments.push(Comment {
+                line: start_line,
+                text: String::from_utf8_lossy(&text).trim().to_string(),
+                trailing,
+            });
+            continue;
+        }
+
+        // --- block comment (nested) ---------------------------------------
+        if b == b'/' && next == Some(b'*') {
+            let start_line = line;
+            let trailing = line_has_code;
+            let mut depth = 1usize;
+            let mut text = Vec::new();
+            blank(&mut masked, bytes[i]);
+            blank(&mut masked, bytes[i + 1]);
+            i += 2;
+            while i < bytes.len() && depth > 0 {
+                if bytes[i] == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    depth += 1;
+                    blank(&mut masked, bytes[i]);
+                    blank(&mut masked, bytes[i + 1]);
+                    if bytes[i] == b'\n' {
+                        line += 1;
+                    }
+                    i += 2;
+                    continue;
+                }
+                if bytes[i] == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    depth -= 1;
+                    blank(&mut masked, bytes[i]);
+                    blank(&mut masked, bytes[i + 1]);
+                    i += 2;
+                    continue;
+                }
+                if bytes[i] == b'\n' {
+                    line += 1;
+                } else if depth > 0 {
+                    text.push(bytes[i]);
+                }
+                blank(&mut masked, bytes[i]);
+                i += 1;
+            }
+            comments.push(Comment {
+                line: start_line,
+                text: String::from_utf8_lossy(&text).trim().to_string(),
+                trailing,
+            });
+            continue;
+        }
+
+        // --- raw / byte / plain strings -----------------------------------
+        // Detect r"…", r#"…"#, br"…", b"…" before treating `"` generically.
+        let (is_raw, prefix_len) = raw_string_prefix(bytes, i);
+        if is_raw {
+            // Copy the prefix (r / br / hashes) verbatim, then mask contents.
+            let mut j = i;
+            for _ in 0..prefix_len {
+                masked.push(bytes[j]);
+                j += 1;
+            }
+            let hashes = prefix_len
+                - 1 // the opening quote
+                - if bytes[i] == b'b' { 2 } else { 1 }; // br / r
+                                                        // j is now just past the opening quote; scan for `"####`.
+            while j < bytes.len() {
+                if bytes[j] == b'"' && closes_raw(bytes, j, hashes) {
+                    masked.push(b'"');
+                    masked.extend(std::iter::repeat_n(b'#', hashes));
+                    j += 1 + hashes;
+                    break;
+                }
+                if bytes[j] == b'\n' {
+                    line += 1;
+                }
+                blank(&mut masked, bytes[j]);
+                j += 1;
+            }
+            line_has_code = true;
+            i = j;
+            continue;
+        }
+
+        if b == b'"' || (b == b'b' && next == Some(b'"')) {
+            if b == b'b' {
+                masked.push(b'b');
+                i += 1;
+            }
+            masked.push(b'"');
+            i += 1;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'\\' => {
+                        blank(&mut masked, bytes[i]);
+                        if i + 1 < bytes.len() {
+                            if bytes[i + 1] == b'\n' {
+                                line += 1;
+                            }
+                            blank(&mut masked, bytes[i + 1]);
+                        }
+                        i += 2;
+                    }
+                    b'"' => {
+                        masked.push(b'"');
+                        i += 1;
+                        break;
+                    }
+                    c => {
+                        if c == b'\n' {
+                            line += 1;
+                        }
+                        blank(&mut masked, c);
+                        i += 1;
+                    }
+                }
+            }
+            line_has_code = true;
+            continue;
+        }
+
+        // --- char literal vs lifetime -------------------------------------
+        if b == b'\'' {
+            if let Some(end) = char_literal_end(bytes, i) {
+                masked.push(b'\'');
+                for &b in &bytes[i + 1..end] {
+                    blank(&mut masked, b);
+                }
+                masked.push(b'\'');
+                i = end + 1;
+                line_has_code = true;
+                continue;
+            }
+            // A lifetime: copy the tick and fall through.
+            masked.push(b'\'');
+            i += 1;
+            line_has_code = true;
+            continue;
+        }
+
+        // --- plain code ---------------------------------------------------
+        if b == b'\n' {
+            line += 1;
+            line_has_code = false;
+        } else if !b.is_ascii_whitespace() {
+            line_has_code = true;
+        }
+        masked.push(b);
+        i += 1;
+    }
+
+    let masked = String::from_utf8_lossy(&masked).into_owned();
+    let in_test = mark_test_spans(&masked);
+    Lexed {
+        masked,
+        comments,
+        in_test,
+    }
+}
+
+/// Returns `(true, prefix_len)` when `bytes[i..]` starts a raw string
+/// (`r"`, `r#"`, `br"`, …); `prefix_len` covers up to and including the
+/// opening quote.
+fn raw_string_prefix(bytes: &[u8], i: usize) -> (bool, usize) {
+    let mut j = i;
+    if bytes.get(j) == Some(&b'b') {
+        j += 1;
+    }
+    if bytes.get(j) != Some(&b'r') {
+        return (false, 0);
+    }
+    // Guard against identifiers ending in `r` (e.g. `var"` cannot occur,
+    // but `br`/`r` must not be preceded by an ident char).
+    if i > 0 && (bytes[i - 1].is_ascii_alphanumeric() || bytes[i - 1] == b'_') {
+        return (false, 0);
+    }
+    j += 1;
+    while bytes.get(j) == Some(&b'#') {
+        j += 1;
+    }
+    if bytes.get(j) == Some(&b'"') {
+        (true, j + 1 - i)
+    } else {
+        (false, 0)
+    }
+}
+
+/// `true` when the quote at `j` is followed by enough `#`s to close a raw
+/// string opened with `hashes` hashes.
+fn closes_raw(bytes: &[u8], j: usize, hashes: usize) -> bool {
+    (1..=hashes).all(|k| bytes.get(j + k) == Some(&b'#'))
+}
+
+/// If a char literal starts at the `'` at `i`, returns the offset of the
+/// closing `'`; otherwise (a lifetime) returns `None`.
+fn char_literal_end(bytes: &[u8], i: usize) -> Option<usize> {
+    let mut j = i + 1;
+    match bytes.get(j)? {
+        b'\\' => {
+            // Escaped char: scan to the closing quote (handles \u{…}).
+            j += 1;
+            while j < bytes.len() && bytes[j] != b'\'' && bytes[j] != b'\n' {
+                j += 1;
+            }
+            (bytes.get(j) == Some(&b'\'')).then_some(j)
+        }
+        b'\'' => None, // `''` is not a char literal
+        _ => {
+            // One (possibly multi-byte) char then a closing quote.
+            j += 1;
+            while j < bytes.len() && bytes[j] & 0xC0 == 0x80 {
+                j += 1; // skip UTF-8 continuation bytes
+            }
+            (bytes.get(j) == Some(&b'\'')).then_some(j)
+        }
+    }
+}
+
+/// Marks the line spans of `#[cfg(test)]` items and `#[test]` functions in
+/// the masked source (so braces inside strings/comments cannot confuse the
+/// span matcher).
+fn mark_test_spans(masked: &str) -> Vec<bool> {
+    let n_lines = masked.bytes().filter(|&b| b == b'\n').count() + 1;
+    let mut in_test = vec![false; n_lines];
+    let bytes = masked.as_bytes();
+
+    for attr in ["#[cfg(test)]", "#[test]", "#[cfg(all(test"] {
+        let mut from = 0usize;
+        while let Some(pos) = masked[from..].find(attr) {
+            let start = from + pos;
+            from = start + attr.len();
+            // Find the item's opening brace (skipping further attributes),
+            // then its matching close, and mark every line in the span.
+            if let Some((open, close)) = item_brace_span(bytes, start + attr.len()) {
+                let first = line_at(bytes, start);
+                let last = line_at(bytes, close.min(bytes.len() - 1));
+                for l in first..=last {
+                    if l >= 1 && l <= n_lines {
+                        in_test[l - 1] = true;
+                    }
+                }
+                // Items never nest test attrs usefully; continue the scan
+                // after the opening brace so nested `#[test]`s still match.
+                from = open + 1;
+            }
+        }
+    }
+    in_test
+}
+
+/// 1-indexed line containing byte `offset`.
+fn line_at(bytes: &[u8], offset: usize) -> usize {
+    bytes[..offset.min(bytes.len())]
+        .iter()
+        .filter(|&&b| b == b'\n')
+        .count()
+        + 1
+}
+
+/// Starting just after an attribute, finds the `{ … }` span of the
+/// annotated item. Returns `(open, close)` byte offsets, or `None` for
+/// brace-less items (e.g. `#[cfg(test)] use …;`).
+fn item_brace_span(bytes: &[u8], mut i: usize) -> Option<(usize, usize)> {
+    // Skip whitespace and any further attributes.
+    loop {
+        while i < bytes.len() && bytes[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if bytes.get(i) == Some(&b'#') && bytes.get(i + 1) == Some(&b'[') {
+            // Skip a (possibly bracket-nested) attribute.
+            let mut depth = 0usize;
+            while i < bytes.len() {
+                match bytes[i] {
+                    b'[' => depth += 1,
+                    b']' => {
+                        depth -= 1;
+                        if depth == 0 {
+                            i += 1;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            continue;
+        }
+        break;
+    }
+    // Scan to the item's opening brace; a `;` first means no body.
+    let mut open = None;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'{' => {
+                open = Some(i);
+                break;
+            }
+            b';' => return None,
+            _ => {}
+        }
+        i += 1;
+    }
+    let open = open?;
+    let mut depth = 0usize;
+    let mut j = open;
+    while j < bytes.len() {
+        match bytes[j] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some((open, j));
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    Some((open, bytes.len().saturating_sub(1)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn masking_preserves_length_and_newlines() {
+        let src = "let s = \"a\nb\"; // tail\n/* block\nstill */ fn f() {}\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.masked.len(), src.len());
+        assert_eq!(
+            lexed.masked.matches('\n').count(),
+            src.matches('\n').count()
+        );
+    }
+
+    #[test]
+    fn string_contents_are_blanked() {
+        let lexed = lex(r#"let s = "unwrap() panic!";"#);
+        assert!(!lexed.masked.contains("unwrap"));
+        assert!(!lexed.masked.contains("panic"));
+        assert!(lexed.masked.contains("let s ="));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_are_blanked() {
+        let src = r###"let s = r##"has "quotes" and unwrap()"## ; call();"###;
+        let lexed = lex(src);
+        assert!(!lexed.masked.contains("unwrap"));
+        assert!(lexed.masked.contains("call();"));
+    }
+
+    #[test]
+    fn unterminated_raw_string_blanks_to_eof_without_panicking() {
+        let lexed = lex("let s = r#\"never closed\nexpect()");
+        assert!(!lexed.masked.contains("expect"));
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_matching_depth() {
+        let src = "/* outer /* inner */ still comment */ fn real() {}";
+        let lexed = lex(src);
+        assert!(!lexed.masked.contains("inner"));
+        assert!(!lexed.masked.contains("still"));
+        assert!(lexed.masked.contains("fn real()"));
+        assert_eq!(lexed.comments.len(), 1);
+        assert!(lexed.comments[0].text.contains("inner"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'a str { x } // done";
+        let lexed = lex(src);
+        assert!(lexed.masked.contains("&'a str"));
+        assert_eq!(lexed.comments.len(), 1);
+        assert_eq!(lexed.comments[0].text.trim(), "done");
+    }
+
+    #[test]
+    fn escaped_and_unicode_char_literals_are_blanked() {
+        let src = r"let a = '\''; let b = '\u{1F600}'; let c = 'x';";
+        let lexed = lex(src);
+        assert!(!lexed.masked.contains("1F600"));
+        assert!(lexed.masked.contains("let a ="));
+        assert!(lexed.masked.contains("let c ="));
+    }
+
+    #[test]
+    fn trailing_versus_full_line_comments() {
+        let src = "// full line\nlet x = 1; // trailing\n";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(!lexed.comments[0].trailing);
+        assert_eq!(lexed.comments[0].line, 1);
+        assert!(lexed.comments[1].trailing);
+        assert_eq!(lexed.comments[1].line, 2);
+    }
+
+    #[test]
+    fn comment_markers_inside_strings_are_ignored() {
+        let src = "let url = \"https://example.com/*not a comment*/\"; f();";
+        let lexed = lex(src);
+        assert!(lexed.comments.is_empty());
+        assert!(lexed.masked.contains("f();"));
+    }
+
+    #[test]
+    fn cfg_test_module_lines_are_marked() {
+        let src = "fn lib_code() {}\n\n#[cfg(test)]\nmod tests {\n    fn helper() {}\n}\n";
+        let lexed = lex(src);
+        assert!(!lexed.is_test_line(1), "library line flagged as test");
+        assert!(lexed.is_test_line(4), "mod tests opening line not flagged");
+        assert!(lexed.is_test_line(5), "body of test module not flagged");
+    }
+
+    #[test]
+    fn test_fn_lines_are_marked() {
+        let src = "fn real() {}\n#[test]\nfn check() {\n    assert!(true);\n}\n";
+        let lexed = lex(src);
+        assert!(!lexed.is_test_line(1));
+        assert!(lexed.is_test_line(3));
+        assert!(lexed.is_test_line(4));
+    }
+
+    #[test]
+    fn line_of_maps_offsets_to_lines() {
+        let lexed = lex("ab\ncd\nef");
+        assert_eq!(lexed.line_of(0), 1);
+        assert_eq!(lexed.line_of(3), 2);
+        assert_eq!(lexed.line_of(7), 3);
+        // Past-the-end offsets clamp to the last line.
+        assert_eq!(lexed.line_of(1000), 3);
+    }
+}

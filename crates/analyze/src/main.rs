@@ -1,0 +1,129 @@
+//! The `dg-analyze` command-line interface.
+//!
+//! ```text
+//! dg-analyze [--root DIR] [--rule RULE]... [--quiet] [--list-rules]
+//! ```
+//!
+//! Exits 0 on a clean tree. Otherwise the exit code is the OR of one bit
+//! per failing rule (`no-panic-in-lib` = 1, `unit-hygiene` = 2,
+//! `determinism-hygiene` = 4, `doc-coverage` = 8, `dep-hygiene` = 16,
+//! `allow-syntax` = 32), so CI logs show *which* family of invariant broke
+//! at a glance.
+
+use dg_analyze::rules::RuleId;
+use dg_analyze::{analyze_workspace_rules, Report};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut enabled: Vec<RuleId> = Vec::new();
+    let mut quiet = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--rule" => match args.next().as_deref().and_then(RuleId::parse) {
+                Some(rule) => enabled.push(rule),
+                None => return usage("--rule needs a known rule name (see --list-rules)"),
+            },
+            "--quiet" | "-q" => quiet = true,
+            "--list-rules" => {
+                for rule in RuleId::ALL {
+                    println!(
+                        "{:<22} (exit bit {:>2})  {}",
+                        rule.name(),
+                        rule.exit_bit(),
+                        rule.description()
+                    );
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "dg-analyze: DarkGates workspace lint engine\n\n\
+                     USAGE: dg-analyze [--root DIR] [--rule RULE]... [--quiet] [--list-rules]\n\n\
+                     Without --rule, every rule runs. The exit code ORs one bit per\n\
+                     failing rule; 0 means the tree is clean."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    let root = root.unwrap_or_else(find_workspace_root);
+    let enabled = if enabled.is_empty() {
+        RuleId::ALL.to_vec()
+    } else {
+        enabled
+    };
+
+    let report = match analyze_workspace_rules(&root, &enabled) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("dg-analyze: cannot analyze {}: {err}", root.display());
+            return ExitCode::from(64);
+        }
+    };
+
+    if !quiet {
+        for violation in &report.violations {
+            println!("{violation}\n");
+        }
+    }
+    print_summary(&report, &enabled);
+
+    let code = report.exit_code();
+    if code == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(code.min(255) as u8)
+    }
+}
+
+/// Per-rule counts plus a one-line verdict.
+fn print_summary(report: &Report, enabled: &[RuleId]) {
+    println!(
+        "dg-analyze: {} files, {} manifests scanned; {} allow-comment(s) in use",
+        report.files_scanned, report.manifests_checked, report.allows_used
+    );
+    for rule in RuleId::ALL {
+        if !enabled.contains(&rule) && rule != RuleId::AllowSyntax {
+            continue;
+        }
+        let n = report.count(rule);
+        if n > 0 {
+            println!("  {:<22} {} violation(s)", rule.name(), n);
+        }
+    }
+    if report.violations.is_empty() {
+        println!("  clean: every enabled rule passed");
+    }
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` declaring
+/// a `[workspace]`.
+fn find_workspace_root() -> PathBuf {
+    let mut dir = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+        if !dir.pop() {
+            return PathBuf::from(".");
+        }
+    }
+}
+
+fn usage(err: &str) -> ExitCode {
+    eprintln!("dg-analyze: {err}\nUSAGE: dg-analyze [--root DIR] [--rule RULE]... [--quiet] [--list-rules]");
+    ExitCode::from(64)
+}

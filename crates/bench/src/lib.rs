@@ -191,7 +191,9 @@ pub fn print_fig1_5_6() {
                 d.name,
                 d.bumps,
                 if d.gated { "gated" } else { "un-gated" },
-                layout.current_capacity(&d.name).value(),
+                layout
+                    .current_capacity(&d.name)
+                    .map_or(f64::NAN, |a| a.value()),
             );
         }
     }

@@ -152,17 +152,21 @@ impl IdleGovernor {
             && self.predictor.overestimates() >= DEMOTION_THRESHOLD
             && best > PackageCstate::C2
         {
+            // `ALL` lists every variant, so the position is always found.
             let idx = PackageCstate::ALL
                 .iter()
                 .position(|s| *s == best)
-                .expect("known state");
-            best = PackageCstate::ALL[idx - 1];
-            self.stats.demotions += 1;
+                .unwrap_or(0);
+            // `best > C2` above guarantees idx ≥ 1.
+            if let Some(&shallower) = PackageCstate::ALL.get(idx.saturating_sub(1)) {
+                best = shallower;
+                self.stats.demotions += 1;
+            }
         }
         let idx = PackageCstate::ALL
             .iter()
             .position(|s| *s == best)
-            .expect("known state");
+            .unwrap_or(0);
         self.stats.selections[idx] += 1;
         best
     }

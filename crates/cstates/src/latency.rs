@@ -62,11 +62,12 @@ impl LatencyTable {
     }
 
     fn lookup(&self, state: PackageCstate) -> (PackageCstate, Seconds, Seconds) {
-        *self
-            .entries
+        self.entries
             .iter()
             .find(|(s, _, _)| *s == state)
-            .expect("every package state has a latency entry")
+            .copied()
+            // Unreachable: construction covers every package state.
+            .unwrap_or((state, Seconds::ZERO, Seconds::ZERO))
     }
 }
 

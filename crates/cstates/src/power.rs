@@ -93,11 +93,14 @@ impl IdlePowerModel {
 
     /// Uncore + IO + DRAM power at `state`.
     pub fn uncore_power(&self, state: PackageCstate) -> Watts {
-        let (_, w) = UNCORE_POWER_W
+        let w = UNCORE_POWER_W
             .iter()
             .find(|(s, _)| *s == state)
-            .expect("every package state has an uncore entry");
-        Watts::new(*w)
+            .map(|(_, w)| *w)
+            // Unreachable: the constant table covers every package state
+            // (a test checks the covering).
+            .unwrap_or(0.0);
+        Watts::new(w)
     }
 
     /// Idle power of the CPU cores at package `state`.
@@ -162,6 +165,18 @@ mod tests {
 
     fn model() -> IdlePowerModel {
         IdlePowerModel::new()
+    }
+
+    #[test]
+    fn uncore_table_covers_every_package_state() {
+        // Backs the unreachable-fallback in `uncore_power`.
+        use crate::states::PackageCstate;
+        for state in PackageCstate::ALL {
+            assert!(
+                UNCORE_POWER_W.iter().any(|(s, _)| *s == state),
+                "{state:?} missing from UNCORE_POWER_W"
+            );
+        }
     }
 
     #[test]

@@ -84,9 +84,11 @@ impl PlatformInputs {
         self
     }
 
-    /// The shallowest core state (the binding constraint).
+    /// The shallowest core state (the binding constraint). An empty core
+    /// list resolves to `Cc0` (the conservative answer: package stays
+    /// active).
     pub fn shallowest_core(&self) -> CoreCstate {
-        self.cores.iter().copied().min().expect("at least one core")
+        self.cores.iter().copied().min().unwrap_or(CoreCstate::Cc0)
     }
 }
 

@@ -61,17 +61,14 @@ impl fmt::Display for ThreadCstate {
 }
 
 /// Resolves a core's C-state from its hardware threads' requests: the
-/// shallowest thread binds.
-///
-/// # Panics
-///
-/// Panics if `threads` is empty.
+/// shallowest thread binds. An empty thread list resolves to `Tc0`'s
+/// equivalent (the conservative answer: the core stays active).
 pub fn core_state_from_threads(threads: &[ThreadCstate]) -> CoreCstate {
     threads
         .iter()
         .copied()
         .min()
-        .expect("a core has at least one thread")
+        .unwrap_or(ThreadCstate::Tc0)
         .core_equivalent()
 }
 
@@ -333,9 +330,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one thread")]
-    fn empty_thread_list_panics() {
-        core_state_from_threads(&[]);
+    fn empty_thread_list_resolves_active() {
+        // The conservative answer: with no thread requests, the core is
+        // treated as executing.
+        assert_eq!(core_state_from_threads(&[]), CoreCstate::Cc0);
     }
 
     #[test]

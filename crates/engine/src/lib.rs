@@ -1,18 +1,27 @@
-//! Deterministic data-parallel execution engine for DarkGates experiments.
+//! Deterministic data-parallel execution engine for `DarkGates` experiments.
 //!
 //! The experiment pipeline is embarrassingly parallel at several levels
 //! (benchmarks within a figure, TDP×suite×mode grid cells, frequency
 //! samples within an impedance sweep, claims within a validation run).
-//! This crate provides the two primitives the rest of the workspace builds
-//! on:
+//! This crate provides the primitives the rest of the workspace builds on:
 //!
-//! * [`par_map`] — map a closure over an indexed slice on a transient
-//!   thread pool, returning results **in input order**. Output is
-//!   bit-identical to the sequential loop for any thread count, because
-//!   each result is written back to its input index and any reduction is
-//!   done by the caller in index order.
-//! * [`par_tasks`] — run a set of heterogeneous boxed closures
-//!   concurrently, again collecting results in input order.
+//! * [`par_map`] / [`try_par_map`] — map a closure over an indexed slice
+//!   on a transient thread pool, returning results **in input order**.
+//!   Output is bit-identical to the sequential loop for any thread count,
+//!   because each result is written back to its input index and any
+//!   reduction is done by the caller in index order.
+//! * [`par_tasks`] / [`try_par_tasks`] — run a set of heterogeneous boxed
+//!   closures concurrently, again collecting results in input order.
+//!
+//! Worker panics do **not** poison the pool: every unit of work runs under
+//! `catch_unwind`, the remaining items still complete, and the failure is
+//! surfaced as a typed [`EngineError`] carrying the panicking index and
+//! its payload. The `try_` variants return it; the plain variants re-raise
+//! the original payload on the calling thread, so existing callers observe
+//! the same behaviour as a sequential loop. When several workers panic in
+//! one call, the error reported is always the **lowest panicking index**,
+//! independent of thread scheduling — errors are as deterministic as
+//! results.
 //!
 //! Nested calls degrade gracefully: a `par_map` issued from inside a
 //! worker thread runs inline on that worker (no thread explosion, no
@@ -25,6 +34,9 @@
 //! [`std::thread::available_parallelism`].
 
 use std::cell::Cell;
+use std::error::Error;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -38,10 +50,53 @@ thread_local! {
     static IN_WORKER: Cell<bool> = const { Cell::new(false) };
 }
 
+/// A failure inside a parallel call, reported without poisoning the pool.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EngineError {
+    /// A unit of work panicked. Holds the input index of the work item and
+    /// the panic payload (stringified; non-string payloads are described).
+    WorkerPanic {
+        /// Index of the item or task whose closure panicked. When several
+        /// panic in one call, this is the lowest such index for any thread
+        /// count or schedule.
+        index: usize,
+        /// The panic payload, if it was a `&str` or `String`.
+        payload: String,
+    },
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::WorkerPanic { index, payload } => {
+                write!(f, "parallel work item {index} panicked: {payload}")
+            }
+        }
+    }
+}
+
+impl Error for EngineError {}
+
+/// Stringifies a `catch_unwind` payload for [`EngineError::WorkerPanic`].
+fn describe_payload(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Forces every subsequent parallel call to use exactly `n` threads
 /// (`n = 1` makes the engine run fully inline). Returns a guard that
 /// restores the previous setting when dropped, so tests can scope the
 /// override.
+///
+/// # Panics
+///
+/// Panics if `n` is zero (a zero-thread pool cannot make progress).
 pub fn set_thread_override(n: usize) -> ThreadOverrideGuard {
     assert!(n > 0, "thread override must be positive");
     let prev = THREAD_OVERRIDE.swap(n, Ordering::SeqCst);
@@ -73,18 +128,58 @@ pub fn num_threads() -> usize {
             }
         }
     }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
+
+/// Acquires a mutex even if a previous holder panicked; the engine's
+/// protected state (result buckets) is always valid because payloads are
+/// only written after a work item completes.
+fn lock_recovering<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// One work item's outcome inside the pool.
+type Outcome<U> = Result<U, String>;
+
+/// One worker's local results: `(input index, outcome)` pairs, merged into
+/// slot order after the scope joins.
+type Bucket<U> = Mutex<Vec<(usize, Outcome<U>)>>;
 
 /// Maps `f` over `items` in parallel, returning outputs in input order.
 ///
 /// `f` receives `(index, &item)`. The result at position `i` is always
 /// `f(i, &items[i])`, regardless of thread count or scheduling, so any
 /// caller-side reduction done in index order is bit-identical to the
-/// sequential loop. Panics in `f` propagate to the caller.
+/// sequential loop.
+///
+/// # Panics
+///
+/// If `f` panics for any item, the panic payload is re-raised on the
+/// calling thread (for the lowest panicking index); use [`try_par_map`]
+/// to receive it as a typed [`EngineError`] instead.
 pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    match try_par_map(items, f) {
+        Ok(out) => out,
+        Err(EngineError::WorkerPanic { payload, .. }) => resume_unwind(Box::new(payload)),
+    }
+}
+
+/// Fallible form of [`par_map`]: worker panics surface as
+/// [`EngineError::WorkerPanic`] with the item index and payload, instead
+/// of unwinding through the caller.
+///
+/// # Errors
+///
+/// Returns [`EngineError::WorkerPanic`] if `f` panicked for any item
+/// (lowest index wins); the remaining items still complete.
+pub fn try_par_map<T, U, F>(items: &[T], f: F) -> Result<Vec<U>, EngineError>
 where
     T: Sync,
     U: Send,
@@ -92,16 +187,22 @@ where
 {
     let threads = num_threads().min(items.len().max(1));
     if threads <= 1 || items.len() <= 1 || IN_WORKER.with(Cell::get) {
-        return items.iter().enumerate().map(|(i, x)| f(i, x)).collect();
+        return collect_outcomes(
+            items
+                .iter()
+                .enumerate()
+                .map(|(i, x)| (i, run_guarded(|| f(i, x))))
+                .collect(),
+            items.len(),
+        );
     }
 
     // Work-stealing via a shared atomic cursor: each worker claims the
-    // next unprocessed index, computes, and stashes (index, value) in a
+    // next unprocessed index, computes, and stashes (index, outcome) in a
     // local bucket. Buckets are merged into slot order afterwards, so the
     // output permutation is independent of which worker ran which index.
     let cursor = AtomicUsize::new(0);
-    let buckets: Vec<Mutex<Vec<(usize, U)>>> =
-        (0..threads).map(|_| Mutex::new(Vec::new())).collect();
+    let buckets: Vec<Bucket<U>> = (0..threads).map(|_| Mutex::new(Vec::new())).collect();
 
     std::thread::scope(|scope| {
         for bucket in &buckets {
@@ -115,26 +216,19 @@ where
                     if i >= items.len() {
                         break;
                     }
-                    local.push((i, f(i, &items[i])));
+                    local.push((i, run_guarded(|| f(i, &items[i]))));
                 }
-                *bucket.lock().expect("bucket poisoned") = local;
+                *lock_recovering(bucket) = local;
                 IN_WORKER.with(|w| w.set(false));
             });
         }
     });
 
-    let mut slots: Vec<Option<U>> = (0..items.len()).map(|_| None).collect();
+    let mut outcomes = Vec::with_capacity(items.len());
     for bucket in buckets {
-        for (i, v) in bucket.into_inner().expect("bucket poisoned") {
-            debug_assert!(slots[i].is_none(), "index {i} produced twice");
-            slots[i] = Some(v);
-        }
+        outcomes.extend(lock_recovering(&bucket).drain(..));
     }
-    slots
-        .into_iter()
-        .enumerate()
-        .map(|(i, s)| s.unwrap_or_else(|| panic!("index {i} never produced")))
-        .collect()
+    collect_outcomes(outcomes, items.len())
 }
 
 /// A boxed unit of work for [`par_tasks`].
@@ -143,42 +237,111 @@ pub type Task<'a, U> = Box<dyn FnOnce() -> U + Send + 'a>;
 /// Runs heterogeneous closures concurrently, returning their results in
 /// input order. Useful when the units of work differ in shape (e.g. "all
 /// figure datasets at once").
+///
+/// # Panics
+///
+/// If a task panics, its payload is re-raised on the calling thread (for
+/// the lowest panicking index); use [`try_par_tasks`] for a typed
+/// [`EngineError`] instead.
+#[must_use]
 pub fn par_tasks<U: Send>(tasks: Vec<Task<'_, U>>) -> Vec<U> {
-    let threads = num_threads().min(tasks.len().max(1));
-    if threads <= 1 || tasks.len() <= 1 || IN_WORKER.with(Cell::get) {
-        return tasks.into_iter().map(|t| t()).collect();
+    match try_par_tasks(tasks) {
+        Ok(out) => out,
+        Err(EngineError::WorkerPanic { payload, .. }) => resume_unwind(Box::new(payload)),
+    }
+}
+
+/// Fallible form of [`par_tasks`]: a panicking task surfaces as
+/// [`EngineError::WorkerPanic`] with its submission index and payload,
+/// and the remaining tasks still run to completion.
+///
+/// # Errors
+///
+/// Returns [`EngineError::WorkerPanic`] if any task panicked (lowest
+/// submission index wins).
+pub fn try_par_tasks<U: Send>(tasks: Vec<Task<'_, U>>) -> Result<Vec<U>, EngineError> {
+    let n = tasks.len();
+    let threads = num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 || IN_WORKER.with(Cell::get) {
+        return collect_outcomes(
+            tasks
+                .into_iter()
+                .enumerate()
+                .map(|(i, task)| (i, run_guarded(task)))
+                .collect(),
+            n,
+        );
     }
 
-    let slots: Vec<Mutex<Option<U>>> = (0..tasks.len()).map(|_| Mutex::new(None)).collect();
+    let outcomes: Mutex<Vec<(usize, Outcome<U>)>> = Mutex::new(Vec::with_capacity(n));
     let queue: Mutex<Vec<(usize, Task<'_, U>)>> =
         Mutex::new(tasks.into_iter().enumerate().rev().collect());
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
             let queue = &queue;
-            let slots = &slots;
+            let outcomes = &outcomes;
             scope.spawn(move || {
                 IN_WORKER.with(|w| w.set(true));
                 loop {
-                    let Some((i, task)) = queue.lock().expect("queue poisoned").pop() else {
+                    let Some((i, task)) = lock_recovering(queue).pop() else {
                         break;
                     };
-                    *slots[i].lock().expect("slot poisoned") = Some(task());
+                    let outcome = run_guarded(task);
+                    lock_recovering(outcomes).push((i, outcome));
                 }
                 IN_WORKER.with(|w| w.set(false));
             });
         }
     });
 
-    slots
-        .into_iter()
-        .enumerate()
-        .map(|(i, s)| {
-            s.into_inner()
-                .expect("slot poisoned")
-                .unwrap_or_else(|| panic!("task {i} never ran"))
-        })
-        .collect()
+    let pairs: Vec<(usize, Outcome<U>)> = lock_recovering(&outcomes).drain(..).collect();
+    collect_outcomes(pairs, n)
+}
+
+/// Runs one unit of work, converting a panic into an `Err(payload)`.
+fn run_guarded<U>(work: impl FnOnce() -> U) -> Outcome<U> {
+    catch_unwind(AssertUnwindSafe(work)).map_err(|payload| describe_payload(payload.as_ref()))
+}
+
+/// Merges `(index, outcome)` pairs into input order. On any panic the
+/// **lowest** panicking index wins, so the reported error is independent
+/// of scheduling.
+fn collect_outcomes<U>(pairs: Vec<(usize, Outcome<U>)>, n: usize) -> Result<Vec<U>, EngineError> {
+    let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    let mut first_panic: Option<(usize, String)> = None;
+    for (i, outcome) in pairs {
+        match outcome {
+            Ok(value) => {
+                if let Some(slot) = slots.get_mut(i) {
+                    *slot = Some(value);
+                }
+            }
+            Err(payload) => {
+                if first_panic.as_ref().is_none_or(|(j, _)| i < *j) {
+                    first_panic = Some((i, payload));
+                }
+            }
+        }
+    }
+    if let Some((index, payload)) = first_panic {
+        return Err(EngineError::WorkerPanic { index, payload });
+    }
+    let mut out = Vec::with_capacity(n);
+    for (index, slot) in slots.into_iter().enumerate() {
+        match slot {
+            Some(value) => out.push(value),
+            // Unreachable by construction (every index is claimed exactly
+            // once); typed rather than panicking to honour no-panic-in-lib.
+            None => {
+                return Err(EngineError::WorkerPanic {
+                    index,
+                    payload: "work item produced no result".to_string(),
+                })
+            }
+        }
+    }
+    Ok(out)
 }
 
 #[cfg(test)]
@@ -190,7 +353,9 @@ mod tests {
     static TEST_LOCK: Mutex<()> = Mutex::new(());
 
     fn serial() -> std::sync::MutexGuard<'static, ()> {
-        TEST_LOCK.lock().unwrap_or_else(|e| e.into_inner())
+        TEST_LOCK
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     #[test]
@@ -208,7 +373,7 @@ mod tests {
     #[test]
     fn par_map_matches_sequential_for_any_thread_count() {
         let _l = serial();
-        let items: Vec<f64> = (0..100).map(|i| 1.0 + i as f64 * 0.37).collect();
+        let items: Vec<f64> = (0..100).map(|i| 1.0 + f64::from(i) * 0.37).collect();
         let work = |_: usize, &x: &f64| (x.sin() * x.ln()).exp();
         let baseline: Vec<u64> = {
             let _g = set_thread_override(1);
@@ -263,16 +428,90 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
+    #[should_panic(expected = "deliberate")]
     fn worker_panics_propagate() {
         let _l = serial();
         let _g = set_thread_override(2);
         let items: Vec<u32> = (0..64).collect();
         let _ = par_map(&items, |_, &x| {
-            if x == 40 {
-                panic!("deliberate");
-            }
+            assert!(x != 40, "deliberate");
             x
         });
+    }
+
+    #[test]
+    fn try_par_map_surfaces_payload_and_index() {
+        let _l = serial();
+        for threads in [1, 2, 8] {
+            let _g = set_thread_override(threads);
+            let items: Vec<u32> = (0..64).collect();
+            let err = try_par_map(&items, |_, &x| {
+                assert!(x != 40, "task {x} exploded");
+                x * 2
+            })
+            .expect_err("a panicking item must yield an error");
+            let EngineError::WorkerPanic { index, payload } = err;
+            assert_eq!(index, 40, "threads={threads}");
+            assert_eq!(payload, "task 40 exploded");
+        }
+    }
+
+    #[test]
+    fn try_par_map_reports_lowest_panicking_index() {
+        let _l = serial();
+        for threads in [2, 5] {
+            let _g = set_thread_override(threads);
+            let items: Vec<u32> = (0..64).collect();
+            let err = try_par_map(&items, |_, &x| {
+                assert!(x % 7 != 3, "boom {x}");
+                x
+            })
+            .expect_err("panics expected");
+            let EngineError::WorkerPanic { index, payload } = err;
+            assert_eq!(index, 3, "threads={threads}");
+            assert_eq!(payload, "boom 3");
+        }
+    }
+
+    #[test]
+    fn pool_survives_a_panicking_call() {
+        let _l = serial();
+        let _g = set_thread_override(4);
+        let items: Vec<u32> = (0..32).collect();
+        let _ = try_par_map(&items, |_, &x| {
+            assert!(x != 0, "first item dies");
+            x
+        });
+        // The next call on the same thread pool machinery must succeed.
+        let out = par_map(&items, |_, &x| x + 1);
+        assert_eq!(out, (1..33).collect::<Vec<u32>>());
+    }
+
+    #[test]
+    fn try_par_tasks_surfaces_payload_and_index() {
+        let _l = serial();
+        let _g = set_thread_override(3);
+        let tasks: Vec<Task<'_, usize>> = (0..17usize)
+            .map(|i| {
+                Box::new(move || {
+                    assert!(i != 11, "task {i} failed");
+                    i
+                }) as Task<'_, usize>
+            })
+            .collect();
+        let err = try_par_tasks(tasks).expect_err("task 11 panics");
+        let EngineError::WorkerPanic { index, payload } = err;
+        assert_eq!(index, 11);
+        assert_eq!(payload, "task 11 failed");
+    }
+
+    #[test]
+    fn engine_error_display_names_index_and_payload() {
+        let err = EngineError::WorkerPanic {
+            index: 7,
+            payload: "x".into(),
+        };
+        let text = err.to_string();
+        assert!(text.contains('7') && text.contains('x'), "{text}");
     }
 }

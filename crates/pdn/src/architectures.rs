@@ -10,7 +10,7 @@
 //! can be compared quantitatively.
 
 use crate::error::PdnError;
-use crate::units::{Amps, Volts, Watts};
+use crate::units::{Amps, Ohms, Volts, Watts};
 use serde::{Deserialize, Serialize};
 
 /// Which delivery architecture a product uses.
@@ -190,7 +190,7 @@ pub fn delivery_loss(
     arch: PdnArchitecture,
     output: Watts,
     v_out: Volts,
-    loadline_mohm: f64,
+    loadline: Ohms,
     load_fraction: f64,
 ) -> Watts {
     match arch {
@@ -199,7 +199,7 @@ pub fn delivery_loss(
                 return Watts::ZERO;
             }
             let i = output / v_out;
-            Watts::new(loadline_mohm / 1000.0 * i.value() * i.value())
+            Watts::new(loadline.value() * i.value() * i.value())
         }
         PdnArchitecture::Ivr => {
             let m = IvrModel::fivr();
@@ -288,15 +288,21 @@ mod tests {
         // A 40 W core domain at 1.1 V with a 1.6 mΩ load-line.
         let out = Watts::new(40.0);
         let v = Volts::new(1.1);
-        let mbvr = delivery_loss(PdnArchitecture::Mbvr, out, v, 1.6, 0.6);
-        let ivr = delivery_loss(PdnArchitecture::Ivr, out, v, 1.6, 0.6);
-        let ldo = delivery_loss(PdnArchitecture::Ldo, out, v, 1.6, 0.6);
+        let mbvr = delivery_loss(PdnArchitecture::Mbvr, out, v, Ohms::from_mohm(1.6), 0.6);
+        let ivr = delivery_loss(PdnArchitecture::Ivr, out, v, Ohms::from_mohm(1.6), 0.6);
+        let ldo = delivery_loss(PdnArchitecture::Ldo, out, v, Ohms::from_mohm(1.6), 0.6);
         // MBVR's resistive path loss is the smallest at this point —
         // which is why high-power desktops keep MBVR and need DarkGates.
         assert!(mbvr < ivr, "mbvr {mbvr} vs ivr {ivr}");
         assert!(mbvr < ldo, "mbvr {mbvr} vs ldo {ldo}");
         // The LDO burns the full headroom: worst at low output voltage.
-        let ldo_low = delivery_loss(PdnArchitecture::Ldo, out, Volts::new(0.8), 1.6, 0.6);
+        let ldo_low = delivery_loss(
+            PdnArchitecture::Ldo,
+            out,
+            Volts::new(0.8),
+            Ohms::from_mohm(1.6),
+            0.6,
+        );
         assert!(ldo_low > ldo);
     }
 

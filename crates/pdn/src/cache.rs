@@ -19,7 +19,16 @@ use crate::impedance::{ImpedanceAnalyzer, ImpedanceProfile};
 use crate::ladder::Ladder;
 use crate::skylake::{PdnVariant, SkylakePdn};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+/// Acquires a cache mutex even if a worker thread panicked while holding
+/// it. Entries are only inserted complete (`Arc`ed values are built before
+/// the lock is taken), so a poisoned map is still a valid map.
+fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(|poisoned| poisoned.into_inner())
+}
 
 /// Incremental FNV-1a hasher over 64-bit words. Collision quality is ample
 /// for the handful of distinct substrates an experiment run touches, and
@@ -120,18 +129,14 @@ fn profile_map() -> &'static ProfileMap {
 /// distinct (sweep, circuit) content and shared thereafter.
 pub fn impedance_profile(analyzer: &ImpedanceAnalyzer, ladder: &Ladder) -> Arc<ImpedanceProfile> {
     let key = analyzer_key(analyzer).word(ladder_key(ladder)).finish();
-    if let Some(hit) = profile_map()
-        .lock()
-        .expect("profile cache poisoned")
-        .get(&key)
-    {
+    if let Some(hit) = lock_recovering(profile_map()).get(&key) {
         return Arc::clone(hit);
     }
     // Compute outside the lock: profiles take milliseconds and other
     // threads may want unrelated entries meanwhile. A racing miss on the
     // same key computes twice and the entries are identical.
     let fresh = Arc::new(analyzer.profile(ladder));
-    let mut map = profile_map().lock().expect("profile cache poisoned");
+    let mut map = lock_recovering(profile_map());
     Arc::clone(map.entry(key).or_insert(fresh))
 }
 
@@ -174,9 +179,7 @@ pub fn dc_steady_state(
         .f64(source)
         .f64(load)
         .finish();
-    let mut map = steady_state_map()
-        .lock()
-        .expect("steady-state cache poisoned");
+    let mut map = lock_recovering(steady_state_map());
     Arc::clone(map.entry(key).or_insert_with(|| Arc::new(compute())))
 }
 

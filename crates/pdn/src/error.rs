@@ -31,6 +31,11 @@ pub enum PdnError {
     },
     /// A load-line table was built with unsorted or duplicate virus levels.
     UnsortedVirusLevels,
+    /// A package voltage domain was looked up by a name that does not exist.
+    UnknownDomain {
+        /// The requested domain name.
+        name: String,
+    },
 }
 
 impl fmt::Display for PdnError {
@@ -48,6 +53,9 @@ impl fmt::Display for PdnError {
             }
             PdnError::UnsortedVirusLevels => {
                 write!(f, "virus levels must be strictly increasing in current")
+            }
+            PdnError::UnknownDomain { name } => {
+                write!(f, "no voltage domain named `{name}`")
             }
         }
     }
@@ -79,6 +87,11 @@ mod tests {
         assert!(PdnError::UnsortedVirusLevels
             .to_string()
             .contains("increasing"));
+        assert!(PdnError::UnknownDomain {
+            name: "VC9G".to_owned()
+        }
+        .to_string()
+        .contains("VC9G"));
     }
 
     #[test]

@@ -100,7 +100,10 @@ impl ImpedanceProfile {
     pub fn from_points(name: impl Into<String>, points: Vec<(Hertz, Ohms)>) -> Self {
         assert!(!points.is_empty(), "impedance profile cannot be empty");
         assert!(
-            points.windows(2).all(|w| w[0].0 < w[1].0),
+            points.windows(2).all(|w| match w {
+                [below, above] => below.0 < above.0,
+                _ => true,
+            }),
             "profile frequencies must be strictly increasing"
         );
         ImpedanceProfile {
@@ -124,8 +127,9 @@ impl ImpedanceProfile {
         self.points
             .iter()
             .copied()
-            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("impedance is finite"))
-            .expect("profile is non-empty")
+            .max_by(|a, b| a.1.value().total_cmp(&b.1.value()))
+            // Construction rejects empty profiles, so this is unreachable.
+            .unwrap_or((Hertz::ZERO, Ohms::ZERO))
     }
 
     /// Impedance at the sample closest (in log-frequency) to `f`.
@@ -137,18 +141,24 @@ impl ImpedanceProfile {
     /// matching the original linear scan (which kept the first minimum).
     pub fn at(&self, f: Hertz) -> Ohms {
         let idx = self.points.partition_point(|p| p.0 < f);
+        // Construction rejects empty profiles, so the fallbacks below are
+        // unreachable; they keep the lookup total without panicking.
         if idx == 0 {
-            return self.points[0].1;
+            return self.points.first().map(|p| p.1).unwrap_or(Ohms::ZERO);
         }
-        if idx == self.points.len() {
-            return self.points[idx - 1].1;
-        }
-        let below = self.points[idx - 1];
-        let above = self.points[idx];
-        if f.value() * f.value() <= below.0.value() * above.0.value() {
-            below.1
-        } else {
-            above.1
+        let Some(&below) = self.points.get(idx - 1) else {
+            return Ohms::ZERO;
+        };
+        match self.points.get(idx) {
+            // Past the last sample: clamp to it.
+            None => below.1,
+            Some(&above) => {
+                if f.value() * f.value() <= below.0.value() * above.0.value() {
+                    below.1
+                } else {
+                    above.1
+                }
+            }
         }
     }
 
@@ -165,8 +175,10 @@ impl ImpedanceProfile {
     pub fn resonances(&self) -> Vec<(Hertz, Ohms)> {
         let mut peaks = Vec::new();
         for w in self.points.windows(3) {
-            if w[1].1 > w[0].1 && w[1].1 > w[2].1 {
-                peaks.push(w[1]);
+            if let [left, mid, right] = w {
+                if mid.1 > left.1 && mid.1 > right.1 {
+                    peaks.push(*mid);
+                }
             }
         }
         peaks

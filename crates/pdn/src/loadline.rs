@@ -95,8 +95,10 @@ impl VirusLevelTable {
             return Err(PdnError::UnsortedVirusLevels);
         }
         for pair in levels.windows(2) {
-            if pair[1].icc_virus <= pair[0].icc_virus {
-                return Err(PdnError::UnsortedVirusLevels);
+            if let [lo, hi] = pair {
+                if hi.icc_virus <= lo.icc_virus {
+                    return Err(PdnError::UnsortedVirusLevels);
+                }
             }
         }
         Ok(VirusLevelTable { loadline, levels })

@@ -97,21 +97,33 @@ impl PackageLayout {
     /// The mobile (Skylake-H-like, BGA) layout: the un-gated `VCU` domain
     /// plus four gated per-core domains (Fig. 1(b)).
     pub fn skylake_mobile() -> Self {
-        let domains = vec![
-            VoltageDomain::new("VCU", 64, false).expect("constant is valid"),
-            VoltageDomain::new("VC0G", 44, true).expect("constant is valid"),
-            VoltageDomain::new("VC1G", 44, true).expect("constant is valid"),
-            VoltageDomain::new("VC2G", 44, true).expect("constant is valid"),
-            VoltageDomain::new("VC3G", 44, true).expect("constant is valid"),
-        ];
-        PackageLayout::new("Skylake-H BGA", domains, Amps::new(0.75)).expect("constants are valid")
+        // Constructed literally: the bump counts are non-zero constants and
+        // the names are distinct, so `new`'s validation cannot fire.
+        let domain = |name: &str, bumps: usize, gated: bool| VoltageDomain {
+            name: name.to_owned(),
+            bumps,
+            gated,
+        };
+        PackageLayout {
+            name: "Skylake-H BGA".to_owned(),
+            domains: vec![
+                domain("VCU", 64, false),
+                domain("VC0G", 44, true),
+                domain("VC1G", 44, true),
+                domain("VC2G", 44, true),
+                domain("VC3G", 44, true),
+            ],
+            max_current_per_bump: Amps::new(0.75),
+        }
     }
 
     /// The DarkGates desktop (Skylake-S-like, LGA) layout: the mobile
     /// layout with all core domains shorted (Figs. 5, 6).
     pub fn skylake_desktop() -> Self {
-        let mut layout = Self::skylake_mobile()
+        let mobile = Self::skylake_mobile();
+        let mut layout = mobile
             .short_domains("VCC_CORES", |_| true)
+            // dg-analyze: allow(no-panic-in-lib, reason = "the catch-all selector always matches the mobile layout's five domains")
             .expect("mobile layout has domains");
         layout.name = "Skylake-S LGA".to_owned();
         layout
@@ -167,32 +179,36 @@ impl PackageLayout {
 
     /// Maximum current a domain can carry within the per-bump EM limit.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the domain does not exist.
-    pub fn current_capacity(&self, domain: &str) -> Amps {
-        let d = self
-            .domain(domain)
-            .unwrap_or_else(|| panic!("no domain named {domain}"));
-        self.max_current_per_bump * d.bumps as f64
+    /// Returns [`PdnError::UnknownDomain`] if the domain does not exist.
+    pub fn current_capacity(&self, domain: &str) -> Result<Amps, PdnError> {
+        let d = self.domain(domain).ok_or_else(|| PdnError::UnknownDomain {
+            name: domain.to_owned(),
+        })?;
+        Ok(self.max_current_per_bump * d.bumps as f64)
     }
 
     /// Per-bump current in a domain at load `current`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the domain does not exist.
-    pub fn per_bump_current(&self, domain: &str, current: Amps) -> Amps {
-        let d = self
-            .domain(domain)
-            .unwrap_or_else(|| panic!("no domain named {domain}"));
-        current / d.bumps as f64
+    /// Returns [`PdnError::UnknownDomain`] if the domain does not exist.
+    pub fn per_bump_current(&self, domain: &str, current: Amps) -> Result<Amps, PdnError> {
+        let d = self.domain(domain).ok_or_else(|| PdnError::UnknownDomain {
+            name: domain.to_owned(),
+        })?;
+        Ok(current / d.bumps as f64)
     }
 
     /// `true` when carrying `current` through `domain` stays within the EM
     /// limit.
-    pub fn within_em_limit(&self, domain: &str, current: Amps) -> bool {
-        self.per_bump_current(domain, current) <= self.max_current_per_bump
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError::UnknownDomain`] if the domain does not exist.
+    pub fn within_em_limit(&self, domain: &str, current: Amps) -> Result<bool, PdnError> {
+        Ok(self.per_bump_current(domain, current)? <= self.max_current_per_bump)
     }
 }
 
@@ -229,23 +245,25 @@ mod tests {
         let mobile = PackageLayout::skylake_mobile();
         let desktop = PackageLayout::skylake_desktop();
         let burst = Amps::new(34.0);
-        let private = mobile.per_bump_current("VC0G", burst);
-        let pooled = desktop.per_bump_current("VCC_CORES", burst);
+        let private = mobile.per_bump_current("VC0G", burst).unwrap();
+        let pooled = desktop.per_bump_current("VCC_CORES", burst).unwrap();
         assert!(
             pooled.value() < 0.25 * private.value(),
             "pooled {pooled} vs private {private}"
         );
         // The private domain violates the EM limit on this burst; the
         // pooled one does not.
-        assert!(!mobile.within_em_limit("VC0G", burst));
-        assert!(desktop.within_em_limit("VCC_CORES", burst));
+        assert!(!mobile.within_em_limit("VC0G", burst).unwrap());
+        assert!(desktop.within_em_limit("VCC_CORES", burst).unwrap());
     }
 
     #[test]
     fn capacity_scales_with_bumps() {
         let p = PackageLayout::skylake_mobile();
-        let cap_core = p.current_capacity("VC0G");
-        let cap_all = PackageLayout::skylake_desktop().current_capacity("VCC_CORES");
+        let cap_core = p.current_capacity("VC0G").unwrap();
+        let cap_all = PackageLayout::skylake_desktop()
+            .current_capacity("VCC_CORES")
+            .unwrap();
         assert!((cap_core.value() - 33.0).abs() < 1e-9);
         assert!(cap_all.value() > 4.0 * cap_core.value());
     }
@@ -283,8 +301,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no domain named")]
-    fn unknown_domain_panics() {
-        PackageLayout::skylake_mobile().current_capacity("nope");
+    fn unknown_domain_is_a_typed_error() {
+        let p = PackageLayout::skylake_mobile();
+        let err = p.current_capacity("nope").unwrap_err();
+        assert_eq!(
+            err,
+            PdnError::UnknownDomain {
+                name: "nope".to_owned()
+            }
+        );
+        assert!(p.per_bump_current("nope", Amps::new(1.0)).is_err());
+        assert!(p.within_em_limit("nope", Amps::new(1.0)).is_err());
+    }
+
+    #[test]
+    fn literal_skylake_layouts_pass_validation() {
+        // The hand-constructed constants must satisfy everything `new`
+        // checks, or the constructors have drifted from the validator.
+        for p in [
+            PackageLayout::skylake_mobile(),
+            PackageLayout::skylake_desktop(),
+        ] {
+            assert!(PackageLayout::new(
+                p.name.clone(),
+                p.domains().to_vec(),
+                p.max_current_per_bump
+            )
+            .is_ok());
+        }
     }
 }

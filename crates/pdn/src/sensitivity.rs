@@ -70,10 +70,11 @@ fn scaled(ladder: &Ladder, stage: &str, kind: ElementKind, factor: f64) -> Optio
     match kind {
         ElementKind::SeriesR if original.series.resistance.value() == 0.0 => return None,
         ElementKind::SeriesL if original.series.inductance.value() == 0.0 => return None,
-        ElementKind::ShuntC | ElementKind::ShuntEsr if original.shunt.is_none() => return None,
-        ElementKind::ShuntEsr if original.shunt.as_ref().expect("checked").esr.value() == 0.0 => {
-            return None
-        }
+        ElementKind::ShuntC | ElementKind::ShuntEsr => match &original.shunt {
+            None => return None,
+            Some(bank) if kind == ElementKind::ShuntEsr && bank.esr.value() == 0.0 => return None,
+            Some(_) => {}
+        },
         _ => {}
     }
     ladder.with_mapped_stage(stage, |s| match kind {
@@ -114,8 +115,7 @@ pub fn peak_sensitivities(ladder: &Ladder, analyzer: &ImpedanceAnalyzer) -> Vec<
     out.sort_by(|a, b| {
         b.peak_sensitivity
             .abs()
-            .partial_cmp(&a.peak_sensitivity.abs())
-            .expect("finite sensitivities")
+            .total_cmp(&a.peak_sensitivity.abs())
     });
     out
 }

@@ -105,51 +105,59 @@ pub struct SkylakePdn {
 
 impl SkylakePdn {
     /// Builds the calibrated PDN for `variant`.
+    ///
+    /// The component values are compile-time calibration constants, so the
+    /// fallible assembly in [`Self::try_build`] cannot actually fail here.
     pub fn build(variant: PdnVariant) -> Self {
-        let vr_model =
-            VrOutputModel::new(Ohms::from_mohm(LOADLINE_MOHM), Hertz::new(VR_BANDWIDTH_HZ))
-                .expect("constants are valid");
+        Self::try_build(variant)
+            // dg-analyze: allow(no-panic-in-lib, reason = "inputs are compile-time calibration constants; a test exercises try_build on every variant")
+            .expect("calibration constants are valid")
+    }
 
-        let board = SeriesBranch::new(Ohms::from_mohm(BOARD_R_MOHM), Henries::from_ph(BOARD_L_PH))
-            .expect("constants are valid");
+    /// Fallible assembly of the calibrated PDN for `variant`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PdnError`](crate::error::PdnError) if any calibration
+    /// constant fails component validation (only possible if the constants
+    /// are edited into an invalid range).
+    pub fn try_build(variant: PdnVariant) -> Result<Self, crate::error::PdnError> {
+        let vr_model =
+            VrOutputModel::new(Ohms::from_mohm(LOADLINE_MOHM), Hertz::new(VR_BANDWIDTH_HZ))?;
+
+        let board = SeriesBranch::new(Ohms::from_mohm(BOARD_R_MOHM), Henries::from_ph(BOARD_L_PH))?;
         let bulk = CapBank::new(
             Farads::from_uf(560.0),
             Ohms::from_mohm(6.0),
             Henries::from_nh(3.0),
             6,
-        )
-        .expect("constants are valid");
+        )?;
 
         let package = SeriesBranch::new(
             Ohms::from_mohm(PACKAGE_R_MOHM),
             Henries::from_ph(PACKAGE_L_PH),
-        )
-        .expect("constants are valid");
+        )?;
         let pkg_decap = CapBank::new(
             Farads::from_uf(22.0),
             Ohms::from_mohm(6.0),
             Henries::from_ph(150.0),
             20,
-        )
-        .expect("constants are valid");
+        )?;
 
-        let die = SeriesBranch::new(Ohms::from_mohm(DIE_R_MOHM), Henries::from_ph(DIE_L_PH))
-            .expect("constants are valid");
+        let die = SeriesBranch::new(Ohms::from_mohm(DIE_R_MOHM), Henries::from_ph(DIE_L_PH))?;
 
         let mim_core = CapBank::new(
             Farads::from_nf(MIM_PER_CORE_NF),
             Ohms::from_mohm(MIM_ESR_MOHM),
             Henries::from_ph(MIM_ESL_PH),
             1,
-        )
-        .expect("constants are valid");
+        )?;
         let mim_shared = CapBank::new(
             Farads::from_nf(MIM_SHARED_NF),
             Ohms::from_mohm(MIM_ESR_MOHM),
             Henries::from_ph(MIM_ESL_PH),
             1,
-        )
-        .expect("constants are valid");
+        )?;
 
         let name = format!("skylake-pdn ({})", variant.label());
         let mut b = Ladder::builder(name, vr_model);
@@ -163,8 +171,7 @@ impl SkylakePdn {
                 let gate = SeriesBranch::new(
                     Ohms::from_mohm(POWER_GATE_R_MOHM),
                     Henries::from_ph(POWER_GATE_L_PH),
-                )
-                .expect("constants are valid");
+                )?;
                 b.series_with_decap("ungated-domain", SeriesBranch::short(), mim_shared);
                 b.series("power-gate", gate);
                 b.series_with_decap("die", die, mim_core);
@@ -178,16 +185,15 @@ impl SkylakePdn {
                     Ohms::from_mohm(MIM_ESR_MOHM),
                     Henries::from_ph(MIM_ESL_PH),
                     CORE_COUNT + 1,
-                )
-                .expect("constants are valid");
+                )?;
                 let die_shared = die.paralleled(2);
                 b.series_with_decap("die", die_shared, merged);
             }
         }
 
-        let ladder = b.build().expect("ladder has stages");
+        let ladder = b.build()?;
 
-        let loadline = LoadLine::new(Ohms::from_mohm(LOADLINE_MOHM)).expect("constant is valid");
+        let loadline = LoadLine::new(Ohms::from_mohm(LOADLINE_MOHM))?;
         let virus_table = VirusLevelTable::new(
             loadline,
             vec![
@@ -195,25 +201,23 @@ impl SkylakePdn {
                 VirusLevel::new("2 active cores", Amps::new(62.0)),
                 VirusLevel::new("4 active cores", Amps::new(118.0)),
             ],
-        )
-        .expect("levels are sorted");
+        )?;
 
         let limits = VrLimits::new(
             Amps::new(TDC_A),
             Amps::new(EDC_A),
             Watts::new(SUPPLY_LIMIT_W),
-        )
-        .expect("constants are valid");
+        )?;
         let mut vr = VoltageRegulator::new(loadline, limits);
         vr.set_voltage(Volts::new(1.0));
 
-        SkylakePdn {
+        Ok(SkylakePdn {
             variant,
             ladder,
             loadline,
             virus_table,
             vr,
-        }
+        })
     }
 
     /// Impedance profile over the default Fig. 4 sweep.
@@ -291,6 +295,15 @@ mod tests {
         let top = pdn.virus_table.levels().last().unwrap().icc_virus;
         assert!(top.value() <= EDC_A);
         assert!(pdn.virus_table.level_for(Amps::new(30.0)).is_some());
+    }
+
+    #[test]
+    fn try_build_succeeds_for_both_variants() {
+        // Backs the allow() on `build`: the calibration constants must
+        // always assemble cleanly.
+        for v in [PdnVariant::Gated, PdnVariant::Bypassed] {
+            assert!(SkylakePdn::try_build(v).is_ok(), "{v:?}");
+        }
     }
 
     #[test]

@@ -52,6 +52,7 @@ pub struct LoadStep {
 
 impl LoadStep {
     /// An ideal step from `from` to `to` at `at`.
+    #[must_use]
     pub fn step(from: Amps, to: Amps, at: Seconds) -> Self {
         LoadStep {
             from,
@@ -62,6 +63,7 @@ impl LoadStep {
     }
 
     /// The load current at time `t`.
+    #[must_use]
     pub fn current_at(&self, t: Seconds) -> Amps {
         if t < self.at {
             return self.from;
@@ -91,16 +93,19 @@ pub struct TransientResult {
 
 impl TransientResult {
     /// Worst droop magnitude relative to the pre-step steady state.
+    #[must_use]
     pub fn droop(&self) -> Volts {
         (self.v_initial - self.v_min).max(Volts::ZERO)
     }
 
     /// The resistive (DC) part of the voltage change: initial minus final.
+    #[must_use]
     pub fn dc_shift(&self) -> Volts {
         self.v_initial - self.v_final
     }
 
     /// The dynamic overshoot beyond the final DC level (first-droop depth).
+    #[must_use]
     pub fn dynamic_droop(&self) -> Volts {
         (self.v_final - self.v_min).max(Volts::ZERO)
     }
@@ -139,6 +144,7 @@ impl TransientSim {
     }
 
     /// A simulator tuned for droop capture: 0.1 ns step over 20 µs.
+    #[must_use]
     pub fn droop_capture(source: Volts) -> Self {
         TransientSim {
             source,
@@ -157,6 +163,7 @@ impl TransientSim {
     /// remaining window is skipped: every later sample would differ from
     /// `v_final` by less than the band, and the global minimum (which the
     /// droop guardband is derived from) necessarily occurred earlier.
+    #[must_use]
     pub fn run(&self, ladder: &Ladder, step: LoadStep) -> TransientResult {
         let model = ChainModel::from_ladder(ladder, self.source);
         let n = model.nodes();
@@ -170,6 +177,9 @@ impl TransientSim {
         let v_initial = Volts::new(state[2 * n - 1]);
 
         let dt = self.dt.value();
+        // Step counts and window sizes are small positive ratios; the
+        // casts cannot truncate or lose sign in practice.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let steps = (self.duration.value() / dt).ceil() as usize;
         let decimate = self.decimate.max(1);
         let mut samples = Vec::with_capacity(steps / decimate + 2);
@@ -183,6 +193,7 @@ impl TransientSim {
         let settle_tol =
             SETTLE_ABS_TOL_V.max(SETTLE_REL_TOL * (v_initial.value() - v_settle_target).abs());
         let settle_after = (step.at + step.slew).value();
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
         let settle_steps = ((SETTLE_WINDOW_S / dt).ceil() as usize).max(1);
         let mut in_band = 0usize;
 
@@ -194,6 +205,7 @@ impl TransientSim {
 
         samples.push((Seconds::ZERO, v_initial));
         for s in 0..steps {
+            #[allow(clippy::cast_precision_loss)]
             let t = s as f64 * dt;
             let i_mid = step.current_at(Seconds::new(t + 0.5 * dt)).value();
             let i_now = step.current_at(Seconds::new(t)).value();
@@ -246,6 +258,7 @@ impl TransientSim {
     /// Convenience: worst droop for a current step of `delta` amps starting
     /// from `quiescent`, applied after 1 µs with a 10 ns slew (a typical
     /// staggered wake-up).
+    #[must_use]
     pub fn droop_for_step(&self, ladder: &Ladder, quiescent: Amps, delta: Amps) -> Volts {
         let step = LoadStep {
             from: quiescent,
@@ -480,8 +493,13 @@ mod tests {
             at: Seconds::from_us(1.0),
             slew: Seconds::from_ns(100.0),
         };
-        assert_eq!(s.current_at(Seconds::ZERO).value(), 1.0);
-        assert_eq!(s.current_at(Seconds::from_us(2.0)).value(), 3.0);
+        // Exact equality is intended: outside the slew window the step
+        // returns its endpoint constants unchanged.
+        #[allow(clippy::float_cmp)]
+        {
+            assert_eq!(s.current_at(Seconds::ZERO).value(), 1.0);
+            assert_eq!(s.current_at(Seconds::from_us(2.0)).value(), 3.0);
+        }
         let mid = s.current_at(Seconds::new(1.0e-6 + 50e-9)).value();
         assert!((mid - 2.0).abs() < 1e-9);
     }
@@ -489,8 +507,11 @@ mod tests {
     #[test]
     fn ideal_step_is_instant() {
         let s = LoadStep::step(Amps::ZERO, Amps::new(10.0), Seconds::from_us(1.0));
-        assert_eq!(s.current_at(Seconds::new(0.999e-6)).value(), 0.0);
-        assert_eq!(s.current_at(Seconds::from_us(1.0)).value(), 10.0);
+        #[allow(clippy::float_cmp)]
+        {
+            assert_eq!(s.current_at(Seconds::new(0.999e-6)).value(), 0.0);
+            assert_eq!(s.current_at(Seconds::from_us(1.0)).value(), 10.0);
+        }
     }
 
     #[test]

@@ -1,5 +1,7 @@
 //! Strongly-typed electrical units.
 //!
+// dg-analyze: allow-file(unit-hygiene, reason = "this module defines the unit newtypes; its from_* conversion constructors are the one sanctioned raw-f64 boundary")
+//!
 //! Every quantity in the PDN model is carried in a newtype over `f64`
 //! ([C-NEWTYPE]) so that a voltage cannot be confused with a current and an
 //! impedance cannot be confused with a capacitance. The arithmetic that is

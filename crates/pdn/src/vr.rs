@@ -163,9 +163,17 @@ impl VoltageRegulator {
 /// Convenience constructor for a Skylake-class desktop VR:
 /// 1.6 mΩ load-line, 100 A TDC, 138 A EDC, 250 W supply.
 pub fn skylake_desktop_vr() -> VoltageRegulator {
-    let loadline = LoadLine::new(Ohms::from_mohm(1.6)).expect("constant is valid");
-    let limits = VrLimits::new(Amps::new(100.0), Amps::new(138.0), Watts::new(250.0))
-        .expect("constants are valid");
+    // Constructed literally: the constants are positive, finite, and keep
+    // EDC ≥ TDC, so the checked constructors could not reject them (a test
+    // re-validates them through `new`).
+    let loadline = LoadLine {
+        resistance: Ohms::from_mohm(1.6),
+    };
+    let limits = VrLimits {
+        tdc: Amps::new(100.0),
+        edc: Amps::new(138.0),
+        supply_limit: Watts::new(250.0),
+    };
     VoltageRegulator::new(loadline, limits)
 }
 
@@ -228,6 +236,15 @@ mod tests {
     fn negative_setpoint_panics() {
         let mut v = vr();
         v.set_voltage(Volts::new(-0.1));
+    }
+
+    #[test]
+    fn skylake_vr_constants_pass_validation() {
+        // Backs the literal construction in `skylake_desktop_vr`.
+        let v = skylake_desktop_vr();
+        assert!(LoadLine::new(v.loadline().resistance).is_ok());
+        let l = v.limits();
+        assert!(VrLimits::new(l.tdc, l.edc, l.supply_limit).is_ok());
     }
 
     #[test]

@@ -5,7 +5,7 @@ use dg_pdn::architectures::{delivery_loss, IvrModel, LdoModel, PdnArchitecture};
 use dg_pdn::didt::{analyze, DidtEvent};
 use dg_pdn::package::{PackageLayout, VoltageDomain};
 use dg_pdn::skylake::{PdnVariant, SkylakePdn};
-use dg_pdn::units::{Amps, Seconds, Volts, Watts};
+use dg_pdn::units::{Amps, Ohms, Seconds, Volts, Watts};
 use proptest::prelude::*;
 
 proptest! {
@@ -27,9 +27,9 @@ proptest! {
             .short_domains("MERGED", |d| selected.contains(&d.name.as_str()))
             .expect("non-empty selection");
         prop_assert_eq!(shorted.total_bumps(), before);
-        let merged_cap = shorted.current_capacity("MERGED");
+        let merged_cap = shorted.current_capacity("MERGED").unwrap();
         for name in &selected {
-            prop_assert!(merged_cap.value() >= layout.current_capacity(name).value());
+            prop_assert!(merged_cap.value() >= layout.current_capacity(name).unwrap().value());
         }
         // Domain count shrinks by (selected - 1).
         prop_assert_eq!(
@@ -43,10 +43,10 @@ proptest! {
     fn per_bump_current_inverse_in_bumps(bumps in 1usize..500, current in 0.1..200.0f64) {
         let d = VoltageDomain::new("d", bumps, false).unwrap();
         let layout = PackageLayout::new("p", vec![d], Amps::new(0.75)).unwrap();
-        let per = layout.per_bump_current("d", Amps::new(current));
+        let per = layout.per_bump_current("d", Amps::new(current)).unwrap();
         prop_assert!((per.value() - current / bumps as f64).abs() < 1e-12);
         prop_assert_eq!(
-            layout.within_em_limit("d", Amps::new(current)),
+            layout.within_em_limit("d", Amps::new(current)).unwrap(),
             per.value() <= 0.75
         );
     }
@@ -101,7 +101,7 @@ proptest! {
         let eta = ldo.efficiency(Volts::new(v_out));
         prop_assert!((eta - v_out / 1.35).abs() < 1e-12);
         for arch in [PdnArchitecture::Mbvr, PdnArchitecture::Ivr, PdnArchitecture::Ldo] {
-            let loss = delivery_loss(arch, Watts::new(out_w), Volts::new(v_out), 1.6, load);
+            let loss = delivery_loss(arch, Watts::new(out_w), Volts::new(v_out), Ohms::from_mohm(1.6), load);
             prop_assert!(loss.value() >= 0.0, "{arch:?}: {loss}");
             prop_assert!(loss.is_finite());
         }

@@ -7,7 +7,7 @@
 //! less.
 
 use crate::error::PowerError;
-use dg_pdn::units::{Amps, Hertz, Volts, Watts};
+use dg_pdn::units::{Amps, Farads, Hertz, Volts, Watts};
 use serde::{Deserialize, Serialize};
 
 /// A dynamic-capacitance operating profile for one component.
@@ -18,42 +18,59 @@ pub struct CdynProfile {
 }
 
 impl CdynProfile {
+    /// Creates a profile from a typed capacitance.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PowerError::InvalidParameter`] for a non-positive or
+    /// non-finite capacitance.
+    pub fn new(cdyn: Farads) -> Result<Self, PowerError> {
+        if !(cdyn.value() > 0.0 && cdyn.is_finite()) {
+            return Err(PowerError::InvalidParameter {
+                what: "dynamic capacitance",
+                value: cdyn.value(),
+            });
+        }
+        Ok(CdynProfile { cdyn: cdyn.value() })
+    }
+
     /// Creates a profile from a capacitance in nanofarads.
     ///
     /// # Errors
     ///
     /// Returns [`PowerError::InvalidParameter`] for a non-positive or
     /// non-finite capacitance.
+    // dg-analyze: allow(unit-hygiene, reason = "conversion constructor: the _nf suffix names the unit, mirroring the dg_pdn::units from_* ctors")
     pub fn from_nf(cdyn_nf: f64) -> Result<Self, PowerError> {
-        if !(cdyn_nf > 0.0 && cdyn_nf.is_finite()) {
-            return Err(PowerError::InvalidParameter {
-                what: "dynamic capacitance",
-                value: cdyn_nf,
-            });
-        }
-        Ok(CdynProfile {
+        Self::new(Farads::from_nf(cdyn_nf))
+    }
+
+    /// Literal constructor for compile-time constants known to be positive
+    /// and finite.
+    const fn from_nf_unchecked(cdyn_nf: f64) -> Self {
+        CdynProfile {
             cdyn: cdyn_nf * 1e-9,
-        })
+        }
     }
 
     /// A CPU core running a power-virus (maximum possible `C_dyn`).
     pub fn core_virus() -> Self {
-        CdynProfile::from_nf(2.2).expect("constant is valid")
+        CdynProfile::from_nf_unchecked(2.2)
     }
 
     /// A CPU core running a typical compute-heavy application.
     pub fn core_typical() -> Self {
-        CdynProfile::from_nf(1.45).expect("constant is valid")
+        CdynProfile::from_nf_unchecked(1.45)
     }
 
     /// A CPU core running a memory-bound application (mostly stalled).
     pub fn core_memory_bound() -> Self {
-        CdynProfile::from_nf(0.95).expect("constant is valid")
+        CdynProfile::from_nf_unchecked(0.95)
     }
 
     /// A graphics engine at full tilt.
     pub fn graphics_full() -> Self {
-        CdynProfile::from_nf(20.0).expect("constant is valid")
+        CdynProfile::from_nf_unchecked(20.0)
     }
 
     /// The dynamic capacitance in nanofarads.
@@ -159,6 +176,27 @@ mod tests {
         assert!(CdynProfile::from_nf(0.0).is_err());
         assert!(CdynProfile::from_nf(-1.0).is_err());
         assert!(CdynProfile::from_nf(f64::NAN).is_err());
+        assert!(CdynProfile::new(Farads::ZERO).is_err());
+    }
+
+    #[test]
+    fn typed_and_suffixed_ctors_agree() {
+        let a = CdynProfile::new(Farads::from_nf(2.0)).unwrap();
+        let b = CdynProfile::from_nf(2.0).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn constant_profiles_pass_validation() {
+        // Backs the unchecked literal construction of the presets.
+        for p in [
+            CdynProfile::core_virus(),
+            CdynProfile::core_typical(),
+            CdynProfile::core_memory_bound(),
+            CdynProfile::graphics_full(),
+        ] {
+            assert!(CdynProfile::from_nf(p.as_nf()).is_ok());
+        }
     }
 
     #[test]

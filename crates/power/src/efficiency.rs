@@ -64,13 +64,10 @@ pub fn most_efficient_state(
 ) -> PState {
     energy_curve(table, cdyn, leakage, tj)
         .into_iter()
-        .min_by(|a, b| {
-            a.energy_per_cycle
-                .partial_cmp(&b.energy_per_cycle)
-                .expect("finite energies")
-        })
-        .expect("table is non-empty")
-        .state
+        .min_by(|a, b| a.energy_per_cycle.total_cmp(&b.energy_per_cycle))
+        .map(|p| p.state)
+        // Unreachable: P-state tables are non-empty by construction.
+        .unwrap_or_else(|| table.pn())
 }
 
 #[cfg(test)]

@@ -80,38 +80,37 @@ impl LeakageModel {
 
     /// A Skylake-class CPU core: 0.60 W at 1.0 V / 50 °C.
     pub fn skylake_core() -> Self {
-        LeakageModel::new(
-            Watts::new(0.60),
-            Volts::new(1.0),
-            Celsius::new(50.0),
-            2.2,
-            30.0,
-        )
-        .expect("constants are valid")
+        // Constructed literally: all calibration constants are positive and
+        // finite (a test re-validates every preset through `new`).
+        LeakageModel {
+            p0: Watts::new(0.60),
+            v0: Volts::new(1.0),
+            t0: Celsius::new(50.0),
+            alpha: 2.2,
+            theta: 30.0,
+        }
     }
 
     /// A Skylake-class GT2 graphics engine: 1.2 W at 1.0 V / 50 °C.
     pub fn skylake_graphics() -> Self {
-        LeakageModel::new(
-            Watts::new(1.2),
-            Volts::new(1.0),
-            Celsius::new(50.0),
-            2.2,
-            30.0,
-        )
-        .expect("constants are valid")
+        LeakageModel {
+            p0: Watts::new(1.2),
+            v0: Volts::new(1.0),
+            t0: Celsius::new(50.0),
+            alpha: 2.2,
+            theta: 30.0,
+        }
     }
 
     /// The uncore (LLC, ring, system agent): 1.0 W at 1.0 V / 50 °C.
     pub fn skylake_uncore() -> Self {
-        LeakageModel::new(
-            Watts::new(1.0),
-            Volts::new(1.0),
-            Celsius::new(50.0),
-            2.0,
-            32.0,
-        )
-        .expect("constants are valid")
+        LeakageModel {
+            p0: Watts::new(1.0),
+            v0: Volts::new(1.0),
+            t0: Celsius::new(50.0),
+            alpha: 2.0,
+            theta: 32.0,
+        }
     }
 
     /// Leakage power at voltage `v` and junction temperature `t`.
@@ -149,6 +148,18 @@ impl LeakageModel {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn literal_presets_pass_validation() {
+        // Backs the literal construction of the calibrated presets.
+        for m in [
+            LeakageModel::skylake_core(),
+            LeakageModel::skylake_graphics(),
+            LeakageModel::skylake_uncore(),
+        ] {
+            assert!(LeakageModel::new(m.p0, m.v0, m.t0, m.alpha, m.theta).is_ok());
+        }
+    }
 
     #[test]
     fn reference_point_returns_p0() {

@@ -55,8 +55,18 @@ impl PowerLimits {
     ///
     /// Panics if `tdp` is not strictly positive.
     pub fn from_tdp(tdp: Watts) -> Self {
-        assert!(tdp.value() > 0.0, "TDP must be positive, got {tdp}");
-        PowerLimits::new(tdp, tdp * 1.25, tdp * 1.7, tdp * 2.2).expect("derived values are valid")
+        assert!(
+            tdp.value() > 0.0 && tdp.is_finite(),
+            "TDP must be positive, got {tdp}"
+        );
+        // A positive finite TDP yields positive, correctly-ordered limits,
+        // so `new`'s validation cannot fire.
+        PowerLimits {
+            pl1: tdp,
+            pl2: tdp * 1.25,
+            pl3: tdp * 1.7,
+            pl4: tdp * 2.2,
+        }
     }
 }
 
@@ -118,14 +128,17 @@ impl DesignLimits {
     ///
     /// Panics if `tdp` is not strictly positive.
     pub fn skylake(tdp: Watts) -> Self {
-        DesignLimits::new(
+        // `from_tdp` asserts the TDP is positive and finite; the voltage
+        // and temperature constants are fixed and valid, so `new`'s
+        // validation cannot fire (a test re-validates through `new`).
+        let power = PowerLimits::from_tdp(tdp);
+        DesignLimits {
             tdp,
-            Celsius::new(93.0),
-            Volts::new(1.35),
-            Volts::new(0.60),
-            PowerLimits::from_tdp(tdp),
-        )
-        .expect("constants are valid")
+            tjmax: Celsius::new(93.0),
+            vmax: Volts::new(1.35),
+            vmin: Volts::new(0.60),
+            power,
+        }
     }
 
     /// Returns a copy with a different Vmax (used when the reliability

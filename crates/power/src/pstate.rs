@@ -76,14 +76,21 @@ impl PStateTable {
         self.bin
     }
 
+    /// Placeholder returned for the impossible empty table (construction
+    /// guarantees at least one state).
+    const EMPTY: PState = PState {
+        frequency: Hertz::ZERO,
+        voltage: Volts::ZERO,
+    };
+
     /// The lowest operating point (Pn, the most energy-efficient state).
     pub fn pn(&self) -> PState {
-        self.states[0]
+        self.states.first().copied().unwrap_or(Self::EMPTY)
     }
 
     /// The highest operating point (P0 / max turbo).
     pub fn p0(&self) -> PState {
-        self.states[self.states.len() - 1]
+        self.states.last().copied().unwrap_or(Self::EMPTY)
     }
 
     /// The highest state whose voltage does not exceed `vmax`, if any.

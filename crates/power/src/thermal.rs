@@ -56,9 +56,17 @@ impl ThermalModel {
     ///
     /// Panics if `tdp` is not strictly positive.
     pub fn for_tdp(tdp: Watts) -> Self {
-        assert!(tdp.value() > 0.0, "TDP must be positive, got {tdp}");
-        let r_th = (93.0 - 25.0) / tdp.value();
-        ThermalModel::new(r_th, 120.0, Celsius::new(25.0)).expect("derived values are valid")
+        assert!(
+            tdp.value() > 0.0 && tdp.is_finite(),
+            "TDP must be positive, got {tdp}"
+        );
+        // A positive finite TDP gives a positive finite resistance, so
+        // `new`'s validation cannot fire.
+        ThermalModel {
+            r_th: (93.0 - 25.0) / tdp.value(),
+            c_th: 120.0,
+            t_ambient: Celsius::new(25.0),
+        }
     }
 
     /// Steady-state junction temperature at constant power `p`.

@@ -37,15 +37,17 @@ impl VfCurve {
             });
         }
         for pair in points.windows(2) {
-            if pair[1].0 <= pair[0].0 {
-                return Err(PowerError::InvalidCurve {
-                    reason: "frequencies must be strictly increasing",
-                });
-            }
-            if pair[1].1 <= pair[0].1 {
-                return Err(PowerError::InvalidCurve {
-                    reason: "voltages must be strictly increasing",
-                });
+            if let [lo, hi] = pair {
+                if hi.0 <= lo.0 {
+                    return Err(PowerError::InvalidCurve {
+                        reason: "frequencies must be strictly increasing",
+                    });
+                }
+                if hi.1 <= lo.1 {
+                    return Err(PowerError::InvalidCurve {
+                        reason: "voltages must be strictly increasing",
+                    });
+                }
             }
         }
         Ok(VfCurve {
@@ -58,34 +60,41 @@ impl VfCurve {
     /// reproduction (0.8 GHz @ 0.62 V up to 5.0 GHz @ 1.34 V, steepening
     /// toward the top as real curves do).
     pub fn skylake_core() -> Self {
-        VfCurve::new(vec![
-            (Hertz::from_ghz(0.8), Volts::new(0.620)),
-            (Hertz::from_ghz(1.2), Volts::new(0.650)),
-            (Hertz::from_ghz(1.6), Volts::new(0.690)),
-            (Hertz::from_ghz(2.0), Volts::new(0.740)),
-            (Hertz::from_ghz(2.4), Volts::new(0.800)),
-            (Hertz::from_ghz(2.8), Volts::new(0.862)),
-            (Hertz::from_ghz(3.2), Volts::new(0.930)),
-            (Hertz::from_ghz(3.6), Volts::new(1.010)),
-            (Hertz::from_ghz(4.0), Volts::new(1.100)),
-            (Hertz::from_ghz(4.4), Volts::new(1.190)),
-            (Hertz::from_ghz(4.8), Volts::new(1.285)),
-            (Hertz::from_ghz(5.0), Volts::new(1.340)),
-        ])
-        .expect("constant curve is valid")
+        // Constructed literally: the calibration points are strictly
+        // increasing in both axes (a test re-validates them through `new`).
+        VfCurve {
+            guardband: Volts::ZERO,
+            points: vec![
+                (Hertz::from_ghz(0.8), Volts::new(0.620)),
+                (Hertz::from_ghz(1.2), Volts::new(0.650)),
+                (Hertz::from_ghz(1.6), Volts::new(0.690)),
+                (Hertz::from_ghz(2.0), Volts::new(0.740)),
+                (Hertz::from_ghz(2.4), Volts::new(0.800)),
+                (Hertz::from_ghz(2.8), Volts::new(0.862)),
+                (Hertz::from_ghz(3.2), Volts::new(0.930)),
+                (Hertz::from_ghz(3.6), Volts::new(1.010)),
+                (Hertz::from_ghz(4.0), Volts::new(1.100)),
+                (Hertz::from_ghz(4.4), Volts::new(1.190)),
+                (Hertz::from_ghz(4.8), Volts::new(1.285)),
+                (Hertz::from_ghz(5.0), Volts::new(1.340)),
+            ],
+        }
     }
 
     /// The calibrated Skylake-class graphics-engine curve
     /// (300 MHz @ 0.60 V up to 1.25 GHz @ 1.05 V).
     pub fn skylake_graphics() -> Self {
-        VfCurve::new(vec![
-            (Hertz::from_mhz(300.0), Volts::new(0.600)),
-            (Hertz::from_mhz(600.0), Volts::new(0.700)),
-            (Hertz::from_mhz(900.0), Volts::new(0.830)),
-            (Hertz::from_mhz(1150.0), Volts::new(0.980)),
-            (Hertz::from_mhz(1250.0), Volts::new(1.050)),
-        ])
-        .expect("constant curve is valid")
+        // Constructed literally; a test re-validates the points via `new`.
+        VfCurve {
+            guardband: Volts::ZERO,
+            points: vec![
+                (Hertz::from_mhz(300.0), Volts::new(0.600)),
+                (Hertz::from_mhz(600.0), Volts::new(0.700)),
+                (Hertz::from_mhz(900.0), Volts::new(0.830)),
+                (Hertz::from_mhz(1150.0), Volts::new(0.980)),
+                (Hertz::from_mhz(1250.0), Volts::new(1.050)),
+            ],
+        }
     }
 
     /// The calibration points (bare, without guardband).
@@ -125,8 +134,9 @@ impl VfCurve {
     pub fn with_voltage_offset(&self, offset: Volts) -> Self {
         let points: Vec<(Hertz, Volts)> =
             self.points.iter().map(|&(f, v)| (f, v + offset)).collect();
+        let lowest = points.first().map_or(f64::INFINITY, |p| p.1.value());
         assert!(
-            points[0].1.value() > 0.0,
+            lowest > 0.0,
             "offset {offset} drives the curve non-positive"
         );
         VfCurve {
@@ -137,13 +147,14 @@ impl VfCurve {
 
     /// Lowest calibrated frequency.
     pub fn fmin(&self) -> Hertz {
-        self.points[0].0
+        // The constructor guarantees at least two points.
+        self.points.first().map_or(Hertz::ZERO, |p| p.0)
     }
 
     /// Highest calibrated frequency (the curve's own ceiling, independent of
     /// any voltage limit).
     pub fn fmax(&self) -> Hertz {
-        self.points[self.points.len() - 1].0
+        self.points.last().map_or(Hertz::ZERO, |p| p.0)
     }
 
     /// Required supply voltage (curve + guardband) at frequency `f`.
@@ -161,15 +172,21 @@ impl VfCurve {
                 max: self.fmax().value(),
             });
         }
-        let idx = self
-            .points
-            .windows(2)
-            .position(|w| f <= w[1].0)
-            .expect("f is within range");
-        let (f0, v0) = self.points[idx];
-        let (f1, v1) = self.points[idx + 1];
-        let t = (f - f0) / (f1 - f0);
-        Ok(v0 + (v1 - v0) * t + self.guardband)
+        for w in self.points.windows(2) {
+            if let &[(f0, v0), (f1, v1)] = w {
+                if f <= f1 {
+                    let t = (f - f0) / (f1 - f0);
+                    return Ok(v0 + (v1 - v0) * t + self.guardband);
+                }
+            }
+        }
+        // Unreachable: the range check above guarantees f ≤ fmax.
+        Err(PowerError::OutOfRange {
+            what: "frequency",
+            value: f.value(),
+            min: self.fmin().value(),
+            max: self.fmax().value(),
+        })
     }
 
     /// Maximum attainable frequency with supply voltage `v` available
@@ -186,7 +203,7 @@ impl VfCurve {
     /// [`fmax`]: VfCurve::fmax
     pub fn max_frequency_at(&self, v: Volts) -> Result<Hertz, PowerError> {
         let v_bare = v - self.guardband;
-        let (_, v_lo) = self.points[0];
+        let v_lo = self.points.first().map_or(Volts::ZERO, |p| p.1);
         if v_bare < v_lo {
             return Err(PowerError::OutOfRange {
                 what: "voltage",
@@ -195,19 +212,20 @@ impl VfCurve {
                 max: f64::INFINITY,
             });
         }
-        let (_, v_hi) = self.points[self.points.len() - 1];
+        let v_hi = self.points.last().map_or(Volts::ZERO, |p| p.1);
         if v_bare >= v_hi {
             return Ok(self.fmax());
         }
-        let idx = self
-            .points
-            .windows(2)
-            .position(|w| v_bare <= w[1].1)
-            .expect("v is within range");
-        let (f0, v0) = self.points[idx];
-        let (f1, v1) = self.points[idx + 1];
-        let t = (v_bare - v0) / (v1 - v0);
-        Ok(f0 + (f1 - f0) * t)
+        for w in self.points.windows(2) {
+            if let &[(f0, v0), (f1, v1)] = w {
+                if v_bare <= v1 {
+                    let t = (v_bare - v0) / (v1 - v0);
+                    return Ok(f0 + (f1 - f0) * t);
+                }
+            }
+        }
+        // Unreachable: v_bare < v_hi, so some window covers it.
+        Ok(self.fmax())
     }
 
     /// [`max_frequency_at`] quantized *down* to a multiple of `bin`
@@ -252,14 +270,15 @@ impl VfCurve {
                 max: self.fmax().value(),
             });
         }
-        let idx = self
-            .points
-            .windows(2)
-            .position(|w| f <= w[1].0)
-            .expect("f is within range");
-        let (f0, v0) = self.points[idx];
-        let (f1, v1) = self.points[idx + 1];
-        Ok((v1 - v0).value() / (f1 - f0).value())
+        for w in self.points.windows(2) {
+            if let &[(f0, v0), (f1, v1)] = w {
+                if f <= f1 {
+                    return Ok((v1 - v0).value() / (f1 - f0).value());
+                }
+            }
+        }
+        // Unreachable: the range check above guarantees f ≤ fmax.
+        Ok(0.0)
     }
 }
 
@@ -282,6 +301,14 @@ mod tests {
             (Hertz::from_ghz(2.0), Volts::new(0.8)),
         ])
         .is_err());
+    }
+
+    #[test]
+    fn literal_curves_pass_validation() {
+        // Backs the literal construction of the calibrated constants.
+        for c in [VfCurve::skylake_core(), VfCurve::skylake_graphics()] {
+            assert!(VfCurve::new(c.points().to_vec()).is_ok());
+        }
     }
 
     #[test]

@@ -245,11 +245,11 @@ impl<'a> Simulator<'a> {
         let mut powers = Vec::with_capacity(net.len());
         for name in net.names() {
             let w = if let Some(idx) = name.strip_prefix("core") {
-                let i: usize = idx.parse().expect("core node index");
-                if i < active_cores {
-                    active_power
-                } else {
-                    idle_power
+                // Floorplan core nodes are "core0".."core3"; a node with
+                // an unparseable suffix is treated as idle.
+                match idx.parse::<usize>() {
+                    Ok(i) if i < active_cores => active_power,
+                    _ => idle_power,
                 }
             } else if name == "uncore" {
                 p.uncore_active()

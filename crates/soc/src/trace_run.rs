@@ -6,6 +6,7 @@ use crate::products::Product;
 use dg_cstates::governor::IdleGovernor;
 use dg_cstates::latency::LatencyTable;
 use dg_pmu::pcode::{Pcode, PcodeConfig, PcodeEvent};
+use dg_power::dynamic::CdynProfile;
 use dg_power::units::{Hertz, Seconds, Watts};
 use dg_workloads::trace::{PhaseTrace, TracePhaseKind};
 use serde::{Deserialize, Serialize};
@@ -86,7 +87,9 @@ pub fn run_trace(product: &Product, trace: &PhaseTrace, dt: Seconds) -> TraceRep
             TracePhaseKind::Busy { active_cores, .. } => {
                 pcode.handle(PcodeEvent::WorkloadChange {
                     active_cores: active_cores.min(product.core_count),
-                    cdyn: phase.cdyn(),
+                    // Busy phases always carry a valid Cdyn; fall back to
+                    // a typical core for malformed hand-built traces.
+                    cdyn: phase.cdyn().unwrap_or_else(CdynProfile::core_typical),
                 });
             }
             TracePhaseKind::Idle => {

@@ -44,7 +44,8 @@ impl GraphicsWorkload {
     /// CPU-side dynamic capacitance of the driver core(s): light, mostly
     /// submission work.
     pub fn driver_cdyn(&self) -> CdynProfile {
-        CdynProfile::from_nf(1.1).expect("constant is valid")
+        // The constant is valid, so the fallback is unreachable.
+        CdynProfile::from_nf(1.1).unwrap_or_else(|_| CdynProfile::core_typical())
     }
 }
 

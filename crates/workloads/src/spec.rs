@@ -113,7 +113,9 @@ impl SpecBenchmark {
     /// spanning the `core_memory_bound`..`core_typical`+ band.
     pub fn cdyn(&self) -> CdynProfile {
         CdynProfile::from_nf(0.95 + 0.65 * self.scalability)
-            .expect("derived capacitance is positive")
+            // Unreachable for the suite's calibrated factors (s ∈ [0, 1]);
+            // an out-of-range hand-built entry falls back to typical.
+            .unwrap_or_else(|_| CdynProfile::core_typical())
     }
 }
 

@@ -35,17 +35,12 @@ pub struct TracePhase {
 }
 
 impl TracePhase {
-    /// The Cdyn profile of a busy phase.
-    ///
-    /// # Panics
-    ///
-    /// Panics if called on an idle phase.
-    pub fn cdyn(&self) -> CdynProfile {
+    /// The Cdyn profile of a busy phase; `None` for idle phases (which
+    /// draw no dynamic power) or for a non-positive/non-finite `cdyn_nf`.
+    pub fn cdyn(&self) -> Option<CdynProfile> {
         match self.kind {
-            TracePhaseKind::Busy { cdyn_nf, .. } => {
-                CdynProfile::from_nf(cdyn_nf).expect("trace cdyn is positive")
-            }
-            TracePhaseKind::Idle => panic!("idle phases have no Cdyn"),
+            TracePhaseKind::Busy { cdyn_nf, .. } => CdynProfile::from_nf(cdyn_nf).ok(),
+            TracePhaseKind::Idle => None,
         }
     }
 }
@@ -270,17 +265,16 @@ mod tests {
             .iter()
             .find(|p| matches!(p.kind, TracePhaseKind::Busy { .. }))
             .unwrap();
-        assert!(busy.cdyn().as_nf() >= 1.0);
+        assert!(busy.cdyn().unwrap().as_nf() >= 1.0);
     }
 
     #[test]
-    #[should_panic(expected = "no Cdyn")]
-    fn idle_phase_cdyn_panics() {
-        TracePhase {
+    fn idle_phase_has_no_cdyn() {
+        let idle = TracePhase {
             kind: TracePhaseKind::Idle,
             duration: Seconds::new(1.0),
-        }
-        .cdyn();
+        };
+        assert!(idle.cdyn().is_none());
     }
 
     #[test]

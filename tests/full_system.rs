@@ -258,8 +258,11 @@ fn package_transform_matches_topologies() {
     // domain's bumps far less.
     let burst = Amps::new(34.0);
     assert!(
-        desktop.per_bump_current("VCC_CORES", burst).value()
-            < 0.3 * mobile.per_bump_current("VC0G", burst).value()
+        desktop
+            .per_bump_current("VCC_CORES", burst)
+            .unwrap()
+            .value()
+            < 0.3 * mobile.per_bump_current("VC0G", burst).unwrap().value()
     );
 }
 
