@@ -36,7 +36,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Crates whose library code must be panic-free.
-const NO_PANIC_CRATES: [&str; 7] = [
+const NO_PANIC_CRATES: [&str; 8] = [
     "dg-pdn",
     "dg-pmu",
     "dg-power",
@@ -44,6 +44,9 @@ const NO_PANIC_CRATES: [&str; 7] = [
     "dg-soc",
     "dg-engine",
     "dg-workloads",
+    // The daemon: a handler bug must become a 500 + metrics increment,
+    // never a dead worker thread.
+    "dg-serve",
 ];
 
 /// Crates whose public API seams must use unit newtypes.

@@ -1,0 +1,82 @@
+//! Negative-path regression: the `no-panic-in-lib` rule must actually
+//! fire for `dg-serve` library code. The workspace itself is clean (see
+//! `workspace_clean.rs`), so this seeds a scratch mini-workspace whose
+//! `crates/serve` library contains a deliberate `.unwrap()` and asserts
+//! the scan reports exactly that violation — proving the daemon crate's
+//! registration in the panic-free list has enforcement teeth, not just a
+//! name in an array.
+
+use std::fs;
+use std::path::PathBuf;
+
+use dg_analyze::analyze_workspace;
+use dg_analyze::rules::RuleId;
+
+/// Builds `<tmp>/dg-analyze-seeded-<pid>/crates/serve` with a seeded
+/// panic site and returns the workspace root.
+fn seed_workspace() -> PathBuf {
+    let root = std::env::temp_dir().join(format!("dg-analyze-seeded-{}", std::process::id()));
+    let serve = root.join("crates").join("serve");
+    fs::create_dir_all(serve.join("src")).expect("create scratch workspace");
+    fs::write(
+        root.join("Cargo.toml"),
+        "[workspace]\nmembers = [\"crates/*\"]\nresolver = \"2\"\n",
+    )
+    .expect("write root manifest");
+    fs::write(
+        serve.join("Cargo.toml"),
+        "[package]\nname = \"dg-serve\"\nversion = \"0.1.0\"\nedition = \"2021\"\n",
+    )
+    .expect("write crate manifest");
+    fs::write(
+        serve.join("src").join("lib.rs"),
+        "//! Seeded fixture: one deliberate panic site in library code.\n\
+         \n\
+         /// Returns the cached value, panicking when absent.\n\
+         pub fn cached(v: Option<u32>) -> u32 {\n\
+         \x20   v.unwrap()\n\
+         }\n",
+    )
+    .expect("write seeded lib");
+    root
+}
+
+#[test]
+fn no_panic_in_lib_fires_on_a_seeded_violation_in_crates_serve() {
+    let root = seed_workspace();
+    let report = analyze_workspace(&root).expect("scan scratch workspace");
+    fs::remove_dir_all(&root).expect("clean up scratch workspace");
+
+    assert_eq!(
+        report.count(RuleId::NoPanicInLib),
+        1,
+        "exactly the seeded unwrap must fire: {:?}",
+        report.violations
+    );
+    let v = report
+        .violations
+        .iter()
+        .find(|v| v.rule == RuleId::NoPanicInLib)
+        .expect("seeded violation present");
+    assert_eq!(v.path, PathBuf::from("crates/serve/src/lib.rs"));
+    assert_eq!(v.line, 5, "the unwrap sits on line 5 of the fixture");
+    assert!(v.snippet.contains("v.unwrap()"), "{v}");
+    assert_ne!(
+        report.exit_code(),
+        0,
+        "a seeded panic site must fail the gate"
+    );
+
+    // The same fixture with the rule disabled stays clean — the firing
+    // above is attributable to no-panic-in-lib alone.
+    let root = seed_workspace();
+    let narrowed =
+        dg_analyze::analyze_workspace_rules(&root, &[RuleId::DocCoverage, RuleId::DepHygiene])
+            .expect("narrowed scan");
+    fs::remove_dir_all(&root).expect("clean up scratch workspace");
+    assert!(
+        narrowed.violations.is_empty(),
+        "fixture must be clean apart from the seeded panic site: {:?}",
+        narrowed.violations
+    );
+}

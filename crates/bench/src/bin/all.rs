@@ -4,8 +4,11 @@
 //! All figure datasets are computed once up front via
 //! [`darkgates::experiments::evaluate_all`] (each figure fans out over the
 //! `dg-engine` worker pool internally); printing then just formats the
-//! precomputed rows.
+//! precomputed rows. `--threads N` pins the worker-pool width (same
+//! override the `DG_NUM_THREADS` environment variable maps onto).
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let _threads = dg_bench::apply_thread_overrides(&args);
     let eval = darkgates::experiments::evaluate_all();
     dg_bench::print_table1();
     println!();

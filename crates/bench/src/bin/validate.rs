@@ -1,223 +1,32 @@
 //! Reproduction self-check: runs every experiment and grades each of the
 //! paper's headline claims PASS/FAIL with measured-vs-paper values.
 //!
-//! Run: `cargo run --release -p dg-bench --bin validate`
+//! Run: `cargo run --release -p dg-bench --bin validate [--threads N]`
 //!
-//! The graded figure datasets are computed exactly once up front (each
-//! experiment is internally parallel on the `dg-engine` pool); the twelve
-//! claim graders then run concurrently and are collected in submission
-//! order, so the report is identical for any thread count. Exit code 0
-//! when every claim holds, 1 otherwise.
+//! The grading itself lives in [`darkgates::claims`] (shared with
+//! `dg-serve`'s `GET /v1/claims`): the figure datasets are computed
+//! exactly once up front, then the twelve claim graders run concurrently
+//! and are collected in submission order, so the report is identical for
+//! any thread count. Exit code 0 when every claim holds, 1 otherwise.
 
-use darkgates::experiments::{self, Fig10Row, Fig4Result, Fig7Result, Fig8Cell, Fig9Row};
-use darkgates::units::Watts;
-use darkgates::DarkGates;
-
-/// The figure datasets the claims grade (Fig. 3 is motivational only and
-/// is not graded, so `validate` does not compute it — see `evaluate_all`
-/// for the full sweep the `all` binary uses).
-struct ClaimData {
-    fig4: Fig4Result,
-    fig7: Fig7Result,
-    fig8: Vec<Fig8Cell>,
-    fig9: Vec<Fig9Row>,
-    fig10: Vec<Fig10Row>,
-}
-
-struct Claim {
-    name: &'static str,
-    paper: String,
-    measured: String,
-    pass: bool,
-}
-
-fn claim(name: &'static str, paper: String, measured: String, pass: bool) -> Claim {
-    Claim {
-        name,
-        paper,
-        measured,
-        pass,
-    }
-}
-
-fn grade(eval: &ClaimData) -> Vec<Claim> {
-    type Grader<'a> = Box<dyn FnOnce() -> Claim + Send + 'a>;
-    let graders: Vec<Grader<'_>> = vec![
-        // Fig. 4: impedance halving.
-        Box::new(|| {
-            let f4 = &eval.fig4;
-            claim(
-                "Fig.4 gated/bypassed impedance ratio",
-                "~2x".into(),
-                format!("{:.2}x (geo-mean)", f4.mean_ratio),
-                (1.5..3.0).contains(&f4.mean_ratio) && f4.gated.dominates(&f4.bypassed, 1.0),
-            )
-        }),
-        // Fused-ceiling uplift.
-        Box::new(|| {
-            let s = DarkGates::desktop().product(Watts::new(91.0));
-            let h = DarkGates::mobile().product(Watts::new(91.0));
-            let uplift = s.fmax_1c().as_mhz() - h.fmax_1c().as_mhz();
-            claim(
-                "1-core Fmax uplift at 91 W",
-                "~400 MHz (4.2 -> ~4.6 GHz)".into(),
-                format!("{uplift:.0} MHz"),
-                (300.0..=500.0).contains(&uplift),
-            )
-        }),
-        // Fig. 7: headline gains.
-        Box::new(|| {
-            let f7 = &eval.fig7;
-            claim(
-                "Fig.7 average SPEC gain @91 W",
-                "4.6%".into(),
-                format!("{:.1}%", f7.average * 100.0),
-                (0.038..0.058).contains(&f7.average),
-            )
-        }),
-        Box::new(|| {
-            let f7 = &eval.fig7;
-            claim(
-                "Fig.7 max SPEC gain @91 W",
-                "8.1%".into(),
-                format!("{:.1}%", f7.max * 100.0),
-                (0.070..0.095).contains(&f7.max),
-            )
-        }),
-        // Fig. 8: trends.
-        Box::new(|| {
-            let f8 = &eval.fig8;
-            claim(
-                "Fig.8 base gains decrease with TDP",
-                "5.3 -> 4.6%".into(),
-                format!(
-                    "{:.1} -> {:.1}%",
-                    f8[0].base_gain * 100.0,
-                    f8[3].base_gain * 100.0
-                ),
-                f8[0].base_gain > f8[3].base_gain,
-            )
-        }),
-        Box::new(|| {
-            let f8 = &eval.fig8;
-            claim(
-                "Fig.8 rate > base at 91 W (Vmax regime)",
-                "5.0 vs 4.6%".into(),
-                format!(
-                    "{:.1} vs {:.1}%",
-                    f8[3].rate_gain * 100.0,
-                    f8[3].base_gain * 100.0
-                ),
-                f8[3].rate_gain > f8[3].base_gain,
-            )
-        }),
-        // Fig. 9: graphics.
-        Box::new(|| {
-            let f9 = &eval.fig9;
-            claim(
-                "Fig.9 graphics loss only at 35 W",
-                "-2% @35 W, 0% above".into(),
-                format!(
-                    "{:.1}% @35 W, {:.1}% @45 W",
-                    f9[0].degradation * 100.0,
-                    f9[1].degradation * 100.0
-                ),
-                (0.005..0.05).contains(&f9[0].degradation) && f9[1].degradation.abs() < 0.01,
-            )
-        }),
-        // Fig. 10: energy.
-        Box::new(|| {
-            let es = &eval.fig10[0];
-            claim(
-                "Fig.10 ENERGY STAR reduction (DG+C8)",
-                "-33%".into(),
-                format!("-{:.0}%", es.dg_c8_reduction * 100.0),
-                (0.25..0.42).contains(&es.dg_c8_reduction),
-            )
-        }),
-        Box::new(|| {
-            let rmt = &eval.fig10[1];
-            claim(
-                "Fig.10 RMT reduction (DG+C8)",
-                "-68%".into(),
-                format!("-{:.0}%", rmt.dg_c8_reduction * 100.0),
-                (0.55..0.78).contains(&rmt.dg_c8_reduction),
-            )
-        }),
-        Box::new(|| {
-            let es = &eval.fig10[0];
-            let rmt = &eval.fig10[1];
-            claim(
-                "Fig.10 DG+C7 misses, DG+C8 meets limits",
-                "FAIL / PASS".into(),
-                format!(
-                    "{} / {}",
-                    if es.dg_c7_meets_limit && rmt.dg_c7_meets_limit {
-                        "PASS"
-                    } else {
-                        "FAIL"
-                    },
-                    if es.dg_c8_meets_limit && rmt.dg_c8_meets_limit {
-                        "PASS"
-                    } else {
-                        "FAIL"
-                    }
-                ),
-                !es.dg_c7_meets_limit
-                    && !rmt.dg_c7_meets_limit
-                    && es.dg_c8_meets_limit
-                    && rmt.dg_c8_meets_limit,
-            )
-        }),
-        // Reliability guardband endpoints.
-        Box::new(|| {
-            let rel = DarkGates::desktop().reliability_model();
-            let gb35 = rel.guardband(Watts::new(35.0)).as_mv();
-            let gb91 = rel.guardband(Watts::new(91.0)).as_mv();
-            claim(
-                "Sec.4.2 reliability adder",
-                "<20 mV @35 W, <5 mV @91 W".into(),
-                format!("{gb35:.1} mV / {gb91:.1} mV"),
-                gb35 <= 20.0 && gb91 <= 5.0,
-            )
-        }),
-        // Firmware overhead.
-        Box::new(|| {
-            let oh = darkgates::overhead::report();
-            claim(
-                "Sec.5 firmware overhead",
-                "~0.3 KB, <0.004% of die".into(),
-                format!(
-                    "{} B, {:.5}% of die",
-                    oh.firmware_bytes,
-                    oh.firmware_die_fraction * 100.0
-                ),
-                oh.firmware_bytes == 300 && oh.firmware_die_fraction < 4e-5,
-            )
-        }),
-    ];
-    dg_engine::par_tasks(graders)
-}
+use darkgates::claims::{self, ClaimData};
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let _threads = dg_bench::apply_thread_overrides(&args);
+
     // dg-analyze: allow(determinism-hygiene, reason = "reports elapsed wall time in the footer only; no grading result depends on it")
     #[allow(clippy::disallowed_methods)]
     let started = std::time::Instant::now();
-    let eval = ClaimData {
-        fig4: experiments::fig4(),
-        fig7: experiments::fig7(),
-        fig8: experiments::fig8(),
-        fig9: experiments::fig9(),
-        fig10: experiments::fig10(),
-    };
-    let claims = grade(&eval);
+    let eval = ClaimData::compute();
+    let graded = claims::grade(&eval);
     let elapsed = started.elapsed();
 
     // Report.
     println!("DarkGates reproduction self-check");
     println!("{:-<78}", "");
     let mut failures = 0;
-    for c in &claims {
+    for c in &graded {
         if !c.pass {
             failures += 1;
         }
@@ -232,8 +41,8 @@ fn main() {
     println!("{:-<78}", "");
     println!(
         "{}/{} claims hold ({} worker thread(s), {:.1} ms)",
-        claims.len() - failures,
-        claims.len(),
+        graded.len() - failures,
+        graded.len(),
         dg_engine::num_threads(),
         elapsed.as_secs_f64() * 1e3,
     );

@@ -278,6 +278,47 @@ fn pass(ok: bool) -> &'static str {
     }
 }
 
+/// Applies thread-count overrides for a binary's lifetime and surfaces
+/// configuration mistakes instead of silently ignoring them.
+///
+/// Two sources, in priority order:
+///
+/// 1. a `--threads N` (or `--threads=N`) command-line flag, mapped onto
+///    [`dg_engine::set_thread_override`] — the returned guard must stay
+///    alive for the run;
+/// 2. the `DG_NUM_THREADS` / `RAYON_NUM_THREADS` environment variables,
+///    which `dg-engine` resolves itself — but any *invalid* value
+///    (`abc`, `0`, …) is printed as a startup warning on stderr here,
+///    because [`dg_engine::num_threads`] deliberately falls back in
+///    silence.
+///
+/// An invalid `--threads` value is also warned about and ignored.
+pub fn apply_thread_overrides(args: &[String]) -> Option<dg_engine::ThreadOverrideGuard> {
+    for issue in dg_engine::thread_env_issues() {
+        eprintln!("warning: {issue} to auto-detected thread count");
+    }
+    let mut requested: Option<&str> = None;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--threads" {
+            requested = iter.next().map(String::as_str);
+        } else if let Some(v) = arg.strip_prefix("--threads=") {
+            requested = Some(v);
+        }
+    }
+    let raw = requested?;
+    match raw.parse::<usize>() {
+        Ok(n) if n > 0 => Some(dg_engine::set_thread_override(n)),
+        _ => {
+            eprintln!(
+                "warning: --threads {raw:?} ignored (must be a positive integer); \
+                 falling back to auto-detected thread count"
+            );
+            None
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     // The printers are exercised by the binaries; here we only make sure

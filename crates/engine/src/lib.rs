@@ -115,6 +115,74 @@ impl Drop for ThreadOverrideGuard {
     }
 }
 
+/// Runs `f` with this thread marked as a pool worker, so every nested
+/// [`par_map`] / [`par_tasks`] call inside `f` executes inline on the
+/// current thread instead of spawning a scope of its own.
+///
+/// This is how a server thread-pool composes with the engine: each request
+/// handler runs under `inline_scope`, costing exactly one thread per
+/// request with no thread explosion, while the same library code still
+/// parallelises when called from a non-worker context. The marker is
+/// restored on unwind, so a panicking `f` does not leak worker status
+/// into unrelated work on a reused thread.
+pub fn inline_scope<R>(f: impl FnOnce() -> R) -> R {
+    /// Restores the previous `IN_WORKER` value even if `f` unwinds.
+    struct Restore {
+        prev: bool,
+    }
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            IN_WORKER.with(|w| w.set(self.prev));
+        }
+    }
+    let _restore = Restore {
+        prev: IN_WORKER.with(|w| w.replace(true)),
+    };
+    f()
+}
+
+/// A problem with a thread-count environment variable, surfaced so the
+/// binaries can warn at startup instead of silently falling back.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ThreadEnvIssue {
+    /// The offending variable (`DG_NUM_THREADS` or `RAYON_NUM_THREADS`).
+    pub var: &'static str,
+    /// The value it was set to.
+    pub value: String,
+    /// Why it was rejected.
+    pub reason: String,
+}
+
+impl fmt::Display for ThreadEnvIssue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}={:?} ignored ({}); falling back",
+            self.var, self.value, self.reason
+        )
+    }
+}
+
+/// Inspects the thread-count environment variables and reports every one
+/// that is set but unusable (non-numeric, zero, or otherwise unparsable).
+/// [`num_threads`] silently skips these; callers with a user interface
+/// (the bench binaries, `dg-serve`) print them as startup warnings.
+pub fn thread_env_issues() -> Vec<ThreadEnvIssue> {
+    let mut issues = Vec::new();
+    for var in ["DG_NUM_THREADS", "RAYON_NUM_THREADS"] {
+        let Ok(value) = std::env::var(var) else {
+            continue;
+        };
+        let reason = match value.trim().parse::<usize>() {
+            Ok(0) => "a zero-thread pool cannot make progress".to_owned(),
+            Ok(_) => continue,
+            Err(_) => format!("{:?} is not a positive integer", value.trim()),
+        };
+        issues.push(ThreadEnvIssue { var, value, reason });
+    }
+    issues
+}
+
 /// The number of worker threads parallel calls will use.
 pub fn num_threads() -> usize {
     let forced = THREAD_OVERRIDE.load(Ordering::SeqCst);
@@ -503,6 +571,72 @@ mod tests {
         let EngineError::WorkerPanic { index, payload } = err;
         assert_eq!(index, 11);
         assert_eq!(payload, "task 11 failed");
+    }
+
+    #[test]
+    fn inline_scope_inlines_nested_parallel_calls() {
+        let _l = serial();
+        let _g = set_thread_override(8);
+        let items: Vec<usize> = (0..32).collect();
+        let out = inline_scope(|| {
+            // Inside the scope, par_map must not spawn: observable because
+            // every closure runs on the current (marked) thread.
+            let here = std::thread::current().id();
+            par_map(&items, move |_, &x| {
+                assert_eq!(std::thread::current().id(), here);
+                x * 2
+            })
+        });
+        assert_eq!(out, (0..64).step_by(2).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn inline_scope_restores_marker_on_unwind() {
+        let _l = serial();
+        let result = catch_unwind(|| inline_scope(|| panic!("boom")));
+        assert!(result.is_err());
+        assert!(
+            !IN_WORKER.with(Cell::get),
+            "a panicking scope must not leave the thread marked as a worker"
+        );
+    }
+
+    #[test]
+    fn thread_env_issues_flags_bad_values() {
+        let _l = serial();
+        // Sequential std tests share the environment; scope the mutation
+        // and restore whatever was there before.
+        let prev = std::env::var("DG_NUM_THREADS").ok();
+        std::env::set_var("DG_NUM_THREADS", "abc");
+        let issues = thread_env_issues();
+        assert!(
+            issues
+                .iter()
+                .any(|i| i.var == "DG_NUM_THREADS" && i.value == "abc"),
+            "{issues:?}"
+        );
+        std::env::set_var("DG_NUM_THREADS", "0");
+        let issues = thread_env_issues();
+        assert!(
+            issues
+                .iter()
+                .any(|i| i.var == "DG_NUM_THREADS" && i.reason.contains("zero")),
+            "{issues:?}"
+        );
+        assert!(num_threads() >= 1, "bad env values must still fall back");
+        std::env::set_var("DG_NUM_THREADS", "4");
+        assert!(thread_env_issues().is_empty());
+        let display = ThreadEnvIssue {
+            var: "DG_NUM_THREADS",
+            value: "abc".to_owned(),
+            reason: "r".to_owned(),
+        }
+        .to_string();
+        assert!(display.contains("DG_NUM_THREADS") && display.contains("abc"));
+        match prev {
+            Some(v) => std::env::set_var("DG_NUM_THREADS", v),
+            None => std::env::remove_var("DG_NUM_THREADS"),
+        }
     }
 
     #[test]

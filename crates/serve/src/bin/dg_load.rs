@@ -1,0 +1,380 @@
+//! `dg-load`: load generator and smoke harness for `dg-serve`.
+//!
+//! ```text
+//! # CI smoke gate: spawn a constrained server, fire a 200-request mixed
+//! # burst (including malformed and oversized probes), force an overload,
+//! # verify only-503 shedding, spot-check results against the library,
+//! # and require a clean graceful drain. Exit 0 only if all of it holds.
+//! cargo run --release -p dg-serve --bin dg-load -- --smoke --spawn
+//!
+//! # Throughput/latency baseline (the BENCH_serve.json payload):
+//! cargo run --release -p dg-serve --bin dg-load -- --bench --spawn --json
+//!
+//! # Against an already-running server:
+//! cargo run --release -p dg-serve --bin dg-load -- --bench --addr 127.0.0.1:8737
+//! ```
+
+use dg_serve::client::{http_request, run_mix, LoadReport};
+use dg_serve::json::{self, Json};
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
+use std::process::{Child, Command, Stdio};
+
+struct Options {
+    smoke: bool,
+    bench: bool,
+    spawn: bool,
+    json: bool,
+    addr: Option<String>,
+    n: usize,
+    seed: u64,
+    concurrency: usize,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: dg-load (--smoke|--bench) (--spawn|--addr HOST:PORT) \
+         [--json] [-n N] [--seed S] [--concurrency C]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_options(args: &[String]) -> Options {
+    let mut opts = Options {
+        smoke: false,
+        bench: false,
+        spawn: false,
+        json: false,
+        addr: None,
+        n: 0,
+        seed: 42,
+        concurrency: 8,
+    };
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--smoke" => opts.smoke = true,
+            "--bench" => opts.bench = true,
+            "--spawn" => opts.spawn = true,
+            "--json" => opts.json = true,
+            "--addr" => opts.addr = iter.next().cloned(),
+            "-n" => opts.n = iter.next().and_then(|v| v.parse().ok()).unwrap_or(0),
+            "--seed" => opts.seed = iter.next().and_then(|v| v.parse().ok()).unwrap_or(42),
+            "--concurrency" => {
+                opts.concurrency = iter.next().and_then(|v| v.parse().ok()).unwrap_or(8);
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("error: unknown flag {other:?}");
+                usage();
+            }
+        }
+    }
+    if opts.smoke == opts.bench || (opts.spawn == opts.addr.is_some()) {
+        usage();
+    }
+    if opts.n == 0 {
+        opts.n = if opts.smoke { 200 } else { 400 };
+    }
+    opts
+}
+
+/// A spawned `dg-serve` child and the address it bound.
+struct Spawned {
+    child: Child,
+    addr: SocketAddr,
+}
+
+/// Spawns the sibling `dg-serve` binary and reads its bound address from
+/// the `listening on <addr>` line.
+fn spawn_server(extra_args: &[&str]) -> Result<Spawned, String> {
+    let me = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let server = me
+        .parent()
+        .map(|dir| dir.join("dg-serve"))
+        .filter(|p| p.exists())
+        .ok_or("dg-serve binary not found next to dg-load (build the package first)")?;
+    let mut child = Command::new(server)
+        .args(["--addr", "127.0.0.1:0"])
+        .args(extra_args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .map_err(|e| format!("spawn dg-serve: {e}"))?;
+    let stdout = child.stdout.take().ok_or("no child stdout")?;
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .map_err(|e| format!("read child banner: {e}"))?;
+    let addr = line
+        .trim()
+        .strip_prefix("listening on ")
+        .and_then(|a| a.parse().ok())
+        .ok_or_else(|| format!("unexpected banner {line:?}"))?;
+    Ok(Spawned { child, addr })
+}
+
+fn resolve_addr(raw: &str) -> SocketAddr {
+    match raw.parse() {
+        Ok(addr) => addr,
+        Err(e) => {
+            eprintln!("error: bad --addr {raw:?}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// One named check; prints PASS/FAIL and accumulates the verdict.
+struct Gate {
+    failures: usize,
+}
+
+impl Gate {
+    fn check(&mut self, name: &str, ok: bool, detail: &str) {
+        println!("[{}] {name}: {detail}", if ok { "PASS" } else { "FAIL" });
+        self.failures += usize::from(!ok);
+    }
+}
+
+/// Fetches `droop_mv` over HTTP and recomputes it with a direct library
+/// call: the served number must be the library's number.
+fn spot_check_droop(addr: SocketAddr, gate: &mut Gate) {
+    let body = r#"{"variant":"bypassed","from_a":5,"to_a":40,"source_v":1.0}"#;
+    let served = http_request(addr, "POST", "/v1/droop", Some(body))
+        .ok()
+        .filter(|r| r.status == 200)
+        .and_then(|r| json::parse(&r.body).ok())
+        .and_then(|v| {
+            v.get("result")
+                .and_then(|r| r.get("droop_mv"))
+                .and_then(Json::as_f64)
+        });
+    use darkgates::pdn::skylake::{PdnVariant, SkylakePdn};
+    use darkgates::pdn::transient::{LoadStep, TransientSim};
+    use darkgates::pdn::units::{Amps, Seconds, Volts};
+    let pdn = SkylakePdn::build(PdnVariant::Bypassed);
+    let direct = TransientSim::droop_capture(Volts::new(1.0))
+        .run(
+            &pdn.ladder,
+            LoadStep {
+                from: Amps::new(5.0),
+                to: Amps::new(40.0),
+                at: Seconds::from_us(1.0),
+                slew: Seconds::from_ns(0.0),
+            },
+        )
+        .droop()
+        .as_mv();
+    match served {
+        Some(mv) => gate.check(
+            "droop spot-check vs direct library call",
+            (mv - direct).abs() < 1e-9,
+            &format!("served {mv:.6} mV, library {direct:.6} mV"),
+        ),
+        None => gate.check(
+            "droop spot-check vs direct library call",
+            false,
+            "no result",
+        ),
+    }
+}
+
+/// Saturates the constrained server with slow debug-sleep requests and
+/// verifies overload is answered *only* with 503 + `Retry-After`.
+fn forced_overload(addr: SocketAddr, gate: &mut Gate) {
+    let threads: Vec<_> = (0..12)
+        .map(|_| {
+            std::thread::spawn(move || {
+                http_request(addr, "POST", "/v1/debug/sleep", Some(r#"{"ms":500}"#))
+                    .map(|r| (r.status, r.header("retry-after").map(str::to_owned)))
+            })
+        })
+        .collect();
+    let mut served = 0usize;
+    let mut shed = 0usize;
+    let mut shed_with_header = 0usize;
+    let mut unexpected = Vec::new();
+    for t in threads {
+        match t.join() {
+            Ok(Ok((200, _))) => served += 1,
+            Ok(Ok((503, retry))) => {
+                shed += 1;
+                shed_with_header += usize::from(retry.is_some());
+            }
+            Ok(Ok((status, _))) => unexpected.push(status),
+            Ok(Err(e)) => unexpected.push({
+                eprintln!("transport error during overload: {e}");
+                0
+            }),
+            Err(_) => unexpected.push(0),
+        }
+    }
+    gate.check(
+        "forced overload sheds with 503 only",
+        shed >= 1 && unexpected.is_empty(),
+        &format!("{served} served, {shed} shed, unexpected {unexpected:?}"),
+    );
+    gate.check(
+        "shed responses carry Retry-After",
+        shed_with_header == shed,
+        &format!("{shed_with_header}/{shed}"),
+    );
+}
+
+fn smoke(addr: SocketAddr, opts: &Options, spawned: Option<Spawned>) -> i32 {
+    let mut gate = Gate { failures: 0 };
+
+    spot_check_droop(addr, &mut gate);
+
+    let report = run_mix(addr, opts.n, opts.seed, opts.concurrency);
+    gate.check(
+        &format!("{}-request mixed burst: no 5xx other than 503", opts.n),
+        report.other_5xx == 0,
+        &format!(
+            "2xx={} 4xx={} 503={} other5xx={} transport={}",
+            report.ok_2xx,
+            report.err_4xx,
+            report.shed_503,
+            report.other_5xx,
+            report.transport_errors
+        ),
+    );
+    gate.check(
+        "mixed burst: no transport errors",
+        report.transport_errors == 0,
+        &format!("{}", report.transport_errors),
+    );
+    gate.check(
+        "malformed/oversized probes answered as expected",
+        report.expectation_failures == 0 && report.err_4xx > 0,
+        &format!(
+            "expectation_failures={} err_4xx={}",
+            report.expectation_failures, report.err_4xx
+        ),
+    );
+
+    forced_overload(addr, &mut gate);
+
+    let metrics = http_request(addr, "GET", "/metrics", None);
+    let metrics_ok = metrics
+        .as_ref()
+        .is_ok_and(|r| r.status == 200 && r.body.contains("dg_requests_total"));
+    let coalesce_visible = metrics.as_ref().is_ok_and(|r| {
+        r.body.contains("dg_shed_total") && r.body.contains("dg_coalesce_leaders_total")
+    });
+    gate.check(
+        "/metrics is populated",
+        metrics_ok && coalesce_visible,
+        &format!(
+            "{} bytes",
+            metrics.as_ref().map(|r| r.body.len()).unwrap_or(0)
+        ),
+    );
+
+    // Graceful drain: ask the server to drain, then (if we spawned it)
+    // require it to exit cleanly with the drain report on stderr.
+    let drain = http_request(addr, "POST", "/admin/drain", Some(""));
+    gate.check(
+        "drain request accepted",
+        drain.is_ok_and(|r| r.status == 200),
+        "POST /admin/drain",
+    );
+    if let Some(mut spawned) = spawned {
+        let status = spawned.child.wait();
+        gate.check(
+            "spawned server exited cleanly after drain",
+            status.as_ref().is_ok_and(std::process::ExitStatus::success),
+            &format!("{status:?}"),
+        );
+    }
+
+    println!(
+        "smoke: {} check(s) failed; p50={}us p99={}us rps={:.0}",
+        gate.failures,
+        report.p50_us(),
+        report.p99_us(),
+        report.rps()
+    );
+    i32::from(gate.failures > 0)
+}
+
+fn bench(addr: SocketAddr, opts: &Options, spawned: Option<Spawned>) -> i32 {
+    // Warm the substrate caches so the baseline measures serving, not
+    // first-touch physics.
+    let _ = run_mix(addr, 32, opts.seed ^ 0xDEAD, opts.concurrency);
+    let report = run_mix(addr, opts.n, opts.seed, opts.concurrency);
+    finish_spawned(addr, spawned);
+    if opts.json {
+        println!("{}", bench_json(&report, opts).render());
+    } else {
+        println!(
+            "dg-load bench: {} requests, {} concurrency, seed {}",
+            report.requests, opts.concurrency, opts.seed
+        );
+        println!(
+            "  rps={:.0} p50={}us p99={}us 2xx={} 4xx={} 503={} other5xx={} transport={}",
+            report.rps(),
+            report.p50_us(),
+            report.p99_us(),
+            report.ok_2xx,
+            report.err_4xx,
+            report.shed_503,
+            report.other_5xx,
+            report.transport_errors
+        );
+    }
+    i32::from(report.other_5xx > 0 || report.transport_errors > 0)
+}
+
+fn bench_json(report: &LoadReport, opts: &Options) -> Json {
+    #[allow(clippy::cast_precision_loss)]
+    json::obj(vec![
+        ("bench", Json::Str("dg-serve".to_owned())),
+        ("seed", Json::Num(opts.seed as f64)),
+        ("concurrency", Json::Num(opts.concurrency as f64)),
+        ("report", report.to_json()),
+    ])
+}
+
+fn finish_spawned(addr: SocketAddr, spawned: Option<Spawned>) {
+    if let Some(mut spawned) = spawned {
+        let _ = http_request(addr, "POST", "/admin/drain", Some(""));
+        let _ = spawned.child.wait();
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = parse_options(&args);
+
+    let spawned = if opts.spawn {
+        // Smoke wants a deliberately constrained server (small worker
+        // pool + queue so overload is reachable) with the debug sleep
+        // route enabled; bench wants the default shape.
+        let spawn_args: &[&str] = if opts.smoke {
+            &["--workers", "2", "--queue", "4", "--debug-routes"]
+        } else {
+            &[]
+        };
+        match spawn_server(spawn_args) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        None
+    };
+    let addr = spawned
+        .as_ref()
+        .map(|s| s.addr)
+        .unwrap_or_else(|| resolve_addr(opts.addr.as_deref().unwrap_or("")));
+
+    let code = if opts.smoke {
+        smoke(addr, &opts, spawned)
+    } else {
+        bench(addr, &opts, spawned)
+    };
+    std::process::exit(code);
+}

@@ -1,0 +1,452 @@
+//! A minimal std-only HTTP client and deterministic load generator.
+//!
+//! Powers the `dg-load` binary and the integration smoke tests. The mix
+//! generator is seeded (its own LCG, no wall-clock entropy), so a given
+//! `(seed, n)` always produces the same request sequence — which is what
+//! makes `BENCH_serve.json` comparable across runs and the CI smoke step
+//! reproducible.
+
+use crate::json::{obj, Json};
+use crate::metrics::monotonic_us;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// A parsed HTTP response.
+#[derive(Debug, Clone)]
+pub struct HttpReply {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Headers, names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// Body as text.
+    pub body: String,
+}
+
+impl HttpReply {
+    /// The first header value for `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Issues one request on a fresh connection (`Connection: close`).
+///
+/// # Errors
+///
+/// Any socket failure, or a response that is not parseable HTTP/1.1.
+pub fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> std::io::Result<HttpReply> {
+    let payload = body.unwrap_or("");
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nHost: dg-serve\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        payload.len()
+    );
+    raw_request(addr, raw.as_bytes())
+}
+
+/// Writes `raw` bytes verbatim and parses whatever comes back — the escape
+/// hatch the malformed-framing probes use.
+///
+/// # Errors
+///
+/// Any socket failure, or an unparseable response.
+pub fn raw_request(addr: SocketAddr, raw: &[u8]) -> std::io::Result<HttpReply> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    stream.write_all(raw)?;
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut bytes = Vec::new();
+    stream.read_to_end(&mut bytes)?;
+    parse_reply(&bytes)
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "unparseable reply"))
+}
+
+fn parse_reply(bytes: &[u8]) -> Option<HttpReply> {
+    let text = String::from_utf8_lossy(bytes);
+    let (head, body) = match text.split_once("\r\n\r\n") {
+        Some(pair) => pair,
+        None => text.split_once("\n\n")?,
+    };
+    let mut lines = head.lines();
+    let status_line = lines.next()?;
+    let status: u16 = status_line.split(' ').nth(1)?.parse().ok()?;
+    let headers = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_owned()))
+        .collect();
+    Some(HttpReply {
+        status,
+        headers,
+        body: body.to_owned(),
+    })
+}
+
+/// A deterministic linear-congruential generator (Knuth MMIX constants).
+#[derive(Debug, Clone)]
+pub struct Lcg(u64);
+
+impl Lcg {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Lcg(seed.wrapping_mul(2_862_933_555_777_941_757).wrapping_add(1))
+    }
+
+    /// The next pseudo-random word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self
+            .0
+            .wrapping_mul(6_364_136_223_846_793_005)
+            .wrapping_add(1_442_695_040_888_963_407);
+        self.0 >> 11
+    }
+
+    /// A value in `[0, bound)` (`0` when `bound == 0`).
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// One request of the generated mix.
+#[derive(Debug, Clone)]
+enum MixItem {
+    /// `(method, path, body)` of a well-formed request.
+    Framed(&'static str, &'static str, String),
+    /// Raw bytes with intentionally broken framing; the expected status.
+    Raw(Vec<u8>, u16),
+}
+
+/// The deterministic request at position `i` of the seeded mix.
+///
+/// The mix leans on repetition on purpose: repeated identical droops and
+/// sweeps exercise the substrate caches and the coalescer, the malformed
+/// and oversized entries exercise the parser's rejection paths.
+fn mix_item(rng: &mut Lcg) -> MixItem {
+    match rng.below(16) {
+        0 | 1 => MixItem::Framed("GET", "/healthz", String::new()),
+        2 => MixItem::Framed("GET", "/v1/claims", String::new()),
+        3..=6 => {
+            // Four droop variants → heavy repetition across the burst.
+            let to = 40 + 10 * rng.below(4);
+            MixItem::Framed(
+                "POST",
+                "/v1/droop",
+                format!("{{\"variant\":\"gated\",\"from_a\":10,\"to_a\":{to}}}"),
+            )
+        }
+        7..=9 => {
+            let variant = if rng.below(2) == 0 {
+                "gated"
+            } else {
+                "bypassed"
+            };
+            MixItem::Framed(
+                "POST",
+                "/v1/sweep",
+                format!("{{\"variant\":\"{variant}\",\"points\":128,\"decimate\":16}}"),
+            )
+        }
+        10 | 11 => MixItem::Framed(
+            "POST",
+            "/v1/product",
+            "{\"design\":\"desktop\",\"tdp_w\":91,\
+             \"workload\":{\"kind\":\"spec\",\"benchmark\":\"444.namd\",\"mode\":\"base\"}}"
+                .to_owned(),
+        ),
+        12 => MixItem::Framed(
+            "POST",
+            "/v1/product",
+            "{\"design\":\"mobile\",\"tdp_w\":45,\
+             \"workload\":{\"kind\":\"energy\",\"name\":\"energy-star\"}}"
+                .to_owned(),
+        ),
+        13 => MixItem::Framed("GET", "/metrics", String::new()),
+        14 => MixItem::Raw(b"THIS IS NOT HTTP\r\n\r\n".to_vec(), 400),
+        _ => MixItem::Raw(
+            // Declares a body far beyond the server's cap: rejected with
+            // 413 before any body byte is transferred.
+            b"POST /v1/droop HTTP/1.1\r\nHost: x\r\nContent-Length: 10000000\r\n\r\n".to_vec(),
+            413,
+        ),
+    }
+}
+
+/// Aggregated results of a load run.
+#[derive(Debug, Clone, Default)]
+pub struct LoadReport {
+    /// Requests attempted.
+    pub requests: usize,
+    /// 2xx responses.
+    pub ok_2xx: usize,
+    /// 4xx responses (the mix's malformed probes land here by design).
+    pub err_4xx: usize,
+    /// 503 sheds (admission control working as specified).
+    pub shed_503: usize,
+    /// 5xx responses other than 503 — the smoke gate requires **zero**.
+    pub other_5xx: usize,
+    /// Requests that failed at the transport layer.
+    pub transport_errors: usize,
+    /// Probes whose status differed from the expectation baked into the
+    /// mix (e.g. a malformed frame that was *not* answered 400).
+    pub expectation_failures: usize,
+    /// Wall time of the whole run, µs.
+    pub elapsed_us: u64,
+    /// Per-request latencies, sorted ascending, µs.
+    pub latencies_us: Vec<u64>,
+}
+
+impl LoadReport {
+    /// The `q`-quantile latency in µs (0 with no samples).
+    pub fn quantile_us(&self, q: f64) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        let hi = self.latencies_us.len() - 1;
+        #[allow(
+            clippy::cast_precision_loss,
+            clippy::cast_possible_truncation,
+            clippy::cast_sign_loss
+        )]
+        let idx = ((hi as f64) * q.clamp(0.0, 1.0)).floor() as usize;
+        self.latencies_us.get(idx.min(hi)).copied().unwrap_or(0)
+    }
+
+    /// Median latency, µs.
+    pub fn p50_us(&self) -> u64 {
+        self.quantile_us(0.50)
+    }
+
+    /// 99th-percentile latency, µs.
+    pub fn p99_us(&self) -> u64 {
+        self.quantile_us(0.99)
+    }
+
+    /// Achieved request rate, requests per second.
+    pub fn rps(&self) -> f64 {
+        if self.elapsed_us == 0 {
+            return 0.0;
+        }
+        #[allow(clippy::cast_precision_loss)]
+        {
+            (self.requests as f64) * 1e6 / (self.elapsed_us as f64)
+        }
+    }
+
+    /// The report as JSON (the `BENCH_serve.json` payload).
+    pub fn to_json(&self) -> Json {
+        #[allow(clippy::cast_precision_loss)]
+        fn num(n: usize) -> Json {
+            Json::Num(n as f64)
+        }
+        #[allow(clippy::cast_precision_loss)]
+        fn num64(n: u64) -> Json {
+            Json::Num(n as f64)
+        }
+        obj(vec![
+            ("requests", num(self.requests)),
+            ("ok_2xx", num(self.ok_2xx)),
+            ("err_4xx", num(self.err_4xx)),
+            ("shed_503", num(self.shed_503)),
+            ("other_5xx", num(self.other_5xx)),
+            ("transport_errors", num(self.transport_errors)),
+            ("expectation_failures", num(self.expectation_failures)),
+            ("elapsed_us", num64(self.elapsed_us)),
+            ("rps", Json::Num(self.rps())),
+            ("p50_us", num64(self.p50_us())),
+            ("p99_us", num64(self.p99_us())),
+        ])
+    }
+
+    fn absorb(&mut self, status: u16, expected: Option<u16>, latency_us: u64) {
+        self.requests += 1;
+        self.latencies_us.push(latency_us);
+        match status {
+            200..=299 => self.ok_2xx += 1,
+            503 => self.shed_503 += 1,
+            400..=499 => self.err_4xx += 1,
+            _ => self.other_5xx += 1,
+        }
+        // A shed (503) is an admission-level outcome and can pre-empt any
+        // probe, so it never counts against a probe's expected status.
+        if expected.is_some_and(|want| want != status && status != 503) {
+            self.expectation_failures += 1;
+        }
+    }
+
+    fn merge(&mut self, other: LoadReport) {
+        self.requests += other.requests;
+        self.ok_2xx += other.ok_2xx;
+        self.err_4xx += other.err_4xx;
+        self.shed_503 += other.shed_503;
+        self.other_5xx += other.other_5xx;
+        self.transport_errors += other.transport_errors;
+        self.expectation_failures += other.expectation_failures;
+        self.latencies_us.extend(other.latencies_us);
+    }
+}
+
+/// Runs `n` requests of the seeded mix against `addr` from `concurrency`
+/// client threads, and aggregates the outcome.
+///
+/// Each thread derives its own sub-seed from `seed`, so the union of
+/// requests is deterministic for a given `(n, seed, concurrency)`.
+pub fn run_mix(addr: SocketAddr, n: usize, seed: u64, concurrency: usize) -> LoadReport {
+    let concurrency = concurrency.clamp(1, 64);
+    let start = monotonic_us();
+    let threads: Vec<_> = (0..concurrency)
+        .map(|t| {
+            let quota = n / concurrency + usize::from(t < n % concurrency);
+            let sub_seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(t as u64 + 1));
+            std::thread::spawn(move || {
+                let mut rng = Lcg::new(sub_seed);
+                let mut report = LoadReport::default();
+                for _ in 0..quota {
+                    run_one(addr, &mut rng, &mut report);
+                }
+                report
+            })
+        })
+        .collect();
+    let mut total = LoadReport::default();
+    for t in threads {
+        match t.join() {
+            Ok(report) => total.merge(report),
+            Err(_) => total.transport_errors += 1,
+        }
+    }
+    total.elapsed_us = monotonic_us().saturating_sub(start);
+    total.latencies_us.sort_unstable();
+    total
+}
+
+fn run_one(addr: SocketAddr, rng: &mut Lcg, report: &mut LoadReport) {
+    let item = mix_item(rng);
+    let begin = monotonic_us();
+    let outcome = match &item {
+        MixItem::Framed(method, path, body) => {
+            let body = if body.is_empty() {
+                None
+            } else {
+                Some(body.as_str())
+            };
+            http_request(addr, method, path, body).map(|r| (r.status, None))
+        }
+        MixItem::Raw(bytes, expect) => raw_request(addr, bytes).map(|r| (r.status, Some(*expect))),
+    };
+    let latency = monotonic_us().saturating_sub(begin);
+    match outcome {
+        Ok((status, expected)) => report.absorb(status, expected, latency),
+        Err(_) => {
+            report.requests += 1;
+            report.transport_errors += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lcg_is_deterministic_and_varies() {
+        let mut a = Lcg::new(42);
+        let mut b = Lcg::new(42);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert!(xs.windows(2).any(|w| w.first() != w.last()));
+        assert!(Lcg::new(1).below(10) < 10);
+        assert_eq!(Lcg::new(1).below(0), 0);
+    }
+
+    #[test]
+    fn mix_is_deterministic_for_a_seed() {
+        let seq = |seed| {
+            let mut rng = Lcg::new(seed);
+            (0..50)
+                .map(|_| format!("{:?}", mix_item(&mut rng)))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(seq(7), seq(7));
+        assert_ne!(seq(7), seq(8));
+    }
+
+    #[test]
+    fn mix_covers_every_probe_kind() {
+        let mut rng = Lcg::new(3);
+        let items: Vec<MixItem> = (0..200).map(|_| mix_item(&mut rng)).collect();
+        let raws = items
+            .iter()
+            .filter(|i| matches!(i, MixItem::Raw(..)))
+            .count();
+        let framed = items.len() - raws;
+        assert!(raws > 5, "mix must include malformed/oversized probes");
+        assert!(framed > 100);
+        for path in [
+            "/healthz",
+            "/v1/droop",
+            "/v1/sweep",
+            "/v1/product",
+            "/v1/claims",
+        ] {
+            assert!(
+                items
+                    .iter()
+                    .any(|i| matches!(i, MixItem::Framed(_, p, _) if *p == path)),
+                "mix never hit {path}"
+            );
+        }
+    }
+
+    #[test]
+    fn report_quantiles_and_rates() {
+        let mut r = LoadReport {
+            latencies_us: (1..=100).collect(),
+            requests: 100,
+            elapsed_us: 1_000_000,
+            ..LoadReport::default()
+        };
+        r.latencies_us.sort_unstable();
+        assert_eq!(r.p50_us(), 50);
+        assert_eq!(r.p99_us(), 99);
+        assert!((r.rps() - 100.0).abs() < 1e-9);
+        assert_eq!(LoadReport::default().p99_us(), 0);
+    }
+
+    #[test]
+    fn report_classifies_statuses() {
+        let mut r = LoadReport::default();
+        r.absorb(200, None, 10);
+        r.absorb(400, Some(400), 10);
+        r.absorb(413, Some(400), 10); // expectation miss
+        r.absorb(503, None, 10);
+        r.absorb(500, None, 10);
+        assert_eq!((r.ok_2xx, r.err_4xx, r.shed_503, r.other_5xx), (1, 2, 1, 1));
+        assert_eq!(r.expectation_failures, 1);
+        let json = r.to_json().render();
+        assert!(json.contains("\"other_5xx\":1"));
+    }
+
+    #[test]
+    fn reply_parser_reads_status_and_headers() {
+        let reply = parse_reply(
+            b"HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\nContent-Length: 2\r\n\r\nhi",
+        )
+        .expect("parse");
+        assert_eq!(reply.status, 503);
+        assert_eq!(reply.header("retry-after"), Some("1"));
+        assert_eq!(reply.body, "hi");
+    }
+}

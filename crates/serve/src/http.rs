@@ -1,0 +1,537 @@
+//! A hand-rolled, hardened HTTP/1.1 message layer.
+//!
+//! [`RequestParser`] is incremental: bytes arrive in arbitrary fragments
+//! (`feed` can be called with one byte at a time) and a request is
+//! returned only when its framing is complete. Hardening, in order of the
+//! attacks it blunts:
+//!
+//! * **partial reads** — state is buffered across `feed` calls; a split at
+//!   any byte boundary yields the identical parse (property-tested),
+//! * **oversized heads/bodies** — the head is bounded before a terminator
+//!   is ever searched for, and a declared `Content-Length` beyond the body
+//!   cap is rejected *before* any body byte is read,
+//! * **malformed framing** — bad request lines, non-token methods, header
+//!   lines without `:`, missing-CR line endings, duplicate or non-numeric
+//!   `Content-Length`, and `Transfer-Encoding` (unimplemented) all yield
+//!   typed [`HttpError`]s that map onto 4xx/5xx statuses.
+//!
+//! Header names are case-insensitive per RFC 9110 and are normalised to
+//! lowercase at parse time.
+
+use std::fmt;
+
+/// Default cap on the request head (request line + headers).
+pub const DEFAULT_MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Default cap on a request body.
+pub const DEFAULT_MAX_BODY_BYTES: usize = 64 * 1024;
+
+/// Default cap on the number of headers.
+pub const DEFAULT_MAX_HEADERS: usize = 64;
+
+/// Framing limits for [`RequestParser`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParserLimits {
+    /// Maximum bytes of request line + headers (431 beyond this).
+    pub max_head_bytes: usize,
+    /// Maximum declared body size (413 beyond this).
+    pub max_body_bytes: usize,
+    /// Maximum number of header fields (431 beyond this).
+    pub max_headers: usize,
+}
+
+impl Default for ParserLimits {
+    fn default() -> Self {
+        ParserLimits {
+            max_head_bytes: DEFAULT_MAX_HEAD_BYTES,
+            max_body_bytes: DEFAULT_MAX_BODY_BYTES,
+            max_headers: DEFAULT_MAX_HEADERS,
+        }
+    }
+}
+
+/// A complete, framed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The method token, upper-cased as received (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target (path, plus query string if any).
+    pub target: String,
+    /// Header fields in arrival order; names lowercased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header value for `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to keep the connection open.
+    /// HTTP/1.1 defaults to keep-alive unless `Connection: close` is sent.
+    pub fn keep_alive(&self) -> bool {
+        !self
+            .header("connection")
+            .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// A framing violation; maps to an HTTP status via [`HttpError::status`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HttpError {
+    /// The request line was not `METHOD SP TARGET SP HTTP/1.x`.
+    BadRequestLine,
+    /// A header line had no `:` separator or a malformed name.
+    BadHeader {
+        /// 1-indexed header line within the head.
+        line: usize,
+    },
+    /// The head exceeded [`ParserLimits::max_head_bytes`].
+    HeadTooLarge {
+        /// The configured cap.
+        limit: usize,
+    },
+    /// More than [`ParserLimits::max_headers`] header fields.
+    TooManyHeaders {
+        /// The configured cap.
+        limit: usize,
+    },
+    /// More than one `Content-Length` header was sent.
+    DuplicateContentLength,
+    /// `Content-Length` was not a plain decimal number.
+    InvalidContentLength,
+    /// The declared body exceeds [`ParserLimits::max_body_bytes`].
+    BodyTooLarge {
+        /// What the request declared.
+        declared: usize,
+        /// The configured cap.
+        limit: usize,
+    },
+    /// `Transfer-Encoding` framing is not implemented by this server.
+    UnsupportedTransferEncoding,
+}
+
+impl HttpError {
+    /// The `(status, reason)` this error maps onto.
+    pub fn status(&self) -> (u16, &'static str) {
+        match self {
+            HttpError::BadRequestLine
+            | HttpError::BadHeader { .. }
+            | HttpError::DuplicateContentLength
+            | HttpError::InvalidContentLength => (400, "Bad Request"),
+            HttpError::HeadTooLarge { .. } | HttpError::TooManyHeaders { .. } => {
+                (431, "Request Header Fields Too Large")
+            }
+            HttpError::BodyTooLarge { .. } => (413, "Content Too Large"),
+            HttpError::UnsupportedTransferEncoding => (501, "Not Implemented"),
+        }
+    }
+}
+
+impl fmt::Display for HttpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HttpError::BadRequestLine => write!(f, "malformed request line"),
+            HttpError::BadHeader { line } => write!(f, "malformed header on line {line}"),
+            HttpError::HeadTooLarge { limit } => {
+                write!(f, "request head exceeds {limit} bytes")
+            }
+            HttpError::TooManyHeaders { limit } => {
+                write!(f, "more than {limit} header fields")
+            }
+            HttpError::DuplicateContentLength => write!(f, "duplicate Content-Length"),
+            HttpError::InvalidContentLength => write!(f, "non-numeric Content-Length"),
+            HttpError::BodyTooLarge { declared, limit } => {
+                write!(
+                    f,
+                    "declared body of {declared} bytes exceeds the {limit} byte cap"
+                )
+            }
+            HttpError::UnsupportedTransferEncoding => {
+                write!(f, "Transfer-Encoding framing is not supported")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HttpError {}
+
+/// Incremental request parser; one per connection.
+///
+/// Bytes left over after a completed request (pipelining) stay buffered
+/// and seed the next parse.
+#[derive(Debug)]
+pub struct RequestParser {
+    limits: ParserLimits,
+    buf: Vec<u8>,
+    /// Set once a framing error is returned; the connection is poisoned
+    /// because the byte stream can no longer be trusted.
+    dead: bool,
+}
+
+impl RequestParser {
+    /// A parser enforcing `limits`.
+    pub fn new(limits: ParserLimits) -> Self {
+        RequestParser {
+            limits,
+            buf: Vec::new(),
+            dead: false,
+        }
+    }
+
+    /// Appends freshly read bytes and attempts to complete one request.
+    ///
+    /// Returns `Ok(None)` while the framing is still incomplete.
+    ///
+    /// # Errors
+    ///
+    /// Returns a typed [`HttpError`] on any framing violation; after an
+    /// error the parser refuses further input (the stream is ambiguous).
+    pub fn feed(&mut self, bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+        if self.dead {
+            return Err(HttpError::BadRequestLine);
+        }
+        self.buf.extend_from_slice(bytes);
+        match self.try_parse() {
+            Ok(v) => Ok(v),
+            Err(e) => {
+                self.dead = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Bytes currently buffered but not yet consumed by a parse.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    fn try_parse(&mut self) -> Result<Option<Request>, HttpError> {
+        let Some(head_end) = find_head_end(&self.buf) else {
+            // No terminator yet: the head must still fit in the cap.
+            if self.buf.len() > self.limits.max_head_bytes {
+                return Err(HttpError::HeadTooLarge {
+                    limit: self.limits.max_head_bytes,
+                });
+            }
+            return Ok(None);
+        };
+        if head_end.head_len > self.limits.max_head_bytes {
+            return Err(HttpError::HeadTooLarge {
+                limit: self.limits.max_head_bytes,
+            });
+        }
+
+        let head = self.buf.get(..head_end.head_len).unwrap_or_default();
+        let head_text = std::str::from_utf8(head).map_err(|_| HttpError::BadRequestLine)?;
+        let mut lines = head_text.split("\r\n").flat_map(|l| l.split('\n'));
+
+        let request_line = lines.next().ok_or(HttpError::BadRequestLine)?;
+        let (method, target) = parse_request_line(request_line)?;
+
+        let mut headers: Vec<(String, String)> = Vec::new();
+        let mut content_length: Option<usize> = None;
+        for (i, line) in lines.enumerate() {
+            if line.is_empty() {
+                continue;
+            }
+            if headers.len() >= self.limits.max_headers {
+                return Err(HttpError::TooManyHeaders {
+                    limit: self.limits.max_headers,
+                });
+            }
+            let (name, value) = line
+                .split_once(':')
+                .ok_or(HttpError::BadHeader { line: i + 2 })?;
+            // Per RFC 9112 no whitespace is allowed between name and ':'.
+            if name.is_empty()
+                || name.ends_with(' ')
+                || name.ends_with('\t')
+                || !name.bytes().all(is_token_byte)
+            {
+                return Err(HttpError::BadHeader { line: i + 2 });
+            }
+            let name = name.to_ascii_lowercase();
+            let value = value.trim().to_owned();
+            if name == "content-length" {
+                if content_length.is_some() {
+                    return Err(HttpError::DuplicateContentLength);
+                }
+                if !value.bytes().all(|b| b.is_ascii_digit()) || value.is_empty() {
+                    return Err(HttpError::InvalidContentLength);
+                }
+                let parsed: usize = value.parse().map_err(|_| HttpError::InvalidContentLength)?;
+                content_length = Some(parsed);
+            }
+            if name == "transfer-encoding" {
+                return Err(HttpError::UnsupportedTransferEncoding);
+            }
+            headers.push((name, value));
+        }
+
+        let body_len = content_length.unwrap_or(0);
+        if body_len > self.limits.max_body_bytes {
+            return Err(HttpError::BodyTooLarge {
+                declared: body_len,
+                limit: self.limits.max_body_bytes,
+            });
+        }
+        let total = head_end.consumed + body_len;
+        if self.buf.len() < total {
+            return Ok(None); // body still arriving
+        }
+        let body = self
+            .buf
+            .get(head_end.consumed..total)
+            .unwrap_or_default()
+            .to_vec();
+        self.buf.drain(..total);
+        Ok(Some(Request {
+            method,
+            target,
+            headers,
+            body,
+        }))
+    }
+}
+
+/// Where the head ends: `head_len` excludes the blank-line terminator,
+/// `consumed` includes it.
+struct HeadEnd {
+    head_len: usize,
+    consumed: usize,
+}
+
+/// Finds the head terminator, accepting `\r\n\r\n` and the lenient `\n\n`.
+fn find_head_end(buf: &[u8]) -> Option<HeadEnd> {
+    let mut i = 0;
+    while i < buf.len() {
+        if buf.get(i..i + 4) == Some(b"\r\n\r\n") {
+            return Some(HeadEnd {
+                head_len: i,
+                consumed: i + 4,
+            });
+        }
+        if buf.get(i..i + 2) == Some(b"\n\n") {
+            return Some(HeadEnd {
+                head_len: i,
+                consumed: i + 2,
+            });
+        }
+        i += 1;
+    }
+    None
+}
+
+fn is_token_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
+}
+
+fn parse_request_line(line: &str) -> Result<(String, String), HttpError> {
+    let mut parts = line.split(' ');
+    let method = parts.next().unwrap_or_default();
+    let target = parts.next().unwrap_or_default();
+    let version = parts.next().unwrap_or_default();
+    if parts.next().is_some()
+        || method.is_empty()
+        || !method.bytes().all(is_token_byte)
+        || target.is_empty()
+        || !target.starts_with('/')
+        || !(version == "HTTP/1.1" || version == "HTTP/1.0")
+    {
+        return Err(HttpError::BadRequestLine);
+    }
+    Ok((method.to_owned(), target.to_owned()))
+}
+
+/// Serialises an HTTP/1.1 response.
+///
+/// `extra_headers` are emitted verbatim after the standard set; the body
+/// is framed with `Content-Length`.
+pub fn write_response(
+    status: u16,
+    reason: &str,
+    content_type: &str,
+    extra_headers: &[(String, String)],
+    body: &[u8],
+    close: bool,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(body.len() + 256);
+    out.extend_from_slice(format!("HTTP/1.1 {status} {reason}\r\n").as_bytes());
+    out.extend_from_slice(format!("Content-Type: {content_type}\r\n").as_bytes());
+    out.extend_from_slice(format!("Content-Length: {}\r\n", body.len()).as_bytes());
+    for (k, v) in extra_headers {
+        out.extend_from_slice(format!("{k}: {v}\r\n").as_bytes());
+    }
+    if close {
+        out.extend_from_slice(b"Connection: close\r\n");
+    }
+    out.extend_from_slice(b"\r\n");
+    out.extend_from_slice(body);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse_all(bytes: &[u8]) -> Result<Option<Request>, HttpError> {
+        RequestParser::new(ParserLimits::default()).feed(bytes)
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse_all(b"POST /v1/droop HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd")
+            .expect("valid")
+            .expect("complete");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/v1/droop");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"abcd");
+        assert!(req.keep_alive());
+    }
+
+    #[test]
+    fn header_names_are_case_insensitive() {
+        let req = parse_all(b"POST / HTTP/1.1\r\ncOnTeNt-LeNgTh: 2\r\n\r\nhi")
+            .expect("valid")
+            .expect("complete");
+        assert_eq!(req.body, b"hi");
+    }
+
+    #[test]
+    fn incomplete_frames_return_none() {
+        let mut p = RequestParser::new(ParserLimits::default());
+        assert_eq!(p.feed(b"GET / HT").expect("partial"), None);
+        assert_eq!(p.feed(b"TP/1.1\r\nHost: a\r\n").expect("partial"), None);
+        let req = p.feed(b"\r\n").expect("valid").expect("complete");
+        assert_eq!(req.method, "GET");
+        assert_eq!(p.buffered(), 0);
+    }
+
+    #[test]
+    fn pipelined_requests_keep_leftover_bytes() {
+        let mut p = RequestParser::new(ParserLimits::default());
+        let two = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let first = p.feed(two).expect("valid").expect("complete");
+        assert_eq!(first.target, "/a");
+        let second = p.feed(b"").expect("valid").expect("complete");
+        assert_eq!(second.target, "/b");
+    }
+
+    #[test]
+    fn duplicate_content_length_is_rejected() {
+        let err = parse_all(b"POST / HTTP/1.1\r\nContent-Length: 2\r\nContent-Length: 2\r\n\r\nhi")
+            .expect_err("duplicate");
+        assert_eq!(err, HttpError::DuplicateContentLength);
+        assert_eq!(err.status().0, 400);
+    }
+
+    #[test]
+    fn non_numeric_content_length_is_rejected() {
+        for v in ["abc", "-1", "1 2", ""] {
+            let raw = format!("POST / HTTP/1.1\r\nContent-Length: {v}\r\n\r\n");
+            let err = parse_all(raw.as_bytes()).expect_err("invalid length");
+            assert_eq!(err, HttpError::InvalidContentLength, "{v:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_declared_body_is_rejected_before_body_bytes() {
+        let limits = ParserLimits {
+            max_body_bytes: 16,
+            ..ParserLimits::default()
+        };
+        let mut p = RequestParser::new(limits);
+        let err = p
+            .feed(b"POST / HTTP/1.1\r\nContent-Length: 1000000\r\n\r\n")
+            .expect_err("too large");
+        assert_eq!(
+            err,
+            HttpError::BodyTooLarge {
+                declared: 1_000_000,
+                limit: 16
+            }
+        );
+        assert_eq!(err.status().0, 413);
+    }
+
+    #[test]
+    fn unbounded_head_is_rejected_without_a_terminator() {
+        let limits = ParserLimits {
+            max_head_bytes: 64,
+            ..ParserLimits::default()
+        };
+        let mut p = RequestParser::new(limits);
+        let err = p.feed(&[b'A'; 100]).expect_err("head too large");
+        assert!(matches!(err, HttpError::HeadTooLarge { limit: 64 }));
+        assert_eq!(err.status().0, 431);
+    }
+
+    #[test]
+    fn transfer_encoding_is_not_implemented() {
+        let err = parse_all(b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+            .expect_err("unsupported");
+        assert_eq!(err, HttpError::UnsupportedTransferEncoding);
+        assert_eq!(err.status().0, 501);
+    }
+
+    #[test]
+    fn malformed_request_lines_are_rejected() {
+        for bad in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET  / HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/2.0\r\n\r\n",
+            b"GET noslash HTTP/1.1\r\n\r\n",
+            b"G@T / HTTP/1.1\r\n\r\n",
+            b"\r\n\r\n",
+        ] {
+            let err = parse_all(bad).expect_err("malformed line");
+            assert_eq!(err, HttpError::BadRequestLine, "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn malformed_headers_are_rejected() {
+        for bad in [
+            &b"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n"[..],
+            b"GET / HTTP/1.1\r\nBad Name: x\r\n\r\n",
+            b"GET / HTTP/1.1\r\nName : x\r\n\r\n",
+            b"GET / HTTP/1.1\r\n: x\r\n\r\n",
+        ] {
+            let err = parse_all(bad).expect_err("malformed header");
+            assert!(matches!(err, HttpError::BadHeader { .. }), "{bad:?}");
+        }
+    }
+
+    #[test]
+    fn parser_poisons_after_an_error() {
+        let mut p = RequestParser::new(ParserLimits::default());
+        assert!(p.feed(b"JUNK\r\n\r\n").is_err());
+        assert!(p.feed(b"GET / HTTP/1.1\r\n\r\n").is_err());
+    }
+
+    #[test]
+    fn connection_close_is_honoured() {
+        let req = parse_all(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .expect("valid")
+            .expect("complete");
+        assert!(!req.keep_alive());
+    }
+
+    #[test]
+    fn response_writer_frames_correctly() {
+        let out = write_response(200, "OK", "application/json", &[], b"{}", true);
+        let text = String::from_utf8(out).expect("ascii");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

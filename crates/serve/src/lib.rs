@@ -1,0 +1,36 @@
+//! `dg-serve`: the DarkGates experiment stack as a service.
+//!
+//! A dependency-free (std-only TCP, hand-rolled JSON) multi-threaded
+//! HTTP/1.1 daemon exposing the simulation library over a small API:
+//!
+//! | endpoint | what it computes |
+//! |---|---|
+//! | `POST /v1/droop` | one transient droop capture ([`darkgates::pdn::transient`]) |
+//! | `POST /v1/sweep` | an impedance sweep via the content-keyed substrate cache |
+//! | `POST /v1/product` | a SPEC / graphics / energy cell on a catalog product |
+//! | `GET /v1/claims` | the 12 paper-claim graders ([`darkgates::claims`]) |
+//! | `GET /metrics` | Prometheus text: latency histograms, shed/coalesce/panic counters |
+//! | `GET /healthz` | liveness + drain state |
+//! | `POST /admin/drain` | start a graceful drain |
+//!
+//! Three mechanisms keep the daemon well-behaved under load (DESIGN.md
+//! §9): **admission control** (a bounded accept queue; overflow is
+//! answered `503` + `Retry-After` instead of queuing unboundedly),
+//! **request coalescing** (concurrent identical requests — identical by
+//! the same content hashes the substrate caches use — compute once), and
+//! **graceful drain** (stop admitting, finish what was admitted, then
+//! exit; SIGTERM does this in the binary).
+//!
+//! The crate is on the `dg-analyze` no-panic list: handler bugs become
+//! `500`s and a `dg_panics_total` increment, never a dead worker.
+
+pub mod client;
+pub mod coalesce;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod queue;
+pub mod routes;
+pub mod server;
+
+pub use server::{DrainReport, Server, ServerConfig, ServerHandle};

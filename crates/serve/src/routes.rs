@@ -1,0 +1,821 @@
+//! Route table and handlers: the HTTP surface over the experiment stack.
+//!
+//! Every simulation route goes through the [`Coalescer`] keyed by the same
+//! content-hash scheme the substrate caches use
+//! ([`darkgates::pdn::cache::ContentKey`]): the key folds in every request
+//! parameter that affects the response, so two requests coalesce exactly
+//! when their physics is identical. Handlers call the *library* entry
+//! points (`darkgates::claims`, `dg_pdn::transient`, `dg_soc::run`, the
+//! PR-1 substrate caches) — nothing here shells out to the bench binaries.
+
+use crate::coalesce::{Coalescer, Role};
+use crate::http::Request;
+use crate::json::{self, obj, Json};
+use crate::metrics::{Metrics, Route};
+use darkgates::claims;
+use darkgates::pdn::cache::{self, ladder_key, ContentKey};
+use darkgates::pdn::impedance::ImpedanceAnalyzer;
+use darkgates::pdn::skylake::{PdnVariant, SkylakePdn};
+use darkgates::pdn::transient::{LoadStep, TransientSim};
+use darkgates::pdn::units::{Amps, Hertz, Seconds, Volts, Watts};
+use darkgates::soc::products::Product;
+use darkgates::soc::run::{run_energy, run_graphics, run_spec};
+use darkgates::workloads::energy::{energy_star, ready_mode, video_conferencing, web_browsing};
+use darkgates::workloads::graphics::three_dmark_suite;
+use darkgates::workloads::spec::{by_name, SpecMode};
+use darkgates::DarkGates;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// Largest accepted impedance-sweep point count (compute admission).
+const MAX_SWEEP_POINTS: u64 = 20_000;
+
+/// Largest accepted debug-sleep duration.
+const MAX_SLEEP_MS: u64 = 10_000;
+
+/// A fully formed response, ready for `http::write_response`.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Reason phrase.
+    pub reason: &'static str,
+    /// `Content-Type` value.
+    pub content_type: &'static str,
+    /// Response body (shared: coalesced followers clone the `Arc`).
+    pub body: Arc<String>,
+}
+
+impl Response {
+    fn json(status: u16, body: String) -> Self {
+        Response {
+            status,
+            reason: reason_of(status),
+            content_type: "application/json",
+            body: Arc::new(body),
+        }
+    }
+
+    fn ok_json(value: &Json) -> Self {
+        Self::json(200, value.render())
+    }
+
+    fn error(status: u16, message: &str) -> Self {
+        let body = obj(vec![
+            ("ok", Json::Bool(false)),
+            ("error", Json::Str(message.to_owned())),
+        ]);
+        Self::json(status, body.render())
+    }
+}
+
+/// The reason phrase for the statuses this server emits.
+fn reason_of(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        413 => "Content Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        501 => "Not Implemented",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+/// A handler-level failure: status plus a human-readable message.
+struct RouteError {
+    status: u16,
+    message: String,
+}
+
+fn bad_request(message: impl Into<String>) -> RouteError {
+    RouteError {
+        status: 400,
+        message: message.into(),
+    }
+}
+
+type HandlerResult = Result<Json, RouteError>;
+
+/// Dispatches requests to handlers; shared across all worker threads.
+#[derive(Debug)]
+pub struct Router {
+    metrics: Arc<Metrics>,
+    coalescer: Coalescer<(u16, Arc<String>)>,
+    draining: Arc<AtomicBool>,
+    debug_routes: bool,
+}
+
+impl Router {
+    /// A router recording into `metrics` and flagging drain requests on
+    /// `draining`. `debug_routes` additionally enables `/v1/debug/sleep`
+    /// (used by the overload tests; keep it off in production).
+    pub fn new(metrics: Arc<Metrics>, draining: Arc<AtomicBool>, debug_routes: bool) -> Self {
+        Router {
+            metrics,
+            coalescer: Coalescer::new(),
+            draining,
+            debug_routes,
+        }
+    }
+
+    /// Number of distinct computations currently in flight (observability).
+    pub fn inflight_coalesced(&self) -> usize {
+        self.coalescer.inflight_len()
+    }
+
+    /// Handles one parsed request, returning the route label (for
+    /// metrics) and the response.
+    pub fn handle(&self, req: &Request) -> (Route, Response) {
+        let path = req.target.split('?').next().unwrap_or(&req.target);
+        match (req.method.as_str(), path) {
+            ("GET", "/healthz") => (Route::Healthz, self.healthz()),
+            ("GET", "/metrics") => (
+                Route::Metrics,
+                Response {
+                    status: 200,
+                    reason: "OK",
+                    content_type: "text/plain; version=0.0.4",
+                    body: Arc::new(self.metrics.render()),
+                },
+            ),
+            ("GET", "/v1/claims") => (
+                Route::Claims,
+                self.coalesced(ContentKey::new().bytes(b"claims").finish(), claims_route),
+            ),
+            ("POST", "/v1/droop") => (Route::Droop, self.json_route(req, droop_key, droop_route)),
+            ("POST", "/v1/sweep") => (Route::Sweep, self.json_route(req, sweep_key, sweep_route)),
+            ("POST", "/v1/product") => (
+                Route::Product,
+                self.json_route(req, product_key, product_route),
+            ),
+            ("POST", "/admin/drain") => (Route::Other, self.drain()),
+            ("POST", "/v1/debug/sleep") if self.debug_routes => (Route::Other, debug_sleep(req)),
+            (
+                "GET" | "POST" | "HEAD" | "PUT" | "DELETE",
+                "/healthz" | "/metrics" | "/v1/claims" | "/v1/droop" | "/v1/sweep" | "/v1/product"
+                | "/admin/drain",
+            ) => (
+                Route::Other,
+                Response::error(405, "method not allowed for this resource"),
+            ),
+            _ => (Route::Other, Response::error(404, "no such resource")),
+        }
+    }
+
+    fn healthz(&self) -> Response {
+        Response::ok_json(&obj(vec![
+            ("status", Json::Str("ok".to_owned())),
+            ("draining", Json::Bool(self.draining.load(Ordering::SeqCst))),
+        ]))
+    }
+
+    fn drain(&self) -> Response {
+        self.draining.store(true, Ordering::SeqCst);
+        Response::ok_json(&obj(vec![("status", Json::Str("draining".to_owned()))]))
+    }
+
+    /// Parses the JSON body, derives the coalescing key, and runs the
+    /// handler single-flight.
+    fn json_route(
+        &self,
+        req: &Request,
+        key_of: fn(&Json) -> u64,
+        handler: fn(&Json) -> HandlerResult,
+    ) -> Response {
+        let text = match std::str::from_utf8(&req.body) {
+            Ok(t) => t,
+            Err(_) => return Response::error(400, "body is not UTF-8"),
+        };
+        let params = if text.trim().is_empty() {
+            Json::Obj(Vec::new())
+        } else {
+            match json::parse(text) {
+                Ok(v) => v,
+                Err(e) => return Response::error(400, &format!("body: {e}")),
+            }
+        };
+        self.coalesced(key_of(&params), move || handler(&params))
+    }
+
+    /// Runs `compute` through the single-flight coalescer and books the
+    /// coalesce/panic counters.
+    fn coalesced(&self, key: u64, compute: impl FnOnce() -> HandlerResult) -> Response {
+        let (outcome, role) = self.coalescer.run(key, || match compute() {
+            Ok(value) => {
+                let body = obj(vec![("ok", Json::Bool(true)), ("result", value)]);
+                (200u16, Arc::new(body.render()))
+            }
+            Err(e) => {
+                let body = obj(vec![
+                    ("ok", Json::Bool(false)),
+                    ("error", Json::Str(e.message)),
+                ]);
+                (e.status, Arc::new(body.render()))
+            }
+        });
+        match role {
+            Role::Leader => self
+                .metrics
+                .coalesce_leaders_total
+                .fetch_add(1, Ordering::Relaxed),
+            Role::Follower => self.metrics.coalesced_total.fetch_add(1, Ordering::Relaxed),
+        };
+        match outcome {
+            Ok((status, body)) => Response {
+                status,
+                reason: reason_of(status),
+                content_type: "application/json",
+                body,
+            },
+            Err(panic_msg) => {
+                self.metrics.panics_total.fetch_add(1, Ordering::Relaxed);
+                Response::error(500, &format!("handler panicked: {panic_msg}"))
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------------ params
+
+fn finite_f64(params: &Json, key: &str, default: f64) -> Result<f64, RouteError> {
+    match params.get(key) {
+        None => Ok(default),
+        Some(v) => v
+            .as_f64()
+            .ok_or_else(|| bad_request(format!("`{key}` must be a finite number"))),
+    }
+}
+
+fn in_range(name: &str, v: f64, lo: f64, hi: f64) -> Result<f64, RouteError> {
+    if (lo..=hi).contains(&v) {
+        Ok(v)
+    } else {
+        Err(bad_request(format!("`{name}` = {v} outside [{lo}, {hi}]")))
+    }
+}
+
+fn variant_of(params: &Json) -> Result<PdnVariant, RouteError> {
+    match params.get("variant").and_then(Json::as_str) {
+        None | Some("gated") => Ok(PdnVariant::Gated),
+        Some("bypassed") => Ok(PdnVariant::Bypassed),
+        Some(other) => Err(bad_request(format!(
+            "`variant` must be \"gated\" or \"bypassed\", got \"{other}\""
+        ))),
+    }
+}
+
+fn design_of(params: &Json) -> Result<DarkGates, RouteError> {
+    match params.get("design").and_then(Json::as_str) {
+        None | Some("desktop") => Ok(DarkGates::desktop()),
+        Some("mobile") => Ok(DarkGates::mobile()),
+        Some(other) => Err(bad_request(format!(
+            "`design` must be \"desktop\" or \"mobile\", got \"{other}\""
+        ))),
+    }
+}
+
+/// Validates a TDP against the Skylake catalog (the product constructor's
+/// documented precondition — the daemon must not let a request panic it).
+fn catalog_tdp(params: &Json) -> Result<Watts, RouteError> {
+    let tdp = finite_f64(params, "tdp_w", 91.0)?;
+    let levels = Product::skylake_tdp_levels();
+    if levels.iter().any(|l| l.value() == tdp) {
+        Ok(Watts::new(tdp))
+    } else {
+        let options: Vec<String> = levels.iter().map(|l| format!("{}", l.value())).collect();
+        Err(bad_request(format!(
+            "`tdp_w` = {tdp} is not a catalog level (one of {})",
+            options.join("/")
+        )))
+    }
+}
+
+// ------------------------------------------------------------------- droop
+
+struct DroopParams {
+    variant: PdnVariant,
+    source_v: f64,
+    from_a: f64,
+    to_a: f64,
+    slew_ns: f64,
+}
+
+fn droop_params(params: &Json) -> Result<DroopParams, RouteError> {
+    Ok(DroopParams {
+        variant: variant_of(params)?,
+        source_v: in_range("source_v", finite_f64(params, "source_v", 1.0)?, 0.5, 2.0)?,
+        from_a: in_range("from_a", finite_f64(params, "from_a", 10.0)?, 0.0, 500.0)?,
+        to_a: in_range("to_a", finite_f64(params, "to_a", 60.0)?, 0.0, 500.0)?,
+        slew_ns: in_range("slew_ns", finite_f64(params, "slew_ns", 0.0)?, 0.0, 1_000.0)?,
+    })
+}
+
+/// Coalescing key: route tag + the ladder's content hash + every numeric
+/// parameter — the same composition `dg_pdn::cache` uses for its own maps.
+fn droop_key(params: &Json) -> u64 {
+    let Ok(p) = droop_params(params) else {
+        // Invalid requests never compute; key them by raw body shape so
+        // identical bad requests still share the one error render.
+        return error_key(b"droop-invalid", params);
+    };
+    let pdn = SkylakePdn::build(p.variant);
+    ContentKey::new()
+        .bytes(b"droop")
+        .word(ladder_key(&pdn.ladder))
+        .f64(p.source_v)
+        .f64(p.from_a)
+        .f64(p.to_a)
+        .f64(p.slew_ns)
+        .finish()
+}
+
+fn error_key(tag: &[u8], params: &Json) -> u64 {
+    ContentKey::new()
+        .bytes(tag)
+        .bytes(params.render().as_bytes())
+        .finish()
+}
+
+fn droop_route(params: &Json) -> HandlerResult {
+    let p = droop_params(params)?;
+    let pdn = SkylakePdn::build(p.variant);
+    let sim = TransientSim::droop_capture(Volts::new(p.source_v));
+    let step = LoadStep {
+        from: Amps::new(p.from_a),
+        to: Amps::new(p.to_a),
+        at: Seconds::from_us(1.0),
+        slew: Seconds::from_ns(p.slew_ns),
+    };
+    let r = sim.run(&pdn.ladder, step);
+    Ok(obj(vec![
+        ("variant", Json::Str(p.variant.label().to_owned())),
+        ("droop_mv", Json::Num(r.droop().as_mv())),
+        ("dc_shift_mv", Json::Num(r.dc_shift().as_mv())),
+        ("dynamic_droop_mv", Json::Num(r.dynamic_droop().as_mv())),
+        ("v_initial", Json::Num(r.v_initial.value())),
+        ("v_min", Json::Num(r.v_min.value())),
+        ("v_final", Json::Num(r.v_final.value())),
+        ("t_min_us", Json::Num(r.t_min.value() * 1e6)),
+        ("samples", Json::Num(approx_f64(r.samples.len()))),
+    ]))
+}
+
+// ------------------------------------------------------------------- sweep
+
+struct SweepParams {
+    variant: PdnVariant,
+    start_hz: f64,
+    stop_hz: f64,
+    points: usize,
+    decimate: usize,
+}
+
+fn sweep_params(params: &Json) -> Result<SweepParams, RouteError> {
+    let points = params
+        .get("points")
+        .map_or(Some(400), Json::as_u64)
+        .filter(|&n| (2..=MAX_SWEEP_POINTS).contains(&n))
+        .ok_or_else(|| {
+            bad_request(format!(
+                "`points` must be an integer in [2, {MAX_SWEEP_POINTS}]"
+            ))
+        })?;
+    let decimate = params
+        .get("decimate")
+        .map_or(Some(8), Json::as_u64)
+        .filter(|&n| (1..=1_000).contains(&n))
+        .ok_or_else(|| bad_request("`decimate` must be an integer in [1, 1000]"))?;
+    Ok(SweepParams {
+        variant: variant_of(params)?,
+        start_hz: in_range("start_hz", finite_f64(params, "start_hz", 1e4)?, 1.0, 1e12)?,
+        stop_hz: in_range("stop_hz", finite_f64(params, "stop_hz", 1e9)?, 1.0, 1e12)?,
+        points: usize::try_from(points).unwrap_or(400),
+        decimate: usize::try_from(decimate).unwrap_or(8),
+    })
+}
+
+fn sweep_key(params: &Json) -> u64 {
+    let Ok(p) = sweep_params(params) else {
+        return error_key(b"sweep-invalid", params);
+    };
+    let pdn = SkylakePdn::build(p.variant);
+    ContentKey::new()
+        .bytes(b"sweep")
+        .word(ladder_key(&pdn.ladder))
+        .f64(p.start_hz)
+        .f64(p.stop_hz)
+        .word(p.points as u64)
+        .word(p.decimate as u64)
+        .finish()
+}
+
+fn sweep_route(params: &Json) -> HandlerResult {
+    let p = sweep_params(params)?;
+    let analyzer = ImpedanceAnalyzer::new(Hertz::new(p.start_hz), Hertz::new(p.stop_hz), p.points)
+        .map_err(|e| bad_request(format!("sweep: {e}")))?;
+    let pdn = SkylakePdn::build(p.variant);
+    // The content-keyed PR-1 cache: repeats of this sweep are pointer
+    // bumps, concurrent repeats are additionally coalesced upstream.
+    let profile = cache::impedance_profile(&analyzer, &pdn.ladder);
+    let (peak_f, peak_z) = profile.peak();
+    let points: Vec<Json> = profile
+        .points()
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| i % p.decimate == 0)
+        .map(|(_, (f, z))| Json::Arr(vec![Json::Num(f.value()), Json::Num(z.as_mohm())]))
+        .collect();
+    Ok(obj(vec![
+        ("variant", Json::Str(p.variant.label().to_owned())),
+        ("name", Json::Str(profile.name().to_owned())),
+        ("n_points", Json::Num(approx_f64(profile.points().len()))),
+        ("peak_hz", Json::Num(peak_f.value())),
+        ("peak_mohm", Json::Num(peak_z.as_mohm())),
+        ("floor_mohm", Json::Num(profile.floor().as_mohm())),
+        ("points_mohm", Json::Arr(points)),
+    ]))
+}
+
+// ----------------------------------------------------------------- product
+
+fn workload_descriptor(params: &Json) -> Result<(String, String), RouteError> {
+    let workload = params
+        .get("workload")
+        .ok_or_else(|| bad_request("missing `workload` object"))?;
+    let kind = workload.get("kind").and_then(Json::as_str).ok_or_else(|| {
+        bad_request("`workload.kind` must be \"spec\", \"graphics\" or \"energy\"")
+    })?;
+    let name = match kind {
+        "spec" => {
+            let bench = workload
+                .get("benchmark")
+                .and_then(Json::as_str)
+                .ok_or_else(|| bad_request("`workload.benchmark` is required for spec"))?;
+            let mode = workload
+                .get("mode")
+                .and_then(Json::as_str)
+                .unwrap_or("base");
+            if !matches!(mode, "base" | "rate") {
+                return Err(bad_request("`workload.mode` must be \"base\" or \"rate\""));
+            }
+            format!("{bench}:{mode}")
+        }
+        "graphics" => workload
+            .get("scene")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad_request("`workload.scene` is required for graphics"))?
+            .to_owned(),
+        "energy" => workload
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad_request("`workload.name` is required for energy"))?
+            .to_owned(),
+        other => return Err(bad_request(format!("unknown `workload.kind` \"{other}\""))),
+    };
+    Ok((kind.to_owned(), name))
+}
+
+fn product_key(params: &Json) -> u64 {
+    let (Ok(dg), Ok(tdp), Ok((kind, name))) = (
+        design_of(params),
+        catalog_tdp(params),
+        workload_descriptor(params),
+    ) else {
+        return error_key(b"product-invalid", params);
+    };
+    ContentKey::new()
+        .bytes(b"product")
+        .word(u64::from(dg == DarkGates::desktop()))
+        .f64(tdp.value())
+        .bytes(kind.as_bytes())
+        .bytes(name.as_bytes())
+        .finish()
+}
+
+fn product_route(params: &Json) -> HandlerResult {
+    let dg = design_of(params)?;
+    let tdp = catalog_tdp(params)?;
+    let (kind, _) = workload_descriptor(params)?;
+    let product = dg.product(tdp);
+    let workload = params.get("workload").unwrap_or(&Json::Null);
+    let cell = match kind.as_str() {
+        "spec" => spec_cell(&product, workload)?,
+        "graphics" => graphics_cell(&product, workload)?,
+        _ => energy_cell(&product, workload)?,
+    };
+    Ok(obj(vec![
+        ("product", Json::Str(product.name.clone())),
+        ("tdp_w", Json::Num(tdp.value())),
+        ("fmax_1c_mhz", Json::Num(product.fmax_1c().as_mhz())),
+        ("cell", cell),
+    ]))
+}
+
+fn spec_cell(product: &Product, workload: &Json) -> HandlerResult {
+    let name = workload
+        .get("benchmark")
+        .and_then(Json::as_str)
+        .unwrap_or_default();
+    let bench =
+        by_name(name).ok_or_else(|| bad_request(format!("unknown SPEC benchmark \"{name}\"")))?;
+    let mode = match workload.get("mode").and_then(Json::as_str) {
+        Some("rate") => SpecMode::Rate,
+        _ => SpecMode::Base,
+    };
+    let r = run_spec(product, &bench, mode);
+    Ok(obj(vec![
+        ("kind", Json::Str("spec".to_owned())),
+        ("benchmark", Json::Str(r.benchmark)),
+        ("mode", Json::Str(mode.label().to_owned())),
+        ("avg_frequency_mhz", Json::Num(r.frequency.as_mhz())),
+        (
+            "sustained_frequency_mhz",
+            Json::Num(r.sustained_frequency.as_mhz()),
+        ),
+        ("avg_power_w", Json::Num(r.avg_power.value())),
+        ("max_tj_c", Json::Num(r.max_tj.value())),
+        ("perf", Json::Num(r.perf)),
+    ]))
+}
+
+fn graphics_cell(product: &Product, workload: &Json) -> HandlerResult {
+    let scene_name = workload
+        .get("scene")
+        .and_then(Json::as_str)
+        .unwrap_or_default();
+    let suite = three_dmark_suite();
+    let scene = suite.iter().find(|s| s.name == scene_name).ok_or_else(|| {
+        let known: Vec<&str> = suite.iter().map(|s| s.name).collect();
+        bad_request(format!(
+            "unknown scene \"{scene_name}\" (one of: {})",
+            known.join(", ")
+        ))
+    })?;
+    let r = run_graphics(product, scene);
+    Ok(obj(vec![
+        ("kind", Json::Str("graphics".to_owned())),
+        ("workload", Json::Str(r.workload)),
+        ("gfx_frequency_mhz", Json::Num(r.gfx_frequency.as_mhz())),
+        ("fps", Json::Num(r.fps)),
+        ("total_power_w", Json::Num(r.total_power.value())),
+        ("tj_c", Json::Num(r.tj.value())),
+        ("gfx_budget_w", Json::Num(r.gfx_budget.value())),
+    ]))
+}
+
+fn energy_cell(product: &Product, workload: &Json) -> HandlerResult {
+    let name = workload
+        .get("name")
+        .and_then(Json::as_str)
+        .unwrap_or_default();
+    let wl = match name {
+        "energy-star" | "energy_star" => energy_star(),
+        "rmt" | "ready-mode" => ready_mode(),
+        "video-conferencing" => video_conferencing(),
+        "web-browsing" => web_browsing(),
+        other => {
+            return Err(bad_request(format!(
+                "unknown energy workload \"{other}\" (one of: energy-star, rmt, \
+                 video-conferencing, web-browsing)"
+            )))
+        }
+    };
+    let r = run_energy(product, &wl);
+    Ok(obj(vec![
+        ("kind", Json::Str("energy".to_owned())),
+        ("workload", Json::Str(r.workload)),
+        ("avg_power_w", Json::Num(r.avg_power.value())),
+        ("meets_limit", Json::Bool(r.meets_limit)),
+    ]))
+}
+
+// ------------------------------------------------------------------ claims
+
+fn claims_route() -> HandlerResult {
+    let graded = claims::grade_all();
+    let passed = graded.iter().filter(|c| c.pass).count();
+    let rows: Vec<Json> = graded
+        .into_iter()
+        .map(|c| {
+            obj(vec![
+                ("name", Json::Str(c.name.to_owned())),
+                ("paper", Json::Str(c.paper)),
+                ("measured", Json::Str(c.measured)),
+                ("pass", Json::Bool(c.pass)),
+            ])
+        })
+        .collect();
+    Ok(obj(vec![
+        ("passed", Json::Num(approx_f64(passed))),
+        ("total", Json::Num(approx_f64(rows.len()))),
+        ("claims", Json::Arr(rows)),
+    ]))
+}
+
+// ------------------------------------------------------------------- debug
+
+fn debug_sleep(req: &Request) -> Response {
+    let ms = std::str::from_utf8(&req.body)
+        .ok()
+        .and_then(|t| json::parse(t).ok())
+        .and_then(|v| v.get("ms").and_then(Json::as_u64))
+        .unwrap_or(100)
+        .min(MAX_SLEEP_MS);
+    std::thread::sleep(std::time::Duration::from_millis(ms));
+    Response::ok_json(&obj(vec![("slept_ms", Json::Num(approx_f64_u64(ms)))]))
+}
+
+/// Lossless for every value this server produces (< 2^53).
+fn approx_f64(n: usize) -> f64 {
+    approx_f64_u64(n as u64)
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn approx_f64_u64(n: u64) -> f64 {
+    n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::http::Request;
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".to_owned(),
+            target: path.to_owned(),
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".to_owned(),
+            target: path.to_owned(),
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    fn router() -> Router {
+        Router::new(
+            Arc::new(Metrics::default()),
+            Arc::new(AtomicBool::new(false)),
+            false,
+        )
+    }
+
+    #[test]
+    fn droop_route_matches_direct_library_call() {
+        let r = router();
+        let (route, resp) = r.handle(&post(
+            "/v1/droop",
+            r#"{"variant":"bypassed","from_a":5,"to_a":40,"source_v":1.0}"#,
+        ));
+        assert_eq!(route, Route::Droop);
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let v = json::parse(&resp.body).expect("valid response JSON");
+        let droop_mv = v
+            .get("result")
+            .and_then(|r| r.get("droop_mv"))
+            .and_then(Json::as_f64)
+            .expect("droop_mv present");
+        // Direct library call with the same physics.
+        let pdn = SkylakePdn::build(PdnVariant::Bypassed);
+        let sim = TransientSim::droop_capture(Volts::new(1.0));
+        let direct = sim.run(
+            &pdn.ladder,
+            LoadStep {
+                from: Amps::new(5.0),
+                to: Amps::new(40.0),
+                at: Seconds::from_us(1.0),
+                slew: Seconds::from_ns(0.0),
+            },
+        );
+        assert!(
+            (droop_mv - direct.droop().as_mv()).abs() < 1e-9,
+            "server {droop_mv} vs direct {}",
+            direct.droop().as_mv()
+        );
+    }
+
+    #[test]
+    fn sweep_route_reports_profile_shape() {
+        let r = router();
+        let (route, resp) = r.handle(&post(
+            "/v1/sweep",
+            r#"{"variant":"gated","points":64,"decimate":8}"#,
+        ));
+        assert_eq!(route, Route::Sweep);
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let v = json::parse(&resp.body).expect("valid JSON");
+        let result = v.get("result").expect("result");
+        assert_eq!(result.get("n_points").and_then(Json::as_u64), Some(64));
+        let pts = result
+            .get("points_mohm")
+            .and_then(Json::as_arr)
+            .expect("points");
+        assert_eq!(pts.len(), 8);
+        assert!(
+            result
+                .get("peak_mohm")
+                .and_then(Json::as_f64)
+                .unwrap_or(0.0)
+                > 0.0
+        );
+    }
+
+    #[test]
+    fn product_route_runs_a_spec_cell() {
+        let r = router();
+        let (_, resp) = r.handle(&post(
+            "/v1/product",
+            r#"{"design":"desktop","tdp_w":91,
+                "workload":{"kind":"spec","benchmark":"444.namd","mode":"base"}}"#,
+        ));
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let v = json::parse(&resp.body).expect("valid JSON");
+        let cell = v.get("result").and_then(|r| r.get("cell")).expect("cell");
+        assert_eq!(
+            cell.get("benchmark").and_then(Json::as_str),
+            Some("444.namd")
+        );
+        let perf = cell.get("perf").and_then(Json::as_f64).expect("perf");
+        assert!(perf > 0.5 && perf < 2.0, "perf {perf}");
+    }
+
+    #[test]
+    fn bad_parameters_yield_400_not_500() {
+        let r = router();
+        for (path, body) in [
+            ("/v1/droop", r#"{"variant":"wormhole"}"#),
+            ("/v1/droop", r#"{"from_a":-3}"#),
+            ("/v1/droop", r#"{"source_v":99}"#),
+            ("/v1/sweep", r#"{"points":1}"#),
+            ("/v1/sweep", r#"{"points":9999999}"#),
+            (
+                "/v1/product",
+                r#"{"tdp_w":50,"workload":{"kind":"spec","benchmark":"444.namd"}}"#,
+            ),
+            (
+                "/v1/product",
+                r#"{"workload":{"kind":"spec","benchmark":"no.such"}}"#,
+            ),
+            ("/v1/product", r#"{"workload":{"kind":"dance"}}"#),
+            ("/v1/product", r#"{}"#),
+            ("/v1/droop", "{not json"),
+        ] {
+            let (_, resp) = r.handle(&post(path, body));
+            assert_eq!(resp.status, 400, "{path} {body} → {}", resp.body);
+        }
+    }
+
+    #[test]
+    fn unknown_paths_404_and_wrong_methods_405() {
+        let r = router();
+        let (route, resp) = r.handle(&get("/v1/nope"));
+        assert_eq!(route, Route::Other);
+        assert_eq!(resp.status, 404);
+        let (_, resp) = r.handle(&get("/v1/droop"));
+        assert_eq!(resp.status, 405);
+        // Debug routes stay hidden unless enabled.
+        let (_, resp) = r.handle(&post("/v1/debug/sleep", r#"{"ms":1}"#));
+        assert_eq!(resp.status, 404);
+    }
+
+    #[test]
+    fn drain_flips_the_flag_and_healthz_reports_it() {
+        let draining = Arc::new(AtomicBool::new(false));
+        let r = Router::new(Arc::new(Metrics::default()), Arc::clone(&draining), false);
+        let (_, resp) = r.handle(&get("/healthz"));
+        assert!(resp.body.contains("\"draining\":false"));
+        let (_, resp) = r.handle(&post("/admin/drain", ""));
+        assert_eq!(resp.status, 200);
+        assert!(draining.load(Ordering::SeqCst));
+        let (_, resp) = r.handle(&get("/healthz"));
+        assert!(resp.body.contains("\"draining\":true"));
+    }
+
+    #[test]
+    fn identical_droop_requests_share_a_content_key() {
+        let a = droop_key(&json::parse(r#"{"from_a":10,"to_a":60}"#).expect("json"));
+        let b = droop_key(&json::parse(r#"{"to_a":60,"from_a":10}"#).expect("json"));
+        let c = droop_key(&json::parse(r#"{"from_a":10,"to_a":61}"#).expect("json"));
+        assert_eq!(a, b, "parameter order must not matter");
+        assert_ne!(a, c, "different physics must not coalesce");
+    }
+
+    #[test]
+    fn metrics_route_renders_text() {
+        let r = router();
+        let (route, resp) = r.handle(&get("/metrics"));
+        assert_eq!(route, Route::Metrics);
+        assert!(resp.content_type.starts_with("text/plain"));
+        assert!(resp.body.contains("dg_requests_total"));
+    }
+}

@@ -1,0 +1,509 @@
+//! The TCP server: accept loop, bounded work queue, worker pool, and
+//! graceful drain.
+//!
+//! Life of a connection:
+//!
+//! 1. the accept loop (non-blocking listener polled every few ms so drain
+//!    flags are noticed promptly) accepts the socket and counts it,
+//! 2. admission control: [`crate::queue::BoundedQueue::try_push`] either
+//!    admits the connection or the accept loop *itself* answers
+//!    `503 Service Unavailable` with `Retry-After` and closes it — workers
+//!    never see shed load, so the backlog and its tail latency stay
+//!    bounded,
+//! 3. a worker pops the connection and runs a keep-alive request loop:
+//!    incremental parse → route dispatch inside
+//!    [`dg_engine::inline_scope`] (nested `par_map` calls run inline, so a
+//!    request costs one thread, not a thread explosion) → response write →
+//!    metrics,
+//! 4. on drain ([`ServerHandle::request_drain`], `POST /admin/drain`, or
+//!    SIGTERM in the binary) the accept loop stops admitting and closes
+//!    the queue; already-admitted connections are served to completion
+//!    with `Connection: close`, then workers exit and
+//!    [`ServerHandle::shutdown`] reports whether the drain was clean.
+
+use crate::http::{write_response, ParserLimits, Request, RequestParser};
+use crate::metrics::{monotonic_us, Metrics, Route};
+use crate::queue::{BoundedQueue, PushError};
+use crate::routes::Router;
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Tuning knobs for [`Server::start`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port (see
+    /// [`ServerHandle::local_addr`]).
+    pub addr: String,
+    /// Worker threads serving admitted connections.
+    pub workers: usize,
+    /// Admission bound: connections queued ahead of the workers before
+    /// the accept loop starts shedding with 503.
+    pub queue_depth: usize,
+    /// HTTP framing limits.
+    pub limits: ParserLimits,
+    /// Per-read socket timeout; an idle keep-alive connection is closed
+    /// after this long, and drain latency is bounded by it.
+    pub read_timeout_ms: u64,
+    /// Value of the `Retry-After` header on shed responses.
+    pub retry_after_secs: u32,
+    /// Requests served on one connection before it is closed.
+    pub max_requests_per_conn: usize,
+    /// Enables `POST /v1/debug/sleep` (overload tests only).
+    pub enable_debug_routes: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 4,
+            queue_depth: 64,
+            limits: ParserLimits::default(),
+            read_timeout_ms: 2_000,
+            retry_after_secs: 1,
+            max_requests_per_conn: 1_000,
+            enable_debug_routes: false,
+        }
+    }
+}
+
+/// How often the accept loop re-checks the drain flags while idle.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// What [`ServerHandle::shutdown`] observed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Requests served over the server's lifetime (all workers).
+    pub requests_served: usize,
+    /// `true` when the accept loop and every worker exited without
+    /// panicking — the graceful-drain contract held.
+    pub clean: bool,
+}
+
+/// Everything the accept loop and workers share.
+struct Shared {
+    config: ServerConfig,
+    metrics: Arc<Metrics>,
+    router: Router,
+    draining: Arc<AtomicBool>,
+    queue: BoundedQueue<TcpStream>,
+}
+
+/// The `dg-serve` daemon. Construct with [`Server::start`].
+#[derive(Debug)]
+pub struct Server;
+
+/// A handle to a running server; dropping it does **not** stop the
+/// server — call [`ServerHandle::shutdown`].
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<usize>>,
+}
+
+impl std::fmt::Debug for ServerHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServerHandle")
+            .field("local_addr", &self.local_addr)
+            .field("workers", &self.workers.len())
+            .finish()
+    }
+}
+
+impl Server {
+    /// Binds, spawns the worker pool and the accept loop, and returns a
+    /// handle.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the bind failure (address in use, permission, …).
+    pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        listener.set_nonblocking(true)?;
+        let local_addr = listener.local_addr()?;
+
+        let metrics = Arc::new(Metrics::default());
+        let draining = Arc::new(AtomicBool::new(false));
+        let router = Router::new(
+            Arc::clone(&metrics),
+            Arc::clone(&draining),
+            config.enable_debug_routes,
+        );
+        let shared = Arc::new(Shared {
+            queue: BoundedQueue::new(config.queue_depth),
+            router,
+            metrics,
+            draining,
+            config,
+        });
+
+        let workers = (0..shared.config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("dg-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+
+        let accept = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("dg-serve-accept".to_owned())
+                .spawn(move || accept_loop(&listener, &shared))?
+        };
+
+        Ok(ServerHandle {
+            local_addr,
+            shared,
+            accept: Some(accept),
+            workers,
+        })
+    }
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 binds).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// The live metrics registry (shared with the handlers).
+    pub fn metrics(&self) -> Arc<Metrics> {
+        Arc::clone(&self.shared.metrics)
+    }
+
+    /// Whether a drain has been requested (by this handle, by
+    /// `POST /admin/drain`, or by a signal in the binary).
+    pub fn is_draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Starts a graceful drain: stop admitting, serve what was admitted.
+    /// Idempotent; returns immediately.
+    pub fn request_drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+    }
+
+    /// Drains (if not already draining) and blocks until the accept loop
+    /// and every worker have exited, reporting whether the drain was
+    /// clean.
+    pub fn shutdown(mut self) -> DrainReport {
+        self.request_drain();
+        let mut clean = true;
+        if let Some(accept) = self.accept.take() {
+            clean &= accept.join().is_ok();
+        }
+        // The accept loop closes the queue on its way out; workers drain
+        // the remaining admitted connections and then see `None`.
+        let mut requests_served = 0usize;
+        for worker in self.workers.drain(..) {
+            match worker.join() {
+                Ok(served) => requests_served += served,
+                Err(_) => clean = false,
+            }
+        }
+        DrainReport {
+            requests_served,
+            clean,
+        }
+    }
+}
+
+/// Accepts until a drain is requested, applying admission control.
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    while !shared.draining.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                shared
+                    .metrics
+                    .connections_total
+                    .fetch_add(1, Ordering::Relaxed);
+                prepare(&stream, &shared.config);
+                match shared.queue.try_push(stream) {
+                    Ok(()) => {}
+                    Err(PushError::Full(stream) | PushError::Closed(stream)) => {
+                        shed(stream, shared);
+                    }
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
+            // Transient accept errors (EMFILE, ECONNABORTED): back off and
+            // keep serving rather than killing the daemon.
+            Err(_) => thread::sleep(ACCEPT_POLL),
+        }
+    }
+    shared.queue.close();
+}
+
+/// Configures socket timeouts; failures degrade to blocking I/O, which
+/// only affects idle-connection reaping.
+fn prepare(stream: &TcpStream, config: &ServerConfig) {
+    let timeout = Some(Duration::from_millis(config.read_timeout_ms.max(1)));
+    let _ = stream.set_read_timeout(timeout);
+    let _ = stream.set_write_timeout(timeout);
+    let _ = stream.set_nodelay(true);
+}
+
+/// Half-closes `stream` and drains whatever the peer still has in flight
+/// before dropping it. Closing a socket with unread bytes in its receive
+/// buffer makes the kernel send RST, and an RST destroys any response
+/// (such as the shed 503) still sitting in the peer's receive buffer —
+/// lingering turns that RST into an orderly FIN. Bounded by a short read
+/// timeout and a fixed number of reads.
+fn linger_close(mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut sink = [0u8; 4096];
+    for _ in 0..16 {
+        match stream.read(&mut sink) {
+            Ok(0) | Err(_) => break,
+            Ok(_) => {}
+        }
+    }
+}
+
+/// Answers a connection the queue refused: `503` + `Retry-After`, close.
+fn shed(mut stream: TcpStream, shared: &Shared) {
+    shared.metrics.shed_total.fetch_add(1, Ordering::Relaxed);
+    let body = format!(
+        "{{\"ok\":false,\"error\":\"server is at capacity, retry after {}s\"}}",
+        shared.config.retry_after_secs
+    );
+    let extra = [(
+        "Retry-After".to_owned(),
+        shared.config.retry_after_secs.to_string(),
+    )];
+    let _ = stream.write_all(&write_response(
+        503,
+        "Service Unavailable",
+        "application/json",
+        &extra,
+        body.as_bytes(),
+        true,
+    ));
+    linger_close(stream);
+}
+
+/// Pops admitted connections until the queue closes and drains; returns
+/// the number of requests this worker served.
+fn worker_loop(shared: &Shared) -> usize {
+    let mut served = 0usize;
+    while let Some(stream) = shared.queue.pop() {
+        served += handle_connection(stream, shared);
+    }
+    served
+}
+
+/// Serves one connection's keep-alive request loop (with a lingering
+/// close on every exit path); returns requests served on it.
+fn handle_connection(mut stream: TcpStream, shared: &Shared) -> usize {
+    let served = connection_loop(&mut stream, shared);
+    linger_close(stream);
+    served
+}
+
+/// The keep-alive read/parse/dispatch loop behind [`handle_connection`].
+fn connection_loop(stream: &mut TcpStream, shared: &Shared) -> usize {
+    let mut parser = RequestParser::new(shared.config.limits);
+    let mut served = 0usize;
+    let mut chunk = [0u8; 8 * 1024];
+    loop {
+        let n = match stream.read(&mut chunk) {
+            Ok(0) => return served, // peer closed
+            Ok(n) => n,
+            // Idle keep-alive connection timed out (or the peer stalled):
+            // close it; during a drain this is what bounds shutdown time.
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                return served
+            }
+            Err(_) => return served,
+        };
+        let mut input: &[u8] = chunk.get(..n).unwrap_or_default();
+        // Extract every complete request already buffered (pipelining):
+        // after the first, feed no new bytes and let leftovers drain.
+        loop {
+            match parser.feed(input) {
+                Ok(Some(request)) => {
+                    input = &[];
+                    served += 1;
+                    if serve_one(stream, &request, shared, served).is_break() {
+                        return served;
+                    }
+                }
+                Ok(None) => break, // need more bytes from the socket
+                Err(e) => {
+                    shared
+                        .metrics
+                        .bad_requests_total
+                        .fetch_add(1, Ordering::Relaxed);
+                    let (status, reason) = e.status();
+                    shared.metrics.record(Route::Other, status, 0);
+                    let body = format!("{{\"ok\":false,\"error\":\"{e}\"}}");
+                    let _ = stream.write_all(&write_response(
+                        status,
+                        reason,
+                        "application/json",
+                        &[],
+                        body.as_bytes(),
+                        true,
+                    ));
+                    return served; // framing is ambiguous: poison + close
+                }
+            }
+        }
+    }
+}
+
+/// Dispatches one request and writes the response. `Break` means the
+/// connection must close.
+fn serve_one(
+    stream: &mut TcpStream,
+    request: &Request,
+    shared: &Shared,
+    served_on_conn: usize,
+) -> std::ops::ControlFlow<()> {
+    shared.metrics.inflight.fetch_add(1, Ordering::Relaxed);
+    let start = monotonic_us();
+    // Handlers run with par_map inlined (one thread per request) and any
+    // panic that escapes the router's own containment becomes a 500.
+    let outcome = catch_unwind(AssertUnwindSafe(|| {
+        dg_engine::inline_scope(|| shared.router.handle(request))
+    }));
+    let (route, response) = match outcome {
+        Ok(pair) => pair,
+        Err(_) => {
+            shared.metrics.panics_total.fetch_add(1, Ordering::Relaxed);
+            (
+                Route::Other,
+                crate::routes::Response {
+                    status: 500,
+                    reason: "Internal Server Error",
+                    content_type: "application/json",
+                    body: Arc::new(
+                        "{\"ok\":false,\"error\":\"internal handler panic\"}".to_owned(),
+                    ),
+                },
+            )
+        }
+    };
+    let latency = monotonic_us().saturating_sub(start);
+    shared.metrics.record(route, response.status, latency);
+    shared.metrics.inflight.fetch_sub(1, Ordering::Relaxed);
+
+    let close = !request.keep_alive()
+        || shared.draining.load(Ordering::SeqCst)
+        || served_on_conn >= shared.config.max_requests_per_conn;
+    let bytes = write_response(
+        response.status,
+        response.reason,
+        response.content_type,
+        &[],
+        response.body.as_bytes(),
+        close,
+    );
+    if stream.write_all(&bytes).is_err() || close {
+        std::ops::ControlFlow::Break(())
+    } else {
+        std::ops::ControlFlow::Continue(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ServerConfig {
+        ServerConfig {
+            workers: 2,
+            queue_depth: 4,
+            read_timeout_ms: 200,
+            ..ServerConfig::default()
+        }
+    }
+
+    fn talk(addr: SocketAddr, raw: &[u8]) -> String {
+        let mut s = TcpStream::connect(addr).expect("connect");
+        s.write_all(raw).expect("write");
+        let _ = s.shutdown(std::net::Shutdown::Write);
+        let mut out = Vec::new();
+        let _ = s.read_to_end(&mut out);
+        String::from_utf8_lossy(&out).into_owned()
+    }
+
+    #[test]
+    fn serves_healthz_over_tcp_and_drains_cleanly() {
+        let handle = Server::start(tiny_config()).expect("bind");
+        let addr = handle.local_addr();
+        let reply = talk(addr, b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 200 OK"), "{reply}");
+        assert!(reply.contains("\"status\":\"ok\""), "{reply}");
+        let report = handle.shutdown();
+        assert!(report.clean);
+        assert_eq!(report.requests_served, 1);
+    }
+
+    #[test]
+    fn malformed_framing_gets_4xx_and_close() {
+        let handle = Server::start(tiny_config()).expect("bind");
+        let addr = handle.local_addr();
+        let reply = talk(addr, b"NOT-HTTP-AT-ALL\r\n\r\n");
+        assert!(reply.starts_with("HTTP/1.1 400"), "{reply}");
+        let reply = talk(
+            addr,
+            b"POST /v1/droop HTTP/1.1\r\nContent-Length: 99999999\r\n\r\n",
+        );
+        assert!(reply.starts_with("HTTP/1.1 413"), "{reply}");
+        let m = handle.metrics();
+        assert_eq!(m.bad_requests_total.load(Ordering::Relaxed), 2);
+        assert!(handle.shutdown().clean);
+    }
+
+    #[test]
+    fn keep_alive_serves_multiple_requests_on_one_connection() {
+        let handle = Server::start(tiny_config()).expect("bind");
+        let mut s = TcpStream::connect(handle.local_addr()).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        for _ in 0..3 {
+            s.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+                .expect("write");
+            let mut buf = [0u8; 2048];
+            let n = s.read(&mut buf).expect("read");
+            let text = String::from_utf8_lossy(buf.get(..n).unwrap_or_default()).into_owned();
+            assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+        }
+        let report = handle.shutdown();
+        assert!(report.clean);
+        assert_eq!(report.requests_served, 3);
+    }
+
+    #[test]
+    fn drain_refuses_new_connections_but_finishes_admitted_work() {
+        let handle = Server::start(tiny_config()).expect("bind");
+        let addr = handle.local_addr();
+        handle.request_drain();
+        assert!(handle.is_draining());
+        // Give the accept loop a poll interval to notice.
+        thread::sleep(Duration::from_millis(50));
+        // New connections are now either refused outright or shed.
+        if let Ok(mut s) = TcpStream::connect(addr) {
+            let _ = s.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+            let mut out = Vec::new();
+            let _ = s.set_read_timeout(Some(Duration::from_millis(500)));
+            let _ = s.read_to_end(&mut out);
+            let text = String::from_utf8_lossy(&out);
+            assert!(
+                text.is_empty() || text.starts_with("HTTP/1.1 503"),
+                "draining server must not serve new work: {text}"
+            );
+        }
+        assert!(handle.shutdown().clean);
+    }
+}

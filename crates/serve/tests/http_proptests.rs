@@ -1,0 +1,165 @@
+//! Property tests for the hand-rolled HTTP parser: framing must be
+//! invariant under arbitrary byte-boundary splits, header-name case, and
+//! hostile `Content-Length` values.
+
+use dg_serve::http::{HttpError, ParserLimits, Request, RequestParser};
+use proptest::prelude::*;
+
+/// Parses `raw` delivered in the chunks produced by splitting at every
+/// position in `cuts` (sorted, deduped).
+fn parse_split(raw: &[u8], cuts: &[usize]) -> Result<Option<Request>, HttpError> {
+    let mut parser = RequestParser::new(ParserLimits::default());
+    let mut bounds: Vec<usize> = cuts.iter().map(|&c| c % (raw.len() + 1)).collect();
+    bounds.push(0);
+    bounds.push(raw.len());
+    bounds.sort_unstable();
+    bounds.dedup();
+    let mut last = None;
+    for pair in bounds.windows(2) {
+        if let [a, b] = pair {
+            last = parser.feed(&raw[*a..*b])?;
+        }
+    }
+    Ok(last)
+}
+
+fn whole(raw: &[u8]) -> Result<Option<Request>, HttpError> {
+    RequestParser::new(ParserLimits::default()).feed(raw)
+}
+
+/// A well-formed POST with a body of `len` bytes and an arbitrarily cased
+/// Content-Length header name.
+fn framed_post(path_seed: u8, casing: u8, len: usize) -> Vec<u8> {
+    let name: String = "Content-Length"
+        .chars()
+        .enumerate()
+        .map(|(i, c)| {
+            if casing >> (i % 8) & 1 == 1 {
+                c.to_ascii_uppercase()
+            } else {
+                c.to_ascii_lowercase()
+            }
+        })
+        .collect();
+    let mut raw =
+        format!("POST /v1/p{path_seed} HTTP/1.1\r\nHost: t\r\n{name}: {len}\r\n\r\n").into_bytes();
+    raw.resize(raw.len() + len, b'x');
+    raw
+}
+
+proptest! {
+    /// Splitting the byte stream at every combination of positions never
+    /// changes the parse: same request, same body, same errors.
+    #[test]
+    fn split_at_every_byte_is_invariant(
+        path_seed in 0u8..50,
+        casing in 0u8..=255,
+        len in 0usize..200,
+        cuts in prop::collection::vec(0usize..400, 0..6),
+    ) {
+        let raw = framed_post(path_seed, casing, len);
+        let reference = whole(&raw);
+        let split = parse_split(&raw, &cuts);
+        prop_assert_eq!(&reference, &split);
+        let req = reference.expect("well-formed").expect("complete");
+        prop_assert_eq!(req.body.len(), len);
+        prop_assert_eq!(req.method, "POST");
+    }
+
+    /// Exhaustive single-split sweep: one cut at *every* byte boundary.
+    #[test]
+    fn every_single_split_point_parses_identically(
+        casing in 0u8..=255,
+        len in 0usize..60,
+    ) {
+        let raw = framed_post(1, casing, len);
+        let reference = whole(&raw);
+        for cut in 0..=raw.len() {
+            let split = parse_split(&raw, &[cut]);
+            prop_assert_eq!(&reference, &split, "cut at {}", cut);
+        }
+    }
+
+    /// Header-name case never affects semantics (RFC 9110).
+    #[test]
+    fn header_case_is_insensitive(casing_a in 0u8..=255, casing_b in 0u8..=255, len in 0usize..50) {
+        let a = whole(&framed_post(2, casing_a, len));
+        let b = whole(&framed_post(2, casing_b, len));
+        prop_assert_eq!(a, b);
+    }
+
+    /// A missing Content-Length means an empty body, whatever trails the
+    /// head stays buffered, and the parse still completes.
+    #[test]
+    fn missing_content_length_means_empty_body(trailing in 0usize..100) {
+        let mut raw = b"POST /v1/droop HTTP/1.1\r\nHost: t\r\n\r\n".to_vec();
+        raw.resize(raw.len() + trailing, b'y');
+        let req = whole(&raw).expect("valid").expect("complete");
+        prop_assert!(req.body.is_empty());
+    }
+
+    /// Duplicate Content-Length headers are always rejected with 400,
+    /// whether the values agree or not, at any split point.
+    #[test]
+    fn duplicate_content_length_always_rejected(
+        a in 0usize..100,
+        b in 0usize..100,
+        cut in 0usize..80,
+    ) {
+        let raw = format!(
+            "POST / HTTP/1.1\r\nContent-Length: {a}\r\nContent-Length: {b}\r\n\r\n"
+        )
+        .into_bytes();
+        let whole_err = whole(&raw).expect_err("duplicate must be rejected");
+        prop_assert_eq!(whole_err.clone(), HttpError::DuplicateContentLength);
+        prop_assert_eq!(whole_err.status().0, 400);
+        let split_err = parse_split(&raw, &[cut]).expect_err("split parse agrees");
+        prop_assert_eq!(split_err, HttpError::DuplicateContentLength);
+    }
+
+    /// Any declared length beyond the cap is rejected with 413 before a
+    /// single body byte arrives, for any split of the head.
+    #[test]
+    fn body_too_large_rejected_before_body_bytes(
+        excess in 1usize..1_000_000,
+        cut in 0usize..60,
+    ) {
+        let declared = dg_serve::http::DEFAULT_MAX_BODY_BYTES + excess;
+        let raw = format!(
+            "POST /v1/droop HTTP/1.1\r\nContent-Length: {declared}\r\n\r\n"
+        )
+        .into_bytes();
+        let err = parse_split(&raw, &[cut]).expect_err("oversized body");
+        prop_assert_eq!(err.status().0, 413);
+        prop_assert!(matches!(err, HttpError::BodyTooLarge { declared: d, .. } if d == declared));
+    }
+
+    /// Junk that is not HTTP at all never parses into a request and never
+    /// panics, however it is split.
+    #[test]
+    fn arbitrary_junk_never_panics(
+        junk in prop::collection::vec(0u8..=255, 0..300),
+        cuts in prop::collection::vec(0usize..300, 0..4),
+    ) {
+        // Either an error or "still incomplete" — both are acceptable;
+        // completing as a request requires actual HTTP framing.
+        let _ = parse_split(&junk, &cuts);
+    }
+}
+
+#[test]
+fn pipelined_requests_survive_splits() {
+    let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+    for cut in 0..=raw.len() {
+        let mut parser = RequestParser::new(ParserLimits::default());
+        let mut got = Vec::new();
+        for chunk in [&raw[..cut], &raw[cut..]] {
+            let mut bytes = chunk;
+            while let Some(req) = parser.feed(bytes).expect("valid") {
+                bytes = b"";
+                got.push(req.target.clone());
+            }
+        }
+        assert_eq!(got, ["/a", "/b"], "cut at {cut}");
+    }
+}
