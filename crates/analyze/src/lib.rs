@@ -36,7 +36,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Crates whose library code must be panic-free.
-const NO_PANIC_CRATES: [&str; 8] = [
+const NO_PANIC_CRATES: [&str; 9] = [
     "dg-pdn",
     "dg-pmu",
     "dg-power",
@@ -47,6 +47,9 @@ const NO_PANIC_CRATES: [&str; 8] = [
     // The daemon: a handler bug must become a 500 + metrics increment,
     // never a dead worker thread.
     "dg-serve",
+    // The chaos harness: a panic in the fault driver or oracle would be
+    // indistinguishable from the server failure it is hunting.
+    "dg-chaos",
 ];
 
 /// Crates whose public API seams must use unit newtypes.

@@ -1,10 +1,10 @@
 //! Negative-path regression: the `no-panic-in-lib` rule must actually
-//! fire for `dg-serve` library code. The workspace itself is clean (see
-//! `workspace_clean.rs`), so this seeds a scratch mini-workspace whose
-//! `crates/serve` library contains a deliberate `.unwrap()` and asserts
-//! the scan reports exactly that violation — proving the daemon crate's
-//! registration in the panic-free list has enforcement teeth, not just a
-//! name in an array.
+//! fire for `dg-serve` and `dg-chaos` library code. The workspace itself
+//! is clean (see `workspace_clean.rs`), so this seeds a scratch
+//! mini-workspace whose registered crates contain a deliberate
+//! `.unwrap()` and asserts the scan reports exactly those violations —
+//! proving each crate's registration in the panic-free list has
+//! enforcement teeth, not just a name in an array.
 
 use std::fs;
 use std::path::PathBuf;
@@ -12,33 +12,42 @@ use std::path::PathBuf;
 use dg_analyze::analyze_workspace;
 use dg_analyze::rules::RuleId;
 
-/// Builds `<tmp>/dg-analyze-seeded-<pid>/crates/serve` with a seeded
-/// panic site and returns the workspace root.
-fn seed_workspace() -> PathBuf {
-    let root = std::env::temp_dir().join(format!("dg-analyze-seeded-{}", std::process::id()));
-    let serve = root.join("crates").join("serve");
-    fs::create_dir_all(serve.join("src")).expect("create scratch workspace");
+/// Builds `<tmp>/dg-analyze-seeded-<pid>-<tag>/crates/<dir>` for each
+/// `(dir, crate name)` pair, each with a seeded panic site, and returns
+/// the workspace root.
+fn seed_workspace_with(tag: &str, crates: &[(&str, &str)]) -> PathBuf {
+    let root = std::env::temp_dir().join(format!("dg-analyze-seeded-{}-{tag}", std::process::id()));
+    fs::create_dir_all(&root).expect("create scratch workspace");
     fs::write(
         root.join("Cargo.toml"),
         "[workspace]\nmembers = [\"crates/*\"]\nresolver = \"2\"\n",
     )
     .expect("write root manifest");
-    fs::write(
-        serve.join("Cargo.toml"),
-        "[package]\nname = \"dg-serve\"\nversion = \"0.1.0\"\nedition = \"2021\"\n",
-    )
-    .expect("write crate manifest");
-    fs::write(
-        serve.join("src").join("lib.rs"),
-        "//! Seeded fixture: one deliberate panic site in library code.\n\
-         \n\
-         /// Returns the cached value, panicking when absent.\n\
-         pub fn cached(v: Option<u32>) -> u32 {\n\
-         \x20   v.unwrap()\n\
-         }\n",
-    )
-    .expect("write seeded lib");
+    for (dir, name) in crates {
+        let member = root.join("crates").join(dir);
+        fs::create_dir_all(member.join("src")).expect("create member dir");
+        fs::write(
+            member.join("Cargo.toml"),
+            format!("[package]\nname = \"{name}\"\nversion = \"0.1.0\"\nedition = \"2021\"\n"),
+        )
+        .expect("write crate manifest");
+        fs::write(
+            member.join("src").join("lib.rs"),
+            "//! Seeded fixture: one deliberate panic site in library code.\n\
+             \n\
+             /// Returns the cached value, panicking when absent.\n\
+             pub fn cached(v: Option<u32>) -> u32 {\n\
+             \x20   v.unwrap()\n\
+             }\n",
+        )
+        .expect("write seeded lib");
+    }
     root
+}
+
+/// The original single-crate fixture (kept for the line/path assertions).
+fn seed_workspace() -> PathBuf {
+    seed_workspace_with("serve", &[("serve", "dg-serve")])
 }
 
 #[test]
@@ -79,4 +88,30 @@ fn no_panic_in_lib_fires_on_a_seeded_violation_in_crates_serve() {
         "fixture must be clean apart from the seeded panic site: {:?}",
         narrowed.violations
     );
+}
+
+#[test]
+fn no_panic_in_lib_fires_on_a_seeded_violation_in_crates_chaos() {
+    // The chaos harness is registered alongside the daemon: a seeded
+    // unwrap in either library must fire, and nothing else.
+    let root = seed_workspace_with("chaos", &[("chaos", "dg-chaos"), ("serve", "dg-serve")]);
+    let report = analyze_workspace(&root).expect("scan scratch workspace");
+    fs::remove_dir_all(&root).expect("clean up scratch workspace");
+
+    assert_eq!(
+        report.count(RuleId::NoPanicInLib),
+        2,
+        "both seeded unwraps must fire: {:?}",
+        report.violations
+    );
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.rule == RuleId::NoPanicInLib
+                && v.path == std::path::Path::new("crates/chaos/src/lib.rs")),
+        "the dg-chaos registration must have teeth: {:?}",
+        report.violations
+    );
+    assert_ne!(report.exit_code(), 0);
 }

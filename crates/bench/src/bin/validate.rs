@@ -22,14 +22,12 @@ fn main() {
     let graded = claims::grade(&eval);
     let elapsed = started.elapsed();
 
-    // Report.
+    // Report. The scoreboard is the same reduction dg-chaos's oracle
+    // applies to the served claims payload.
+    let board = dg_bench::claims_scoreboard(&graded);
     println!("DarkGates reproduction self-check");
     println!("{:-<78}", "");
-    let mut failures = 0;
     for c in &graded {
-        if !c.pass {
-            failures += 1;
-        }
         println!(
             "[{}] {:<40} paper: {:<26} measured: {}",
             if c.pass { "PASS" } else { "FAIL" },
@@ -41,12 +39,12 @@ fn main() {
     println!("{:-<78}", "");
     println!(
         "{}/{} claims hold ({} worker thread(s), {:.1} ms)",
-        graded.len() - failures,
-        graded.len(),
+        board.passed,
+        board.total,
         dg_engine::num_threads(),
         elapsed.as_secs_f64() * 1e3,
     );
-    if failures > 0 {
+    if !board.all_pass() {
         std::process::exit(1);
     }
 }

@@ -319,6 +319,39 @@ pub fn apply_thread_overrides(args: &[String]) -> Option<dg_engine::ThreadOverri
     }
 }
 
+/// A compact pass/fail scoreboard over graded paper claims.
+///
+/// Shared by the `validate` self-check binary and `dg-chaos`'s
+/// differential oracle, so both judge a claims dataset with identical
+/// logic: same pass counting, same row order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClaimsScoreboard {
+    /// Claims whose measured value is inside the accepted band.
+    pub passed: usize,
+    /// All claims graded.
+    pub total: usize,
+    /// `(name, pass)` per claim, in grading order.
+    pub rows: Vec<(String, bool)>,
+}
+
+impl ClaimsScoreboard {
+    /// Whether every claim holds.
+    pub fn all_pass(&self) -> bool {
+        self.passed == self.total
+    }
+}
+
+/// Reduces graded claims to the scoreboard every consumer reports.
+pub fn claims_scoreboard(graded: &[darkgates::claims::Claim]) -> ClaimsScoreboard {
+    let rows: Vec<(String, bool)> = graded.iter().map(|c| (c.name.to_owned(), c.pass)).collect();
+    let passed = rows.iter().filter(|(_, pass)| *pass).count();
+    ClaimsScoreboard {
+        passed,
+        total: rows.len(),
+        rows,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     // The printers are exercised by the binaries; here we only make sure
@@ -329,5 +362,28 @@ mod tests {
         super::print_fig10();
         super::print_table1();
         super::print_table2();
+    }
+
+    #[test]
+    fn scoreboard_counts_passes_in_order() {
+        let graded = vec![
+            darkgates::claims::Claim {
+                name: "a",
+                paper: "1".into(),
+                measured: "1".into(),
+                pass: true,
+            },
+            darkgates::claims::Claim {
+                name: "b",
+                paper: "2".into(),
+                measured: "9".into(),
+                pass: false,
+            },
+        ];
+        let board = super::claims_scoreboard(&graded);
+        assert_eq!((board.passed, board.total), (1, 2));
+        assert!(!board.all_pass());
+        assert_eq!(board.rows[0], ("a".to_owned(), true));
+        assert_eq!(board.rows[1], ("b".to_owned(), false));
     }
 }

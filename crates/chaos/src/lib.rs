@@ -1,0 +1,888 @@
+//! `dg-chaos`: deterministic fault injection and differential replay for
+//! the `dg-serve` daemon.
+//!
+//! The harness answers three questions the tier-1 tests cannot (DESIGN.md
+//! §10):
+//!
+//! 1. **Does the serve path survive hostile transports?** A seeded fault
+//!    layer wraps every client connection and injects short writes,
+//!    partial request bodies, mid-response connection drops, slowloris
+//!    pacing, and stalled request heads that expire through the server's
+//!    read timeout (no client-side clock). Every connection's behaviour
+//!    is a pure function of its seed.
+//! 2. **Do HTTP results equal library results?** A differential oracle
+//!    replays every completed request against an in-process
+//!    [`dg_serve::routes::Router`] — the same `darkgates::claims`,
+//!    `dg-pdn` droop/sweep, and product-catalog entry points — and
+//!    requires the served status and body to be **byte-identical** to the
+//!    library's render. Serialization or caching drift cannot silently
+//!    corrupt paper results.
+//! 3. **Does every failure reproduce?** A sample of connections is
+//!    re-executed from their logged seeds and must land in the same
+//!    outcome class, so a red chaos run is always a one-seed repro, never
+//!    a shrug.
+//!
+//! The entry point is [`run_chaos`]; the `dg-chaos` binary wraps it with
+//! a `--smoke` CI gate.
+
+use dg_serve::client::Lcg;
+use dg_serve::http::Request;
+use dg_serve::metrics::monotonic_us;
+use dg_serve::routes::Router;
+use dg_serve::{Server, ServerConfig};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::AtomicBool;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// The transport fault injected on one chaos connection.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Control group: the request is written whole and read whole.
+    None,
+    /// The request bytes are dribbled in tiny chunks, so the server's
+    /// incremental parser sees arbitrary byte-boundary splits.
+    ShortWrite,
+    /// The head declares the full `Content-Length` but the body is cut
+    /// short and the write side closed: the server must time the
+    /// connection out without producing a response or dying.
+    PartialBody,
+    /// A few response bytes are read, then the socket is dropped
+    /// mid-response: the server's write fails and must be contained.
+    MidResponseReset,
+    /// Head bytes are paced a few at a time with deterministic pauses —
+    /// slow, but inside the read timeout, so the request still completes.
+    Slowloris,
+    /// A partial request head, then silence: the client waits for the
+    /// *server's* read timeout to close the connection (clock-free expiry
+    /// — no client-side sleep decides the outcome).
+    StalledHead,
+    /// The head declares a body far beyond the server's cap: the parser
+    /// must answer `413` before any body byte is transferred.
+    Oversized,
+}
+
+impl Fault {
+    /// Every fault, in the order the per-fault counters report.
+    pub const ALL: [Fault; 7] = [
+        Fault::None,
+        Fault::ShortWrite,
+        Fault::PartialBody,
+        Fault::MidResponseReset,
+        Fault::Slowloris,
+        Fault::StalledHead,
+        Fault::Oversized,
+    ];
+
+    /// A short stable label for logs and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Fault::None => "none",
+            Fault::ShortWrite => "short-write",
+            Fault::PartialBody => "partial-body",
+            Fault::MidResponseReset => "mid-response-reset",
+            Fault::Slowloris => "slowloris",
+            Fault::StalledHead => "stalled-head",
+            Fault::Oversized => "oversized",
+        }
+    }
+
+    /// The position of this fault in [`Fault::ALL`] (for counters).
+    pub fn index(self) -> usize {
+        match self {
+            Fault::None => 0,
+            Fault::ShortWrite => 1,
+            Fault::PartialBody => 2,
+            Fault::MidResponseReset => 3,
+            Fault::Slowloris => 4,
+            Fault::StalledHead => 5,
+            Fault::Oversized => 6,
+        }
+    }
+}
+
+/// One request of the deterministic probe catalog.
+///
+/// Every probe except `/metrics` is deterministic: its response depends
+/// only on the request parameters, so the differential oracle can demand
+/// byte identity against an in-process router.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Probe {
+    /// HTTP method.
+    pub method: &'static str,
+    /// Request target.
+    pub path: &'static str,
+    /// JSON body ("" for GETs).
+    pub body: String,
+    /// Whether the response is a pure function of the request (oracle
+    /// comparable). `/metrics` is live state and is excluded.
+    pub deterministic: bool,
+}
+
+/// Draws one probe from the seeded catalog.
+///
+/// The catalog leans on the routes that back paper results — droop,
+/// sweep, product, claims — plus `/healthz` and an occasional `/metrics`
+/// for the non-deterministic text path.
+fn probe_from(rng: &mut Lcg) -> Probe {
+    let det = |method, path, body: String| Probe {
+        method,
+        path,
+        body,
+        deterministic: true,
+    };
+    match rng.below(12) {
+        0 | 1 => det("GET", "/healthz", String::new()),
+        2 => det("GET", "/v1/claims", String::new()),
+        3..=5 => {
+            let to = 40 + 10 * rng.below(4);
+            let variant = if rng.below(2) == 0 {
+                "gated"
+            } else {
+                "bypassed"
+            };
+            det(
+                "POST",
+                "/v1/droop",
+                format!(
+                    "{{\"variant\":\"{variant}\",\"from_a\":10,\"to_a\":{to},\"source_v\":1.0}}"
+                ),
+            )
+        }
+        6 | 7 => {
+            let points = 96 + 32 * rng.below(3);
+            det(
+                "POST",
+                "/v1/sweep",
+                format!("{{\"variant\":\"gated\",\"points\":{points},\"decimate\":16}}"),
+            )
+        }
+        8 => det(
+            "POST",
+            "/v1/product",
+            "{\"design\":\"desktop\",\"tdp_w\":91,\
+             \"workload\":{\"kind\":\"spec\",\"benchmark\":\"444.namd\",\"mode\":\"base\"}}"
+                .to_owned(),
+        ),
+        9 => det(
+            "POST",
+            "/v1/product",
+            "{\"design\":\"mobile\",\"tdp_w\":45,\
+             \"workload\":{\"kind\":\"energy\",\"name\":\"energy-star\"}}"
+                .to_owned(),
+        ),
+        10 => det("POST", "/v1/droop", "{\"variant\":\"wormhole\"}".to_owned()),
+        _ => Probe {
+            method: "GET",
+            path: "/metrics",
+            body: String::new(),
+            deterministic: false,
+        },
+    }
+}
+
+/// The fully resolved plan for one chaos connection: probe, fault, and
+/// every pacing parameter, all derived from `seed` alone.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConnPlan {
+    /// The connection's seed (logged with every failure).
+    pub seed: u64,
+    /// The injected fault.
+    pub fault: Fault,
+    /// The request issued.
+    pub probe: Probe,
+    /// Chunk size for dribbled writes (`ShortWrite` / `Slowloris`).
+    pub chunk_len: usize,
+    /// Inter-chunk pause for `Slowloris`, milliseconds.
+    pub pace_ms: u64,
+    /// Cut point for `PartialBody` / `StalledHead` (bytes kept), and the
+    /// number of response bytes read before a `MidResponseReset` drop.
+    pub cut: usize,
+}
+
+/// Derives the seed of connection `index` within run `run_seed`
+/// (SplitMix64-style mixing, so nearby indices get unrelated streams).
+pub fn conn_seed(run_seed: u64, index: usize) -> u64 {
+    let mut z = run_seed.wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(index as u64 + 1));
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl ConnPlan {
+    /// Builds the plan for `seed` — a pure function, so any logged seed
+    /// replays to the identical probe, fault, and pacing.
+    pub fn from_seed(seed: u64) -> ConnPlan {
+        let mut rng = Lcg::new(seed);
+        let probe = probe_from(&mut rng);
+        // PartialBody needs a body to cut; bodiless probes fall back to a
+        // plain short write so every draw still injects something.
+        let fault = match Fault::ALL.get(usize::try_from(rng.below(7)).unwrap_or(0)) {
+            Some(Fault::PartialBody) if probe.body.is_empty() => Fault::ShortWrite,
+            Some(f) => *f,
+            None => Fault::None,
+        };
+        ConnPlan {
+            seed,
+            fault,
+            probe,
+            chunk_len: usize::try_from(1 + rng.below(7)).unwrap_or(1),
+            pace_ms: 2 + rng.below(6),
+            cut: usize::try_from(1 + rng.below(24)).unwrap_or(1),
+        }
+    }
+
+    /// The raw request bytes this plan sends (before fault mangling).
+    pub fn raw_request(&self) -> Vec<u8> {
+        let declared = if self.fault == Fault::Oversized {
+            // Far beyond the server's body cap: must be refused with 413.
+            10_000_000
+        } else {
+            self.probe.body.len()
+        };
+        let mut raw = format!(
+            "{} {} HTTP/1.1\r\nHost: dg-chaos\r\nContent-Length: {declared}\r\nConnection: close\r\n\r\n",
+            self.probe.method, self.probe.path
+        )
+        .into_bytes();
+        if self.fault != Fault::Oversized {
+            raw.extend_from_slice(self.probe.body.as_bytes());
+        }
+        raw
+    }
+}
+
+/// How a chaos connection ended, from the client's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OutcomeClass {
+    /// A complete, parseable HTTP reply with this status.
+    Reply(u16),
+    /// The connection closed without a complete reply — the *expected*
+    /// outcome for `PartialBody`, `MidResponseReset`, and `StalledHead`.
+    Truncated,
+    /// A transport-level failure (connect error, or a stalled connection
+    /// the server failed to reap inside the client's guard timeout).
+    Transport,
+}
+
+impl OutcomeClass {
+    /// A short stable label for logs.
+    pub fn label(self) -> String {
+        match self {
+            OutcomeClass::Reply(status) => format!("reply({status})"),
+            OutcomeClass::Truncated => "truncated".to_owned(),
+            OutcomeClass::Transport => "transport".to_owned(),
+        }
+    }
+}
+
+/// The record one chaos connection leaves behind.
+#[derive(Debug, Clone)]
+pub struct ConnRecord {
+    /// Position in the run (0-based).
+    pub index: usize,
+    /// The connection's seed (replay with [`ConnPlan::from_seed`]).
+    pub seed: u64,
+    /// The fault that was injected.
+    pub fault: Fault,
+    /// How the connection ended.
+    pub outcome: OutcomeClass,
+    /// The reply body, when a complete reply arrived (oracle input).
+    pub body: Option<String>,
+}
+
+/// Splits a raw response buffer into `(status, body)` if it parses as a
+/// complete HTTP/1.1 reply.
+fn split_reply(bytes: &[u8]) -> Option<(u16, String)> {
+    let text = String::from_utf8_lossy(bytes);
+    let (head, body) = text.split_once("\r\n\r\n")?;
+    let status: u16 = head.lines().next()?.split(' ').nth(1)?.parse().ok()?;
+    Some((status, body.to_owned()))
+}
+
+/// Reads the stream to EOF with a guard timeout, collecting every byte.
+/// Returns `None` when the guard fires (server never closed).
+fn read_to_close(stream: &mut TcpStream, guard_ms: u64) -> Option<Vec<u8>> {
+    let deadline = monotonic_us().saturating_add(guard_ms.saturating_mul(1_000));
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(guard_ms.max(1))));
+    let mut bytes = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        if monotonic_us() >= deadline {
+            return None;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Some(bytes),
+            Ok(n) => bytes.extend_from_slice(chunk.get(..n).unwrap_or_default()),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                return None;
+            }
+            Err(_) => return Some(bytes),
+        }
+    }
+}
+
+/// Writes `raw` in `chunk_len`-byte slices, pausing `pace_ms` between
+/// slices when `pace_ms > 0`.
+fn write_chunked(
+    stream: &mut TcpStream,
+    raw: &[u8],
+    chunk_len: usize,
+    pace_ms: u64,
+) -> std::io::Result<()> {
+    let step = chunk_len.max(1);
+    let mut offset = 0usize;
+    while offset < raw.len() {
+        let end = (offset + step).min(raw.len());
+        stream.write_all(raw.get(offset..end).unwrap_or_default())?;
+        offset = end;
+        if pace_ms > 0 && offset < raw.len() {
+            std::thread::sleep(Duration::from_millis(pace_ms));
+        }
+    }
+    Ok(())
+}
+
+/// Executes one planned connection against `addr`.
+///
+/// `server_read_timeout_ms` sizes the guard timeout for faults that wait
+/// on the *server* to act (stalled heads, partial bodies): the client
+/// allows the server several timeout periods before declaring it stuck.
+pub fn run_connection(
+    addr: SocketAddr,
+    plan: &ConnPlan,
+    server_read_timeout_ms: u64,
+) -> (OutcomeClass, Option<String>) {
+    let raw = plan.raw_request();
+    // The guard is a liveness ceiling, not a wait: nothing blocks on it
+    // unless the server genuinely fails to answer or to reap a stalled
+    // connection. The generous floor keeps unoptimized (debug) builds of
+    // the compute-heavy routes inside it.
+    let guard_ms = server_read_timeout_ms.saturating_mul(10).max(30_000);
+    let Ok(mut stream) = TcpStream::connect_timeout(&addr, Duration::from_millis(guard_ms)) else {
+        return (OutcomeClass::Transport, None);
+    };
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(guard_ms)));
+
+    let write_outcome = match plan.fault {
+        Fault::None | Fault::Oversized => stream.write_all(&raw),
+        Fault::ShortWrite => write_chunked(&mut stream, &raw, plan.chunk_len, 0),
+        Fault::Slowloris => write_chunked(&mut stream, &raw, plan.chunk_len.max(4), plan.pace_ms),
+        Fault::PartialBody => {
+            // Whole head, then only a prefix of the declared body.
+            let body_len = plan.probe.body.len();
+            let head_len = raw.len().saturating_sub(body_len);
+            let keep = head_len + plan.cut.min(body_len.saturating_sub(1));
+            stream.write_all(raw.get(..keep).unwrap_or(&raw))
+        }
+        Fault::StalledHead => {
+            // A strict prefix of the head, then silence.
+            let keep = plan.cut.min(raw.len().saturating_sub(1)).max(1);
+            stream.write_all(raw.get(..keep).unwrap_or(&raw))
+        }
+        Fault::MidResponseReset => stream.write_all(&raw),
+    };
+    if write_outcome.is_err() {
+        // The server may have legitimately closed first (e.g. an early
+        // 413 on an oversized head); try to collect what it said.
+        return match read_to_close(&mut stream, guard_ms) {
+            Some(bytes) => match split_reply(&bytes) {
+                Some((status, body)) => (OutcomeClass::Reply(status), Some(body)),
+                None => (OutcomeClass::Truncated, None),
+            },
+            None => (OutcomeClass::Transport, None),
+        };
+    }
+
+    match plan.fault {
+        // Half-close so the server sees EOF after the request; then the
+        // reply must arrive complete.
+        Fault::None | Fault::ShortWrite | Fault::Slowloris | Fault::Oversized => {
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+            match read_to_close(&mut stream, guard_ms) {
+                Some(bytes) => match split_reply(&bytes) {
+                    Some((status, body)) => (OutcomeClass::Reply(status), Some(body)),
+                    None => (OutcomeClass::Truncated, None),
+                },
+                None => (OutcomeClass::Transport, None),
+            }
+        }
+        // The write side stays open (the server still expects bytes); the
+        // outcome is decided by the server's read timeout closing us.
+        Fault::PartialBody | Fault::StalledHead => match read_to_close(&mut stream, guard_ms) {
+            Some(bytes) => match split_reply(&bytes) {
+                Some((status, body)) => (OutcomeClass::Reply(status), Some(body)),
+                None => (OutcomeClass::Truncated, None),
+            },
+            None => (OutcomeClass::Transport, None),
+        },
+        Fault::MidResponseReset => {
+            // Read a few bytes of the response, then drop the socket with
+            // the rest unread (the drop sends RST if bytes are pending).
+            let want = plan.cut.max(1);
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(guard_ms.max(1))));
+            let mut sink = vec![0u8; want];
+            let _ = stream.read(&mut sink);
+            drop(stream);
+            (OutcomeClass::Truncated, None)
+        }
+    }
+}
+
+/// The differential oracle: an in-process router over the same library
+/// entry points the daemon serves.
+pub struct Oracle {
+    router: Router,
+}
+
+impl Default for Oracle {
+    fn default() -> Self {
+        Oracle::new()
+    }
+}
+
+impl Oracle {
+    /// A fresh oracle (its own metrics, not draining, no debug routes —
+    /// the same construction `Server::start` uses for the live router).
+    pub fn new() -> Oracle {
+        Oracle {
+            router: Router::new(
+                Arc::new(dg_serve::metrics::Metrics::default()),
+                Arc::new(AtomicBool::new(false)),
+                false,
+            ),
+        }
+    }
+
+    /// The `(status, body)` the library path produces for `probe`.
+    pub fn expected(&self, probe: &Probe) -> (u16, String) {
+        let request = Request {
+            method: probe.method.to_owned(),
+            target: probe.path.to_owned(),
+            headers: vec![("host".to_owned(), "dg-chaos".to_owned())],
+            body: probe.body.clone().into_bytes(),
+        };
+        let (_, response) = self.router.handle(&request);
+        (response.status, response.body.as_str().to_owned())
+    }
+
+    /// Checks one record against the library path. Returns a mismatch
+    /// description, or `None` when the record matches or is out of the
+    /// oracle's scope (truncated outcomes, sheds, non-deterministic
+    /// probes, parser-level `413`s).
+    pub fn check(&self, plan: &ConnPlan, record: &ConnRecord) -> Option<String> {
+        let (status, body) = match (&record.outcome, &record.body) {
+            (OutcomeClass::Reply(status), Some(body)) => (*status, body),
+            _ => return None,
+        };
+        if !plan.probe.deterministic || status == 503 {
+            return None;
+        }
+        if plan.fault == Fault::Oversized {
+            // Parser-level rejection: the router never sees it; the
+            // contract is just the status code.
+            return (status != 413).then(|| {
+                format!(
+                    "seed {:#018x}: oversized probe answered {status}, want 413",
+                    record.seed
+                )
+            });
+        }
+        let (want_status, want_body) = self.expected(&plan.probe);
+        if status != want_status {
+            return Some(format!(
+                "seed {:#018x}: {} {} answered {status}, library says {want_status}",
+                record.seed, plan.probe.method, plan.probe.path
+            ));
+        }
+        if body != &want_body {
+            return Some(format!(
+                "seed {:#018x}: {} {} body diverges from the library render \
+                 (served {} bytes, library {} bytes)",
+                record.seed,
+                plan.probe.method,
+                plan.probe.path,
+                body.len(),
+                want_body.len()
+            ));
+        }
+        None
+    }
+
+    /// Cross-checks a served `/v1/claims` body against the shared
+    /// [`dg_bench::claims_scoreboard`] reduction of the library graders.
+    /// Returns a mismatch description on drift.
+    pub fn check_claims_scoreboard(&self, served_body: &str) -> Option<String> {
+        let board = dg_bench::claims_scoreboard(&darkgates::claims::grade_all());
+        let served = dg_serve::json::parse(served_body).ok()?;
+        let result = served.get("result")?;
+        let passed = result
+            .get("passed")
+            .and_then(dg_serve::json::Json::as_u64)?;
+        let total = result.get("total").and_then(dg_serve::json::Json::as_u64)?;
+        if (passed, total) != (board.passed as u64, board.total as u64) {
+            return Some(format!(
+                "claims scoreboard drift: served {passed}/{total}, library {}/{}",
+                board.passed, board.total
+            ));
+        }
+        None
+    }
+}
+
+/// Tuning for one chaos run.
+#[derive(Debug, Clone)]
+pub struct ChaosConfig {
+    /// The run seed every connection seed derives from.
+    pub seed: u64,
+    /// Connections to drive (each with its own injected fault draw).
+    pub connections: usize,
+    /// Concurrent client threads.
+    pub concurrency: usize,
+    /// The chaos server's per-read socket timeout — small, so stalled
+    /// connections expire quickly.
+    pub read_timeout_ms: u64,
+    /// Server worker threads.
+    pub workers: usize,
+    /// Server admission-queue depth.
+    pub queue_depth: usize,
+    /// Connections re-executed from their logged seeds afterwards.
+    pub repro_sample: usize,
+}
+
+impl Default for ChaosConfig {
+    fn default() -> Self {
+        ChaosConfig {
+            seed: 0xDA_2C_4A_05,
+            connections: 240,
+            concurrency: 8,
+            read_timeout_ms: 150,
+            workers: 3,
+            queue_depth: 64,
+            repro_sample: 12,
+        }
+    }
+}
+
+/// Aggregated result of a chaos run; the smoke gate requires
+/// [`ChaosReport::passed`].
+#[derive(Debug, Clone, Default)]
+pub struct ChaosReport {
+    /// Connections driven.
+    pub connections: usize,
+    /// Connections that ended with a complete HTTP reply.
+    pub replies: usize,
+    /// Connections that ended without a complete reply (expected for the
+    /// truncating faults).
+    pub truncated: usize,
+    /// Transport failures — the gate requires zero.
+    pub transport_errors: usize,
+    /// Per-fault connection counts, indexed like [`Fault::ALL`].
+    pub fault_counts: [usize; 7],
+    /// Differential mismatches between HTTP and library results.
+    pub mismatches: Vec<String>,
+    /// Connections whose seed replay diverged.
+    pub repro_failures: Vec<String>,
+    /// Handler panics the server converted to 500s during the run.
+    pub worker_panics: u64,
+    /// Whether the accept loop and every worker exited cleanly.
+    pub clean_shutdown: bool,
+    /// Wall time of the run, µs.
+    pub elapsed_us: u64,
+}
+
+impl ChaosReport {
+    /// The smoke-gate verdict: every connection accounted for, zero
+    /// transport failures, zero worker deaths or panics, zero
+    /// differential mismatches, and every sampled seed reproduced.
+    pub fn passed(&self) -> bool {
+        self.clean_shutdown
+            && self.worker_panics == 0
+            && self.transport_errors == 0
+            && self.mismatches.is_empty()
+            && self.repro_failures.is_empty()
+            && self.replies + self.truncated == self.connections
+    }
+}
+
+/// Replays connection `index` of run `run_seed` and compares its outcome
+/// class with `original`. Sheds (`503`) are admission-level outcomes and
+/// compare as wildcards. Returns a failure description on divergence.
+fn reproduce_one(
+    addr: SocketAddr,
+    run_seed: u64,
+    index: usize,
+    original: &ConnRecord,
+    read_timeout_ms: u64,
+) -> Option<String> {
+    let seed = conn_seed(run_seed, index);
+    if seed != original.seed {
+        return Some(format!(
+            "connection {index}: seed derivation changed ({:#018x} vs logged {:#018x})",
+            seed, original.seed
+        ));
+    }
+    let plan = ConnPlan::from_seed(seed);
+    if plan.fault != original.fault {
+        return Some(format!(
+            "seed {seed:#018x}: fault replayed as {} but was logged as {}",
+            plan.fault.label(),
+            original.fault.label()
+        ));
+    }
+    let (outcome, _) = run_connection(addr, &plan, read_timeout_ms);
+    let shed = |o: &OutcomeClass| matches!(o, OutcomeClass::Reply(503));
+    if shed(&outcome) || shed(&original.outcome) {
+        return None;
+    }
+    if outcome != original.outcome {
+        return Some(format!(
+            "seed {seed:#018x} ({}): replayed to {} but was logged as {}",
+            plan.fault.label(),
+            outcome.label(),
+            original.outcome.label()
+        ));
+    }
+    None
+}
+
+/// Runs the full chaos campaign: start an in-process server, drive
+/// `config.connections` seeded fault connections, verify every completed
+/// exchange against the library path, replay a seed sample, then drain.
+///
+/// The engine's seeded schedule permutation is armed with the run seed
+/// for the duration, so handler-internal `par_map` work is claimed in a
+/// run-specific order — the oracle then proves the *results* are
+/// schedule-independent.
+pub fn run_chaos(config: &ChaosConfig) -> ChaosReport {
+    let mut report = ChaosReport {
+        connections: config.connections,
+        ..ChaosReport::default()
+    };
+    let started = monotonic_us();
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: config.workers.max(1),
+        queue_depth: config.queue_depth.max(1),
+        read_timeout_ms: config.read_timeout_ms.max(10),
+        enable_debug_routes: false,
+        ..ServerConfig::default()
+    });
+    let Ok(handle) = server else {
+        report.transport_errors = config.connections;
+        return report;
+    };
+    let addr = handle.local_addr();
+    let _schedule = dg_engine::set_schedule_seed(config.seed);
+
+    let records = drive(addr, config);
+
+    // Reproducibility: replay an evenly spaced seed sample while the
+    // server is still up, before any drain.
+    let stride = (config.connections / config.repro_sample.max(1)).max(1);
+    for record in records.iter().step_by(stride).take(config.repro_sample) {
+        if let Some(failure) = reproduce_one(
+            addr,
+            config.seed,
+            record.index,
+            record,
+            config.read_timeout_ms,
+        ) {
+            report.repro_failures.push(failure);
+        }
+    }
+
+    // Differential oracle, offline against the collected records.
+    let oracle = Oracle::new();
+    let mut claims_checked = false;
+    for record in &records {
+        let plan = ConnPlan::from_seed(record.seed);
+        if let Some(mismatch) = oracle.check(&plan, record) {
+            report.mismatches.push(mismatch);
+        }
+        if !claims_checked && plan.probe.path == "/v1/claims" {
+            if let (OutcomeClass::Reply(200), Some(body)) = (&record.outcome, &record.body) {
+                claims_checked = true;
+                if let Some(drift) = oracle.check_claims_scoreboard(body) {
+                    report.mismatches.push(drift);
+                }
+            }
+        }
+        match record.outcome {
+            OutcomeClass::Reply(_) => report.replies += 1,
+            OutcomeClass::Truncated => report.truncated += 1,
+            OutcomeClass::Transport => report.transport_errors += 1,
+        }
+        if let Some(slot) = report.fault_counts.get_mut(record.fault.index()) {
+            *slot += 1;
+        }
+    }
+
+    report.worker_panics = handle
+        .metrics()
+        .panics_total
+        .load(std::sync::atomic::Ordering::Relaxed);
+    report.clean_shutdown = handle.shutdown().clean;
+    report.elapsed_us = monotonic_us().saturating_sub(started);
+    report
+}
+
+/// Drives every planned connection from `config.concurrency` client
+/// threads and returns the records ordered by connection index.
+fn drive(addr: SocketAddr, config: &ChaosConfig) -> Vec<ConnRecord> {
+    let concurrency = config.concurrency.clamp(1, 64);
+    let mut records: Vec<ConnRecord> = Vec::with_capacity(config.connections);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..concurrency)
+            .map(|t| {
+                let config = &*config;
+                scope.spawn(move || {
+                    let mut own = Vec::new();
+                    let mut index = t;
+                    while index < config.connections {
+                        let seed = conn_seed(config.seed, index);
+                        let plan = ConnPlan::from_seed(seed);
+                        let (outcome, body) = run_connection(addr, &plan, config.read_timeout_ms);
+                        own.push(ConnRecord {
+                            index,
+                            seed,
+                            fault: plan.fault,
+                            outcome,
+                            body,
+                        });
+                        index += concurrency;
+                    }
+                    own
+                })
+            })
+            .collect();
+        for handle in handles {
+            if let Ok(mut own) = handle.join() {
+                records.append(&mut own);
+            }
+        }
+    });
+    records.sort_by_key(|r| r.index);
+    records
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_pure_functions_of_their_seed() {
+        for index in 0..200 {
+            let seed = conn_seed(7, index);
+            assert_eq!(ConnPlan::from_seed(seed), ConnPlan::from_seed(seed));
+        }
+        assert_ne!(conn_seed(7, 0), conn_seed(7, 1));
+        assert_ne!(conn_seed(7, 0), conn_seed(8, 0));
+    }
+
+    #[test]
+    fn the_catalog_covers_every_fault_and_probe() {
+        let mut fault_seen = [false; 7];
+        let mut paths = std::collections::BTreeSet::new();
+        for index in 0..400 {
+            let plan = ConnPlan::from_seed(conn_seed(3, index));
+            fault_seen[plan.fault.index()] = true;
+            paths.insert(plan.probe.path);
+        }
+        assert!(
+            fault_seen.iter().all(|&seen| seen),
+            "400 draws must hit every fault: {fault_seen:?}"
+        );
+        for path in [
+            "/healthz",
+            "/v1/claims",
+            "/v1/droop",
+            "/v1/sweep",
+            "/v1/product",
+            "/metrics",
+        ] {
+            assert!(paths.contains(path), "catalog never drew {path}");
+        }
+    }
+
+    #[test]
+    fn partial_body_never_lands_on_a_bodiless_probe() {
+        for index in 0..600 {
+            let plan = ConnPlan::from_seed(conn_seed(11, index));
+            if plan.fault == Fault::PartialBody {
+                assert!(
+                    !plan.probe.body.is_empty(),
+                    "seed {:#x} plans a partial body with no body",
+                    plan.seed
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn raw_request_declares_the_oversized_length() {
+        let mut plan = ConnPlan::from_seed(conn_seed(5, 0));
+        plan.fault = Fault::Oversized;
+        let raw = String::from_utf8(plan.raw_request()).expect("ascii");
+        assert!(raw.contains("Content-Length: 10000000"), "{raw}");
+        plan.fault = Fault::None;
+        let raw = String::from_utf8(plan.raw_request()).expect("ascii");
+        assert!(
+            raw.contains(&format!("Content-Length: {}", plan.probe.body.len())),
+            "{raw}"
+        );
+    }
+
+    #[test]
+    fn oracle_matches_itself_and_spots_drift() {
+        let oracle = Oracle::new();
+        let probe = Probe {
+            method: "POST",
+            path: "/v1/droop",
+            body: r#"{"variant":"gated","from_a":10,"to_a":60,"source_v":1.0}"#.to_owned(),
+            deterministic: true,
+        };
+        let (status, body) = oracle.expected(&probe);
+        assert_eq!(status, 200, "{body}");
+        let seed = conn_seed(1, 0);
+        let plan = ConnPlan {
+            seed,
+            fault: Fault::None,
+            probe,
+            chunk_len: 1,
+            pace_ms: 0,
+            cut: 1,
+        };
+        let ok = ConnRecord {
+            index: 0,
+            seed,
+            fault: Fault::None,
+            outcome: OutcomeClass::Reply(status),
+            body: Some(body.clone()),
+        };
+        assert_eq!(oracle.check(&plan, &ok), None);
+        let corrupted = ConnRecord {
+            body: Some(body.replace("droop_mv", "droop_MV")),
+            ..ok.clone()
+        };
+        let mismatch = oracle.check(&plan, &corrupted).expect("must spot drift");
+        assert!(mismatch.contains("diverges"), "{mismatch}");
+        let wrong_status = ConnRecord {
+            outcome: OutcomeClass::Reply(500),
+            ..ok
+        };
+        assert!(oracle.check(&plan, &wrong_status).is_some());
+    }
+
+    #[test]
+    fn split_reply_parses_and_rejects() {
+        let (status, body) =
+            split_reply(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nhi").expect("parse");
+        assert_eq!((status, body.as_str()), (200, "hi"));
+        assert!(split_reply(b"HTTP/1.1 200").is_none());
+        assert!(split_reply(b"").is_none());
+    }
+}

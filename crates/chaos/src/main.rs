@@ -1,0 +1,80 @@
+//! `dg-chaos`: seeded fault-injection campaign against an in-process
+//! `dg-serve`, with a differential oracle and seed-replay checks.
+//!
+//! ```text
+//! cargo run --release -p dg-chaos -- --smoke
+//! cargo run --release -p dg-chaos -- --seed 7 --connections 1000 --verbose
+//! ```
+//!
+//! Exit code 0 when the campaign passes (no worker deaths, no
+//! HTTP-vs-library mismatches, every sampled seed reproduces), 1 otherwise.
+
+use dg_chaos::{run_chaos, ChaosConfig, Fault};
+
+fn parse_u64(args: &[String], flag: &str, default: u64) -> u64 {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let verbose = args.iter().any(|a| a == "--verbose");
+
+    let defaults = ChaosConfig::default();
+    let config = ChaosConfig {
+        seed: parse_u64(&args, "--seed", defaults.seed),
+        connections: usize::try_from(parse_u64(
+            &args,
+            "--connections",
+            if smoke {
+                240
+            } else {
+                defaults.connections as u64
+            },
+        ))
+        .unwrap_or(defaults.connections),
+        ..defaults
+    };
+
+    println!(
+        "dg-chaos: seed {:#018x}, {} connections, {} client threads",
+        config.seed, config.connections, config.concurrency
+    );
+    let report = run_chaos(&config);
+
+    println!("{:-<72}", "");
+    for fault in Fault::ALL {
+        let count = report.fault_counts.get(fault.index()).copied().unwrap_or(0);
+        println!("  {:<20} {count:>5} connections", fault.label());
+    }
+    println!("{:-<72}", "");
+    println!(
+        "  replies {} | truncated {} | transport errors {} | {:.2} s",
+        report.replies,
+        report.truncated,
+        report.transport_errors,
+        report.elapsed_us as f64 / 1e6
+    );
+    println!(
+        "  worker panics {} | clean shutdown {} | mismatches {} | repro failures {}",
+        report.worker_panics,
+        report.clean_shutdown,
+        report.mismatches.len(),
+        report.repro_failures.len()
+    );
+    let failures = report.mismatches.iter().chain(&report.repro_failures);
+    for line in failures.take(if verbose { usize::MAX } else { 10 }) {
+        println!("  FAIL {line}");
+    }
+
+    if report.passed() {
+        println!("dg-chaos: PASS");
+    } else {
+        println!("dg-chaos: FAIL (replay any seed above with ConnPlan::from_seed)");
+        std::process::exit(1);
+    }
+}

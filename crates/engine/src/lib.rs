@@ -37,12 +37,16 @@ use std::cell::Cell;
 use std::error::Error;
 use std::fmt;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Process-wide thread-count override, used by determinism tests.
 /// 0 means "no override".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Process-wide schedule-perturbation seed (0 = claim work in input
+/// order). See [`set_schedule_seed`].
+static SCHEDULE_SEED: AtomicU64 = AtomicU64::new(0);
 
 thread_local! {
     /// True while the current thread is a pool worker; nested parallel
@@ -113,6 +117,74 @@ impl Drop for ThreadOverrideGuard {
     fn drop(&mut self) {
         THREAD_OVERRIDE.store(self.prev, Ordering::SeqCst);
     }
+}
+
+/// Makes every subsequent parallel call *claim* work items in a seeded
+/// permutation of the input order instead of ascending index order.
+///
+/// Results are unaffected by construction — each outcome is written back
+/// to its input index, so the output (and any error index) is bit-identical
+/// for every seed. What the seed changes is the execution interleaving:
+/// which worker touches which item first, and therefore the order in which
+/// shared substrate caches and locks are hit. The `dg-chaos` harness uses
+/// this to shake out accidental order dependence deterministically: a
+/// failure reproduces from `(seed, thread count)` alone.
+///
+/// A seed of 0 disables the perturbation (the default). Returns a guard
+/// restoring the previous seed on drop, so callers can scope it.
+pub fn set_schedule_seed(seed: u64) -> ScheduleSeedGuard {
+    let prev = SCHEDULE_SEED.swap(seed, Ordering::SeqCst);
+    ScheduleSeedGuard { prev }
+}
+
+/// Restores the previous schedule seed on drop.
+#[must_use = "dropping the guard immediately restores the previous schedule seed"]
+pub struct ScheduleSeedGuard {
+    prev: u64,
+}
+
+impl Drop for ScheduleSeedGuard {
+    fn drop(&mut self) {
+        SCHEDULE_SEED.store(self.prev, Ordering::SeqCst);
+    }
+}
+
+/// The order in which work items are claimed for `n` items under `seed`:
+/// a bijection over `0..n` (ascending when `seed == 0`). Exposed so tests
+/// and the chaos harness can log and replay the exact claim order.
+pub fn schedule_order(seed: u64, n: usize) -> Vec<usize> {
+    (0..n).map(|slot| schedule_index(seed, slot, n)).collect()
+}
+
+/// Maps the `slot`-th claim to an input index: an affine permutation
+/// `slot * step + offset (mod n)` with `step` coprime to `n`, derived from
+/// the seed. Identity when the seed is 0 or there is nothing to permute.
+fn schedule_index(seed: u64, slot: usize, n: usize) -> usize {
+    if seed == 0 || n <= 1 {
+        return slot.min(n.saturating_sub(1));
+    }
+    let n64 = n as u64;
+    // Derive a step in [1, n) coprime to n; stepping odd candidates from a
+    // seed-mixed start always terminates (1 is coprime to everything).
+    let mixed = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(0x2545_F491_4F6C_DD1D);
+    let mut step = (mixed % n64.saturating_sub(1)) + 1;
+    while gcd(step, n64) != 1 {
+        step = if step + 1 >= n64 { 1 } else { step + 1 };
+    }
+    let offset = (mixed >> 33) % n64;
+    let idx = ((slot as u64).wrapping_mul(step).wrapping_add(offset)) % n64;
+    usize::try_from(idx).unwrap_or(0)
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
 }
 
 /// Runs `f` with this thread marked as a pool worker, so every nested
@@ -266,9 +338,12 @@ where
     }
 
     // Work-stealing via a shared atomic cursor: each worker claims the
-    // next unprocessed index, computes, and stashes (index, outcome) in a
+    // next unprocessed slot, computes, and stashes (index, outcome) in a
     // local bucket. Buckets are merged into slot order afterwards, so the
     // output permutation is independent of which worker ran which index.
+    // Under a schedule seed the claimed slot maps through a seeded
+    // permutation, perturbing the interleaving without touching results.
+    let schedule_seed = SCHEDULE_SEED.load(Ordering::SeqCst);
     let cursor = AtomicUsize::new(0);
     let buckets: Vec<Bucket<U>> = (0..threads).map(|_| Mutex::new(Vec::new())).collect();
 
@@ -280,10 +355,11 @@ where
                 IN_WORKER.with(|w| w.set(true));
                 let mut local = Vec::new();
                 loop {
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
-                    if i >= items.len() {
+                    let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                    if slot >= items.len() {
                         break;
                     }
+                    let i = schedule_index(schedule_seed, slot, items.len());
                     local.push((i, run_guarded(|| f(i, &items[i]))));
                 }
                 *lock_recovering(bucket) = local;
@@ -342,8 +418,30 @@ pub fn try_par_tasks<U: Send>(tasks: Vec<Task<'_, U>>) -> Result<Vec<U>, EngineE
     }
 
     let outcomes: Mutex<Vec<(usize, Outcome<U>)>> = Mutex::new(Vec::with_capacity(n));
-    let queue: Mutex<Vec<(usize, Task<'_, U>)>> =
-        Mutex::new(tasks.into_iter().enumerate().rev().collect());
+    // Tasks are popped from the back; reversing yields submission order.
+    // A schedule seed instead permutes the pop order deterministically
+    // (results are still collected in submission order).
+    let schedule_seed = SCHEDULE_SEED.load(Ordering::SeqCst);
+    let queue: Mutex<Vec<(usize, Task<'_, U>)>> = {
+        let mut indexed: Vec<(usize, Task<'_, U>)> = tasks.into_iter().enumerate().collect();
+        if schedule_seed != 0 {
+            let order = schedule_order(schedule_seed, n);
+            let mut slots: Vec<Option<(usize, Task<'_, U>)>> =
+                indexed.into_iter().map(Some).collect();
+            let mut permuted = Vec::with_capacity(n);
+            for idx in order.into_iter().rev() {
+                if let Some(slot) = slots.get_mut(idx) {
+                    if let Some(task) = slot.take() {
+                        permuted.push(task);
+                    }
+                }
+            }
+            indexed = permuted;
+        } else {
+            indexed.reverse();
+        }
+        Mutex::new(indexed)
+    };
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -637,6 +735,98 @@ mod tests {
             Some(v) => std::env::set_var("DG_NUM_THREADS", v),
             None => std::env::remove_var("DG_NUM_THREADS"),
         }
+    }
+
+    #[test]
+    fn schedule_order_is_a_bijection_and_varies_with_seed() {
+        let _l = serial();
+        for n in [0usize, 1, 2, 3, 7, 16, 97, 128] {
+            for seed in [0u64, 1, 7, 0xDEAD_BEEF] {
+                let order = schedule_order(seed, n);
+                let mut seen = vec![false; n];
+                for &i in &order {
+                    assert!(i < n, "seed {seed} n {n} produced out-of-range {i}");
+                    assert!(!seen[i], "seed {seed} n {n} claimed {i} twice");
+                    seen[i] = true;
+                }
+                assert_eq!(order.len(), n, "every index claimed exactly once");
+            }
+        }
+        assert_eq!(
+            schedule_order(0, 5),
+            vec![0, 1, 2, 3, 4],
+            "seed 0 is identity"
+        );
+        assert_ne!(
+            schedule_order(3, 97),
+            schedule_order(4, 97),
+            "different seeds must perturb the claim order"
+        );
+        assert_ne!(
+            schedule_order(3, 97),
+            (0..97).collect::<Vec<usize>>(),
+            "a non-zero seed must not be the identity for large n"
+        );
+    }
+
+    #[test]
+    fn schedule_seed_never_changes_par_map_results() {
+        let _l = serial();
+        let items: Vec<f64> = (0..151).map(|i| 0.3 + f64::from(i) * 0.11).collect();
+        let work = |i: usize, &x: &f64| (x.sin() + (i as f64)).to_bits();
+        let baseline: Vec<u64> = {
+            let _g = set_thread_override(1);
+            par_map(&items, work)
+        };
+        for seed in [1u64, 42, 0xC0FFEE] {
+            let _g = set_thread_override(4);
+            let _s = set_schedule_seed(seed);
+            assert_eq!(
+                par_map(&items, work),
+                baseline,
+                "seed {seed} changed par_map output"
+            );
+        }
+    }
+
+    #[test]
+    fn schedule_seed_never_changes_par_tasks_results_or_error_index() {
+        let _l = serial();
+        let _g = set_thread_override(4);
+        for seed in [0u64, 9, 77] {
+            let _s = set_schedule_seed(seed);
+            let tasks: Vec<Task<'_, usize>> = (0..31usize)
+                .map(|i| Box::new(move || i * i) as Task<'_, usize>)
+                .collect();
+            assert_eq!(
+                par_tasks(tasks),
+                (0..31).map(|i| i * i).collect::<Vec<usize>>(),
+                "seed {seed}"
+            );
+            let items: Vec<u32> = (0..64).collect();
+            let err = try_par_map(&items, |_, &x| {
+                assert!(x % 9 != 4, "boom {x}");
+                x
+            })
+            .expect_err("panics expected");
+            let EngineError::WorkerPanic { index, .. } = err;
+            assert_eq!(index, 4, "lowest index must win under seed {seed}");
+        }
+    }
+
+    #[test]
+    fn schedule_seed_guard_restores_previous_seed() {
+        let _l = serial();
+        {
+            let _a = set_schedule_seed(5);
+            assert_eq!(SCHEDULE_SEED.load(Ordering::SeqCst), 5);
+            {
+                let _b = set_schedule_seed(6);
+                assert_eq!(SCHEDULE_SEED.load(Ordering::SeqCst), 6);
+            }
+            assert_eq!(SCHEDULE_SEED.load(Ordering::SeqCst), 5);
+        }
+        assert_eq!(SCHEDULE_SEED.load(Ordering::SeqCst), 0);
     }
 
     #[test]

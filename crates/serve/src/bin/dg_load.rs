@@ -185,23 +185,30 @@ fn forced_overload(addr: SocketAddr, gate: &mut Gate) {
     let threads: Vec<_> = (0..12)
         .map(|_| {
             std::thread::spawn(move || {
-                http_request(addr, "POST", "/v1/debug/sleep", Some(r#"{"ms":500}"#))
-                    .map(|r| (r.status, r.header("retry-after").map(str::to_owned)))
+                http_request(addr, "POST", "/v1/debug/sleep", Some(r#"{"ms":500}"#)).map(|r| {
+                    (
+                        r.status,
+                        r.header("retry-after").map(str::to_owned),
+                        r.header("connection").map(str::to_owned),
+                    )
+                })
             })
         })
         .collect();
     let mut served = 0usize;
     let mut shed = 0usize;
     let mut shed_with_header = 0usize;
+    let mut shed_with_close = 0usize;
     let mut unexpected = Vec::new();
     for t in threads {
         match t.join() {
-            Ok(Ok((200, _))) => served += 1,
-            Ok(Ok((503, retry))) => {
+            Ok(Ok((200, _, _))) => served += 1,
+            Ok(Ok((503, retry, connection))) => {
                 shed += 1;
                 shed_with_header += usize::from(retry.is_some());
+                shed_with_close += usize::from(connection.as_deref() == Some("close"));
             }
-            Ok(Ok((status, _))) => unexpected.push(status),
+            Ok(Ok((status, _, _))) => unexpected.push(status),
             Ok(Err(e)) => unexpected.push({
                 eprintln!("transport error during overload: {e}");
                 0
@@ -218,6 +225,11 @@ fn forced_overload(addr: SocketAddr, gate: &mut Gate) {
         "shed responses carry Retry-After",
         shed_with_header == shed,
         &format!("{shed_with_header}/{shed}"),
+    );
+    gate.check(
+        "shed responses carry Connection: close",
+        shed_with_close == shed,
+        &format!("{shed_with_close}/{shed}"),
     );
 }
 

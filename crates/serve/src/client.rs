@@ -70,6 +70,275 @@ pub fn raw_request(addr: SocketAddr, raw: &[u8]) -> std::io::Result<HttpReply> {
         .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidData, "unparseable reply"))
 }
 
+/// Why a request failed, and whether retrying can help.
+///
+/// The split drives the retry loop in [`request_with_retries`]: transport
+/// faults where the server plausibly never processed the request
+/// (connect refused/reset, truncated response) are [`Retryable`];
+/// complete-but-garbled replies are [`Fatal`] because a retry would just
+/// reproduce the same server-side bug; and [`DeadlineExpired`] reports
+/// that the per-request wall-clock budget ran out, however many attempts
+/// were made.
+///
+/// [`Retryable`]: ClientError::Retryable
+/// [`Fatal`]: ClientError::Fatal
+/// [`DeadlineExpired`]: ClientError::DeadlineExpired
+#[derive(Debug)]
+pub enum ClientError {
+    /// A transport fault another attempt may clear.
+    Retryable(std::io::Error),
+    /// A fault no retry will fix (e.g. a complete but unparseable reply).
+    Fatal(std::io::Error),
+    /// The per-request deadline expired before any attempt succeeded.
+    DeadlineExpired {
+        /// Wall time spent on the request, µs.
+        elapsed_us: u64,
+        /// Attempts started before the budget ran out.
+        attempts: u32,
+    },
+}
+
+impl ClientError {
+    /// Whether another attempt could plausibly succeed (with budget left).
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, ClientError::Retryable(_))
+    }
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Retryable(e) => write!(f, "retryable transport fault: {e}"),
+            ClientError::Fatal(e) => write!(f, "fatal client error: {e}"),
+            ClientError::DeadlineExpired {
+                elapsed_us,
+                attempts,
+            } => write!(
+                f,
+                "request deadline expired after {elapsed_us} us and {attempts} attempt(s)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+/// Whether an I/O failure of this kind is worth another attempt.
+///
+/// Refused/reset/aborted connects, broken pipes, timeouts, and truncated
+/// responses all describe a server that may simply have been busy or
+/// mid-restart; everything else (notably `InvalidData`) is treated as
+/// permanent.
+pub fn is_retryable_kind(kind: std::io::ErrorKind) -> bool {
+    use std::io::ErrorKind;
+    matches!(
+        kind,
+        ErrorKind::ConnectionRefused
+            | ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::NotConnected
+            | ErrorKind::BrokenPipe
+            | ErrorKind::TimedOut
+            | ErrorKind::WouldBlock
+            | ErrorKind::UnexpectedEof
+            | ErrorKind::Interrupted
+    )
+}
+
+/// Per-request robustness knobs for [`http_request_with`].
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts (first try + retries); clamped to at least 1.
+    pub max_attempts: u32,
+    /// First retry's nominal backoff, µs (doubles per retry).
+    pub base_backoff_us: u64,
+    /// Cap on any single nominal backoff, µs.
+    pub max_backoff_us: u64,
+    /// Wall-clock budget for the whole request — connect, write, full
+    /// response read, and every backoff pause — in µs.
+    pub deadline_us: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff_us: 5_000,
+            max_backoff_us: 100_000,
+            deadline_us: 10_000_000,
+        }
+    }
+}
+
+/// The deterministic backoff pauses (µs) a `(policy, seed)` pair produces:
+/// one entry per possible retry, exponentially growing and capped, with
+/// "equal jitter" — half the nominal value fixed plus a seeded-uniform
+/// half — so concurrent clients spread out without wall-clock entropy.
+#[must_use]
+pub fn backoff_schedule(policy: &RetryPolicy, seed: u64) -> Vec<u64> {
+    let mut rng = Lcg::new(seed);
+    let base = policy.base_backoff_us.max(1);
+    let cap = policy.max_backoff_us.max(base);
+    (0..policy.max_attempts.saturating_sub(1))
+        .map(|k| {
+            let nominal = base.checked_shl(k).unwrap_or(u64::MAX).min(cap);
+            nominal / 2 + rng.below(nominal / 2 + 1)
+        })
+        .collect()
+}
+
+/// Converts a µs budget into a socket-timeout duration (never zero,
+/// because a zero `Duration` is rejected by `set_read_timeout`).
+fn us_timeout(us: u64) -> Duration {
+    Duration::from_micros(us.max(1))
+}
+
+/// One deadline-bounded request attempt on a fresh connection.
+///
+/// The deadline applies to the connect, the write, and *every* read of
+/// the response — a server that stalls mid-body fails the attempt with
+/// `TimedOut` when the budget runs out, rather than hanging for the
+/// 30-second defaults of [`raw_request`].
+fn attempt_once(addr: SocketAddr, raw: &[u8], deadline_us: u64) -> std::io::Result<HttpReply> {
+    use std::io::{Error, ErrorKind};
+    let remaining = deadline_us.saturating_sub(monotonic_us());
+    if remaining == 0 {
+        return Err(Error::new(ErrorKind::TimedOut, "deadline expired"));
+    }
+    let mut stream = TcpStream::connect_timeout(&addr, us_timeout(remaining))?;
+    let remaining = deadline_us.saturating_sub(monotonic_us());
+    if remaining == 0 {
+        return Err(Error::new(
+            ErrorKind::TimedOut,
+            "deadline expired after connect",
+        ));
+    }
+    stream.set_write_timeout(Some(us_timeout(remaining)))?;
+    stream.write_all(raw)?;
+    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let mut bytes = Vec::new();
+    let mut chunk = [0u8; 4096];
+    loop {
+        let now = monotonic_us();
+        if now >= deadline_us {
+            return Err(Error::new(
+                ErrorKind::TimedOut,
+                "deadline expired mid-response",
+            ));
+        }
+        stream.set_read_timeout(Some(us_timeout(deadline_us - now)))?;
+        match stream.read(&mut chunk) {
+            Ok(0) => break,
+            Ok(n) => bytes.extend_from_slice(chunk.get(..n).unwrap_or_default()),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                return Err(Error::new(
+                    ErrorKind::TimedOut,
+                    "deadline expired mid-response",
+                ));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    match parse_reply(&bytes) {
+        Some(reply) => Ok(reply),
+        // Nothing (or a truncated head) came back: the server closed
+        // early, which a retry may well fix. A complete head that still
+        // does not parse is a server bug a retry will only reproduce.
+        None if !bytes.windows(4).any(|w| w == b"\r\n\r\n") => Err(Error::new(
+            ErrorKind::UnexpectedEof,
+            "connection closed before a complete response",
+        )),
+        None => Err(Error::new(ErrorKind::InvalidData, "unparseable reply")),
+    }
+}
+
+/// Issues `raw` with retries, deterministic jittered backoff, and a hard
+/// per-request deadline, per `policy`. The retry pauses come from
+/// [`backoff_schedule`]`(policy, seed)`, so a given `(policy, seed)`
+/// always retries on the same schedule.
+///
+/// # Errors
+///
+/// [`ClientError::Fatal`] immediately on non-retryable faults,
+/// [`ClientError::Retryable`] once attempts are exhausted, and
+/// [`ClientError::DeadlineExpired`] when the budget runs out first.
+pub fn request_with_retries(
+    addr: SocketAddr,
+    raw: &[u8],
+    policy: &RetryPolicy,
+    seed: u64,
+) -> Result<HttpReply, ClientError> {
+    let start = monotonic_us();
+    let deadline = start.saturating_add(policy.deadline_us.max(1));
+    let schedule = backoff_schedule(policy, seed);
+    let attempts = policy.max_attempts.max(1);
+    let mut last: Option<std::io::Error> = None;
+    for attempt in 0..attempts {
+        if monotonic_us() >= deadline {
+            return Err(ClientError::DeadlineExpired {
+                elapsed_us: monotonic_us().saturating_sub(start),
+                attempts: attempt,
+            });
+        }
+        match attempt_once(addr, raw, deadline) {
+            Ok(reply) => return Ok(reply),
+            Err(e) => {
+                if e.kind() == std::io::ErrorKind::TimedOut && monotonic_us() >= deadline {
+                    return Err(ClientError::DeadlineExpired {
+                        elapsed_us: monotonic_us().saturating_sub(start),
+                        attempts: attempt + 1,
+                    });
+                }
+                if !is_retryable_kind(e.kind()) {
+                    return Err(ClientError::Fatal(e));
+                }
+                last = Some(e);
+            }
+        }
+        if attempt + 1 < attempts {
+            let pause = schedule.get(attempt as usize).copied().unwrap_or(0);
+            if monotonic_us().saturating_add(pause) >= deadline {
+                return Err(ClientError::DeadlineExpired {
+                    elapsed_us: monotonic_us().saturating_sub(start),
+                    attempts: attempt + 1,
+                });
+            }
+            std::thread::sleep(Duration::from_micros(pause));
+        }
+    }
+    match last {
+        Some(e) => Err(ClientError::Retryable(e)),
+        None => Err(ClientError::DeadlineExpired {
+            elapsed_us: monotonic_us().saturating_sub(start),
+            attempts,
+        }),
+    }
+}
+
+/// Like [`http_request`], but with the full robustness layer: per-request
+/// deadline, bounded retries, deterministic backoff, and typed error
+/// classification. This is what `dg-load` and the chaos driver use.
+///
+/// # Errors
+///
+/// See [`request_with_retries`].
+pub fn http_request_with(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    policy: &RetryPolicy,
+    seed: u64,
+) -> Result<HttpReply, ClientError> {
+    let payload = body.unwrap_or("");
+    let raw = format!(
+        "{method} {path} HTTP/1.1\r\nHost: dg-serve\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{payload}",
+        payload.len()
+    );
+    request_with_retries(addr, raw.as_bytes(), policy, seed)
+}
+
 fn parse_reply(bytes: &[u8]) -> Option<HttpReply> {
     let text = String::from_utf8_lossy(bytes);
     let (head, body) = match text.split_once("\r\n\r\n") {
@@ -331,8 +600,25 @@ pub fn run_mix(addr: SocketAddr, n: usize, seed: u64, concurrency: usize) -> Loa
     total
 }
 
+/// The retry policy the load generator applies to its framed requests.
+/// Every framed probe in the mix is an idempotent computation, so a
+/// couple of quick retries on transport faults are safe; malformed raw
+/// probes are sent exactly once (retrying a deliberately broken frame
+/// would double-count the parser's rejection).
+fn load_retry_policy() -> RetryPolicy {
+    RetryPolicy {
+        max_attempts: 2,
+        base_backoff_us: 2_000,
+        max_backoff_us: 20_000,
+        deadline_us: 30_000_000,
+    }
+}
+
 fn run_one(addr: SocketAddr, rng: &mut Lcg, report: &mut LoadReport) {
     let item = mix_item(rng);
+    // Drawn unconditionally so the RNG stream (and thus the rest of the
+    // mix) is identical whether or not a request ends up retrying.
+    let retry_seed = rng.next_u64();
     let begin = monotonic_us();
     let outcome = match &item {
         MixItem::Framed(method, path, body) => {
@@ -341,9 +627,12 @@ fn run_one(addr: SocketAddr, rng: &mut Lcg, report: &mut LoadReport) {
             } else {
                 Some(body.as_str())
             };
-            http_request(addr, method, path, body).map(|r| (r.status, None))
+            http_request_with(addr, method, path, body, &load_retry_policy(), retry_seed)
+                .map(|r| (r.status, None))
         }
-        MixItem::Raw(bytes, expect) => raw_request(addr, bytes).map(|r| (r.status, Some(*expect))),
+        MixItem::Raw(bytes, expect) => raw_request(addr, bytes)
+            .map(|r| (r.status, Some(*expect)))
+            .map_err(ClientError::Fatal),
     };
     let latency = monotonic_us().saturating_sub(begin);
     match outcome {
@@ -437,6 +726,169 @@ mod tests {
         assert_eq!(r.expectation_failures, 1);
         let json = r.to_json().render();
         assert!(json.contains("\"other_5xx\":1"));
+    }
+
+    #[test]
+    fn backoff_schedule_is_deterministic_capped_and_jittered() {
+        let policy = RetryPolicy {
+            max_attempts: 6,
+            base_backoff_us: 1_000,
+            max_backoff_us: 8_000,
+            deadline_us: 1_000_000,
+        };
+        let a = backoff_schedule(&policy, 7);
+        let b = backoff_schedule(&policy, 7);
+        assert_eq!(a, b, "same (policy, seed) must give the same schedule");
+        assert_ne!(a, backoff_schedule(&policy, 8), "seed must vary jitter");
+        assert_eq!(a.len(), 5, "one pause per retry");
+        // Equal jitter around the exponential nominal value, capped.
+        for (k, pause) in a.iter().enumerate() {
+            let nominal = (1_000u64 << k).min(8_000);
+            assert!(
+                (nominal / 2..=nominal).contains(pause),
+                "retry {k}: pause {pause} outside [{}, {nominal}]",
+                nominal / 2
+            );
+        }
+        assert!(backoff_schedule(&RetryPolicy::default(), 1).len() == 2);
+        let single = RetryPolicy {
+            max_attempts: 1,
+            ..RetryPolicy::default()
+        };
+        assert!(backoff_schedule(&single, 1).is_empty());
+    }
+
+    #[test]
+    fn error_kinds_classify_retryable_vs_fatal() {
+        use std::io::ErrorKind;
+        for kind in [
+            ErrorKind::ConnectionRefused,
+            ErrorKind::ConnectionReset,
+            ErrorKind::BrokenPipe,
+            ErrorKind::TimedOut,
+            ErrorKind::UnexpectedEof,
+        ] {
+            assert!(is_retryable_kind(kind), "{kind:?} should be retryable");
+        }
+        for kind in [
+            ErrorKind::InvalidData,
+            ErrorKind::PermissionDenied,
+            ErrorKind::InvalidInput,
+            ErrorKind::NotFound,
+        ] {
+            assert!(!is_retryable_kind(kind), "{kind:?} should be fatal");
+        }
+        let retryable = ClientError::Retryable(std::io::Error::new(ErrorKind::TimedOut, "stalled"));
+        let fatal = ClientError::Fatal(std::io::Error::new(ErrorKind::InvalidData, "junk"));
+        let expired = ClientError::DeadlineExpired {
+            elapsed_us: 10,
+            attempts: 2,
+        };
+        assert!(retryable.is_retryable());
+        assert!(!fatal.is_retryable());
+        assert!(!expired.is_retryable());
+        assert!(format!("{expired}").contains("2 attempt(s)"));
+    }
+
+    #[test]
+    fn deadline_expires_mid_body_as_deadline_expired() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            if let Ok((mut s, _)) = listener.accept() {
+                let mut sink = [0u8; 1024];
+                let _ = s.read(&mut sink);
+                // A partial status line, then a stall longer than the
+                // client's whole budget: the response never completes.
+                let _ = s.write_all(b"HTTP/1.1 200 OK\r\nContent-");
+                std::thread::sleep(Duration::from_millis(700));
+            }
+        });
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_backoff_us: 1_000,
+            max_backoff_us: 2_000,
+            deadline_us: 250_000,
+        };
+        let err = http_request_with(addr, "GET", "/healthz", None, &policy, 9)
+            .expect_err("stalled response must not succeed");
+        assert!(
+            matches!(err, ClientError::DeadlineExpired { .. }),
+            "expected DeadlineExpired, got {err}"
+        );
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn transport_faults_retry_and_then_succeed() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            // First connection: closed before a single response byte
+            // (a retryable truncation). Second: a real reply.
+            if let Ok((s, _)) = listener.accept() {
+                drop(s);
+            }
+            if let Ok((mut s, _)) = listener.accept() {
+                let mut sink = [0u8; 1024];
+                let _ = s.read(&mut sink);
+                let _ = s.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok");
+            }
+        });
+        let policy = RetryPolicy {
+            max_attempts: 3,
+            base_backoff_us: 1_000,
+            max_backoff_us: 2_000,
+            deadline_us: 5_000_000,
+        };
+        let reply = http_request_with(addr, "GET", "/healthz", None, &policy, 11)
+            .expect("second attempt must succeed");
+        assert_eq!(reply.status, 200);
+        assert_eq!(reply.body, "ok");
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn complete_garbage_reply_is_fatal_not_retried() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            // Serve garbage on every connection; a retrying client would
+            // need more than one accept to succeed, a fatal one just one.
+            if let Ok((mut s, _)) = listener.accept() {
+                let mut sink = [0u8; 1024];
+                let _ = s.read(&mut sink);
+                let _ = s.write_all(b"NOT HTTP AT ALL\r\n\r\nbody");
+            }
+        });
+        let err = http_request_with(addr, "GET", "/healthz", None, &RetryPolicy::default(), 13)
+            .expect_err("garbage must fail");
+        assert!(
+            matches!(err, ClientError::Fatal(_)),
+            "expected Fatal, got {err}"
+        );
+        server.join().expect("server thread");
+    }
+
+    #[test]
+    fn refused_connections_exhaust_retries_as_retryable() {
+        // Bind then drop to learn a port that refuses connections.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+            l.local_addr().expect("addr")
+        };
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            base_backoff_us: 500,
+            max_backoff_us: 1_000,
+            deadline_us: 2_000_000,
+        };
+        let err = http_request_with(addr, "GET", "/healthz", None, &policy, 17)
+            .expect_err("refused port must fail");
+        assert!(
+            matches!(err, ClientError::Retryable(_)),
+            "expected Retryable after exhausting attempts, got {err}"
+        );
     }
 
     #[test]

@@ -333,18 +333,27 @@ fn is_token_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b"!#$%&'*+-.^_`|~".contains(&b)
 }
 
+/// Bytes allowed in a request target: visible ASCII only (RFC 3986's
+/// printable range). Control bytes, spaces, and DEL never belong in a
+/// target and are rejected rather than smuggled into route matching.
+fn is_target_byte(b: u8) -> bool {
+    (0x21..=0x7E).contains(&b)
+}
+
 fn parse_request_line(line: &str) -> Result<(String, String), HttpError> {
-    let mut parts = line.split(' ');
-    let method = parts.next().unwrap_or_default();
-    let target = parts.next().unwrap_or_default();
-    let version = parts.next().unwrap_or_default();
-    if parts.next().is_some()
-        || method.is_empty()
-        || !method.bytes().all(is_token_byte)
-        || target.is_empty()
-        || !target.starts_with('/')
-        || !(version == "HTTP/1.1" || version == "HTTP/1.0")
-    {
+    // Structural split first: a request line that is not exactly
+    // `METHOD SP TARGET SP VERSION` is malformed — a missing version or
+    // an empty method/target must never fall through as empty strings.
+    let (method, rest) = line.split_once(' ').ok_or(HttpError::BadRequestLine)?;
+    let (target, version) = rest.split_once(' ').ok_or(HttpError::BadRequestLine)?;
+    if method.is_empty() || !method.bytes().all(is_token_byte) {
+        return Err(HttpError::BadRequestLine);
+    }
+    if !target.starts_with('/') || !target.bytes().all(is_target_byte) {
+        return Err(HttpError::BadRequestLine);
+    }
+    // An embedded space in the target lands in `version` and fails here.
+    if !(version == "HTTP/1.1" || version == "HTTP/1.0") {
         return Err(HttpError::BadRequestLine);
     }
     Ok((method.to_owned(), target.to_owned()))
@@ -491,6 +500,16 @@ mod tests {
             b"GET noslash HTTP/1.1\r\n\r\n",
             b"G@T / HTTP/1.1\r\n\r\n",
             b"\r\n\r\n",
+            // Regression: a request line with no HTTP version (or nothing
+            // but a method) must be 400, not parsed into empty strings.
+            b"GET /\r\n\r\n",
+            b"GET\r\n\r\n",
+            b"GET \r\n\r\n",
+            b"GET  \r\n\r\n",
+            b" / HTTP/1.1\r\n\r\n",
+            b"GET /\x01path HTTP/1.1\r\n\r\n",
+            b"GET /pa\tth HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/1.1 junk\r\n\r\n",
         ] {
             let err = parse_all(bad).expect_err("malformed line");
             assert_eq!(err, HttpError::BadRequestLine, "{bad:?}");

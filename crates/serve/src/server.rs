@@ -251,25 +251,47 @@ fn prepare(stream: &TcpStream, config: &ServerConfig) {
     let _ = stream.set_nodelay(true);
 }
 
+/// Total wall-clock budget for [`linger_close`]. The drain runs on the
+/// accept loop for shed connections, so this bound is what keeps a
+/// slowloris peer (trickling one byte per read) from pinning admission.
+const LINGER_BUDGET_MS: u64 = 250;
+
+/// Per-read timeout inside [`linger_close`]; a peer that goes quiet for
+/// this long ends the drain early, well inside the total budget.
+const LINGER_READ_TIMEOUT_MS: u64 = 50;
+
+/// Write timeout for the shed 503. The accept loop writes this response
+/// itself, so a peer that never reads (zero receive window) must not be
+/// able to stall it for the normal per-connection write timeout.
+const SHED_WRITE_TIMEOUT_MS: u64 = 100;
+
 /// Half-closes `stream` and drains whatever the peer still has in flight
 /// before dropping it. Closing a socket with unread bytes in its receive
 /// buffer makes the kernel send RST, and an RST destroys any response
 /// (such as the shed 503) still sitting in the peer's receive buffer —
-/// lingering turns that RST into an orderly FIN. Bounded by a short read
-/// timeout and a fixed number of reads.
+/// lingering turns that RST into an orderly FIN. Bounded by a hard
+/// wall-clock deadline ([`LINGER_BUDGET_MS`]) so a peer trickling bytes
+/// cannot hold the drain open: each read returns quickly with data, and
+/// without the deadline a byte every few milliseconds would keep the
+/// loop alive indefinitely.
 fn linger_close(mut stream: TcpStream) {
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(250)));
+    let deadline = monotonic_us().saturating_add(LINGER_BUDGET_MS.saturating_mul(1_000));
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(LINGER_READ_TIMEOUT_MS)));
     let _ = stream.shutdown(std::net::Shutdown::Write);
     let mut sink = [0u8; 4096];
-    for _ in 0..16 {
+    while monotonic_us() < deadline {
         match stream.read(&mut sink) {
+            // Peer finished (FIN), went quiet past the read timeout, or
+            // errored: the linger has done its job either way.
             Ok(0) | Err(_) => break,
             Ok(_) => {}
         }
     }
 }
 
-/// Answers a connection the queue refused: `503` + `Retry-After`, close.
+/// Answers a connection the queue refused: `503` + `Retry-After` +
+/// `Connection: close`, then a bounded lingering close. Runs on the
+/// accept loop, so both the write and the drain carry short deadlines.
 fn shed(mut stream: TcpStream, shared: &Shared) {
     shared.metrics.shed_total.fetch_add(1, Ordering::Relaxed);
     let body = format!(
@@ -280,6 +302,7 @@ fn shed(mut stream: TcpStream, shared: &Shared) {
         "Retry-After".to_owned(),
         shared.config.retry_after_secs.to_string(),
     )];
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(SHED_WRITE_TIMEOUT_MS)));
     let _ = stream.write_all(&write_response(
         503,
         "Service Unavailable",
@@ -482,6 +505,74 @@ mod tests {
         let report = handle.shutdown();
         assert!(report.clean);
         assert_eq!(report.requests_served, 3);
+    }
+
+    #[test]
+    fn linger_close_is_bounded_against_trickling_peers() {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let stop = Arc::new(AtomicBool::new(false));
+        let trickler = {
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || {
+                let mut s = TcpStream::connect(addr).expect("connect");
+                // A slowloris peer: keep a byte in flight so every server
+                // read returns data and the loop never hits its read
+                // timeout. Only the deadline can end the drain.
+                while !stop.load(Ordering::Relaxed) {
+                    if s.write_all(b"x").is_err() {
+                        break;
+                    }
+                    thread::sleep(Duration::from_millis(5));
+                }
+            })
+        };
+        let (server_side, _) = listener.accept().expect("accept");
+        let start = monotonic_us();
+        linger_close(server_side);
+        let elapsed_ms = monotonic_us().saturating_sub(start) / 1_000;
+        stop.store(true, Ordering::Relaxed);
+        trickler.join().expect("trickler");
+        // Generous slack over LINGER_BUDGET_MS for slow CI machines, but
+        // far below the unbounded behaviour (16 reads x trickle pacing).
+        assert!(
+            elapsed_ms <= LINGER_BUDGET_MS + 750,
+            "linger drain took {elapsed_ms} ms, budget is {LINGER_BUDGET_MS} ms"
+        );
+        drop(listener);
+    }
+
+    #[test]
+    fn shed_503_carries_connection_close_and_retry_after() {
+        // Drive shed() directly over a real socket pair so the assertion
+        // covers the exact bytes the accept loop puts on the wire.
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let client = thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).expect("connect");
+            let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
+            let mut out = Vec::new();
+            let _ = s.read_to_end(&mut out);
+            String::from_utf8_lossy(&out).into_owned()
+        });
+        let (server_side, _) = listener.accept().expect("accept");
+        let shared = Shared {
+            config: tiny_config(),
+            metrics: Arc::new(Metrics::default()),
+            router: Router::new(
+                Arc::new(Metrics::default()),
+                Arc::new(AtomicBool::new(false)),
+                false,
+            ),
+            draining: Arc::new(AtomicBool::new(false)),
+            queue: BoundedQueue::new(1),
+        };
+        shed(server_side, &shared);
+        let reply = client.join().expect("client");
+        assert!(reply.starts_with("HTTP/1.1 503"), "{reply}");
+        assert!(reply.contains("Connection: close"), "{reply}");
+        assert!(reply.contains("Retry-After: 1"), "{reply}");
+        assert_eq!(shared.metrics.shed_total.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -47,6 +47,24 @@ fn framed_post(path_seed: u8, casing: u8, len: usize) -> Vec<u8> {
     raw
 }
 
+/// Maps seed bytes in `0..26` to an uppercase ASCII word (candidate method).
+fn upper_word(seed: &[u8]) -> String {
+    seed.iter().map(|&b| char::from(b'A' + b)).collect()
+}
+
+/// Maps seed bytes in `0..36` to a `/`-prefixed lowercase-alnum path.
+fn lower_path(seed: &[u8]) -> String {
+    std::iter::once('/')
+        .chain(seed.iter().map(|&b| {
+            if b < 26 {
+                char::from(b'a' + b)
+            } else {
+                char::from(b'0' + (b - 26))
+            }
+        }))
+        .collect()
+}
+
 proptest! {
     /// Splitting the byte stream at every combination of positions never
     /// changes the parse: same request, same body, same errors.
@@ -144,6 +162,66 @@ proptest! {
         // Either an error or "still incomplete" — both are acceptable;
         // completing as a request requires actual HTTP framing.
         let _ = parse_split(&junk, &cuts);
+    }
+
+    /// Regression for the request-line fall-through bug: a request line
+    /// with fewer than three space-separated parts (no HTTP version, bare
+    /// method, trailing space) must always be rejected with 400 — it must
+    /// never parse into empty method/target strings.
+    #[test]
+    fn request_line_missing_version_is_always_400(
+        method_seed in prop::collection::vec(0u8..26, 1..=8usize),
+        path_seed in prop::collection::vec(0u8..36, 0..=12usize),
+        trailing_space in prop::bool::ANY,
+        cut in 0usize..40,
+    ) {
+        let method = upper_word(&method_seed);
+        let path = lower_path(&path_seed);
+        let line = if trailing_space {
+            format!("{method} {path} ")
+        } else {
+            format!("{method} {path}")
+        };
+        let raw = format!("{line}\r\nHost: t\r\n\r\n").into_bytes();
+        let err = parse_split(&raw, &[cut]).expect_err("no version must be rejected");
+        prop_assert_eq!(err.clone(), HttpError::BadRequestLine);
+        prop_assert_eq!(err.status().0, 400);
+    }
+
+    /// Control bytes and DEL in the target are always rejected, wherever
+    /// they sit in the path.
+    #[test]
+    fn control_bytes_in_target_are_always_400(
+        prefix_seed in prop::collection::vec(0u8..26, 0..=6usize),
+        suffix_seed in prop::collection::vec(0u8..26, 0..=6usize),
+        ctl in prop::sample::select(vec![0x01u8, 0x08, 0x0B, 0x0C, 0x1F, 0x7F]),
+    ) {
+        let prefix: String = prefix_seed.iter().map(|&b| char::from(b'a' + b)).collect();
+        let suffix: String = suffix_seed.iter().map(|&b| char::from(b'a' + b)).collect();
+        let mut raw = format!("GET /{prefix}").into_bytes();
+        raw.push(ctl);
+        raw.extend_from_slice(suffix.as_bytes());
+        raw.extend_from_slice(b" HTTP/1.1\r\n\r\n");
+        let err = whole(&raw).expect_err("control byte in target");
+        prop_assert_eq!(err, HttpError::BadRequestLine);
+    }
+
+    /// Well-formed request lines always parse, and the parsed method and
+    /// target round-trip exactly. Targets draw from the full visible-ASCII
+    /// range (0x21..=0x7E) minus the space separator.
+    #[test]
+    fn well_formed_request_lines_round_trip(
+        method_seed in prop::collection::vec(0u8..26, 1..=7usize),
+        path_seed in prop::collection::vec(0x21u8..=0x7E, 0..=20usize),
+    ) {
+        let method = upper_word(&method_seed);
+        let path: String = std::iter::once('/')
+            .chain(path_seed.iter().filter(|&&b| b != b' ').map(|&b| char::from(b)))
+            .collect();
+        let raw = format!("{method} {path} HTTP/1.1\r\n\r\n").into_bytes();
+        let req = whole(&raw).expect("well-formed").expect("complete");
+        prop_assert_eq!(req.method, method);
+        prop_assert_eq!(req.target, path);
     }
 }
 

@@ -120,19 +120,30 @@ fn forced_overload_sheds_with_503_and_retry_after_only() {
     let threads: Vec<_> = (0..8)
         .map(|_| {
             std::thread::spawn(move || {
-                http_request(addr, "POST", "/v1/debug/sleep", Some(r#"{"ms":400}"#))
-                    .map(|r| (r.status, r.header("retry-after").map(str::to_owned)))
+                http_request(addr, "POST", "/v1/debug/sleep", Some(r#"{"ms":400}"#)).map(|r| {
+                    (
+                        r.status,
+                        r.header("retry-after").map(str::to_owned),
+                        r.header("connection").map(str::to_owned),
+                    )
+                })
             })
         })
         .collect();
     let mut shed = 0;
     for t in threads {
-        let (status, retry_after) = t.join().expect("client thread").expect("transport");
+        let (status, retry_after, connection) =
+            t.join().expect("client thread").expect("transport");
         match status {
             200 => {}
             503 => {
                 shed += 1;
                 assert!(retry_after.is_some(), "503 must carry Retry-After");
+                assert_eq!(
+                    connection.as_deref(),
+                    Some("close"),
+                    "503 must carry Connection: close"
+                );
             }
             other => panic!("overload must answer 200 or 503, got {other}"),
         }
