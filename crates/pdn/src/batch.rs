@@ -1,0 +1,440 @@
+//! Batched structure-of-arrays transient kernel.
+//!
+//! Sweeps integrate hundreds of independent load-step scenarios against the
+//! *same* ladder. The scalar kernel in [`crate::transient`] walks one
+//! scenario at a time, and its node-recurrence derivative loop carries a
+//! loop-carried dependency (`v_prev`) that defeats auto-vectorization. This
+//! module steps B scenarios ("lanes") in lockstep instead: state is held in
+//! lane-major structure-of-arrays buffers (`buf[k * b + col]` — state
+//! variable `k`, lane column `col`), so the inner loop of every derivative
+//! evaluation and RK4 combination runs across lanes, which are mutually
+//! independent and therefore vectorize cleanly.
+//!
+//! Lanes that reach the settle band early stop paying derivative cost: a
+//! retired column is swapped with the last active column and the active
+//! width shrinks (swap-compaction), so the hot loops always run over a
+//! dense prefix of live lanes.
+//!
+//! The batch path is bit-identical to the scalar path lane-for-lane: every
+//! floating-point expression is evaluated in the same form and order per
+//! lane as in [`TransientSim::run`], lanes never mix arithmetically, and
+//! both paths share the memoized [`LadderCoeffs`] and DC steady states.
+
+use crate::ladder::Ladder;
+use crate::transient::{
+    push_final_sample, LadderCoeffs, LoadStep, TransientResult, TransientSim, SETTLE_ABS_TOL_V,
+    SETTLE_REL_TOL, SETTLE_WINDOW_S,
+};
+use crate::units::{Seconds, Volts};
+
+/// Per-column integration bookkeeping for one live lane. Compacted together
+/// with the state columns when a lane retires.
+#[derive(Debug, Clone, Copy)]
+struct LaneRun {
+    /// Index of this lane in the caller's step slice (and in `outs`).
+    lane: usize,
+    step: LoadStep,
+    v_settle_target: f64,
+    settle_tol: f64,
+    settle_after: f64,
+    in_band: usize,
+}
+
+/// Per-lane accumulated outputs, indexed by original lane order (never
+/// compacted, so results come back in input order).
+#[derive(Debug, Clone)]
+struct LaneOut {
+    samples: Vec<(Seconds, Volts)>,
+    v_min: Volts,
+    t_min: Seconds,
+    v_initial: Volts,
+    v_final: Volts,
+    t_exit: f64,
+}
+
+impl TransientSim {
+    /// Runs `steps.len()` independent load-step scenarios against `ladder`
+    /// in one lockstep batch, returning one [`TransientResult`] per input
+    /// step, in input order.
+    ///
+    /// Each lane's result is bit-identical to what [`TransientSim::run`]
+    /// returns for the same step — including lanes that settle and retire
+    /// at different times — so callers may batch freely without perturbing
+    /// the repo's determinism contract. An empty slice returns an empty
+    /// vector.
+    #[must_use]
+    pub fn run_batch(&self, ladder: &Ladder, steps: &[LoadStep]) -> Vec<TransientResult> {
+        let b = steps.len();
+        if b == 0 {
+            return Vec::new();
+        }
+        let coeffs = crate::cache::ladder_coeffs(ladder);
+        let n = coeffs.nodes();
+        let dt = self.dt.value();
+        // Step counts and window sizes are small positive ratios; the
+        // casts cannot truncate or lose sign in practice.
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let n_steps = (self.duration.value() / dt).ceil() as usize;
+        let decimate = self.decimate.max(1);
+        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+        let settle_steps = ((SETTLE_WINDOW_S / dt).ceil() as usize).max(1);
+        let source = self.source.value();
+
+        // Lane-major SoA state: row k (state variable) × column (lane).
+        let mut state = vec![0.0; 2 * n * b];
+        let mut cols: Vec<LaneRun> = Vec::with_capacity(b);
+        let mut outs: Vec<LaneOut> = Vec::with_capacity(b);
+        for (lane, &step) in steps.iter().enumerate() {
+            let init = crate::cache::dc_steady_state(ladder, source, step.from.value(), || {
+                coeffs.steady_state(self.source, step.from)
+            });
+            for (k, &x) in init.iter().enumerate() {
+                state[k * b + lane] = x;
+            }
+            let v_initial = Volts::new(init[2 * n - 1]);
+            let v_settle_target = coeffs.die_steady_voltage(self.source, step.to);
+            let settle_tol =
+                SETTLE_ABS_TOL_V.max(SETTLE_REL_TOL * (v_initial.value() - v_settle_target).abs());
+            cols.push(LaneRun {
+                lane,
+                step,
+                v_settle_target,
+                settle_tol,
+                settle_after: (step.at + step.slew).value(),
+                in_band: 0,
+            });
+            let mut samples = Vec::with_capacity(n_steps / decimate + 2);
+            samples.push((Seconds::ZERO, v_initial));
+            outs.push(LaneOut {
+                samples,
+                v_min: v_initial,
+                t_min: Seconds::ZERO,
+                v_initial,
+                v_final: v_initial,
+                t_exit: 0.0,
+            });
+        }
+
+        let mut k1 = vec![0.0; 2 * n * b];
+        let mut k2 = vec![0.0; 2 * n * b];
+        let mut k3 = vec![0.0; 2 * n * b];
+        let mut k4 = vec![0.0; 2 * n * b];
+        let mut tmp = vec![0.0; 2 * n * b];
+        let mut i_now = vec![0.0; b];
+        let mut i_mid = vec![0.0; b];
+        let mut i_end = vec![0.0; b];
+        let mut exits: Vec<usize> = Vec::with_capacity(b);
+
+        let mut active = b;
+        for s in 0..n_steps {
+            if active == 0 {
+                break;
+            }
+            #[allow(clippy::cast_precision_loss)]
+            let t = s as f64 * dt;
+            for (col, run) in cols.iter().enumerate().take(active) {
+                i_mid[col] = run.step.current_at(Seconds::new(t + 0.5 * dt)).value();
+                i_now[col] = run.step.current_at(Seconds::new(t)).value();
+                i_end[col] = run.step.current_at(Seconds::new(t + dt)).value();
+            }
+
+            derivative_batch(&coeffs, source, &state, &i_now, &mut k1, b, active);
+            axpy_batch(&state, &k1, 0.5 * dt, &mut tmp, b, active);
+            derivative_batch(&coeffs, source, &tmp, &i_mid, &mut k2, b, active);
+            axpy_batch(&state, &k2, 0.5 * dt, &mut tmp, b, active);
+            derivative_batch(&coeffs, source, &tmp, &i_mid, &mut k3, b, active);
+            axpy_batch(&state, &k3, dt, &mut tmp, b, active);
+            derivative_batch(&coeffs, source, &tmp, &i_end, &mut k4, b, active);
+
+            if active == b {
+                // Full-width fast path: every column is live, so the
+                // row-by-row `take(active)` masking collapses into one flat
+                // loop over the whole SoA buffer. The per-element expression
+                // is unchanged, so lanes stay bit-identical to the scalar
+                // path.
+                for ((((st, &a), &bv), &c), &d) in
+                    state.iter_mut().zip(&k1).zip(&k2).zip(&k3).zip(&k4)
+                {
+                    *st += dt / 6.0 * (a + 2.0 * bv + 2.0 * c + d);
+                }
+            } else {
+                for ((((srow, arow), brow), crow), drow) in state
+                    .chunks_exact_mut(b)
+                    .zip(k1.chunks_exact(b))
+                    .zip(k2.chunks_exact(b))
+                    .zip(k3.chunks_exact(b))
+                    .zip(k4.chunks_exact(b))
+                {
+                    for ((((st, &a), &bv), &c), &d) in srow
+                        .iter_mut()
+                        .zip(arow)
+                        .zip(brow)
+                        .zip(crow)
+                        .zip(drow)
+                        .take(active)
+                    {
+                        *st += dt / 6.0 * (a + 2.0 * bv + 2.0 * c + d);
+                    }
+                }
+            }
+
+            let t_now = Seconds::new(t + dt);
+            exits.clear();
+            for (col, run) in cols.iter_mut().enumerate().take(active) {
+                let out = &mut outs[run.lane];
+                let v_die = Volts::new(state[(2 * n - 1) * b + col]);
+                out.t_exit = t_now.value();
+                if v_die < out.v_min {
+                    out.v_min = v_die;
+                    out.t_min = t_now;
+                }
+                if s % decimate == 0 {
+                    out.samples.push((t_now, v_die));
+                }
+                if t_now.value() >= run.settle_after {
+                    if (v_die.value() - run.v_settle_target).abs() <= run.settle_tol {
+                        run.in_band += 1;
+                        if run.in_band >= settle_steps {
+                            exits.push(col);
+                        }
+                    } else {
+                        run.in_band = 0;
+                    }
+                }
+            }
+            // Retire settled lanes: record final state, then swap the last
+            // active column into the vacated slot. Descending column order
+            // guarantees every swapped-in column survived this step.
+            for &col in exits.iter().rev() {
+                let lane = cols[col].lane;
+                let out = &mut outs[lane];
+                out.v_final = Volts::new(state[(2 * n - 1) * b + col]);
+                push_final_sample(&mut out.samples, out.t_exit, out.v_final);
+                let last = active - 1;
+                if col != last {
+                    for row in state.chunks_exact_mut(b) {
+                        row.swap(col, last);
+                    }
+                    cols.swap(col, last);
+                }
+                active = last;
+            }
+        }
+
+        // Survivors ran the full window (their t_exit is the last step's
+        // timestamp, exactly as in the scalar path).
+        for (col, run) in cols.iter().enumerate().take(active) {
+            let out = &mut outs[run.lane];
+            out.v_final = Volts::new(state[(2 * n - 1) * b + col]);
+            push_final_sample(&mut out.samples, out.t_exit, out.v_final);
+        }
+
+        outs.into_iter()
+            .map(|o| TransientResult {
+                samples: o.samples,
+                v_min: o.v_min,
+                t_min: o.t_min,
+                v_initial: o.v_initial,
+                v_final: o.v_final,
+            })
+            .collect()
+    }
+}
+
+/// Computes `d(state)/dt` for the first `active` lane columns into `out`.
+///
+/// Row-by-row mirror of [`LadderCoeffs::derivative`]: the forward branch
+/// recurrence and the backward node recurrence walk the same coefficient
+/// order, but the inner loop runs across lanes — which carry no
+/// cross-lane dependency — so it auto-vectorizes where the scalar
+/// recurrence cannot. Per lane, every expression is evaluated exactly as
+/// in the scalar kernel.
+fn derivative_batch(
+    coeffs: &LadderCoeffs,
+    source: f64,
+    state: &[f64],
+    i_load: &[f64],
+    out: &mut [f64],
+    b: usize,
+    active: usize,
+) {
+    let n = coeffs.nodes();
+    let (i_rows, v_rows) = state.split_at(n * b);
+    let (di_rows, dv_rows) = out.split_at_mut(n * b);
+
+    for k in 0..n {
+        let ik = &i_rows[k * b..k * b + active];
+        let vk = &v_rows[k * b..k * b + active];
+        let dk = &mut di_rows[k * b..k * b + active];
+        let rk = coeffs.r[k];
+        let inv_lk = coeffs.inv_l[k];
+        if k == 0 {
+            for ((d, &vc), &ic) in dk.iter_mut().zip(vk).zip(ik) {
+                *d = (source - vc - rk * ic) * inv_lk;
+            }
+        } else {
+            let vp = &v_rows[(k - 1) * b..(k - 1) * b + active];
+            for (((d, &vpc), &vc), &ic) in dk.iter_mut().zip(vp).zip(vk).zip(ik) {
+                *d = (vpc - vc - rk * ic) * inv_lk;
+            }
+        }
+    }
+    // Walk backwards so each node sees its downstream neighbour's current;
+    // the last node feeds the die load.
+    for k in (0..n).rev() {
+        let ik = &i_rows[k * b..k * b + active];
+        let dvk = &mut dv_rows[k * b..k * b + active];
+        let inv_ck = coeffs.inv_c[k];
+        if k == n - 1 {
+            for ((d, &ic), &il) in dvk.iter_mut().zip(ik).zip(i_load) {
+                *d = (ic - il) * inv_ck;
+            }
+        } else {
+            let i_next = &i_rows[(k + 1) * b..(k + 1) * b + active];
+            for ((d, &ic), &inc) in dvk.iter_mut().zip(ik).zip(i_next) {
+                *d = (ic - inc) * inv_ck;
+            }
+        }
+    }
+}
+
+/// `out = x + a * scale` over the first `active` columns of every row —
+/// the batched mirror of the scalar kernel's `axpy`.
+fn axpy_batch(x: &[f64], a: &[f64], scale: f64, out: &mut [f64], b: usize, active: usize) {
+    if active == b {
+        // Full-width fast path: no masking needed, one flat vectorizable
+        // loop over the whole buffer (same per-element expression).
+        for ((o, &xi), &ai) in out.iter_mut().zip(x).zip(a) {
+            *o = xi + ai * scale;
+        }
+        return;
+    }
+    for ((orow, xrow), arow) in out
+        .chunks_exact_mut(b)
+        .zip(x.chunks_exact(b))
+        .zip(a.chunks_exact(b))
+    {
+        for ((o, &xi), &ai) in orow.iter_mut().zip(xrow).zip(arow).take(active) {
+            *o = xi + ai * scale;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::elements::{CapBank, SeriesBranch};
+    use crate::ladder::VrOutputModel;
+    use crate::units::{Amps, Farads, Henries, Hertz, Ohms};
+
+    fn small_ladder() -> Ladder {
+        let vr = VrOutputModel::new(Ohms::from_mohm(1.6), Hertz::new(300e3)).unwrap();
+        let mut b = Ladder::builder("t", vr);
+        b.series_with_decap(
+            "board",
+            SeriesBranch::new(Ohms::from_mohm(0.3), Henries::from_ph(150.0)).unwrap(),
+            CapBank::new(
+                Farads::from_uf(500.0),
+                Ohms::from_mohm(5.0),
+                Henries::from_nh(2.0),
+                1,
+            )
+            .unwrap(),
+        );
+        b.series_with_decap(
+            "die",
+            SeriesBranch::new(Ohms::from_mohm(0.4), Henries::from_ph(20.0)).unwrap(),
+            CapBank::new(
+                Farads::from_nf(200.0),
+                Ohms::from_mohm(0.3),
+                Henries::from_ph(1.0),
+                1,
+            )
+            .unwrap(),
+        );
+        b.build().unwrap()
+    }
+
+    fn assert_results_bit_identical(a: &TransientResult, b: &TransientResult) {
+        assert_eq!(a.v_initial.value().to_bits(), b.v_initial.value().to_bits());
+        assert_eq!(a.v_final.value().to_bits(), b.v_final.value().to_bits());
+        assert_eq!(a.v_min.value().to_bits(), b.v_min.value().to_bits());
+        assert_eq!(a.t_min.value().to_bits(), b.t_min.value().to_bits());
+        assert_eq!(a.samples.len(), b.samples.len());
+        for ((ta, va), (tb, vb)) in a.samples.iter().zip(&b.samples) {
+            assert_eq!(ta.value().to_bits(), tb.value().to_bits());
+            assert_eq!(va.value().to_bits(), vb.value().to_bits());
+        }
+    }
+
+    #[test]
+    fn empty_batch_returns_empty() {
+        let sim = TransientSim::droop_capture(Volts::new(1.0));
+        assert!(sim.run_batch(&small_ladder(), &[]).is_empty());
+    }
+
+    #[test]
+    fn batch_matches_scalar_lane_for_lane() {
+        let ladder = small_ladder();
+        let sim = TransientSim {
+            source: Volts::new(1.05),
+            dt: Seconds::from_ns(0.5),
+            duration: Seconds::from_us(20.0),
+            decimate: 64,
+        };
+        // Deltas chosen so lanes settle at different times (small steps
+        // settle fast, large ones ring longer), exercising mid-run
+        // swap-compaction.
+        let steps: Vec<LoadStep> = [2.0, 45.0, 0.0, 18.0, 30.0]
+            .iter()
+            .map(|&delta| LoadStep {
+                from: Amps::new(5.0),
+                to: Amps::new(5.0 + delta),
+                at: Seconds::from_us(1.0),
+                slew: Seconds::from_ns(10.0),
+            })
+            .collect();
+        let batch = sim.run_batch(&ladder, &steps);
+        assert_eq!(batch.len(), steps.len());
+        for (step, got) in steps.iter().zip(&batch) {
+            let scalar = sim.run(&ladder, *step);
+            assert_results_bit_identical(&scalar, got);
+        }
+    }
+
+    #[test]
+    fn single_lane_batch_matches_scalar() {
+        let ladder = small_ladder();
+        let sim = TransientSim::droop_capture(Volts::new(1.0));
+        let step = LoadStep::step(Amps::new(1.0), Amps::new(40.0), Seconds::from_us(1.0));
+        let batch = sim.run_batch(&ladder, &[step]);
+        assert_eq!(batch.len(), 1);
+        assert_results_bit_identical(&sim.run(&ladder, step), &batch[0]);
+    }
+
+    #[test]
+    fn final_sample_timestamps_are_unique() {
+        let ladder = small_ladder();
+        let sim = TransientSim {
+            source: Volts::new(1.0),
+            dt: Seconds::from_ns(0.5),
+            duration: Seconds::from_us(30.0),
+            decimate: 1,
+        };
+        let step = LoadStep {
+            from: Amps::new(5.0),
+            to: Amps::new(25.0),
+            at: Seconds::from_us(1.0),
+            slew: Seconds::from_ns(10.0),
+        };
+        for r in sim.run_batch(&ladder, &[step]) {
+            for pair in r.samples.windows(2) {
+                assert!(
+                    pair[0].0.value().to_bits() != pair[1].0.value().to_bits(),
+                    "duplicate sample timestamp {}",
+                    pair[0].0.value()
+                );
+            }
+        }
+    }
+}

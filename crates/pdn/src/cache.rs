@@ -18,6 +18,7 @@
 use crate::impedance::{ImpedanceAnalyzer, ImpedanceProfile};
 use crate::ladder::Ladder;
 use crate::skylake::{PdnVariant, SkylakePdn};
+use crate::transient::LadderCoeffs;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
@@ -183,6 +184,26 @@ pub fn dc_steady_state(
     Arc::clone(map.entry(key).or_insert_with(|| Arc::new(compute())))
 }
 
+type CoeffsMap = Mutex<HashMap<u64, Arc<LadderCoeffs>>>;
+
+fn coeffs_map() -> &'static CoeffsMap {
+    static MAP: OnceLock<CoeffsMap> = OnceLock::new();
+    MAP.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// The precompiled transient chain-model coefficients of `ladder`, computed
+/// once per distinct ladder content and shared thereafter. Every transient
+/// run — scalar or batched — starts here, so sweeps that integrate hundreds
+/// of load steps against one ladder pay the `from_ladder` walk exactly once.
+pub fn ladder_coeffs(ladder: &Ladder) -> Arc<LadderCoeffs> {
+    let key = ladder_key(ladder);
+    let mut map = lock_recovering(coeffs_map());
+    Arc::clone(
+        map.entry(key)
+            .or_insert_with(|| Arc::new(LadderCoeffs::from_ladder(ladder))),
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -235,6 +256,20 @@ mod tests {
         let p = impedance_profile(&narrow, &pdn.ladder);
         let q = impedance_profile(&ImpedanceAnalyzer::default(), &pdn.ladder);
         assert_ne!(p.points().len(), q.points().len());
+    }
+
+    #[test]
+    fn ladder_coeffs_shared_per_ladder_content() {
+        let pdn = SkylakePdn::build(PdnVariant::Gated);
+        let a = ladder_coeffs(&pdn.ladder);
+        let b = ladder_coeffs(&SkylakePdn::build(PdnVariant::Gated).ladder);
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "identical ladder content must share one coefficient set"
+        );
+        assert_eq!(*a, LadderCoeffs::from_ladder(&pdn.ladder));
+        let c = ladder_coeffs(&SkylakePdn::build(PdnVariant::Bypassed).ladder);
+        assert!(!Arc::ptr_eq(&a, &c));
     }
 
     #[test]

@@ -8,9 +8,14 @@
 //! whether the applied guardband prevents every emergency.
 
 use crate::ladder::Ladder;
-use crate::transient::{LoadStep, TransientSim};
+use crate::transient::{LoadStep, TransientResult, TransientSim};
 use crate::units::{Amps, Seconds, Volts};
 use serde::{Deserialize, Serialize};
+
+/// Lanes per batched transient task: large enough to fill the SIMD width
+/// of the structure-of-arrays kernel with headroom, small enough that a
+/// sweep still spreads across the worker pool.
+pub(crate) const SWEEP_LANES: usize = 8;
 
 /// A named di/dt event class.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -103,17 +108,23 @@ pub fn analyze(
         duration: Seconds::from_us(30.0),
         decimate: 256,
     };
-    let mut results = Vec::with_capacity(events.len());
-    let mut worst = Volts::ZERO;
-    let mut emergencies = 0;
-    for event in events {
-        let step = LoadStep {
+    // The whole event family integrates as one lockstep batch: the
+    // structure-of-arrays kernel is bit-identical to per-event scalar
+    // runs, so the results (and every downstream guardband) are unchanged.
+    let steps: Vec<LoadStep> = events
+        .iter()
+        .map(|event| LoadStep {
             from: quiescent,
             to: quiescent + event.delta,
             at: Seconds::from_us(1.0),
             slew: event.slew,
-        };
-        let r = sim.run(ladder, step);
+        })
+        .collect();
+    let runs = sim.run_batch(ladder, &steps);
+    let mut results = Vec::with_capacity(events.len());
+    let mut worst = Volts::ZERO;
+    let mut emergencies = 0;
+    for (event, r) in events.iter().zip(&runs) {
         let droop = r.droop();
         let emergency = r.v_min < v_min_limit;
         if emergency {
@@ -132,6 +143,42 @@ pub fn analyze(
         worst_droop: worst,
         emergencies,
     }
+}
+
+/// Worst droop for each step magnitude in `deltas` (from `quiescent`, with
+/// a common `slew`), in input order.
+///
+/// The grid is carved into [`SWEEP_LANES`]-wide batches and the batches
+/// fan out over the [`dg_engine`] worker pool, so each worker integrates
+/// several lanes in lockstep instead of one scenario per task. Results are
+/// bit-identical to sequential [`TransientSim::run`] calls (ramp start at
+/// 1 µs, as in [`analyze`]) for any thread count.
+pub fn droop_sweep(
+    ladder: &Ladder,
+    sim: &TransientSim,
+    quiescent: Amps,
+    deltas: &[Amps],
+    slew: Seconds,
+) -> Vec<Volts> {
+    let steps: Vec<LoadStep> = deltas
+        .iter()
+        .map(|&delta| LoadStep {
+            from: quiescent,
+            to: quiescent + delta,
+            at: Seconds::from_us(1.0),
+            slew,
+        })
+        .collect();
+    let chunks: Vec<&[LoadStep]> = steps.chunks(SWEEP_LANES).collect();
+    dg_engine::par_map(&chunks, |_, chunk| {
+        sim.run_batch(ladder, chunk)
+            .iter()
+            .map(TransientResult::droop)
+            .collect::<Vec<Volts>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 #[cfg(test)]
@@ -212,6 +259,37 @@ mod tests {
         );
         assert!(!a.is_safe());
         assert!(a.results.iter().any(|r| r.emergency));
+    }
+
+    #[test]
+    fn droop_sweep_matches_scalar_runs() {
+        let pdn = SkylakePdn::build(PdnVariant::Bypassed);
+        let sim = TransientSim {
+            source: Volts::new(1.0),
+            dt: Seconds::from_ns(0.5),
+            duration: Seconds::from_us(20.0),
+            decimate: 128,
+        };
+        // More deltas than SWEEP_LANES so the sweep spans several batches.
+        let deltas: Vec<Amps> = (1..=11).map(|k| Amps::new(4.0 * f64::from(k))).collect();
+        let quiescent = Amps::new(5.0);
+        let slew = Seconds::from_ns(10.0);
+        let swept = droop_sweep(&pdn.ladder, &sim, quiescent, &deltas, slew);
+        assert_eq!(swept.len(), deltas.len());
+        for (&delta, &droop) in deltas.iter().zip(&swept) {
+            let step = LoadStep {
+                from: quiescent,
+                to: quiescent + delta,
+                at: Seconds::from_us(1.0),
+                slew,
+            };
+            let scalar = sim.run(&pdn.ladder, step).droop();
+            assert_eq!(droop.value().to_bits(), scalar.value().to_bits());
+        }
+        // Droop grows monotonically with the step in this regime.
+        for w in swept.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
     }
 
     #[test]

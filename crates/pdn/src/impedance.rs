@@ -9,6 +9,11 @@ use crate::ladder::Ladder;
 use crate::units::{Hertz, Ohms};
 use serde::{Deserialize, Serialize};
 
+/// Frequencies evaluated per worker task in [`ImpedanceAnalyzer::profile`]:
+/// the default 400-point sweep still spreads over every worker, while each
+/// task amortizes its scheduling cost across a cache-friendly run of points.
+pub(crate) const SWEEP_CHUNK: usize = 32;
+
 /// Configuration for a logarithmic frequency sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ImpedanceAnalyzer {
@@ -69,13 +74,24 @@ impl ImpedanceAnalyzer {
     /// Sweeps the ladder and returns its impedance profile.
     ///
     /// Sample points are independent, so the sweep fans out over the
-    /// [`dg_engine`] worker pool; results are collected in frequency order,
-    /// making the profile bit-identical to a sequential sweep for any
-    /// thread count. See [`crate::cache::impedance_profile`] for the
-    /// memoized variant the product builders use.
+    /// [`dg_engine`] worker pool in [`SWEEP_CHUNK`]-frequency batches —
+    /// each task amortizes its claim over a run of samples instead of
+    /// paying per-point scheduling. Chunks come back in input order and
+    /// are flattened, making the profile bit-identical to a sequential
+    /// sweep for any thread count. See [`crate::cache::impedance_profile`]
+    /// for the memoized variant the product builders use.
     pub fn profile(&self, ladder: &Ladder) -> ImpedanceProfile {
         let frequencies = self.frequencies();
-        let points = dg_engine::par_map(&frequencies, |_, &f| (f, ladder.impedance_magnitude(f)));
+        let chunks: Vec<&[Hertz]> = frequencies.chunks(SWEEP_CHUNK).collect();
+        let points = dg_engine::par_map(&chunks, |_, chunk| {
+            chunk
+                .iter()
+                .map(|&f| (f, ladder.impedance_magnitude(f)))
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect();
         ImpedanceProfile {
             name: ladder.name().to_owned(),
             points,

@@ -38,6 +38,7 @@
 //! ```
 
 pub mod architectures;
+pub mod batch;
 pub mod cache;
 pub mod complex;
 pub mod didt;
@@ -54,13 +55,18 @@ pub mod units;
 pub mod vr;
 
 pub use architectures::{delivery_loss, IvrModel, LdoModel, PdnArchitecture};
-pub use didt::{analyze as didt_analyze, client_event_family, DidtEvent, NoiseAnalysis};
+pub use didt::{
+    analyze as didt_analyze, client_event_family, droop_sweep, DidtEvent, NoiseAnalysis,
+};
 pub use error::PdnError;
 pub use impedance::{ImpedanceAnalyzer, ImpedanceProfile};
 pub use ladder::{Ladder, LadderBuilder, Stage};
 pub use loadline::{LoadLine, VirusLevel, VirusLevelTable};
 pub use package::{PackageLayout, VoltageDomain};
-pub use sensitivity::{peak_sensitivities, target_impedance, ElementKind, Sensitivity};
-pub use transient::{LoadStep, TransientResult, TransientSim};
+pub use sensitivity::{
+    droop_sensitivities, peak_sensitivities, target_impedance, DroopSensitivity, ElementKind,
+    Sensitivity,
+};
+pub use transient::{LadderCoeffs, LoadStep, TransientResult, TransientSim};
 pub use units::{Amps, Celsius, Farads, Henries, Hertz, Ohms, Seconds, Volts, Watts};
 pub use vr::{VoltageRegulator, VrLimits};

@@ -9,9 +9,11 @@
 //! Sensitivities are logarithmic finite differences:
 //! `S = (ΔZ/Z) / (Δp/p)`, evaluated with a small relative perturbation.
 
+use crate::didt::DidtEvent;
 use crate::impedance::ImpedanceAnalyzer;
 use crate::ladder::Ladder;
-use crate::units::{Amps, Hertz, Ohms, Volts};
+use crate::transient::{LoadStep, TransientSim};
+use crate::units::{Amps, Hertz, Ohms, Seconds, Volts};
 use serde::{Deserialize, Serialize};
 
 /// Relative perturbation used for the finite difference.
@@ -118,6 +120,92 @@ pub fn peak_sensitivities(ladder: &Ladder, analyzer: &ImpedanceAnalyzer) -> Vec<
             .total_cmp(&a.peak_sensitivity.abs())
     });
     out
+}
+
+/// Droop sensitivities of one di/dt event: how strongly the worst droop
+/// responds to the event's step magnitude and ramp time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DroopSensitivity {
+    /// Event name.
+    pub event: String,
+    /// Worst droop of the unperturbed event.
+    pub base_droop: Volts,
+    /// Logarithmic sensitivity of the droop to the step magnitude, or
+    /// `None` when it is undefined (zero-delta event or zero base droop).
+    pub delta_sensitivity: Option<f64>,
+    /// Logarithmic sensitivity of the droop to the ramp time, or `None`
+    /// when it is undefined (ideal step or zero base droop).
+    pub slew_sensitivity: Option<f64>,
+}
+
+/// Logarithmic finite-difference sensitivity, `None` when the base value
+/// cannot anchor a relative difference.
+fn log_sensitivity(base: f64, perturbed: f64) -> Option<f64> {
+    if base == 0.0 {
+        return None;
+    }
+    Some(((perturbed - base) / base) / REL_DELTA)
+}
+
+/// Computes the droop sensitivity of every event in `events` on `ladder`,
+/// in input order.
+///
+/// Each event contributes three lanes — unperturbed, step magnitude
+/// scaled by `1 + REL_DELTA`, ramp time scaled by `1 + REL_DELTA` — and
+/// the whole grid integrates as **one** lockstep
+/// [`TransientSim::run_batch`] call, so the ladder's coefficients and DC
+/// operating point are derived once and the per-lane results are
+/// bit-identical to sequential scalar runs.
+pub fn droop_sensitivities(
+    ladder: &Ladder,
+    sim: &TransientSim,
+    quiescent: Amps,
+    events: &[DidtEvent],
+) -> Vec<DroopSensitivity> {
+    let mut steps = Vec::with_capacity(events.len() * 3);
+    for event in events {
+        let base = LoadStep {
+            from: quiescent,
+            to: quiescent + event.delta,
+            at: Seconds::from_us(1.0),
+            slew: event.slew,
+        };
+        steps.push(base);
+        steps.push(LoadStep {
+            to: quiescent + event.delta * (1.0 + REL_DELTA),
+            ..base
+        });
+        steps.push(LoadStep {
+            slew: event.slew * (1.0 + REL_DELTA),
+            ..base
+        });
+    }
+    let runs = sim.run_batch(ladder, &steps);
+    events
+        .iter()
+        .zip(runs.chunks_exact(3))
+        .map(|(event, lanes)| {
+            let (base, delta_run, slew_run) = match lanes {
+                [b, d, s] => (b.droop().value(), d.droop().value(), s.droop().value()),
+                // chunks_exact(3) yields exactly 3 lanes; keep the map total.
+                _ => (0.0, 0.0, 0.0),
+            };
+            DroopSensitivity {
+                event: event.name.clone(),
+                base_droop: Volts::new(base),
+                delta_sensitivity: if event.delta.value() == 0.0 {
+                    None
+                } else {
+                    log_sensitivity(base, delta_run)
+                },
+                slew_sensitivity: if event.slew.value() == 0.0 {
+                    None
+                } else {
+                    log_sensitivity(base, slew_run)
+                },
+            }
+        })
+        .collect()
 }
 
 /// The target impedance `Z_target = V_ripple / ΔI` (classic PDN design
@@ -235,6 +323,58 @@ mod tests {
         assert!(!s
             .iter()
             .any(|e| e.stage == "ungated-domain" && e.element == ElementKind::SeriesR));
+    }
+
+    #[test]
+    fn droop_sensitivities_reflect_physics() {
+        let pdn = SkylakePdn::build(PdnVariant::Bypassed);
+        let sim = TransientSim {
+            source: Volts::new(1.0),
+            dt: Seconds::from_ns(0.5),
+            duration: Seconds::from_us(20.0),
+            decimate: 128,
+        };
+        let events = vec![
+            DidtEvent {
+                name: "burst".to_owned(),
+                delta: Amps::new(30.0),
+                slew: Seconds::from_ns(5.0),
+            },
+            DidtEvent {
+                name: "ideal".to_owned(),
+                delta: Amps::new(20.0),
+                slew: Seconds::ZERO,
+            },
+            DidtEvent {
+                name: "null".to_owned(),
+                delta: Amps::ZERO,
+                slew: Seconds::from_ns(5.0),
+            },
+        ];
+        let s = droop_sensitivities(&pdn.ladder, &sim, Amps::new(5.0), &events);
+        assert_eq!(s.len(), events.len());
+        // A bigger step droops more: positive magnitude sensitivity.
+        let burst = &s[0];
+        assert!(burst.base_droop > Volts::ZERO);
+        assert!(burst.delta_sensitivity.unwrap_or(0.0) > 0.0);
+        // An ideal step has no ramp to perturb.
+        assert_eq!(s[1].slew_sensitivity, None);
+        assert!(s[1].delta_sensitivity.is_some());
+        // A zero-delta event has no droop and no defined sensitivities.
+        assert_eq!(s[2].delta_sensitivity, None);
+        // And the base droop matches a scalar run bit-for-bit.
+        let scalar = sim
+            .run(
+                &pdn.ladder,
+                LoadStep {
+                    from: Amps::new(5.0),
+                    to: Amps::new(35.0),
+                    at: Seconds::from_us(1.0),
+                    slew: Seconds::from_ns(5.0),
+                },
+            )
+            .droop();
+        assert_eq!(burst.base_droop.value().to_bits(), scalar.value().to_bits());
     }
 
     #[test]

@@ -28,13 +28,13 @@ const PARASITIC_NODE_CAP: f64 = 1e-9;
 /// consecutive simulated time before the run may stop early. Long enough
 /// that a slow zero-crossing of a still-ringing waveform cannot fake
 /// convergence unless its amplitude is already negligible.
-const SETTLE_WINDOW_S: f64 = 500e-9;
+pub(crate) const SETTLE_WINDOW_S: f64 = 500e-9;
 
 /// Settling band half-width relative to the overall voltage excursion.
-const SETTLE_REL_TOL: f64 = 1e-4;
+pub(crate) const SETTLE_REL_TOL: f64 = 1e-4;
 
 /// Absolute floor of the settling band (guards the zero-excursion case).
-const SETTLE_ABS_TOL_V: f64 = 1e-6;
+pub(crate) const SETTLE_ABS_TOL_V: f64 = 1e-6;
 
 /// A current step applied at the die node.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -156,21 +156,23 @@ impl TransientSim {
 
     /// Runs the simulation of `step` applied to `ladder`'s die node.
     ///
-    /// The system starts in the exact DC steady state for `step.from`
-    /// (memoized per operating point in [`crate::cache`]). Once the die
-    /// voltage has held the post-step analytic steady state to within a
-    /// tight tolerance band for [`SETTLE_WINDOW_S`] of simulated time, the
-    /// remaining window is skipped: every later sample would differ from
-    /// `v_final` by less than the band, and the global minimum (which the
-    /// droop guardband is derived from) necessarily occurred earlier.
+    /// The chain-model coefficients are memoized per ladder content in
+    /// [`crate::cache::ladder_coeffs`], and the system starts in the exact
+    /// DC steady state for `step.from` (memoized per operating point in
+    /// [`crate::cache`]). Once the die voltage has held the post-step
+    /// analytic steady state to within a tight tolerance band for
+    /// [`SETTLE_WINDOW_S`] of simulated time, the remaining window is
+    /// skipped: every later sample would differ from `v_final` by less
+    /// than the band, and the global minimum (which the droop guardband is
+    /// derived from) necessarily occurred earlier.
     #[must_use]
     pub fn run(&self, ladder: &Ladder, step: LoadStep) -> TransientResult {
-        let model = ChainModel::from_ladder(ladder, self.source);
-        let n = model.nodes();
+        let coeffs = crate::cache::ladder_coeffs(ladder);
+        let n = coeffs.nodes();
         // State layout: [i_0..i_{n-1}, v_0..v_{n-1}]
         let mut state =
             crate::cache::dc_steady_state(ladder, self.source.value(), step.from.value(), || {
-                model.steady_state(step.from)
+                coeffs.steady_state(self.source, step.from)
             })
             .as_ref()
             .clone();
@@ -189,7 +191,7 @@ impl TransientSim {
         // Early-exit bookkeeping: the analytic post-step level, a band
         // scaled to the overall excursion, and the consecutive-step count
         // required to fill the settle window.
-        let v_settle_target = model.steady_state(step.to)[2 * n - 1];
+        let v_settle_target = coeffs.die_steady_voltage(self.source, step.to);
         let settle_tol =
             SETTLE_ABS_TOL_V.max(SETTLE_REL_TOL * (v_initial.value() - v_settle_target).abs());
         let settle_after = (step.at + step.slew).value();
@@ -203,6 +205,11 @@ impl TransientSim {
         let mut k4 = vec![0.0; 2 * n];
         let mut tmp = vec![0.0; 2 * n];
 
+        let source = self.source.value();
+        // Time of the most recently integrated step: the waveform's true
+        // end, whether the settle detector exits early or the window runs
+        // to completion.
+        let mut t_exit = 0.0;
         samples.push((Seconds::ZERO, v_initial));
         for s in 0..steps {
             #[allow(clippy::cast_precision_loss)]
@@ -211,13 +218,13 @@ impl TransientSim {
             let i_now = step.current_at(Seconds::new(t)).value();
             let i_end = step.current_at(Seconds::new(t + dt)).value();
 
-            model.derivative(&state, i_now, &mut k1);
+            coeffs.derivative(source, &state, i_now, &mut k1);
             axpy(&state, &k1, 0.5 * dt, &mut tmp);
-            model.derivative(&tmp, i_mid, &mut k2);
+            coeffs.derivative(source, &tmp, i_mid, &mut k2);
             axpy(&state, &k2, 0.5 * dt, &mut tmp);
-            model.derivative(&tmp, i_mid, &mut k3);
+            coeffs.derivative(source, &tmp, i_mid, &mut k3);
             axpy(&state, &k3, dt, &mut tmp);
-            model.derivative(&tmp, i_end, &mut k4);
+            coeffs.derivative(source, &tmp, i_end, &mut k4);
 
             for ((((st, &a), &b), &c), &d) in state.iter_mut().zip(&k1).zip(&k2).zip(&k3).zip(&k4) {
                 *st += dt / 6.0 * (a + 2.0 * b + 2.0 * c + d);
@@ -225,6 +232,7 @@ impl TransientSim {
 
             let v_die = Volts::new(state[2 * n - 1]);
             let t_now = Seconds::new(t + dt);
+            t_exit = t_now.value();
             if v_die < v_min {
                 v_min = v_die;
                 t_min = t_now;
@@ -244,7 +252,7 @@ impl TransientSim {
             }
         }
         let v_final = Volts::new(state[2 * n - 1]);
-        samples.push((self.duration, v_final));
+        push_final_sample(&mut samples, t_exit, v_final);
 
         TransientResult {
             samples,
@@ -270,21 +278,44 @@ impl TransientSim {
     }
 }
 
-/// Internal chain model: series branches (R, L) between grounded C nodes.
-/// Reciprocals of L and C are precomputed once so the RK4 inner loop (four
-/// derivative evaluations per step, millions of steps per run) multiplies
-/// instead of divides.
-#[derive(Debug)]
-struct ChainModel {
-    source: f64,
-    r: Vec<f64>,
-    c: Vec<f64>,
-    inv_l: Vec<f64>,
-    inv_c: Vec<f64>,
+/// Appends the end-of-run sample at the waveform's true exit time.
+///
+/// When the exit step coincides with a decimated sample the timestamps are
+/// bit-equal and the value is already recorded, so nothing is pushed —
+/// the waveform never carries two samples with one timestamp.
+pub(crate) fn push_final_sample(samples: &mut Vec<(Seconds, Volts)>, t_exit: f64, v_final: Volts) {
+    if samples.last().map(|(t, _)| t.value().to_bits()) != Some(t_exit.to_bits()) {
+        samples.push((Seconds::new(t_exit), v_final));
+    }
 }
 
-impl ChainModel {
-    fn from_ladder(ladder: &Ladder, source: Volts) -> Self {
+/// Precompiled chain-model coefficients of a [`Ladder`]: series branches
+/// (R, L) between grounded C nodes, flattened into cache-friendly parallel
+/// arrays with the reciprocals of L and C precomputed, so the RK4 inner
+/// loop (four derivative evaluations per step, millions of steps per run)
+/// multiplies instead of divides and never re-walks the ladder.
+///
+/// The coefficients are a pure function of the ladder's element values —
+/// the VR setpoint enters the integration separately — so one compilation
+/// serves every simulator configuration and every load step applied to the
+/// same ladder. [`crate::cache::ladder_coeffs`] memoizes them process-wide,
+/// keyed by the ladder's content hash.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LadderCoeffs {
+    /// Series resistance of branch `k`, Ω.
+    pub(crate) r: Vec<f64>,
+    /// Shunt capacitance of node `k`, F.
+    pub(crate) c: Vec<f64>,
+    /// Reciprocal series inductance of branch `k`, 1/H.
+    pub(crate) inv_l: Vec<f64>,
+    /// Reciprocal shunt capacitance of node `k`, 1/F.
+    pub(crate) inv_c: Vec<f64>,
+}
+
+impl LadderCoeffs {
+    /// Compiles `ladder` into chain-model coefficient arrays.
+    #[must_use]
+    pub fn from_ladder(ladder: &Ladder) -> Self {
         let mut r = Vec::new();
         let mut l = Vec::new();
         let mut c = Vec::new();
@@ -315,26 +346,23 @@ impl ChainModel {
 
         let inv_l = l.iter().map(|&x| 1.0 / x).collect();
         let inv_c = c.iter().map(|&x| 1.0 / x).collect();
-        ChainModel {
-            source: source.value(),
-            r,
-            c,
-            inv_l,
-            inv_c,
-        }
+        LadderCoeffs { r, c, inv_l, inv_c }
     }
 
-    fn nodes(&self) -> usize {
+    /// Number of C-node state pairs (the state vector is `2 * nodes()`).
+    #[must_use]
+    pub fn nodes(&self) -> usize {
         self.c.len()
     }
 
     /// DC steady state for a constant load current: every branch carries the
     /// load current; node voltages drop cumulatively along the chain.
-    fn steady_state(&self, load: Amps) -> Vec<f64> {
+    #[must_use]
+    pub fn steady_state(&self, source: Volts, load: Amps) -> Vec<f64> {
         let n = self.nodes();
         let mut state = vec![0.0; 2 * n];
         let i0 = load.value();
-        let mut v = self.source;
+        let mut v = source.value();
         for k in 0..n {
             state[k] = i0;
             v -= self.r[k] * i0;
@@ -343,16 +371,28 @@ impl ChainModel {
         state
     }
 
-    /// Computes `d(state)/dt` into `out` for die load current `i_load`.
+    /// The die node's analytic DC voltage under a constant `load` — the
+    /// settle target of the early-exit detector.
+    #[must_use]
+    pub fn die_steady_voltage(&self, source: Volts, load: Amps) -> f64 {
+        let n = self.nodes();
+        self.steady_state(source, load)
+            .get(2 * n - 1)
+            .copied()
+            .unwrap_or_else(|| source.value())
+    }
+
+    /// Computes `d(state)/dt` into `out` for die load current `i_load`,
+    /// with the VR setpoint `source` at the head of the chain.
     ///
     /// Zipped iteration (no indexing) so the hot loop — four evaluations per
     /// RK4 step, hundreds of thousands of steps per run — carries no bounds
     /// checks.
-    fn derivative(&self, state: &[f64], i_load: f64, out: &mut [f64]) {
+    pub(crate) fn derivative(&self, source: f64, state: &[f64], i_load: f64, out: &mut [f64]) {
         let n = self.nodes();
         let (i, v) = state.split_at(n);
         let (di, dv) = out.split_at_mut(n);
-        let mut v_prev = self.source;
+        let mut v_prev = source;
         for ((((d, &ik), &vk), &rk), &inv_lk) in
             di.iter_mut().zip(i).zip(v).zip(&self.r).zip(&self.inv_l)
         {
@@ -471,15 +511,21 @@ mod tests {
     #[test]
     fn steady_state_matches_ohms_law() {
         let ladder = small_ladder();
-        let model = ChainModel::from_ladder(&ladder, Volts::new(1.0));
-        let st = model.steady_state(Amps::new(20.0));
+        let model = LadderCoeffs::from_ladder(&ladder);
+        let st = model.steady_state(Volts::new(1.0), Amps::new(20.0));
         let n = model.nodes();
         let v_die = st[2 * n - 1];
         let expected = 1.0 - 20.0 * ladder.dc_resistance().value();
         assert!((v_die - expected).abs() < 1e-9);
+        assert_eq!(
+            model
+                .die_steady_voltage(Volts::new(1.0), Amps::new(20.0))
+                .to_bits(),
+            v_die.to_bits()
+        );
         // Derivative at steady state is ~zero.
         let mut d = vec![0.0; 2 * n];
-        model.derivative(&st, 20.0, &mut d);
+        model.derivative(1.0, &st, 20.0, &mut d);
         for x in d {
             assert!(x.abs() < 1e-6, "nonzero derivative {x}");
         }
@@ -537,7 +583,7 @@ mod tests {
             SeriesBranch::new(Ohms::from_mohm(1.0), Henries::from_ph(50.0)).unwrap(),
         );
         let ladder = b.build().unwrap();
-        let model = ChainModel::from_ladder(&ladder, Volts::new(1.0));
+        let model = LadderCoeffs::from_ladder(&ladder);
         assert_eq!(model.nodes(), 1);
         assert!((model.c[0] - PARASITIC_NODE_CAP).abs() < 1e-18);
     }

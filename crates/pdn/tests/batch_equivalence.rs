@@ -1,0 +1,193 @@
+//! Property-based equivalence between the batched SoA transient kernel and
+//! the scalar reference path.
+//!
+//! The batch kernel promises *bit-identical* results lane-for-lane: for any
+//! ladder, any mix of load steps, and any batch size, `run_batch` must
+//! produce exactly what per-lane `run` calls would — including lanes that
+//! settle early at different steps and lanes that never settle at all.
+
+use dg_pdn::elements::{CapBank, SeriesBranch};
+use dg_pdn::ladder::{Ladder, VrOutputModel};
+use dg_pdn::transient::{LoadStep, TransientResult, TransientSim};
+use dg_pdn::units::{Amps, Farads, Henries, Hertz, Ohms, Seconds, Volts};
+use proptest::prelude::*;
+
+/// One lane's step expressed in plain numbers for proptest generation.
+#[derive(Debug, Clone, Copy)]
+struct LaneSpec {
+    from_a: f64,
+    to_a: f64,
+    at_us: f64,
+    slew_ns: f64,
+}
+
+fn lane_spec() -> impl Strategy<Value = LaneSpec> {
+    (0.0..60.0f64, 0.0..120.0f64, 0.1..1.0f64, 0.0..50.0f64).prop_map(
+        |(from_a, to_a, at_us, slew_ns)| LaneSpec {
+            from_a,
+            to_a,
+            at_us,
+            slew_ns,
+        },
+    )
+}
+
+fn build_ladder(r_board: f64, l_board: f64, c_bulk: f64, r_die: f64, c_die: f64) -> Ladder {
+    let vr = VrOutputModel::new(Ohms::from_mohm(1.6), Hertz::new(300e3)).unwrap();
+    let mut b = Ladder::builder("prop-batch", vr);
+    b.series_with_decap(
+        "board",
+        SeriesBranch::new(Ohms::from_mohm(r_board), Henries::from_ph(l_board)).unwrap(),
+        CapBank::new(
+            Farads::from_uf(c_bulk),
+            Ohms::from_mohm(5.0),
+            Henries::from_nh(2.0),
+            3,
+        )
+        .unwrap(),
+    );
+    b.series_with_decap(
+        "die",
+        SeriesBranch::new(Ohms::from_mohm(r_die), Henries::from_ph(5.0)).unwrap(),
+        CapBank::new(
+            Farads::from_nf(c_die),
+            Ohms::from_mohm(1.0),
+            Henries::from_ph(1.0),
+            1,
+        )
+        .unwrap(),
+    );
+    b.build().unwrap()
+}
+
+fn assert_lane_bit_identical(
+    lane: usize,
+    batch: &TransientResult,
+    scalar: &TransientResult,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(
+        batch.v_min.value().to_bits(),
+        scalar.v_min.value().to_bits(),
+        "lane {} v_min",
+        lane
+    );
+    prop_assert_eq!(
+        batch.t_min.value().to_bits(),
+        scalar.t_min.value().to_bits(),
+        "lane {} t_min",
+        lane
+    );
+    prop_assert_eq!(
+        batch.v_initial.value().to_bits(),
+        scalar.v_initial.value().to_bits(),
+        "lane {} v_initial",
+        lane
+    );
+    prop_assert_eq!(
+        batch.v_final.value().to_bits(),
+        scalar.v_final.value().to_bits(),
+        "lane {} v_final",
+        lane
+    );
+    prop_assert_eq!(
+        batch.samples.len(),
+        scalar.samples.len(),
+        "lane {} sample count",
+        lane
+    );
+    for (k, ((tb, vb), (ts, vs))) in batch.samples.iter().zip(&scalar.samples).enumerate() {
+        prop_assert_eq!(
+            tb.value().to_bits(),
+            ts.value().to_bits(),
+            "lane {} sample {} time",
+            lane,
+            k
+        );
+        prop_assert_eq!(
+            vb.value().to_bits(),
+            vs.value().to_bits(),
+            "lane {} sample {} voltage",
+            lane,
+            k
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// For random ladders, random step mixes, and random batch sizes, the
+    /// batched kernel reproduces the scalar path bit-for-bit on every lane.
+    #[test]
+    fn batch_is_bit_identical_to_scalar(
+        r_board in 0.05..2.0f64,
+        l_board in 1.0..500.0f64,
+        c_bulk in 10.0..2000.0f64,
+        r_die in 0.01..1.0f64,
+        c_die in 10.0..2000.0f64,
+        lanes in prop::collection::vec(lane_spec(), 1..7),
+        dur_us in 1.5..6.0f64,
+        decimate in 1..64usize,
+    ) {
+        let ladder = build_ladder(r_board, l_board, c_bulk, r_die, c_die);
+        let mut sim = TransientSim::new(
+            Volts::new(1.0),
+            Seconds::from_ns(1.0),
+            Seconds::from_us(dur_us),
+        ).unwrap();
+        sim.decimate = decimate;
+        let steps: Vec<LoadStep> = lanes
+            .iter()
+            .map(|l| LoadStep {
+                from: Amps::new(l.from_a),
+                to: Amps::new(l.to_a),
+                at: Seconds::from_us(l.at_us),
+                slew: Seconds::from_ns(l.slew_ns),
+            })
+            .collect();
+        let batched = sim.run_batch(&ladder, &steps);
+        prop_assert_eq!(batched.len(), steps.len());
+        for (lane, (batch, step)) in batched.iter().zip(&steps).enumerate() {
+            let scalar = sim.run(&ladder, *step);
+            assert_lane_bit_identical(lane, batch, &scalar)?;
+        }
+    }
+
+    /// Lanes with wildly different step magnitudes settle at different
+    /// times; mixing a null step (settles almost immediately) with large
+    /// steps exercises the early-exit compaction path, and the results
+    /// still have to be bit-identical and in input order.
+    #[test]
+    fn early_exit_lanes_stay_bit_identical(
+        big in 40.0..150.0f64,
+        small in 0.5..5.0f64,
+        slew_ns in 0.0..20.0f64,
+    ) {
+        let ladder = build_ladder(0.4, 120.0, 500.0, 0.2, 400.0);
+        let sim = TransientSim::new(
+            Volts::new(1.0),
+            Seconds::from_ns(1.0),
+            Seconds::from_us(8.0),
+        ).unwrap();
+        let quiescent = Amps::new(5.0);
+        // Null step (exits first), small step, big step, and a second null
+        // so two lanes exit on the same sweep of the compaction loop.
+        let deltas = [0.0, small, big, 0.0];
+        let steps: Vec<LoadStep> = deltas
+            .iter()
+            .map(|d| LoadStep {
+                from: quiescent,
+                to: quiescent + Amps::new(*d),
+                at: Seconds::from_us(1.0),
+                slew: Seconds::from_ns(slew_ns),
+            })
+            .collect();
+        let batched = sim.run_batch(&ladder, &steps);
+        prop_assert_eq!(batched.len(), steps.len());
+        for (lane, (batch, step)) in batched.iter().zip(&steps).enumerate() {
+            let scalar = sim.run(&ladder, *step);
+            assert_lane_bit_identical(lane, batch, &scalar)?;
+        }
+    }
+}

@@ -179,6 +179,79 @@ fn spot_check_droop(addr: SocketAddr, gate: &mut Gate) {
     }
 }
 
+/// Fetches a two-lane `/v1/droop_batch` response and recomputes both lanes
+/// with a direct `run_batch` call, then probes the malformed-batch edges:
+/// an empty `steps` array and an oversized batch must both be rejected
+/// with 400.
+fn spot_check_droop_batch(addr: SocketAddr, gate: &mut Gate) {
+    let body = r#"{"variant":"bypassed","source_v":1.0,"steps":[{"from_a":5,"to_a":40},{"from_a":10,"to_a":60,"slew_ns":5}]}"#;
+    let served: Option<Vec<f64>> = http_request(addr, "POST", "/v1/droop_batch", Some(body))
+        .ok()
+        .filter(|r| r.status == 200)
+        .and_then(|r| json::parse(&r.body).ok())
+        .and_then(|v| {
+            let lanes = v
+                .get("result")
+                .and_then(|r| r.get("lanes"))
+                .and_then(Json::as_arr)?;
+            lanes
+                .iter()
+                .map(|lane| lane.get("droop_mv").and_then(Json::as_f64))
+                .collect()
+        });
+    use darkgates::pdn::skylake::{PdnVariant, SkylakePdn};
+    use darkgates::pdn::transient::{LoadStep, TransientSim};
+    use darkgates::pdn::units::{Amps, Seconds, Volts};
+    let pdn = SkylakePdn::build(PdnVariant::Bypassed);
+    let steps = [
+        LoadStep {
+            from: Amps::new(5.0),
+            to: Amps::new(40.0),
+            at: Seconds::from_us(1.0),
+            slew: Seconds::from_ns(0.0),
+        },
+        LoadStep {
+            from: Amps::new(10.0),
+            to: Amps::new(60.0),
+            at: Seconds::from_us(1.0),
+            slew: Seconds::from_ns(5.0),
+        },
+    ];
+    let direct: Vec<f64> = TransientSim::droop_capture(Volts::new(1.0))
+        .run_batch(&pdn.ladder, &steps)
+        .iter()
+        .map(|r| r.droop().as_mv())
+        .collect();
+    let lanes_match = served.as_ref().is_some_and(|mvs| {
+        mvs.len() == direct.len()
+            && mvs
+                .iter()
+                .zip(&direct)
+                .all(|(mv, lib)| (mv - lib).abs() < 1e-9)
+    });
+    gate.check(
+        "droop_batch spot-check vs direct run_batch",
+        lanes_match,
+        &format!("served {served:?} mV, library {direct:?} mV"),
+    );
+
+    let empty = http_request(addr, "POST", "/v1/droop_batch", Some(r#"{"steps":[]}"#));
+    gate.check(
+        "droop_batch rejects an empty steps array",
+        empty.as_ref().is_ok_and(|r| r.status == 400),
+        &format!("status {:?}", empty.map(|r| r.status)),
+    );
+
+    let lanes = vec![r#"{"from_a":10,"to_a":40}"#; 65].join(",");
+    let oversized_body = format!("{{\"steps\":[{lanes}]}}");
+    let oversized = http_request(addr, "POST", "/v1/droop_batch", Some(&oversized_body));
+    gate.check(
+        "droop_batch rejects an oversized batch",
+        oversized.as_ref().is_ok_and(|r| r.status == 400),
+        &format!("status {:?}", oversized.map(|r| r.status)),
+    );
+}
+
 /// Saturates the constrained server with slow debug-sleep requests and
 /// verifies overload is answered *only* with 503 + `Retry-After`.
 fn forced_overload(addr: SocketAddr, gate: &mut Gate) {
@@ -237,6 +310,7 @@ fn smoke(addr: SocketAddr, opts: &Options, spawned: Option<Spawned>) -> i32 {
     let mut gate = Gate { failures: 0 };
 
     spot_check_droop(addr, &mut gate);
+    spot_check_droop_batch(addr, &mut gate);
 
     let report = run_mix(addr, opts.n, opts.seed, opts.concurrency);
     gate.check(

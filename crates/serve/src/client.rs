@@ -391,8 +391,10 @@ impl Lcg {
 /// One request of the generated mix.
 #[derive(Debug, Clone)]
 enum MixItem {
-    /// `(method, path, body)` of a well-formed request.
-    Framed(&'static str, &'static str, String),
+    /// `(method, path, body, expected status)` of a well-formed request.
+    /// The expectation is `None` when any success/shed outcome is fine,
+    /// `Some(status)` for probes whose whole point is a specific rejection.
+    Framed(&'static str, &'static str, String, Option<u16>),
     /// Raw bytes with intentionally broken framing; the expected status.
     Raw(Vec<u8>, u16),
 }
@@ -401,11 +403,13 @@ enum MixItem {
 ///
 /// The mix leans on repetition on purpose: repeated identical droops and
 /// sweeps exercise the substrate caches and the coalescer, the malformed
-/// and oversized entries exercise the parser's rejection paths.
+/// and oversized entries exercise the parser's rejection paths, and the
+/// batch probes (valid, empty, oversized) exercise the lockstep transient
+/// kernel and its admission limits.
 fn mix_item(rng: &mut Lcg) -> MixItem {
-    match rng.below(16) {
-        0 | 1 => MixItem::Framed("GET", "/healthz", String::new()),
-        2 => MixItem::Framed("GET", "/v1/claims", String::new()),
+    match rng.below(19) {
+        0 | 1 => MixItem::Framed("GET", "/healthz", String::new(), None),
+        2 => MixItem::Framed("GET", "/v1/claims", String::new(), None),
         3..=6 => {
             // Four droop variants → heavy repetition across the burst.
             let to = 40 + 10 * rng.below(4);
@@ -413,6 +417,7 @@ fn mix_item(rng: &mut Lcg) -> MixItem {
                 "POST",
                 "/v1/droop",
                 format!("{{\"variant\":\"gated\",\"from_a\":10,\"to_a\":{to}}}"),
+                None,
             )
         }
         7..=9 => {
@@ -425,6 +430,7 @@ fn mix_item(rng: &mut Lcg) -> MixItem {
                 "POST",
                 "/v1/sweep",
                 format!("{{\"variant\":\"{variant}\",\"points\":128,\"decimate\":16}}"),
+                None,
             )
         }
         10 | 11 => MixItem::Framed(
@@ -433,6 +439,7 @@ fn mix_item(rng: &mut Lcg) -> MixItem {
             "{\"design\":\"desktop\",\"tdp_w\":91,\
              \"workload\":{\"kind\":\"spec\",\"benchmark\":\"444.namd\",\"mode\":\"base\"}}"
                 .to_owned(),
+            None,
         ),
         12 => MixItem::Framed(
             "POST",
@@ -440,15 +447,49 @@ fn mix_item(rng: &mut Lcg) -> MixItem {
             "{\"design\":\"mobile\",\"tdp_w\":45,\
              \"workload\":{\"kind\":\"energy\",\"name\":\"energy-star\"}}"
                 .to_owned(),
+            None,
         ),
-        13 => MixItem::Framed("GET", "/metrics", String::new()),
+        13 => MixItem::Framed("GET", "/metrics", String::new(), None),
         14 => MixItem::Raw(b"THIS IS NOT HTTP\r\n\r\n".to_vec(), 400),
-        _ => MixItem::Raw(
+        15 => MixItem::Raw(
             // Declares a body far beyond the server's cap: rejected with
             // 413 before any body byte is transferred.
             b"POST /v1/droop HTTP/1.1\r\nHost: x\r\nContent-Length: 10000000\r\n\r\n".to_vec(),
             413,
         ),
+        16 => {
+            // A small valid batch (2–4 lanes from a fixed menu): few
+            // distinct shapes → the coalescer and the batch kernel both
+            // see repetition.
+            let lanes = 2 + rng.below(3);
+            let steps: Vec<String> = (0..lanes)
+                .map(|k| format!("{{\"from_a\":10,\"to_a\":{}}}", 40 + 10 * k))
+                .collect();
+            MixItem::Framed(
+                "POST",
+                "/v1/droop_batch",
+                format!("{{\"variant\":\"gated\",\"steps\":[{}]}}", steps.join(",")),
+                None,
+            )
+        }
+        17 => MixItem::Framed(
+            // An empty batch is a client error, never a computation.
+            "POST",
+            "/v1/droop_batch",
+            "{\"steps\":[]}".to_owned(),
+            Some(400),
+        ),
+        _ => {
+            // One lane beyond the admission limit: rejected with 400
+            // before any lane is integrated.
+            let steps = vec!["{\"from_a\":10,\"to_a\":40}"; 65];
+            MixItem::Framed(
+                "POST",
+                "/v1/droop_batch",
+                format!("{{\"steps\":[{}]}}", steps.join(",")),
+                Some(400),
+            )
+        }
     }
 }
 
@@ -621,14 +662,14 @@ fn run_one(addr: SocketAddr, rng: &mut Lcg, report: &mut LoadReport) {
     let retry_seed = rng.next_u64();
     let begin = monotonic_us();
     let outcome = match &item {
-        MixItem::Framed(method, path, body) => {
+        MixItem::Framed(method, path, body, expect) => {
             let body = if body.is_empty() {
                 None
             } else {
                 Some(body.as_str())
             };
             http_request_with(addr, method, path, body, &load_retry_policy(), retry_seed)
-                .map(|r| (r.status, None))
+                .map(|r| (r.status, *expect))
         }
         MixItem::Raw(bytes, expect) => raw_request(addr, bytes)
             .map(|r| (r.status, Some(*expect)))
@@ -686,6 +727,7 @@ mod tests {
         for path in [
             "/healthz",
             "/v1/droop",
+            "/v1/droop_batch",
             "/v1/sweep",
             "/v1/product",
             "/v1/claims",
@@ -693,10 +735,35 @@ mod tests {
             assert!(
                 items
                     .iter()
-                    .any(|i| matches!(i, MixItem::Framed(_, p, _) if *p == path)),
+                    .any(|i| matches!(i, MixItem::Framed(_, p, _, _) if *p == path)),
                 "mix never hit {path}"
             );
         }
+        // The batch probes cover the whole admission surface: a valid
+        // batch, an empty one (400), and an oversized one (400).
+        let batch_probes: Vec<(&String, Option<u16>)> = items
+            .iter()
+            .filter_map(|i| match i {
+                MixItem::Framed(_, "/v1/droop_batch", body, expect) => Some((body, *expect)),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            batch_probes.iter().any(|(_, e)| e.is_none()),
+            "no valid batch probe"
+        );
+        assert!(
+            batch_probes
+                .iter()
+                .any(|(b, e)| *e == Some(400) && b.contains("\"steps\":[]")),
+            "no empty-batch probe"
+        );
+        assert!(
+            batch_probes
+                .iter()
+                .any(|(b, e)| *e == Some(400) && b.len() > 1000),
+            "no oversized-batch probe"
+        );
     }
 
     #[test]

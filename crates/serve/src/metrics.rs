@@ -133,6 +133,8 @@ fn bucket_bound_us(i: usize) -> u64 {
 pub enum Route {
     /// `POST /v1/droop`
     Droop,
+    /// `POST /v1/droop_batch`
+    DroopBatch,
     /// `POST /v1/sweep`
     Sweep,
     /// `POST /v1/product`
@@ -149,8 +151,9 @@ pub enum Route {
 
 impl Route {
     /// All tracked routes, in render order.
-    pub const ALL: [Route; 7] = [
+    pub const ALL: [Route; 8] = [
         Route::Droop,
+        Route::DroopBatch,
         Route::Sweep,
         Route::Product,
         Route::Claims,
@@ -163,6 +166,7 @@ impl Route {
     pub fn label(self) -> &'static str {
         match self {
             Route::Droop => "droop",
+            Route::DroopBatch => "droop_batch",
             Route::Sweep => "sweep",
             Route::Product => "product",
             Route::Claims => "claims",
@@ -177,6 +181,7 @@ impl Route {
 #[derive(Debug, Default)]
 struct RouteSlots {
     droop: RouteMetrics,
+    droop_batch: RouteMetrics,
     sweep: RouteMetrics,
     product: RouteMetrics,
     claims: RouteMetrics,
@@ -224,6 +229,7 @@ impl Metrics {
     pub fn route(&self, route: Route) -> &RouteMetrics {
         match route {
             Route::Droop => &self.routes.droop,
+            Route::DroopBatch => &self.routes.droop_batch,
             Route::Sweep => &self.routes.sweep,
             Route::Product => &self.routes.product,
             Route::Claims => &self.routes.claims,

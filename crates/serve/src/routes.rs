@@ -30,6 +30,10 @@ use std::sync::Arc;
 /// Largest accepted impedance-sweep point count (compute admission).
 const MAX_SWEEP_POINTS: u64 = 20_000;
 
+/// Largest accepted `/v1/droop_batch` lane count (compute admission: one
+/// batch integrates every lane in lockstep on one worker).
+const MAX_BATCH_LANES: usize = 64;
+
 /// Largest accepted debug-sleep duration.
 const MAX_SLEEP_MS: u64 = 10_000;
 
@@ -147,6 +151,10 @@ impl Router {
                 self.coalesced(ContentKey::new().bytes(b"claims").finish(), claims_route),
             ),
             ("POST", "/v1/droop") => (Route::Droop, self.json_route(req, droop_key, droop_route)),
+            ("POST", "/v1/droop_batch") => (
+                Route::DroopBatch,
+                self.json_route(req, droop_batch_key, droop_batch_route),
+            ),
             ("POST", "/v1/sweep") => (Route::Sweep, self.json_route(req, sweep_key, sweep_route)),
             ("POST", "/v1/product") => (
                 Route::Product,
@@ -156,8 +164,8 @@ impl Router {
             ("POST", "/v1/debug/sleep") if self.debug_routes => (Route::Other, debug_sleep(req)),
             (
                 "GET" | "POST" | "HEAD" | "PUT" | "DELETE",
-                "/healthz" | "/metrics" | "/v1/claims" | "/v1/droop" | "/v1/sweep" | "/v1/product"
-                | "/admin/drain",
+                "/healthz" | "/metrics" | "/v1/claims" | "/v1/droop" | "/v1/droop_batch"
+                | "/v1/sweep" | "/v1/product" | "/admin/drain",
             ) => (
                 Route::Other,
                 Response::error(405, "method not allowed for this resource"),
@@ -361,6 +369,109 @@ fn droop_route(params: &Json) -> HandlerResult {
         ("v_final", Json::Num(r.v_final.value())),
         ("t_min_us", Json::Num(r.t_min.value() * 1e6)),
         ("samples", Json::Num(approx_f64(r.samples.len()))),
+    ]))
+}
+
+// ------------------------------------------------------------- droop batch
+
+struct DroopBatchParams {
+    variant: PdnVariant,
+    source_v: f64,
+    /// Per-lane `(from_a, to_a, slew_ns)`.
+    lanes: Vec<(f64, f64, f64)>,
+}
+
+fn droop_batch_params(params: &Json) -> Result<DroopBatchParams, RouteError> {
+    let steps = params
+        .get("steps")
+        .ok_or_else(|| bad_request("missing `steps` array"))?
+        .as_arr()
+        .ok_or_else(|| bad_request("`steps` must be an array"))?;
+    if steps.is_empty() {
+        return Err(bad_request("`steps` must not be empty"));
+    }
+    if steps.len() > MAX_BATCH_LANES {
+        return Err(bad_request(format!(
+            "`steps` has {} lanes, limit is {MAX_BATCH_LANES}",
+            steps.len()
+        )));
+    }
+    let mut lanes = Vec::with_capacity(steps.len());
+    for (i, lane) in steps.iter().enumerate() {
+        let parsed: Result<(f64, f64, f64), RouteError> = (|| {
+            Ok((
+                in_range("from_a", finite_f64(lane, "from_a", 10.0)?, 0.0, 500.0)?,
+                in_range("to_a", finite_f64(lane, "to_a", 60.0)?, 0.0, 500.0)?,
+                in_range("slew_ns", finite_f64(lane, "slew_ns", 0.0)?, 0.0, 1_000.0)?,
+            ))
+        })();
+        match parsed {
+            Ok(lane) => lanes.push(lane),
+            Err(e) => {
+                return Err(bad_request(format!("steps[{i}]: {}", e.message)));
+            }
+        }
+    }
+    Ok(DroopBatchParams {
+        variant: variant_of(params)?,
+        source_v: in_range("source_v", finite_f64(params, "source_v", 1.0)?, 0.5, 2.0)?,
+        lanes,
+    })
+}
+
+/// Coalescing key: route tag + ladder content hash + shared source + lane
+/// count + every per-lane parameter in lane order — two batches coalesce
+/// exactly when their full lane-for-lane physics is identical.
+fn droop_batch_key(params: &Json) -> u64 {
+    let Ok(p) = droop_batch_params(params) else {
+        return error_key(b"droop-batch-invalid", params);
+    };
+    let pdn = SkylakePdn::build(p.variant);
+    let mut k = ContentKey::new()
+        .bytes(b"droop_batch")
+        .word(ladder_key(&pdn.ladder))
+        .f64(p.source_v)
+        .word(p.lanes.len() as u64);
+    for (from_a, to_a, slew_ns) in &p.lanes {
+        k = k.f64(*from_a).f64(*to_a).f64(*slew_ns);
+    }
+    k.finish()
+}
+
+fn droop_batch_route(params: &Json) -> HandlerResult {
+    let p = droop_batch_params(params)?;
+    let pdn = SkylakePdn::build(p.variant);
+    let sim = TransientSim::droop_capture(Volts::new(p.source_v));
+    let steps: Vec<LoadStep> = p
+        .lanes
+        .iter()
+        .map(|&(from_a, to_a, slew_ns)| LoadStep {
+            from: Amps::new(from_a),
+            to: Amps::new(to_a),
+            at: Seconds::from_us(1.0),
+            slew: Seconds::from_ns(slew_ns),
+        })
+        .collect();
+    let results = sim.run_batch(&pdn.ladder, &steps);
+    let lanes: Vec<Json> = results
+        .iter()
+        .map(|r| {
+            obj(vec![
+                ("droop_mv", Json::Num(r.droop().as_mv())),
+                ("dc_shift_mv", Json::Num(r.dc_shift().as_mv())),
+                ("dynamic_droop_mv", Json::Num(r.dynamic_droop().as_mv())),
+                ("v_initial", Json::Num(r.v_initial.value())),
+                ("v_min", Json::Num(r.v_min.value())),
+                ("v_final", Json::Num(r.v_final.value())),
+                ("t_min_us", Json::Num(r.t_min.value() * 1e6)),
+                ("samples", Json::Num(approx_f64(r.samples.len()))),
+            ])
+        })
+        .collect();
+    Ok(obj(vec![
+        ("variant", Json::Str(p.variant.label().to_owned())),
+        ("n_lanes", Json::Num(approx_f64(lanes.len()))),
+        ("lanes", Json::Arr(lanes)),
     ]))
 }
 
@@ -702,6 +813,91 @@ mod tests {
             "server {droop_mv} vs direct {}",
             direct.droop().as_mv()
         );
+    }
+
+    #[test]
+    fn droop_batch_lanes_match_scalar_droop_route() {
+        let r = router();
+        let (route, resp) = r.handle(&post(
+            "/v1/droop_batch",
+            r#"{"variant":"bypassed","source_v":1.0,
+                "steps":[{"from_a":5,"to_a":40},
+                         {"from_a":10,"to_a":60,"slew_ns":10}]}"#,
+        ));
+        assert_eq!(route, Route::DroopBatch);
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let v = json::parse(&resp.body).expect("valid response JSON");
+        let result = v.get("result").expect("result");
+        assert_eq!(result.get("n_lanes").and_then(Json::as_u64), Some(2));
+        let lanes = result.get("lanes").and_then(Json::as_arr).expect("lanes");
+        assert_eq!(lanes.len(), 2);
+        // Each lane is bit-identical to the scalar /v1/droop response for
+        // the same physics.
+        for (lane, body) in lanes.iter().zip([
+            r#"{"variant":"bypassed","source_v":1.0,"from_a":5,"to_a":40}"#,
+            r#"{"variant":"bypassed","source_v":1.0,"from_a":10,"to_a":60,"slew_ns":10}"#,
+        ]) {
+            let (_, scalar) = r.handle(&post("/v1/droop", body));
+            assert_eq!(scalar.status, 200, "{}", scalar.body);
+            let sv = json::parse(&scalar.body).expect("valid JSON");
+            let sres = sv.get("result").expect("result");
+            for field in [
+                "droop_mv",
+                "dc_shift_mv",
+                "dynamic_droop_mv",
+                "v_initial",
+                "v_min",
+                "v_final",
+                "t_min_us",
+                "samples",
+            ] {
+                let batch_v = lane.get(field).and_then(Json::as_f64).expect(field);
+                let scalar_v = sres.get(field).and_then(Json::as_f64).expect(field);
+                assert_eq!(
+                    batch_v.to_bits(),
+                    scalar_v.to_bits(),
+                    "lane field {field}: batch {batch_v} vs scalar {scalar_v}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn droop_batch_rejects_malformed_batches() {
+        let r = router();
+        let oversized = format!(
+            r#"{{"steps":[{}]}}"#,
+            vec![r#"{"from_a":5,"to_a":40}"#; MAX_BATCH_LANES + 1].join(",")
+        );
+        for body in [
+            "{}",                           // missing steps
+            r#"{"steps":[]}"#,              // empty array
+            r#"{"steps":42}"#,              // not an array
+            r#"{"steps":[{"from_a":-3}]}"#, // invalid lane
+            oversized.as_str(),             // too many lanes
+        ] {
+            let (route, resp) = r.handle(&post("/v1/droop_batch", body));
+            assert_eq!(route, Route::DroopBatch);
+            assert_eq!(resp.status, 400, "{body} → {}", resp.body);
+        }
+    }
+
+    #[test]
+    fn identical_droop_batches_share_a_content_key() {
+        let a = droop_batch_key(
+            &json::parse(r#"{"steps":[{"from_a":5,"to_a":40},{"from_a":10,"to_a":60}]}"#)
+                .expect("json"),
+        );
+        let b = droop_batch_key(
+            &json::parse(r#"{"steps":[{"to_a":40,"from_a":5},{"to_a":60,"from_a":10}]}"#)
+                .expect("json"),
+        );
+        let c = droop_batch_key(
+            &json::parse(r#"{"steps":[{"from_a":10,"to_a":60},{"from_a":5,"to_a":40}]}"#)
+                .expect("json"),
+        );
+        assert_eq!(a, b, "parameter order within a lane must not matter");
+        assert_ne!(a, c, "lane order changes the batch's physics");
     }
 
     #[test]
