@@ -7,9 +7,11 @@
 //! 1. **Does the serve path survive hostile transports?** A seeded fault
 //!    layer wraps every client connection and injects short writes,
 //!    partial request bodies, mid-response connection drops, slowloris
-//!    pacing, and stalled request heads that expire through the server's
-//!    read timeout (no client-side clock). Every connection's behaviour
-//!    is a pure function of its seed.
+//!    pacing, stalled request heads that expire through the server's
+//!    read timeout (no client-side clock), keep-alive connections left
+//!    idle until the server's deadline reaps them, and slow readers that
+//!    force the server's optimistic write to park on write readiness.
+//!    Every connection's behaviour is a pure function of its seed.
 //! 2. **Do HTTP results equal library results?** A differential oracle
 //!    replays every completed request against an in-process
 //!    [`dg_serve::routes::Router`] — the same `darkgates::claims`,
@@ -23,15 +25,19 @@
 //!    a shrug.
 //!
 //! The entry point is [`run_chaos`]; the `dg-chaos` binary wraps it with
-//! a `--smoke` CI gate.
+//! a `--smoke` CI gate. A second campaign, [`run_shard_kill`] (binary
+//! flag `--shards`), spawns a real `dg-router` over two `dg-serve` shard
+//! processes, SIGKILLs one mid-run, and requires uninterrupted,
+//! byte-identical service plus an observed health ejection.
 
-use dg_serve::client::Lcg;
+use dg_serve::client::{http_request, Lcg};
 use dg_serve::http::Request;
 use dg_serve::metrics::monotonic_us;
 use dg_serve::routes::Router;
 use dg_serve::{Server, ServerConfig};
-use std::io::{ErrorKind, Read, Write};
+use std::io::{BufRead, BufReader, ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpStream};
+use std::process::{Child, Command, Stdio};
 use std::sync::atomic::AtomicBool;
 use std::sync::Arc;
 use std::time::Duration;
@@ -61,11 +67,19 @@ pub enum Fault {
     /// The head declares a body far beyond the server's cap: the parser
     /// must answer `413` before any body byte is transferred.
     Oversized,
+    /// A keep-alive request (no `Connection: close`), a complete reply,
+    /// then silence: the *server's* idle deadline must close the
+    /// connection — the keep-alive analogue of `StalledHead`.
+    KeepAliveIdle,
+    /// The request is written whole but the reply is drained a few bytes
+    /// at a time with deterministic pauses, so the server's optimistic
+    /// write hits `EAGAIN` and the connection parks on write readiness.
+    SlowReader,
 }
 
 impl Fault {
     /// Every fault, in the order the per-fault counters report.
-    pub const ALL: [Fault; 7] = [
+    pub const ALL: [Fault; 9] = [
         Fault::None,
         Fault::ShortWrite,
         Fault::PartialBody,
@@ -73,6 +87,8 @@ impl Fault {
         Fault::Slowloris,
         Fault::StalledHead,
         Fault::Oversized,
+        Fault::KeepAliveIdle,
+        Fault::SlowReader,
     ];
 
     /// A short stable label for logs and reports.
@@ -85,6 +101,8 @@ impl Fault {
             Fault::Slowloris => "slowloris",
             Fault::StalledHead => "stalled-head",
             Fault::Oversized => "oversized",
+            Fault::KeepAliveIdle => "keep-alive-idle",
+            Fault::SlowReader => "slow-reader",
         }
     }
 
@@ -98,6 +116,8 @@ impl Fault {
             Fault::Slowloris => 4,
             Fault::StalledHead => 5,
             Fault::Oversized => 6,
+            Fault::KeepAliveIdle => 7,
+            Fault::SlowReader => 8,
         }
     }
 }
@@ -218,7 +238,7 @@ impl ConnPlan {
         let probe = probe_from(&mut rng);
         // PartialBody needs a body to cut; bodiless probes fall back to a
         // plain short write so every draw still injects something.
-        let fault = match Fault::ALL.get(usize::try_from(rng.below(7)).unwrap_or(0)) {
+        let fault = match Fault::ALL.get(usize::try_from(rng.below(9)).unwrap_or(0)) {
             Some(Fault::PartialBody) if probe.body.is_empty() => Fault::ShortWrite,
             Some(f) => *f,
             None => Fault::None,
@@ -241,8 +261,15 @@ impl ConnPlan {
         } else {
             self.probe.body.len()
         };
+        // `KeepAliveIdle` leaves the connection open on purpose — no
+        // `Connection: close`, so only the server's idle deadline ends it.
+        let connection = if self.fault == Fault::KeepAliveIdle {
+            ""
+        } else {
+            "Connection: close\r\n"
+        };
         let mut raw = format!(
-            "{} {} HTTP/1.1\r\nHost: dg-chaos\r\nContent-Length: {declared}\r\nConnection: close\r\n\r\n",
+            "{} {} HTTP/1.1\r\nHost: dg-chaos\r\nContent-Length: {declared}\r\n{connection}\r\n",
             self.probe.method, self.probe.path
         )
         .into_bytes();
@@ -324,6 +351,40 @@ fn read_to_close(stream: &mut TcpStream, guard_ms: u64) -> Option<Vec<u8>> {
     }
 }
 
+/// Reads the stream to EOF a few bytes at a time, pausing `pace_ms`
+/// between reads, so the sender experiences a peer that drains slowly.
+/// Returns `None` when the guard deadline fires first.
+fn read_slowly(
+    stream: &mut TcpStream,
+    step: usize,
+    pace_ms: u64,
+    guard_ms: u64,
+) -> Option<Vec<u8>> {
+    let deadline = monotonic_us().saturating_add(guard_ms.saturating_mul(1_000));
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(guard_ms.max(1))));
+    let mut bytes = Vec::new();
+    let mut chunk = vec![0u8; step.max(1)];
+    loop {
+        if monotonic_us() >= deadline {
+            return None;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return Some(bytes),
+            Ok(n) => {
+                bytes.extend_from_slice(chunk.get(..n).unwrap_or_default());
+                if pace_ms > 0 {
+                    std::thread::sleep(Duration::from_millis(pace_ms));
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                return None;
+            }
+            Err(_) => return Some(bytes),
+        }
+    }
+}
+
 /// Writes `raw` in `chunk_len`-byte slices, pausing `pace_ms` between
 /// slices when `pace_ms > 0`.
 fn write_chunked(
@@ -368,7 +429,9 @@ pub fn run_connection(
     let _ = stream.set_write_timeout(Some(Duration::from_millis(guard_ms)));
 
     let write_outcome = match plan.fault {
-        Fault::None | Fault::Oversized => stream.write_all(&raw),
+        Fault::None | Fault::Oversized | Fault::KeepAliveIdle | Fault::SlowReader => {
+            stream.write_all(&raw)
+        }
         Fault::ShortWrite => write_chunked(&mut stream, &raw, plan.chunk_len, 0),
         Fault::Slowloris => write_chunked(&mut stream, &raw, plan.chunk_len.max(4), plan.pace_ms),
         Fault::PartialBody => {
@@ -412,13 +475,30 @@ pub fn run_connection(
         }
         // The write side stays open (the server still expects bytes); the
         // outcome is decided by the server's read timeout closing us.
-        Fault::PartialBody | Fault::StalledHead => match read_to_close(&mut stream, guard_ms) {
-            Some(bytes) => match split_reply(&bytes) {
-                Some((status, body)) => (OutcomeClass::Reply(status), Some(body)),
-                None => (OutcomeClass::Truncated, None),
-            },
-            None => (OutcomeClass::Transport, None),
-        },
+        // `KeepAliveIdle` is the same wait with a complete request: the
+        // reply arrives, then only the server's idle deadline may close
+        // the connection (the client never half-closes).
+        Fault::PartialBody | Fault::StalledHead | Fault::KeepAliveIdle => {
+            match read_to_close(&mut stream, guard_ms) {
+                Some(bytes) => match split_reply(&bytes) {
+                    Some((status, body)) => (OutcomeClass::Reply(status), Some(body)),
+                    None => (OutcomeClass::Truncated, None),
+                },
+                None => (OutcomeClass::Transport, None),
+            }
+        }
+        // Drain the reply deliberately slowly: short server writes must
+        // park on write readiness and still deliver every byte.
+        Fault::SlowReader => {
+            let _ = stream.shutdown(std::net::Shutdown::Write);
+            match read_slowly(&mut stream, 512, plan.pace_ms, guard_ms) {
+                Some(bytes) => match split_reply(&bytes) {
+                    Some((status, body)) => (OutcomeClass::Reply(status), Some(body)),
+                    None => (OutcomeClass::Truncated, None),
+                },
+                None => (OutcomeClass::Transport, None),
+            }
+        }
         Fault::MidResponseReset => {
             // Read a few bytes of the response, then drop the socket with
             // the rest unread (the drop sends RST if bytes are pending).
@@ -581,7 +661,7 @@ pub struct ChaosReport {
     /// Transport failures — the gate requires zero.
     pub transport_errors: usize,
     /// Per-fault connection counts, indexed like [`Fault::ALL`].
-    pub fault_counts: [usize; 7],
+    pub fault_counts: [usize; 9],
     /// Differential mismatches between HTTP and library results.
     pub mismatches: Vec<String>,
     /// Connections whose seed replay diverged.
@@ -769,6 +849,244 @@ fn drive(addr: SocketAddr, config: &ChaosConfig) -> Vec<ConnRecord> {
     records
 }
 
+// ---------------------------------------------------------------------------
+// Shard-kill campaign: a real router + two shard *processes*, one of which
+// is SIGKILLed mid-run. The gate is continuity — zero 5xx, zero transport
+// faults, byte-identical bodies throughout — plus an observed ejection.
+// ---------------------------------------------------------------------------
+
+/// Tuning for one shard-kill campaign.
+#[derive(Debug, Clone)]
+pub struct ShardKillConfig {
+    /// Seed for the probe draw (pure function, like the fault campaign).
+    pub seed: u64,
+    /// Total requests driven through the router.
+    pub requests: usize,
+    /// The request index at which shard 0 is SIGKILLed.
+    pub kill_after: usize,
+}
+
+impl Default for ShardKillConfig {
+    fn default() -> Self {
+        ShardKillConfig {
+            seed: 0x5AFE_0001,
+            requests: 120,
+            kill_after: 40,
+        }
+    }
+}
+
+/// Aggregated result of a shard-kill campaign.
+#[derive(Debug, Clone, Default)]
+pub struct ShardKillReport {
+    /// Requests driven.
+    pub requests: usize,
+    /// Requests that completed with a non-5xx reply.
+    pub ok: usize,
+    /// Transport faults and 5xx replies — the gate requires zero.
+    pub failures: Vec<String>,
+    /// Replies whose status or body diverged from the library render.
+    pub mismatches: Vec<String>,
+    /// Whether the router's `/healthz` reported the killed shard dead.
+    pub ejection_observed: bool,
+    /// Wall time of the campaign, µs.
+    pub elapsed_us: u64,
+}
+
+impl ShardKillReport {
+    /// The gate verdict: every request answered below 500, every body
+    /// byte-identical to the library, and the kill actually ejected.
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+            && self.mismatches.is_empty()
+            && self.ejection_observed
+            && self.ok == self.requests
+    }
+}
+
+/// A spawned sibling process and the address it bound.
+struct ChildProc {
+    child: Child,
+    addr: SocketAddr,
+}
+
+/// Child processes with guaranteed teardown: any exit path from the
+/// campaign (including early errors) reaps every spawned server.
+#[derive(Default)]
+struct Fleet {
+    children: Vec<Option<Child>>,
+}
+
+impl Fleet {
+    fn adopt(&mut self, child: Child) {
+        self.children.push(Some(child));
+    }
+
+    /// SIGKILLs and reaps the child at `index` (idempotent).
+    fn kill(&mut self, index: usize) {
+        if let Some(slot) = self.children.get_mut(index) {
+            if let Some(mut child) = slot.take() {
+                let _ = child.kill();
+                let _ = child.wait();
+            }
+        }
+    }
+}
+
+impl Drop for Fleet {
+    fn drop(&mut self) {
+        for index in 0..self.children.len() {
+            self.kill(index);
+        }
+    }
+}
+
+/// Spawns a sibling binary from this executable's directory and reads its
+/// bound address from the `listening on <addr>` banner line.
+fn spawn_sibling(binary: &str, args: &[String]) -> Result<ChildProc, String> {
+    let me = std::env::current_exe().map_err(|e| format!("current_exe: {e}"))?;
+    let path = me
+        .parent()
+        .map(|dir| dir.join(binary))
+        .filter(|p| p.exists())
+        .ok_or_else(|| {
+            format!("{binary} binary not found next to dg-chaos (build dg-serve first)")
+        })?;
+    let mut child = Command::new(path)
+        .args(args)
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .map_err(|e| format!("spawn {binary}: {e}"))?;
+    let stdout = child.stdout.take().ok_or("no child stdout")?;
+    let mut line = String::new();
+    if let Err(e) = BufReader::new(stdout).read_line(&mut line) {
+        let _ = child.kill();
+        return Err(format!("read {binary} banner: {e}"));
+    }
+    let Some(addr) = line
+        .trim()
+        .strip_prefix("listening on ")
+        .and_then(|a| a.parse().ok())
+    else {
+        let _ = child.kill();
+        return Err(format!("unexpected {binary} banner {line:?}"));
+    };
+    Ok(ChildProc { child, addr })
+}
+
+/// Draws a deterministic `/v1/*` probe — the shard-kill campaign only
+/// issues requests whose replies the oracle can hold to byte identity.
+fn service_probe(rng: &mut Lcg) -> Probe {
+    for _ in 0..64 {
+        let probe = probe_from(rng);
+        if probe.deterministic && probe.path.starts_with("/v1/") {
+            return probe;
+        }
+    }
+    Probe {
+        method: "GET",
+        path: "/v1/claims",
+        body: String::new(),
+        deterministic: true,
+    }
+}
+
+/// Runs the shard-kill campaign: spawn two `dg-serve` shards and a
+/// `dg-router` over them (reply cache off, so repeat keys exercise real
+/// shard traffic), drive seeded requests through the router, SIGKILL
+/// shard 0 mid-run, and require uninterrupted, byte-identical service.
+///
+/// # Errors
+///
+/// Setup failures only (missing sibling binaries, spawn errors); the
+/// campaign's own verdict is in the returned report.
+pub fn run_shard_kill(config: &ShardKillConfig) -> Result<ShardKillReport, String> {
+    let started = monotonic_us();
+    let mut fleet = Fleet::default();
+    let shard_args = vec!["--addr".to_owned(), "127.0.0.1:0".to_owned()];
+    let shard_a = spawn_sibling("dg-serve", &shard_args)?;
+    fleet.adopt(shard_a.child);
+    let shard_b = spawn_sibling("dg-serve", &shard_args)?;
+    fleet.adopt(shard_b.child);
+    let router_args = vec![
+        "--addr".to_owned(),
+        "127.0.0.1:0".to_owned(),
+        "--workers".to_owned(),
+        "4".to_owned(),
+        "--queue".to_owned(),
+        "256".to_owned(),
+        "--reply-cache".to_owned(),
+        "0".to_owned(),
+        "--shard".to_owned(),
+        shard_a.addr.to_string(),
+        "--shard".to_owned(),
+        shard_b.addr.to_string(),
+    ];
+    let router = spawn_sibling("dg-router", &router_args)?;
+    fleet.adopt(router.child);
+
+    let oracle = Oracle::new();
+    let mut rng = Lcg::new(config.seed);
+    let mut report = ShardKillReport {
+        requests: config.requests,
+        ..ShardKillReport::default()
+    };
+    for index in 0..config.requests {
+        if index == config.kill_after {
+            // SIGKILL, not SIGTERM: the shard gets no chance to drain, so
+            // the router sees resets on pooled connections and refusals on
+            // fresh ones — the request-path retry must absorb both.
+            fleet.kill(0);
+        }
+        let probe = service_probe(&mut rng);
+        let body = (!probe.body.is_empty()).then_some(probe.body.as_str());
+        match http_request(router.addr, probe.method, probe.path, body) {
+            Ok(reply) if reply.status >= 500 => report.failures.push(format!(
+                "request {index} ({} {}): status {} after shard kill",
+                probe.method, probe.path, reply.status
+            )),
+            Ok(reply) => {
+                report.ok += 1;
+                let (want_status, want_body) = oracle.expected(&probe);
+                if reply.status != want_status || reply.body != want_body {
+                    report.mismatches.push(format!(
+                        "request {index} ({} {}): served {} ({} bytes), \
+                         library says {} ({} bytes)",
+                        probe.method,
+                        probe.path,
+                        reply.status,
+                        reply.body.len(),
+                        want_status,
+                        want_body.len()
+                    ));
+                }
+            }
+            Err(e) => report.failures.push(format!(
+                "request {index} ({} {}): transport {e}",
+                probe.method, probe.path
+            )),
+        }
+    }
+
+    // The request-path eject should already have flipped the shard dead;
+    // the health loop is the backstop. Either way `/healthz` must report
+    // the kill within a generous deadline.
+    let deadline = monotonic_us().saturating_add(10_000_000);
+    while monotonic_us() < deadline {
+        if let Ok(reply) = http_request(router.addr, "GET", "/healthz", None) {
+            if reply.body.contains("\"alive\":false") {
+                report.ejection_observed = true;
+                break;
+            }
+        }
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    report.elapsed_us = monotonic_us().saturating_sub(started);
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -785,7 +1103,7 @@ mod tests {
 
     #[test]
     fn the_catalog_covers_every_fault_and_probe() {
-        let mut fault_seen = [false; 7];
+        let mut fault_seen = [false; 9];
         let mut paths = std::collections::BTreeSet::new();
         for index in 0..400 {
             let plan = ConnPlan::from_seed(conn_seed(3, index));

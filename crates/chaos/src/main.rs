@@ -4,12 +4,15 @@
 //! ```text
 //! cargo run --release -p dg-chaos -- --smoke
 //! cargo run --release -p dg-chaos -- --seed 7 --connections 1000 --verbose
+//! cargo run --release -p dg-chaos -- --shards   # router + 2 shards, kill one
 //! ```
 //!
 //! Exit code 0 when the campaign passes (no worker deaths, no
 //! HTTP-vs-library mismatches, every sampled seed reproduces), 1 otherwise.
+//! `--shards` runs the process-level shard-kill campaign instead and
+//! requires the `dg-serve`/`dg-router` binaries next to this one.
 
-use dg_chaos::{run_chaos, ChaosConfig, Fault};
+use dg_chaos::{run_chaos, run_shard_kill, ChaosConfig, Fault, ShardKillConfig};
 
 fn parse_u64(args: &[String], flag: &str, default: u64) -> u64 {
     args.iter()
@@ -19,8 +22,50 @@ fn parse_u64(args: &[String], flag: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+fn run_shards_mode(args: &[String]) -> ! {
+    let defaults = ShardKillConfig::default();
+    let config = ShardKillConfig {
+        seed: parse_u64(args, "--seed", defaults.seed),
+        ..defaults
+    };
+    println!(
+        "dg-chaos: shard-kill campaign, seed {:#018x}, {} requests, \
+         SIGKILL shard 0 after {}",
+        config.seed, config.requests, config.kill_after
+    );
+    let report = match run_shard_kill(&config) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("dg-chaos: shard-kill setup failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("{:-<72}", "");
+    println!(
+        "  ok {}/{} | failures {} | mismatches {} | ejection observed {} | {:.2} s",
+        report.ok,
+        report.requests,
+        report.failures.len(),
+        report.mismatches.len(),
+        report.ejection_observed,
+        report.elapsed_us as f64 / 1e6
+    );
+    for line in report.failures.iter().chain(&report.mismatches).take(10) {
+        println!("  FAIL {line}");
+    }
+    if report.passed() {
+        println!("dg-chaos: PASS");
+        std::process::exit(0);
+    }
+    println!("dg-chaos: FAIL");
+    std::process::exit(1);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--shards") {
+        run_shards_mode(&args);
+    }
     let smoke = args.iter().any(|a| a == "--smoke");
     let verbose = args.iter().any(|a| a == "--verbose");
 

@@ -339,6 +339,208 @@ pub fn http_request_with(
     request_with_retries(addr, raw.as_bytes(), policy, seed)
 }
 
+/// Finds the end (exclusive) of the `\r\n\r\n`-terminated response head.
+fn head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// Reads one `Content-Length`-framed HTTP/1.1 response from `stream`,
+/// using (and refilling) `leftover` as the connection's read buffer so
+/// bytes of a following response are preserved for the next call.
+///
+/// This is the keep-alive counterpart of [`parse_reply`]: where the
+/// close-framed path can read to EOF, a persistent connection must stop
+/// exactly at the declared body length. The dg-router forward path uses
+/// the same routine for its pooled upstream connections.
+///
+/// # Errors
+///
+/// Socket errors, a clean close before a complete response
+/// (`UnexpectedEof`), or an unparseable head (`InvalidData`).
+pub fn read_framed_reply(
+    stream: &mut TcpStream,
+    leftover: &mut Vec<u8>,
+) -> std::io::Result<HttpReply> {
+    use std::io::{Error, ErrorKind};
+    let mut chunk = [0u8; 16 * 1024];
+    let head_len = loop {
+        if let Some(end) = head_end(leftover) {
+            break end;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "connection closed before a complete response head",
+                ))
+            }
+            Ok(n) => leftover.extend_from_slice(chunk.get(..n).unwrap_or_default()),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    };
+    let head = String::from_utf8_lossy(leftover.get(..head_len).unwrap_or_default()).into_owned();
+    let mut lines = head.lines();
+    let status: u16 = lines
+        .next()
+        .and_then(|l| l.split(' ').nth(1))
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| Error::new(ErrorKind::InvalidData, "unparseable status line"))?;
+    let headers: Vec<(String, String)> = lines
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_owned()))
+        .collect();
+    let content_length: usize = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse().ok())
+        .unwrap_or(0);
+    let total = head_len.saturating_add(content_length);
+    while leftover.len() < total {
+        match stream.read(&mut chunk) {
+            Ok(0) => {
+                return Err(Error::new(
+                    ErrorKind::UnexpectedEof,
+                    "connection closed mid-body",
+                ))
+            }
+            Ok(n) => leftover.extend_from_slice(chunk.get(..n).unwrap_or_default()),
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let body =
+        String::from_utf8_lossy(leftover.get(head_len..total).unwrap_or_default()).into_owned();
+    leftover.drain(..total);
+    Ok(HttpReply {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// A persistent HTTP/1.1 connection: requests are sent without
+/// `Connection: close` and responses are read by `Content-Length`
+/// framing, so consecutive requests reuse one TCP connection.
+///
+/// The client reconnects lazily: a transport fault on a *reused*
+/// connection (the server may simply have timed out the idle socket or
+/// hit its per-connection request cap) is retried once on a fresh
+/// connection before being reported.
+#[derive(Debug)]
+pub struct KeepAliveClient {
+    addr: SocketAddr,
+    timeout: Duration,
+    stream: Option<TcpStream>,
+    leftover: Vec<u8>,
+}
+
+impl KeepAliveClient {
+    /// A client for `addr` with a 30 s per-read socket timeout.
+    pub fn new(addr: SocketAddr) -> Self {
+        Self::with_timeout(addr, Duration::from_secs(30))
+    }
+
+    /// A client for `addr` with an explicit socket timeout.
+    pub fn with_timeout(addr: SocketAddr, timeout: Duration) -> Self {
+        KeepAliveClient {
+            addr,
+            timeout,
+            stream: None,
+            leftover: Vec::new(),
+        }
+    }
+
+    /// Ensures the connection is established (no-op when already up).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect / socket-option failures.
+    pub fn connect(&mut self) -> std::io::Result<()> {
+        if self.stream.is_none() {
+            let stream = TcpStream::connect_timeout(&self.addr, self.timeout)?;
+            stream.set_read_timeout(Some(self.timeout))?;
+            stream.set_write_timeout(Some(self.timeout))?;
+            stream.set_nodelay(true)?;
+            self.leftover.clear();
+            self.stream = Some(stream);
+        }
+        Ok(())
+    }
+
+    /// Drops the connection; the next request reconnects.
+    pub fn reset(&mut self) {
+        self.stream = None;
+        self.leftover.clear();
+    }
+
+    /// Issues one keep-alive request, retrying once on a fresh connection
+    /// if a *reused* connection faults.
+    ///
+    /// # Errors
+    ///
+    /// Socket failures after the stale-connection retry, or an
+    /// unparseable response.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<HttpReply> {
+        let reused = self.stream.is_some();
+        match self.request_once(method, path, body) {
+            Ok(reply) => Ok(reply),
+            Err(e) if reused && is_retryable_kind(e.kind()) => {
+                self.reset();
+                self.request_once(method, path, body)
+            }
+            Err(e) => {
+                self.reset();
+                Err(e)
+            }
+        }
+    }
+
+    fn request_once(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> std::io::Result<HttpReply> {
+        self.connect()?;
+        let payload = body.unwrap_or("");
+        let raw = format!(
+            "{method} {path} HTTP/1.1\r\nHost: dg-serve\r\nContent-Length: {}\r\n\r\n{payload}",
+            payload.len()
+        );
+        let outcome = match self.stream.as_mut() {
+            Some(stream) => stream
+                .write_all(raw.as_bytes())
+                .and_then(|()| read_framed_reply(stream, &mut self.leftover)),
+            None => Err(std::io::Error::new(
+                std::io::ErrorKind::NotConnected,
+                "connect did not establish a stream",
+            )),
+        };
+        match outcome {
+            Ok(reply) => {
+                // Honor the server's close decision (shed, drain, cap).
+                if reply
+                    .header("connection")
+                    .is_some_and(|v| v.eq_ignore_ascii_case("close"))
+                {
+                    self.reset();
+                }
+                Ok(reply)
+            }
+            Err(e) => {
+                self.reset();
+                Err(e)
+            }
+        }
+    }
+}
+
 fn parse_reply(bytes: &[u8]) -> Option<HttpReply> {
     let text = String::from_utf8_lossy(bytes);
     let (head, body) = match text.split_once("\r\n\r\n") {
@@ -399,97 +601,164 @@ enum MixItem {
     Raw(Vec<u8>, u16),
 }
 
-/// The deterministic request at position `i` of the seeded mix.
+/// Which slice of the probe population a run draws from.
 ///
-/// The mix leans on repetition on purpose: repeated identical droops and
-/// sweeps exercise the substrate caches and the coalescer, the malformed
-/// and oversized entries exercise the parser's rejection paths, and the
-/// batch probes (valid, empty, oversized) exercise the lockstep transient
-/// kernel and its admission limits.
-fn mix_item(rng: &mut Lcg) -> MixItem {
-    match rng.below(19) {
-        0 | 1 => MixItem::Framed("GET", "/healthz", String::new(), None),
-        2 => MixItem::Framed("GET", "/v1/claims", String::new(), None),
-        3..=6 => {
-            // Four droop variants → heavy repetition across the burst.
-            let to = 40 + 10 * rng.below(4);
-            MixItem::Framed(
-                "POST",
-                "/v1/droop",
-                format!("{{\"variant\":\"gated\",\"from_a\":10,\"to_a\":{to}}}"),
-                None,
-            )
-        }
-        7..=9 => {
-            let variant = if rng.below(2) == 0 {
-                "gated"
-            } else {
-                "bypassed"
-            };
-            MixItem::Framed(
-                "POST",
-                "/v1/sweep",
-                format!("{{\"variant\":\"{variant}\",\"points\":128,\"decimate\":16}}"),
-                None,
-            )
-        }
-        10 | 11 => MixItem::Framed(
-            "POST",
-            "/v1/product",
-            "{\"design\":\"desktop\",\"tdp_w\":91,\
-             \"workload\":{\"kind\":\"spec\",\"benchmark\":\"444.namd\",\"mode\":\"base\"}}"
-                .to_owned(),
-            None,
-        ),
-        12 => MixItem::Framed(
-            "POST",
-            "/v1/product",
-            "{\"design\":\"mobile\",\"tdp_w\":45,\
-             \"workload\":{\"kind\":\"energy\",\"name\":\"energy-star\"}}"
-                .to_owned(),
-            None,
-        ),
-        13 => MixItem::Framed("GET", "/metrics", String::new(), None),
-        14 => MixItem::Raw(b"THIS IS NOT HTTP\r\n\r\n".to_vec(), 400),
-        15 => MixItem::Raw(
-            // Declares a body far beyond the server's cap: rejected with
-            // 413 before any body byte is transferred.
-            b"POST /v1/droop HTTP/1.1\r\nHost: x\r\nContent-Length: 10000000\r\n\r\n".to_vec(),
-            413,
-        ),
-        16 => {
-            // A small valid batch (2–4 lanes from a fixed menu): few
-            // distinct shapes → the coalescer and the batch kernel both
-            // see repetition.
-            let lanes = 2 + rng.below(3);
-            let steps: Vec<String> = (0..lanes)
-                .map(|k| format!("{{\"from_a\":10,\"to_a\":{}}}", 40 + 10 * k))
-                .collect();
-            MixItem::Framed(
-                "POST",
-                "/v1/droop_batch",
-                format!("{{\"variant\":\"gated\",\"steps\":[{}]}}", steps.join(",")),
-                None,
-            )
-        }
-        17 => MixItem::Framed(
-            // An empty batch is a client error, never a computation.
-            "POST",
-            "/v1/droop_batch",
-            "{\"steps\":[]}".to_owned(),
-            Some(400),
-        ),
-        _ => {
-            // One lane beyond the admission limit: rejected with 400
-            // before any lane is integrated.
-            let steps = vec!["{\"from_a\":10,\"to_a\":40}"; 65];
-            MixItem::Framed(
-                "POST",
-                "/v1/droop_batch",
-                format!("{{\"steps\":[{}]}}", steps.join(",")),
-                Some(400),
-            )
-        }
+/// The historical single mix interleaved well-formed traffic with
+/// deliberately broken framing, which made the benchmark numbers measure
+/// "valid work plus parser rejections" in one blur. The bench run now
+/// uses [`Valid`] (every request is a well-formed computation or read)
+/// and records a separate [`ErrorProbes`] pass; the smoke tests keep
+/// [`Full`] so the rejection paths stay exercised under concurrency.
+///
+/// [`Valid`]: MixKind::Valid
+/// [`ErrorProbes`]: MixKind::ErrorProbes
+/// [`Full`]: MixKind::Full
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MixKind {
+    /// Everything: valid traffic and error probes interleaved.
+    Full,
+    /// Only well-formed requests that expect success.
+    Valid,
+    /// Only the rejection probes (malformed, oversized, empty/huge batch).
+    ErrorProbes,
+}
+
+fn droop_probe(rng: &mut Lcg) -> MixItem {
+    // Four droop variants → heavy repetition across the burst.
+    let to = 40 + 10 * rng.below(4);
+    MixItem::Framed(
+        "POST",
+        "/v1/droop",
+        format!("{{\"variant\":\"gated\",\"from_a\":10,\"to_a\":{to}}}"),
+        None,
+    )
+}
+
+fn sweep_probe(rng: &mut Lcg) -> MixItem {
+    let variant = if rng.below(2) == 0 {
+        "gated"
+    } else {
+        "bypassed"
+    };
+    MixItem::Framed(
+        "POST",
+        "/v1/sweep",
+        format!("{{\"variant\":\"{variant}\",\"points\":128,\"decimate\":16}}"),
+        None,
+    )
+}
+
+fn product_spec_probe() -> MixItem {
+    MixItem::Framed(
+        "POST",
+        "/v1/product",
+        "{\"design\":\"desktop\",\"tdp_w\":91,\
+         \"workload\":{\"kind\":\"spec\",\"benchmark\":\"444.namd\",\"mode\":\"base\"}}"
+            .to_owned(),
+        None,
+    )
+}
+
+fn product_energy_probe() -> MixItem {
+    MixItem::Framed(
+        "POST",
+        "/v1/product",
+        "{\"design\":\"mobile\",\"tdp_w\":45,\
+         \"workload\":{\"kind\":\"energy\",\"name\":\"energy-star\"}}"
+            .to_owned(),
+        None,
+    )
+}
+
+fn valid_batch_probe(rng: &mut Lcg) -> MixItem {
+    // A small valid batch (2–4 lanes from a fixed menu): few distinct
+    // shapes → the coalescer and the batch kernel both see repetition.
+    let lanes = 2 + rng.below(3);
+    let steps: Vec<String> = (0..lanes)
+        .map(|k| format!("{{\"from_a\":10,\"to_a\":{}}}", 40 + 10 * k))
+        .collect();
+    MixItem::Framed(
+        "POST",
+        "/v1/droop_batch",
+        format!("{{\"variant\":\"gated\",\"steps\":[{}]}}", steps.join(",")),
+        None,
+    )
+}
+
+fn garbage_probe() -> MixItem {
+    MixItem::Raw(b"THIS IS NOT HTTP\r\n\r\n".to_vec(), 400)
+}
+
+fn oversized_probe() -> MixItem {
+    // Declares a body far beyond the server's cap: rejected with 413
+    // before any body byte is transferred.
+    MixItem::Raw(
+        b"POST /v1/droop HTTP/1.1\r\nHost: x\r\nContent-Length: 10000000\r\n\r\n".to_vec(),
+        413,
+    )
+}
+
+fn empty_batch_probe() -> MixItem {
+    // An empty batch is a client error, never a computation.
+    MixItem::Framed(
+        "POST",
+        "/v1/droop_batch",
+        "{\"steps\":[]}".to_owned(),
+        Some(400),
+    )
+}
+
+fn oversized_batch_probe() -> MixItem {
+    // One lane beyond the admission limit: rejected with 400 before any
+    // lane is integrated.
+    let steps = vec!["{\"from_a\":10,\"to_a\":40}"; 65];
+    MixItem::Framed(
+        "POST",
+        "/v1/droop_batch",
+        format!("{{\"steps\":[{}]}}", steps.join(",")),
+        Some(400),
+    )
+}
+
+/// The deterministic next request of the seeded mix for `kind`.
+///
+/// The mixes lean on repetition on purpose: repeated identical droops and
+/// sweeps exercise the substrate caches, the response cache, and the
+/// coalescer; the malformed and oversized entries exercise the parser's
+/// rejection paths; the batch probes (valid, empty, oversized) exercise
+/// the lockstep transient kernel and its admission limits.
+fn mix_item_of(rng: &mut Lcg, kind: MixKind) -> MixItem {
+    match kind {
+        MixKind::Full => match rng.below(19) {
+            0 | 1 => MixItem::Framed("GET", "/healthz", String::new(), None),
+            2 => MixItem::Framed("GET", "/v1/claims", String::new(), None),
+            3..=6 => droop_probe(rng),
+            7..=9 => sweep_probe(rng),
+            10 | 11 => product_spec_probe(),
+            12 => product_energy_probe(),
+            13 => MixItem::Framed("GET", "/metrics", String::new(), None),
+            14 => garbage_probe(),
+            15 => oversized_probe(),
+            16 => valid_batch_probe(rng),
+            17 => empty_batch_probe(),
+            _ => oversized_batch_probe(),
+        },
+        MixKind::Valid => match rng.below(15) {
+            0 | 1 => MixItem::Framed("GET", "/healthz", String::new(), None),
+            2 => MixItem::Framed("GET", "/v1/claims", String::new(), None),
+            3..=6 => droop_probe(rng),
+            7..=9 => sweep_probe(rng),
+            10 | 11 => product_spec_probe(),
+            12 => product_energy_probe(),
+            13 => MixItem::Framed("GET", "/metrics", String::new(), None),
+            _ => valid_batch_probe(rng),
+        },
+        MixKind::ErrorProbes => match rng.below(4) {
+            0 => garbage_probe(),
+            1 => oversized_probe(),
+            2 => empty_batch_probe(),
+            _ => oversized_batch_probe(),
+        },
     }
 }
 
@@ -607,28 +876,79 @@ impl LoadReport {
     }
 }
 
+/// Knobs for [`run_mix_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// Total requests across all threads.
+    pub n: usize,
+    /// Mix seed; each thread derives a sub-seed.
+    pub seed: u64,
+    /// Client threads (clamped to `1..=256`).
+    pub concurrency: usize,
+    /// Which probe population to draw from.
+    pub kind: MixKind,
+    /// Reuse one connection per thread instead of one per request.
+    pub keep_alive: bool,
+}
+
 /// Runs `n` requests of the seeded mix against `addr` from `concurrency`
 /// client threads, and aggregates the outcome.
 ///
 /// Each thread derives its own sub-seed from `seed`, so the union of
 /// requests is deterministic for a given `(n, seed, concurrency)`.
+/// Equivalent to [`run_mix_with`] with the full mix on fresh connections.
 pub fn run_mix(addr: SocketAddr, n: usize, seed: u64, concurrency: usize) -> LoadReport {
-    let concurrency = concurrency.clamp(1, 64);
-    let start = monotonic_us();
+    run_mix_with(
+        addr,
+        &RunOptions {
+            n,
+            seed,
+            concurrency,
+            kind: MixKind::Full,
+            keep_alive: false,
+        },
+    )
+}
+
+/// The configurable load runner behind [`run_mix`] and `dg-load`.
+///
+/// Threads establish their keep-alive connections *before* a shared
+/// barrier releases them, and the run clock starts at the barrier — so
+/// `rps` measures request throughput, not connection setup. (Raw
+/// malformed probes still open fresh connections mid-run by design:
+/// broken framing on a shared connection would poison its successors.)
+pub fn run_mix_with(addr: SocketAddr, opts: &RunOptions) -> LoadReport {
+    let concurrency = opts.concurrency.clamp(1, 256);
+    let barrier = std::sync::Arc::new(std::sync::Barrier::new(concurrency + 1));
     let threads: Vec<_> = (0..concurrency)
         .map(|t| {
-            let quota = n / concurrency + usize::from(t < n % concurrency);
-            let sub_seed = seed.wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(t as u64 + 1));
+            let quota = opts.n / concurrency + usize::from(t < opts.n % concurrency);
+            let sub_seed = opts
+                .seed
+                .wrapping_add(0x9E37_79B9_7F4A_7C15_u64.wrapping_mul(t as u64 + 1));
+            let kind = opts.kind;
+            let keep_alive = opts.keep_alive;
+            let barrier = std::sync::Arc::clone(&barrier);
             std::thread::spawn(move || {
+                let mut client = if keep_alive {
+                    let mut c = KeepAliveClient::new(addr);
+                    let _ = c.connect(); // setup cost paid before the clock starts
+                    Some(c)
+                } else {
+                    None
+                };
+                barrier.wait();
                 let mut rng = Lcg::new(sub_seed);
                 let mut report = LoadReport::default();
                 for _ in 0..quota {
-                    run_one(addr, &mut rng, &mut report);
+                    run_one(addr, &mut rng, &mut report, kind, client.as_mut());
                 }
                 report
             })
         })
         .collect();
+    barrier.wait();
+    let start = monotonic_us();
     let mut total = LoadReport::default();
     for t in threads {
         match t.join() {
@@ -655,8 +975,14 @@ fn load_retry_policy() -> RetryPolicy {
     }
 }
 
-fn run_one(addr: SocketAddr, rng: &mut Lcg, report: &mut LoadReport) {
-    let item = mix_item(rng);
+fn run_one(
+    addr: SocketAddr,
+    rng: &mut Lcg,
+    report: &mut LoadReport,
+    kind: MixKind,
+    client: Option<&mut KeepAliveClient>,
+) {
+    let item = mix_item_of(rng, kind);
     // Drawn unconditionally so the RNG stream (and thus the rest of the
     // mix) is identical whether or not a request ends up retrying.
     let retry_seed = rng.next_u64();
@@ -668,8 +994,16 @@ fn run_one(addr: SocketAddr, rng: &mut Lcg, report: &mut LoadReport) {
             } else {
                 Some(body.as_str())
             };
-            http_request_with(addr, method, path, body, &load_retry_policy(), retry_seed)
-                .map(|r| (r.status, *expect))
+            match client {
+                Some(ka) => ka
+                    .request(method, path, body)
+                    .map(|r| (r.status, *expect))
+                    .map_err(ClientError::Retryable),
+                None => {
+                    http_request_with(addr, method, path, body, &load_retry_policy(), retry_seed)
+                        .map(|r| (r.status, *expect))
+                }
+            }
         }
         MixItem::Raw(bytes, expect) => raw_request(addr, bytes)
             .map(|r| (r.status, Some(*expect)))
@@ -706,7 +1040,7 @@ mod tests {
         let seq = |seed| {
             let mut rng = Lcg::new(seed);
             (0..50)
-                .map(|_| format!("{:?}", mix_item(&mut rng)))
+                .map(|_| format!("{:?}", mix_item_of(&mut rng, MixKind::Full)))
                 .collect::<Vec<_>>()
         };
         assert_eq!(seq(7), seq(7));
@@ -716,7 +1050,9 @@ mod tests {
     #[test]
     fn mix_covers_every_probe_kind() {
         let mut rng = Lcg::new(3);
-        let items: Vec<MixItem> = (0..200).map(|_| mix_item(&mut rng)).collect();
+        let items: Vec<MixItem> = (0..200)
+            .map(|_| mix_item_of(&mut rng, MixKind::Full))
+            .collect();
         let raws = items
             .iter()
             .filter(|i| matches!(i, MixItem::Raw(..)))
@@ -735,7 +1071,7 @@ mod tests {
             assert!(
                 items
                     .iter()
-                    .any(|i| matches!(i, MixItem::Framed(_, p, _, _) if *p == path)),
+                    .any(|i| matches!(i, MixItem::Framed(_, p, _, _) if **p == *path)),
                 "mix never hit {path}"
             );
         }
@@ -764,6 +1100,132 @@ mod tests {
                 .any(|(b, e)| *e == Some(400) && b.len() > 1000),
             "no oversized-batch probe"
         );
+    }
+
+    #[test]
+    fn valid_mix_is_error_free_and_error_mix_is_probes_only() {
+        let mut rng = Lcg::new(5);
+        for _ in 0..300 {
+            match mix_item_of(&mut rng, MixKind::Valid) {
+                MixItem::Raw(..) => panic!("valid mix must not contain raw probes"),
+                MixItem::Framed(_, _, _, expect) => {
+                    assert_eq!(expect, None, "valid mix must not expect rejections")
+                }
+            }
+        }
+        let mut rng = Lcg::new(5);
+        let mut raws = 0;
+        for _ in 0..100 {
+            match mix_item_of(&mut rng, MixKind::ErrorProbes) {
+                MixItem::Raw(..) => raws += 1,
+                MixItem::Framed(_, _, _, expect) => {
+                    assert!(expect.is_some(), "every error probe expects a status")
+                }
+            }
+        }
+        assert!(raws > 10, "error mix must include raw framing probes");
+    }
+
+    /// A one-connection server answering `n` framed requests, then EOF.
+    fn framed_server(n: usize) -> (SocketAddr, std::thread::JoinHandle<usize>) {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let handle = std::thread::spawn(move || {
+            let mut accepted = 0;
+            'outer: while accepted < n {
+                let Ok((mut s, _)) = listener.accept() else {
+                    break;
+                };
+                accepted += 1;
+                loop {
+                    // Requests in these tests are header-only GETs.
+                    let mut head = Vec::new();
+                    let mut byte = [0u8; 1];
+                    loop {
+                        match s.read(&mut byte) {
+                            Ok(0) => continue 'outer,
+                            Ok(_) => head.extend_from_slice(&byte),
+                            Err(_) => continue 'outer,
+                        }
+                        if head.ends_with(b"\r\n\r\n") {
+                            break;
+                        }
+                    }
+                    if s.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok")
+                        .is_err()
+                    {
+                        continue 'outer;
+                    }
+                }
+            }
+            accepted
+        });
+        (addr, handle)
+    }
+
+    #[test]
+    fn keep_alive_client_reuses_one_connection() {
+        let (addr, server) = framed_server(1);
+        let mut client = KeepAliveClient::with_timeout(addr, Duration::from_secs(5));
+        for _ in 0..3 {
+            let reply = client.request("GET", "/healthz", None).expect("reply");
+            assert_eq!(reply.status, 200);
+            assert_eq!(reply.body, "ok");
+        }
+        drop(client); // EOF lets the server thread finish
+        assert_eq!(server.join().expect("server"), 1, "one connection only");
+    }
+
+    #[test]
+    fn keep_alive_client_recovers_from_a_server_side_close() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            // First connection: one reply, then close (as the server's
+            // per-connection request cap would). Second: one more reply.
+            for _ in 0..2 {
+                let Ok((mut s, _)) = listener.accept() else {
+                    return;
+                };
+                let mut sink = [0u8; 2048];
+                let _ = s.read(&mut sink);
+                let _ = s.write_all(b"HTTP/1.1 200 OK\r\nContent-Length: 2\r\n\r\nok");
+            }
+        });
+        let mut client = KeepAliveClient::with_timeout(addr, Duration::from_secs(5));
+        let a = client.request("GET", "/healthz", None).expect("first");
+        // The server closed the first connection; the retry layer must
+        // make this invisible.
+        let b = client.request("GET", "/healthz", None).expect("second");
+        assert_eq!((a.status, b.status), (200, 200));
+        server.join().expect("server");
+    }
+
+    #[test]
+    fn framed_reply_reader_preserves_pipelined_leftovers() {
+        let (a, mut b) = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+            let addr = listener.local_addr().expect("addr");
+            let conn = TcpStream::connect(addr).expect("connect");
+            let (srv, _) = listener.accept().expect("accept");
+            (conn, srv)
+        };
+        // Two back-to-back framed responses in one write.
+        b.write_all(
+            b"HTTP/1.1 200 OK\r\nContent-Length: 5\r\n\r\nfirstHTTP/1.1 503 Service Unavailable\r\nRetry-After: 2\r\nContent-Length: 0\r\n\r\n",
+        )
+        .expect("write");
+        let mut stream = a;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        let mut leftover = Vec::new();
+        let first = read_framed_reply(&mut stream, &mut leftover).expect("first");
+        assert_eq!((first.status, first.body.as_str()), (200, "first"));
+        let second = read_framed_reply(&mut stream, &mut leftover).expect("second");
+        assert_eq!(second.status, 503);
+        assert_eq!(second.header("retry-after"), Some("2"));
+        assert!(leftover.is_empty());
     }
 
     #[test]

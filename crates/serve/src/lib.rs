@@ -13,23 +13,38 @@
 //! | `GET /healthz` | liveness + drain state |
 //! | `POST /admin/drain` | start a graceful drain |
 //!
-//! Three mechanisms keep the daemon well-behaved under load (DESIGN.md
-//! §9): **admission control** (a bounded accept queue; overflow is
-//! answered `503` + `Retry-After` instead of queuing unboundedly),
-//! **request coalescing** (concurrent identical requests — identical by
-//! the same content hashes the substrate caches use — compute once), and
-//! **graceful drain** (stop admitting, finish what was admitted, then
-//! exit; SIGTERM does this in the binary).
+//! The serve tier is event-driven (DESIGN.md §12): one epoll loop owns
+//! every connection's state machine with HTTP/1.1 keep-alive, CPU-bound
+//! routes dispatch to a bounded worker pool, and completions wake the
+//! loop through a self-pipe. In front of N such shards, the `dg-router`
+//! binary ([`proxy`]) consistent-hashes requests on the same content
+//! keys the caches use, so coalescing and substrate caches stay
+//! shard-local; `--cache-dir` persists them to disk
+//! ([`darkgates::pdn::diskcache`]) so restarted shards warm instantly.
+//!
+//! Four mechanisms keep the daemon well-behaved under load (DESIGN.md
+//! §9, §12): **admission control** (a bounded dispatch queue; overflow is
+//! answered `503` with a queue-depth-derived `Retry-After` instead of
+//! queuing unboundedly), **request coalescing** (concurrent identical
+//! requests — identical by the same content hashes the substrate caches
+//! use — compute once), **response caching** (deterministic 200s are
+//! reused outright, in memory and on disk), and **graceful drain** (stop
+//! admitting, finish what was admitted, then exit; SIGTERM does this in
+//! the binary).
 //!
 //! The crate is on the `dg-analyze` no-panic list: handler bugs become
 //! `500`s and a `dg_panics_total` increment, never a dead worker.
 
 pub mod client;
 pub mod coalesce;
+pub mod event_loop;
 pub mod http;
 pub mod json;
 pub mod metrics;
+pub mod proxy;
 pub mod queue;
+pub mod respcache;
+pub mod ring;
 pub mod routes;
 pub mod server;
 

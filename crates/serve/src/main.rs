@@ -3,6 +3,7 @@
 //! ```text
 //! cargo run --release -p dg-serve --bin dg-serve -- [--addr HOST:PORT]
 //!     [--workers N] [--queue N] [--read-timeout-ms N] [--debug-routes]
+//!     [--cache-dir PATH]
 //! ```
 //!
 //! Prints `listening on <addr>` once bound (the `dg-load --spawn` harness
@@ -41,7 +42,7 @@ fn install_signal_handlers() {}
 fn usage() -> ! {
     eprintln!(
         "usage: dg-serve [--addr HOST:PORT] [--workers N] [--queue N] \
-         [--read-timeout-ms N] [--debug-routes]"
+         [--read-timeout-ms N] [--debug-routes] [--cache-dir PATH]"
     );
     std::process::exit(2);
 }
@@ -68,6 +69,10 @@ fn parse_config(args: &[String]) -> ServerConfig {
             "--queue" => config.queue_depth = numeric("--queue"),
             "--read-timeout-ms" => config.read_timeout_ms = numeric("--read-timeout-ms") as u64,
             "--debug-routes" => config.enable_debug_routes = true,
+            "--cache-dir" => match iter.next() {
+                Some(dir) => config.cache_dir = Some(std::path::PathBuf::from(dir)),
+                None => usage(),
+            },
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("error: unknown flag {other:?}");

@@ -222,6 +222,9 @@ pub struct Metrics {
     pub bad_requests_total: AtomicU64,
     /// Requests currently being handled by workers.
     pub inflight: AtomicU64,
+    /// Requests answered from the response cache (memory or disk tier)
+    /// without running a handler.
+    pub resp_cache_hits_total: AtomicU64,
 }
 
 impl Metrics {
@@ -295,6 +298,7 @@ impl Metrics {
                 slot.latency.count()
             ));
         }
+        let (disk_hits, disk_misses, disk_stores) = darkgates::pdn::diskcache::stats();
         for (name, help, v) in [
             (
                 "dg_connections_total",
@@ -325,6 +329,26 @@ impl Metrics {
                 "dg_bad_requests_total",
                 "Requests rejected by the HTTP parser.",
                 self.bad_requests_total.load(Ordering::Relaxed),
+            ),
+            (
+                "dg_resp_cache_hits_total",
+                "Requests answered from the response cache without recompute.",
+                self.resp_cache_hits_total.load(Ordering::Relaxed),
+            ),
+            (
+                "dg_disk_cache_hits_total",
+                "Disk-tier content-cache hits (all kinds).",
+                disk_hits,
+            ),
+            (
+                "dg_disk_cache_misses_total",
+                "Disk-tier content-cache misses (all kinds).",
+                disk_misses,
+            ),
+            (
+                "dg_disk_cache_stores_total",
+                "Disk-tier content-cache stores (all kinds).",
+                disk_stores,
             ),
             (
                 "dg_inflight_requests",

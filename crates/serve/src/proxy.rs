@@ -1,0 +1,1559 @@
+//! `dg-router`: a consistent-hash reverse proxy over N `dg-serve` shards.
+//!
+//! The router owns the client-facing listener and forwards every request
+//! to one of its shards over pooled keep-alive upstream connections. The
+//! shard is chosen by consistent-hashing the request's *content key*
+//! ([`crate::routes::content_key_of`]) on a [`HashRing`], which gives the
+//! deployment its scaling property: identical requests always land on the
+//! same shard, so each shard's coalescer, response cache, and substrate
+//! caches see every repeat of a key instead of `1/N` of them.
+//!
+//! Failure handling is two-layered (DESIGN.md §12):
+//!
+//! * **request path** — an upstream transport fault retries once on a
+//!   fresh connection (the pooled socket may simply have been closed by
+//!   the shard's per-connection cap); a fresh-connection fault ejects the
+//!   shard immediately and the request is re-routed to the next live
+//!   shard clockwise, so a SIGKILLed shard costs in-flight requests at
+//!   most one retry, never a 5xx.
+//! * **health loop** — a background thread probes `GET /healthz` on every
+//!   shard; [`RouterConfig::health_failures`] consecutive failures eject
+//!   a shard, and a single success rejoins it (its cache-warm arcs return
+//!   with it).
+//!
+//! `GET /healthz` is answered by the router itself with per-shard
+//! liveness; `GET /metrics` aggregates the shards' Prometheus text with a
+//! `shard="i"` label plus the router's own counters. Everything else is
+//! forwarded verbatim — the request as method + target + body, and the
+//! shard's reply byte-for-byte (the router only scans its head for the
+//! `Content-Length` framing and the `Connection: close` verdict, so
+//! `Retry-After` and every other header pass through untouched).
+//!
+//! The client-facing side is the same epoll state machine as the shard's
+//! event loop: one thread owns every client connection, answers
+//! `/healthz`, parse errors, and reply-cache hits inline, and dispatches
+//! only cache misses (and `/metrics` scrapes) to a small pool of
+//! blocking forward workers. Three hot-path economies keep it fast:
+//! the shard reply is *relayed*, never parsed into headers; the
+//! per-request routing key is served from a raw-bytes → content-key
+//! alias table, so the router JSON-parses any given request body shape
+//! once, not once per request; and a bounded [`ReplyCache`] serves
+//! repeat keys their exact shard bytes without an upstream exchange
+//! (sound because simulation responses are pure functions of their
+//! content key).
+
+use crate::client::{http_request, read_framed_reply};
+use crate::event_loop::{drain_wakeups, waker_pair, Poller, Waker, EVENT_READ, EVENT_WRITE};
+use crate::http::{write_response, HttpError, ParserLimits, Request, RequestParser};
+use crate::json::{obj, Json};
+use crate::metrics::monotonic_us;
+use crate::queue::{BoundedQueue, PushError};
+use crate::ring::{HashRing, DEFAULT_REPLICAS};
+use crate::routes::{content_key_of, reason_of};
+use crate::server::retry_after_secs;
+use darkgates::pdn::cache::ContentKey;
+use std::collections::{HashMap, VecDeque};
+use std::io::{ErrorKind, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Configuration for [`RouterServer::start`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Shard addresses, in ring order (index = shard id).
+    pub shards: Vec<SocketAddr>,
+    /// Virtual nodes per shard on the hash ring.
+    pub replicas: usize,
+    /// Forwarding worker threads (each owns its upstream pool). Only
+    /// cache-miss requests reach them; everything else is answered on
+    /// the event loop.
+    pub workers: usize,
+    /// Cache-miss requests queued ahead of the forward workers before
+    /// the router sheds that request with 503.
+    pub queue_depth: usize,
+    /// Open client-connection cap; beyond it new sockets get a
+    /// best-effort 503.
+    pub max_connections: usize,
+    /// Client-side HTTP framing limits (the router rejects malformed
+    /// framing itself, so broken probes never consume a shard).
+    pub limits: ParserLimits,
+    /// Idle client-connection timeout, ms.
+    pub read_timeout_ms: u64,
+    /// Per-operation upstream socket timeout, ms.
+    pub upstream_timeout_ms: u64,
+    /// Health-probe cadence, ms.
+    pub health_interval_ms: u64,
+    /// Consecutive probe failures before a shard is ejected.
+    pub health_failures: u32,
+    /// Requests served on one client connection before it is closed.
+    pub max_requests_per_conn: usize,
+    /// `Retry-After` base for router-level 503s.
+    pub retry_after_secs: u32,
+    /// Entries in the router's reply cache (0 disables it). Simulation
+    /// responses are pure functions of their content key — the same
+    /// argument that makes the shard's response cache sound — so the
+    /// router may serve a repeat key's exact shard bytes without an
+    /// upstream exchange.
+    pub reply_cache_entries: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            shards: Vec::new(),
+            replicas: DEFAULT_REPLICAS,
+            workers: 16,
+            queue_depth: 256,
+            max_connections: 4_096,
+            limits: ParserLimits::default(),
+            read_timeout_ms: 5_000,
+            upstream_timeout_ms: 30_000,
+            health_interval_ms: 100,
+            health_failures: 2,
+            max_requests_per_conn: 10_000,
+            retry_after_secs: 1,
+            reply_cache_entries: 4_096,
+        }
+    }
+}
+
+/// The router's own observability counters (rendered under
+/// `dg_router_*` in the aggregated `/metrics`).
+#[derive(Debug, Default)]
+pub struct RouterMetrics {
+    /// Requests parsed from clients (forwarded or answered locally).
+    pub requests_total: AtomicU64,
+    /// Forward attempts that failed over to another shard.
+    pub retries_total: AtomicU64,
+    /// Shards marked dead (by the request path or the health loop).
+    pub ejections_total: AtomicU64,
+    /// Shards marked live again by the health loop.
+    pub rejoins_total: AtomicU64,
+    /// Requests answered 503 because no live shard remained.
+    pub unrouteable_total: AtomicU64,
+    /// Client requests rejected by the router's own parser.
+    pub bad_requests_total: AtomicU64,
+    /// Connections shed because the dispatch queue was full.
+    pub shed_total: AtomicU64,
+    /// Requests answered from the router's reply cache.
+    pub cache_hits_total: AtomicU64,
+    /// Successful forwards per shard.
+    shard_requests: Vec<AtomicU64>,
+}
+
+/// A bounded FIFO cache of verbatim shard replies keyed by content key.
+/// Only clean 200 replies to the deterministic simulation routes are
+/// admitted (see [`cacheable_route`]), so a cached entry is exactly the
+/// bytes the owning shard would send again.
+struct ReplyCache {
+    state: Mutex<ReplyCacheState>,
+    max_entries: usize,
+    max_bytes: usize,
+}
+
+struct ReplyCacheState {
+    map: HashMap<u64, Arc<Vec<u8>>>,
+    order: VecDeque<u64>,
+    bytes: usize,
+}
+
+/// Total reply-byte budget for the router cache (64 MiB, matching the
+/// shard response cache's default).
+const REPLY_CACHE_MAX_BYTES: usize = 64 * 1024 * 1024;
+
+fn lock_recovering<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl ReplyCache {
+    fn new(max_entries: usize) -> Self {
+        ReplyCache {
+            state: Mutex::new(ReplyCacheState {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                bytes: 0,
+            }),
+            max_entries,
+            max_bytes: REPLY_CACHE_MAX_BYTES,
+        }
+    }
+
+    fn get(&self, key: u64) -> Option<Arc<Vec<u8>>> {
+        if self.max_entries == 0 {
+            return None;
+        }
+        lock_recovering(&self.state).map.get(&key).map(Arc::clone)
+    }
+
+    fn put(&self, key: u64, bytes: &[u8]) {
+        if self.max_entries == 0 {
+            return;
+        }
+        let mut state = lock_recovering(&self.state);
+        if state.map.contains_key(&key) {
+            return;
+        }
+        state.map.insert(key, Arc::new(bytes.to_vec()));
+        state.order.push_back(key);
+        state.bytes = state.bytes.saturating_add(bytes.len());
+        while state.map.len() > self.max_entries || state.bytes > self.max_bytes {
+            let Some(evicted) = state.order.pop_front() else {
+                break;
+            };
+            if let Some(old) = state.map.remove(&evicted) {
+                state.bytes = state.bytes.saturating_sub(old.len());
+            }
+        }
+    }
+}
+
+/// Whether a request targets one of the deterministic simulation routes
+/// whose `200` replies are safe to cache (mirrors the shard's own
+/// response-cache admission in `routes.rs`).
+fn cacheable_route(method: &str, path: &str) -> bool {
+    matches!(
+        (method, path),
+        ("GET", "/v1/claims")
+            | ("POST", "/v1/droop")
+            | ("POST", "/v1/droop_batch")
+            | ("POST", "/v1/sweep")
+            | ("POST", "/v1/product")
+    )
+}
+
+/// What a dispatched job asks of a forward worker.
+enum JobKind {
+    /// Forward to the key's shard (the cache-miss path).
+    Forward,
+    /// Render the aggregated `/metrics` (scrapes every live shard, so it
+    /// must not run on the event loop).
+    Metrics,
+}
+
+/// A request handed from the event loop to a forward worker.
+struct ProxyJob {
+    token: u64,
+    kind: JobKind,
+    request: Request,
+    key: u64,
+    cacheable: bool,
+    close: bool,
+}
+
+/// A forward worker's finished reply, already framed for the wire.
+struct ProxyCompletion {
+    token: u64,
+    bytes: Vec<u8>,
+    close: bool,
+}
+
+struct RouterShared {
+    config: RouterConfig,
+    ring: HashRing,
+    alive: Vec<AtomicBool>,
+    stop: AtomicBool,
+    queue: BoundedQueue<ProxyJob>,
+    completions: Mutex<Vec<ProxyCompletion>>,
+    waker: Waker,
+    counters: RouterMetrics,
+    replies: ReplyCache,
+}
+
+impl RouterShared {
+    fn is_alive(&self, shard: usize) -> bool {
+        self.alive
+            .get(shard)
+            .is_some_and(|a| a.load(Ordering::SeqCst))
+    }
+
+    /// Marks a shard dead; counts the ejection only on a live→dead edge.
+    fn eject(&self, shard: usize) {
+        if let Some(a) = self.alive.get(shard) {
+            if a.swap(false, Ordering::SeqCst) {
+                self.counters
+                    .ejections_total
+                    .fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Marks a shard live; counts the rejoin only on a dead→live edge.
+    fn rejoin(&self, shard: usize) {
+        if let Some(a) = self.alive.get(shard) {
+            if !a.swap(true, Ordering::SeqCst) {
+                self.counters.rejoins_total.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// A pooled keep-alive connection to one shard.
+struct Upstream {
+    stream: TcpStream,
+    leftover: Vec<u8>,
+}
+
+impl Upstream {
+    fn connect(addr: SocketAddr, timeout: Duration) -> std::io::Result<Self> {
+        let stream = TcpStream::connect_timeout(&addr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(Upstream {
+            stream,
+            leftover: Vec::new(),
+        })
+    }
+
+    /// One request/response exchange on this connection, returning the
+    /// reply's exact bytes for verbatim relay.
+    fn exchange(&mut self, raw: &[u8]) -> std::io::Result<RawReply> {
+        self.stream.write_all(raw)?;
+        read_raw_reply(&mut self.stream, &mut self.leftover)
+    }
+}
+
+/// A shard reply as raw relayable bytes plus the reuse verdict scanned
+/// from its head.
+struct RawReply {
+    /// The complete framed response, byte-for-byte as the shard sent it.
+    bytes: Vec<u8>,
+    /// Whether the shard is closing its side after this reply.
+    close: bool,
+}
+
+/// Finds the end of an HTTP head (`\r\n\r\n`), returning the offset just
+/// past it.
+fn head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|i| i + 4)
+}
+
+/// Case-insensitively finds a header's trimmed value in a raw head.
+fn header_value<'a>(head: &'a [u8], name: &str) -> Option<&'a str> {
+    for line in head.split(|&b| b == b'\n') {
+        let line = std::str::from_utf8(line).ok()?.trim_end_matches('\r');
+        if let Some((k, v)) = line.split_once(':') {
+            if k.trim().eq_ignore_ascii_case(name) {
+                return Some(v.trim());
+            }
+        }
+    }
+    None
+}
+
+/// Reads one `Content-Length`-framed reply off `stream` without parsing
+/// it into headers: the hot path only needs the framing boundary and the
+/// `Connection: close` verdict, and the bytes are relayed verbatim.
+/// Pipelined successor bytes are preserved in `leftover`.
+fn read_raw_reply(stream: &mut TcpStream, leftover: &mut Vec<u8>) -> std::io::Result<RawReply> {
+    let mut chunk = [0u8; 16 * 1024];
+    let head_len = loop {
+        if let Some(end) = head_end(leftover) {
+            break end;
+        }
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-reply",
+            ));
+        }
+        leftover.extend_from_slice(chunk.get(..n).unwrap_or_default());
+    };
+    let head = leftover.get(..head_len).unwrap_or_default();
+    if !head.starts_with(b"HTTP/1.1 ") && !head.starts_with(b"HTTP/1.0 ") {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "upstream reply is not HTTP",
+        ));
+    }
+    let body_len: usize = header_value(head, "content-length")
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0);
+    let close = header_value(head, "connection").is_some_and(|v| v.eq_ignore_ascii_case("close"));
+    let total = head_len + body_len;
+    while leftover.len() < total {
+        let n = stream.read(&mut chunk)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed mid-body",
+            ));
+        }
+        leftover.extend_from_slice(chunk.get(..n).unwrap_or_default());
+    }
+    let bytes = leftover.drain(..total).collect();
+    Ok(RawReply { bytes, close })
+}
+
+/// A running router; dropping the handle does NOT stop it — call
+/// [`RouterHandle::shutdown`].
+pub struct RouterHandle {
+    local_addr: SocketAddr,
+    shared: Arc<RouterShared>,
+    event_loop: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    health: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for RouterHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouterHandle")
+            .field("local_addr", &self.local_addr)
+            .field("shards", &self.shared.config.shards)
+            .finish()
+    }
+}
+
+/// The `dg-router` entry point.
+pub struct RouterServer;
+
+impl RouterServer {
+    /// Binds the router and spawns its accept, worker, and health threads.
+    ///
+    /// # Errors
+    ///
+    /// `InvalidInput` when no shards are configured; otherwise bind /
+    /// socket-option failures.
+    pub fn start(config: RouterConfig) -> std::io::Result<RouterHandle> {
+        if config.shards.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "a router needs at least one shard",
+            ));
+        }
+        let listener = TcpListener::bind(&config.addr)?;
+        let local_addr = listener.local_addr()?;
+        listener.set_nonblocking(true)?;
+        let poller = Poller::new()?;
+        let (waker, wake_rx) = waker_pair()?;
+
+        let n = config.shards.len();
+        let ring = HashRing::new(n, config.replicas);
+        let shared = Arc::new(RouterShared {
+            ring,
+            alive: (0..n).map(|_| AtomicBool::new(true)).collect(),
+            stop: AtomicBool::new(false),
+            queue: BoundedQueue::new(config.queue_depth.max(1)),
+            completions: Mutex::new(Vec::new()),
+            waker,
+            counters: RouterMetrics {
+                shard_requests: (0..n).map(|_| AtomicU64::new(0)).collect(),
+                ..RouterMetrics::default()
+            },
+            replies: ReplyCache::new(config.reply_cache_entries),
+            config,
+        });
+
+        let workers: Vec<JoinHandle<()>> = (0..shared.config.workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("dg-router-fwd-{i}"))
+                    .spawn(move || forward_worker_loop(&shared))
+            })
+            .collect::<std::io::Result<Vec<_>>>()?;
+        let event_loop = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("dg-router-loop".to_owned())
+                .spawn(move || RouterEventLoop::new(&shared, poller, listener, wake_rx).run())?
+        };
+        let health = {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || health_loop(&shared))
+        };
+
+        Ok(RouterHandle {
+            local_addr,
+            shared,
+            event_loop: Some(event_loop),
+            workers,
+            health: Some(health),
+        })
+    }
+}
+
+impl RouterHandle {
+    /// The bound address (resolves port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Whether the router currently considers `shard` live.
+    pub fn is_shard_alive(&self, shard: usize) -> bool {
+        self.shared.is_alive(shard)
+    }
+
+    /// The router's own counters.
+    pub fn counters(&self) -> &RouterMetrics {
+        &self.shared.counters
+    }
+
+    /// Stops accepting, closes every connection, and joins every thread.
+    /// Returns `true` when all threads exited cleanly.
+    pub fn shutdown(mut self) -> bool {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.waker.notify();
+        let mut clean = true;
+        if let Some(t) = self.event_loop.take() {
+            // The loop closes the queue on its way out; forward workers
+            // then see `None` and exit.
+            clean &= t.join().is_ok();
+        }
+        for t in self.workers.drain(..) {
+            clean &= t.join().is_ok();
+        }
+        if let Some(t) = self.health.take() {
+            clean &= t.join().is_ok();
+        }
+        clean
+    }
+}
+
+/// The 503 a shed request carries: overload body, a `Retry-After`
+/// derived from the forward queue's current depth (same policy as the
+/// shard's [`retry_after_secs`]), and `Connection: close`.
+fn shed_bytes(shared: &RouterShared) -> Vec<u8> {
+    let secs = retry_after_secs(
+        shared.config.retry_after_secs.max(1),
+        shared.queue.len(),
+        shared.queue.capacity(),
+    );
+    let body = obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str("router overloaded".to_owned())),
+    ])
+    .render();
+    write_response(
+        503,
+        reason_of(503),
+        "application/json",
+        &[("Retry-After".to_owned(), secs.to_string())],
+        body.as_bytes(),
+        true,
+    )
+}
+
+/// The 503 for a request with no live shard to take it.
+fn unrouteable_bytes(shared: &RouterShared) -> Vec<u8> {
+    let body = obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", Json::Str("no live shard".to_owned())),
+    ])
+    .render();
+    write_response(
+        503,
+        reason_of(503),
+        "application/json",
+        &[(
+            "Retry-After".to_owned(),
+            shared.config.retry_after_secs.max(1).to_string(),
+        )],
+        body.as_bytes(),
+        true,
+    )
+}
+
+/// The router's own `GET /healthz` body: per-shard liveness.
+fn healthz_bytes(shared: &RouterShared, close: bool) -> Vec<u8> {
+    let shards: Vec<Json> = shared
+        .config
+        .shards
+        .iter()
+        .enumerate()
+        .map(|(i, addr)| {
+            obj(vec![
+                (
+                    "index",
+                    Json::Num(f64::from(u32::try_from(i).unwrap_or(u32::MAX))),
+                ),
+                ("addr", Json::Str(addr.to_string())),
+                ("alive", Json::Bool(shared.is_alive(i))),
+            ])
+        })
+        .collect();
+    let live = (0..shared.config.shards.len())
+        .filter(|&i| shared.is_alive(i))
+        .count();
+    let body = obj(vec![
+        (
+            "status",
+            Json::Str(if live > 0 { "ok" } else { "unrouteable" }.to_owned()),
+        ),
+        ("role", Json::Str("router".to_owned())),
+        ("shards", Json::Arr(shards)),
+    ])
+    .render();
+    write_response(
+        200,
+        reason_of(200),
+        "application/json",
+        &[],
+        body.as_bytes(),
+        close,
+    )
+}
+
+/// Pops dispatched jobs, forwards them (or renders `/metrics`), and hands
+/// the framed reply back to the event loop through the completion list +
+/// waker. Each worker keeps one pooled keep-alive connection per shard.
+fn forward_worker_loop(shared: &RouterShared) {
+    let mut pools: HashMap<usize, Upstream> = HashMap::new();
+    while let Some(job) = shared.queue.pop() {
+        let (bytes, close) = match job.kind {
+            JobKind::Metrics => {
+                let body = aggregated_metrics(shared);
+                let bytes = write_response(
+                    200,
+                    reason_of(200),
+                    "text/plain; version=0.0.4",
+                    &[],
+                    body.as_bytes(),
+                    job.close,
+                );
+                (bytes, job.close)
+            }
+            JobKind::Forward => match forward(shared, &job.request, job.key, &mut pools) {
+                // Verbatim relay: the shard's exact bytes, headers
+                // included — Retry-After, Content-Type, and framing all
+                // pass through. (If the client-side `close` verdict
+                // differs from the relayed `Connection` header, the
+                // socket action after the write is what decides; both
+                // sides handle an early close cleanly.)
+                Some(reply) => {
+                    if job.cacheable
+                        && !reply.close
+                        && reply.bytes.get(9..12) == Some(b"200".as_ref())
+                    {
+                        shared.replies.put(job.key, &reply.bytes);
+                    }
+                    (reply.bytes, job.close)
+                }
+                None => {
+                    shared
+                        .counters
+                        .unrouteable_total
+                        .fetch_add(1, Ordering::Relaxed);
+                    (unrouteable_bytes(shared), true)
+                }
+            },
+        };
+        lock_recovering(&shared.completions).push(ProxyCompletion {
+            token: job.token,
+            bytes,
+            close,
+        });
+        shared.waker.notify();
+    }
+}
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKER: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// epoll wait timeout; also the granularity of the deadline scan.
+const TICK_MS: i32 = 25;
+
+/// Wall-clock budget for a lingering close (mirrors the shard's).
+const LINGER_BUDGET_MS: u64 = 250;
+
+/// Where a client connection's state machine currently is (the same
+/// three-state machine as the shard's event loop).
+enum ConnState {
+    /// Waiting for (more) request bytes, or flushing a reply.
+    Reading,
+    /// A request is with the forward workers; epoll interest is empty,
+    /// so further pipelined bytes exert TCP backpressure.
+    Dispatched,
+    /// Write side shut down; sinking the peer's in-flight bytes until
+    /// FIN or the deadline.
+    Lingering { deadline_us: u64 },
+}
+
+struct Conn {
+    stream: TcpStream,
+    parser: RequestParser,
+    out: Vec<u8>,
+    out_pos: usize,
+    state: ConnState,
+    close_after_write: bool,
+    served: usize,
+    last_activity_us: u64,
+    interest: u32,
+}
+
+/// What a readiness handler decided about one connection.
+enum Action {
+    Keep,
+    Drop,
+    Request(Request),
+    ParseError(HttpError),
+}
+
+/// The router's client-facing epoll loop: one thread owning every client
+/// connection. Reply-cache hits, `/healthz`, and parse errors are
+/// answered inline; cache misses and `/metrics` dispatch to the forward
+/// workers and resume through the completion list + waker — the same
+/// shape as the shard's event loop, which is what keeps tail latency
+/// flat as client concurrency grows (a thread per connection convoys on
+/// small machines; a loop does not).
+struct RouterEventLoop<'a> {
+    shared: &'a RouterShared,
+    poller: Poller,
+    listener: Option<TcpListener>,
+    wake_rx: UnixStream,
+    conns: HashMap<u64, Conn>,
+    /// The raw-bytes → content-key alias table: routing a request shape
+    /// costs one JSON parse ever, not one per request.
+    aliases: HashMap<u64, u64>,
+    next_token: u64,
+    events: Vec<(u64, u32)>,
+}
+
+impl<'a> RouterEventLoop<'a> {
+    fn new(
+        shared: &'a RouterShared,
+        poller: Poller,
+        listener: TcpListener,
+        wake_rx: UnixStream,
+    ) -> Self {
+        let _ = poller.add(listener.as_raw_fd(), TOKEN_LISTENER, EVENT_READ);
+        let _ = poller.add(wake_rx.as_raw_fd(), TOKEN_WAKER, EVENT_READ);
+        RouterEventLoop {
+            shared,
+            poller,
+            listener: Some(listener),
+            wake_rx,
+            conns: HashMap::new(),
+            aliases: HashMap::new(),
+            next_token: FIRST_CONN_TOKEN,
+            events: Vec::with_capacity(256),
+        }
+    }
+
+    fn run(mut self) {
+        loop {
+            if self.shared.stop.load(Ordering::SeqCst) {
+                // Routers stop hard: close the queue so workers exit;
+                // dropping `self` closes the listener and every socket.
+                self.shared.queue.close();
+                return;
+            }
+            let mut events = std::mem::take(&mut self.events);
+            let _ = self.poller.wait(&mut events, TICK_MS);
+            for &(token, _readiness) in &events {
+                match token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKER => drain_wakeups(&mut self.wake_rx),
+                    token => self.conn_ready(token),
+                }
+            }
+            self.events = events;
+            self.apply_completions();
+            self.scan_deadlines();
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    if self.conns.len() >= self.shared.config.max_connections {
+                        self.shared
+                            .counters
+                            .shed_total
+                            .fetch_add(1, Ordering::Relaxed);
+                        let mut stream = stream;
+                        let _ = stream.write(&shed_bytes(self.shared));
+                        continue;
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .poller
+                        .add(stream.as_raw_fd(), token, EVENT_READ)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            parser: RequestParser::new(self.shared.config.limits),
+                            out: Vec::new(),
+                            out_pos: 0,
+                            state: ConnState::Reading,
+                            close_after_write: false,
+                            served: 0,
+                            last_activity_us: monotonic_us(),
+                            interest: EVENT_READ,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn conn_ready(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        match conn.state {
+            ConnState::Dispatched => {}
+            ConnState::Lingering { .. } => self.linger_ready(token),
+            ConnState::Reading => {
+                if conn.out_pos < conn.out.len() {
+                    self.flush(token);
+                } else {
+                    self.read_ready(token);
+                }
+            }
+        }
+    }
+
+    fn read_ready(&mut self, token: u64) {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            let action = match conn.stream.read(&mut chunk) {
+                Ok(0) => Action::Drop,
+                Ok(n) => {
+                    conn.last_activity_us = monotonic_us();
+                    match conn.parser.feed(chunk.get(..n).unwrap_or_default()) {
+                        Ok(Some(request)) => Action::Request(request),
+                        Ok(None) => continue,
+                        Err(e) => Action::ParseError(e),
+                    }
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => Action::Keep,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => Action::Drop,
+            };
+            match action {
+                Action::Keep => return,
+                Action::Drop => return self.drop_conn(token),
+                Action::Request(request) => return self.on_request(token, request),
+                Action::ParseError(e) => return self.on_parse_error(token, e),
+            }
+        }
+    }
+
+    /// A complete request: `/healthz` and reply-cache hits answer inline;
+    /// everything else dispatches to the forward workers.
+    fn on_request(&mut self, token: u64, request: Request) {
+        self.shared
+            .counters
+            .requests_total
+            .fetch_add(1, Ordering::Relaxed);
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        conn.served += 1;
+        let close = !request.keep_alive()
+            || conn.served >= self.shared.config.max_requests_per_conn.max(1)
+            || self.shared.stop.load(Ordering::SeqCst);
+
+        let path = request
+            .target
+            .split('?')
+            .next()
+            .unwrap_or(&request.target)
+            .to_owned();
+        if request.method == "GET" && path == "/healthz" {
+            let bytes = healthz_bytes(self.shared, close);
+            return self.queue_write(token, bytes, close);
+        }
+
+        let (kind, key, cacheable) = if request.method == "GET" && path == "/metrics" {
+            (JobKind::Metrics, 0, false)
+        } else {
+            let key = routing_key(&request, &mut self.aliases);
+            let cacheable = cacheable_route(request.method.as_str(), &path);
+            if cacheable {
+                if let Some(bytes) = self.shared.replies.get(key) {
+                    self.shared
+                        .counters
+                        .cache_hits_total
+                        .fetch_add(1, Ordering::Relaxed);
+                    return self.queue_write(token, bytes.as_ref().clone(), close);
+                }
+            }
+            (JobKind::Forward, key, cacheable)
+        };
+
+        match self.shared.queue.try_push(ProxyJob {
+            token,
+            kind,
+            request,
+            key,
+            cacheable,
+            close,
+        }) {
+            Ok(()) => {
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.state = ConnState::Dispatched;
+                }
+                self.set_interest(token, 0);
+            }
+            Err(PushError::Full(_) | PushError::Closed(_)) => {
+                self.shared
+                    .counters
+                    .shed_total
+                    .fetch_add(1, Ordering::Relaxed);
+                let bytes = shed_bytes(self.shared);
+                self.queue_write(token, bytes, true);
+            }
+        }
+    }
+
+    fn on_parse_error(&mut self, token: u64, error: HttpError) {
+        self.shared
+            .counters
+            .bad_requests_total
+            .fetch_add(1, Ordering::Relaxed);
+        let (status, reason) = error.status();
+        let body = obj(vec![
+            ("ok", Json::Bool(false)),
+            ("error", Json::Str(error.to_string())),
+        ])
+        .render();
+        let bytes = write_response(
+            status,
+            reason,
+            "application/json",
+            &[],
+            body.as_bytes(),
+            true,
+        );
+        self.queue_write(token, bytes, true);
+    }
+
+    /// Stages `bytes` as the connection's pending output and flushes
+    /// optimistically.
+    fn queue_write(&mut self, token: u64, bytes: Vec<u8>, close: bool) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        conn.state = ConnState::Reading;
+        conn.out = bytes;
+        conn.out_pos = 0;
+        conn.close_after_write = close;
+        self.flush(token);
+    }
+
+    /// Writes pending output until done or the kernel pushes back; a full
+    /// flush either lingers the connection out or re-arms it for the next
+    /// request (serving a buffered pipelined one immediately).
+    fn flush(&mut self, token: u64) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.out_pos >= conn.out.len() {
+                break;
+            }
+            let pending = conn.out.get(conn.out_pos..).unwrap_or_default();
+            match conn.stream.write(pending) {
+                Ok(0) => return self.drop_conn(token),
+                Ok(n) => {
+                    conn.out_pos += n;
+                    conn.last_activity_us = monotonic_us();
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    return self.set_interest(token, EVENT_WRITE);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return self.drop_conn(token),
+            }
+        }
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        conn.out = Vec::new();
+        conn.out_pos = 0;
+        if conn.close_after_write {
+            return self.begin_linger(token);
+        }
+        conn.last_activity_us = monotonic_us();
+        self.set_interest(token, EVENT_READ);
+        // Keep-alive: a pipelined successor may already be buffered.
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        match conn.parser.feed(&[]) {
+            Ok(Some(request)) => self.on_request(token, request),
+            Ok(None) => {}
+            Err(e) => self.on_parse_error(token, e),
+        }
+    }
+
+    /// Non-blocking linger: half-close, then sink reads until FIN or the
+    /// deadline scan reaps the connection.
+    fn begin_linger(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let _ = conn.stream.shutdown(Shutdown::Write);
+        conn.state = ConnState::Lingering {
+            deadline_us: monotonic_us().saturating_add(LINGER_BUDGET_MS.saturating_mul(1_000)),
+        };
+        self.set_interest(token, EVENT_READ);
+        self.linger_ready(token);
+    }
+
+    fn linger_ready(&mut self, token: u64) {
+        let mut sink = [0u8; 4096];
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            match conn.stream.read(&mut sink) {
+                Ok(0) => return self.drop_conn(token),
+                Ok(_) => {}
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return self.drop_conn(token),
+            }
+        }
+    }
+
+    /// Hands worker completions back to their connections' state machines.
+    fn apply_completions(&mut self) {
+        let done = std::mem::take(&mut *lock_recovering(&self.shared.completions));
+        for completion in done {
+            // Tokens are never recycled, so a completion for a dead
+            // connection simply misses.
+            if self.conns.contains_key(&completion.token) {
+                self.queue_write(completion.token, completion.bytes, completion.close);
+            }
+        }
+    }
+
+    /// Reaps idle connections, stalled writers, and expired lingers.
+    fn scan_deadlines(&mut self) {
+        let now = monotonic_us();
+        let idle_budget_us = self
+            .shared
+            .config
+            .read_timeout_ms
+            .max(1)
+            .saturating_mul(1_000);
+        let expired: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| match c.state {
+                ConnState::Lingering { deadline_us } => now >= deadline_us,
+                ConnState::Reading => now.saturating_sub(c.last_activity_us) >= idle_budget_us,
+                // The forward worker owns the deadline while dispatched
+                // (upstream timeouts bound it).
+                ConnState::Dispatched => false,
+            })
+            .map(|(&t, _)| t)
+            .collect();
+        for token in expired {
+            self.drop_conn(token);
+        }
+    }
+
+    fn set_interest(&mut self, token: u64, interest: u32) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.interest != interest {
+            let _ = self.poller.modify(conn.stream.as_raw_fd(), token, interest);
+            conn.interest = interest;
+        }
+    }
+
+    fn drop_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.poller.remove(conn.stream.as_raw_fd());
+        }
+    }
+}
+
+/// Forwards to the key's shard, failing over clockwise on faults.
+fn forward(
+    shared: &RouterShared,
+    request: &Request,
+    key: u64,
+    pools: &mut HashMap<usize, Upstream>,
+) -> Option<RawReply> {
+    let n = shared.config.shards.len();
+    let mut tried = vec![false; n];
+    let body = String::from_utf8_lossy(&request.body);
+    let raw = format!(
+        "{} {} HTTP/1.1\r\nHost: dg-router\r\nContent-Length: {}\r\n\r\n{}",
+        request.method,
+        request.target,
+        request.body.len(),
+        body
+    );
+    for attempt in 0..n {
+        let shard = shared.ring.route(key, |s| {
+            shared.is_alive(s) && !tried.get(s).copied().unwrap_or(true)
+        })?;
+        if let Some(t) = tried.get_mut(shard) {
+            *t = true;
+        }
+        match exchange_with_shard(shared, shard, raw.as_bytes(), pools) {
+            Ok(reply) => {
+                if let Some(c) = shared.counters.shard_requests.get(shard) {
+                    c.fetch_add(1, Ordering::Relaxed);
+                }
+                if attempt > 0 {
+                    shared
+                        .counters
+                        .retries_total
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                return Some(reply);
+            }
+            Err(_) => {
+                // A fresh connection to this shard failed too: it is dead
+                // until the health loop sees it answer again.
+                shared.eject(shard);
+            }
+        }
+    }
+    None
+}
+
+/// The consistent-hash routing key for a request, via the per-worker
+/// alias table: identical raw bytes short-circuit straight to the key;
+/// a miss pays the canonical [`content_key_of`] derivation (JSON parse)
+/// once and records the alias. Identical raw bytes always parse to the
+/// same canonical key, so the alias can never disagree with the shard's
+/// own coalescing key.
+fn routing_key(request: &Request, aliases: &mut HashMap<u64, u64>) -> u64 {
+    let raw_hash = ContentKey::new()
+        .word(request.method.len() as u64)
+        .bytes(request.method.as_bytes())
+        .word(request.target.len() as u64)
+        .bytes(request.target.as_bytes())
+        .bytes(&request.body)
+        .finish();
+    if let Some(&key) = aliases.get(&raw_hash) {
+        return key;
+    }
+    let key = content_key_of(&request.method, &request.target, &request.body);
+    if aliases.len() >= 16 * 1024 {
+        // A bounded table; real workloads repeat a small shape menu, so a
+        // wholesale reset on overflow is simpler than eviction order.
+        aliases.clear();
+    }
+    aliases.insert(raw_hash, key);
+    key
+}
+
+/// One upstream exchange, transparently replacing a stale pooled
+/// connection with a fresh one before declaring the shard failed.
+fn exchange_with_shard(
+    shared: &RouterShared,
+    shard: usize,
+    raw: &[u8],
+    pools: &mut HashMap<usize, Upstream>,
+) -> std::io::Result<RawReply> {
+    let addr = shared.config.shards.get(shard).copied().ok_or_else(|| {
+        std::io::Error::new(std::io::ErrorKind::InvalidInput, "shard index out of range")
+    })?;
+    let timeout = Duration::from_millis(shared.config.upstream_timeout_ms.max(1));
+    if let Some(pooled) = pools.get_mut(&shard) {
+        match pooled.exchange(raw) {
+            Ok(reply) => {
+                if reply.close {
+                    pools.remove(&shard);
+                }
+                return Ok(reply);
+            }
+            Err(_) => {
+                // Stale pool entry (idle-timeout close, per-conn cap, or a
+                // real failure) — retry below on a fresh connection.
+                pools.remove(&shard);
+            }
+        }
+    }
+    let mut fresh = Upstream::connect(addr, timeout)?;
+    let reply = fresh.exchange(raw)?;
+    if reply.close {
+        pools.remove(&shard);
+    } else {
+        pools.insert(shard, fresh);
+    }
+    Ok(reply)
+}
+
+fn health_loop(shared: &RouterShared) {
+    let mut fail_streaks = vec![0u32; shared.config.shards.len()];
+    while !shared.stop.load(Ordering::SeqCst) {
+        for (i, addr) in shared.config.shards.iter().enumerate() {
+            let healthy = probe_health(*addr);
+            let Some(streak) = fail_streaks.get_mut(i) else {
+                continue;
+            };
+            if healthy {
+                *streak = 0;
+                shared.rejoin(i);
+            } else {
+                *streak = streak.saturating_add(1);
+                if *streak >= shared.config.health_failures.max(1) {
+                    shared.eject(i);
+                }
+            }
+        }
+        // Sleep in small slices so shutdown is prompt.
+        let deadline = shared.config.health_interval_ms.max(10);
+        let mut slept = 0;
+        while slept < deadline && !shared.stop.load(Ordering::SeqCst) {
+            let slice = (deadline - slept).min(25);
+            std::thread::sleep(Duration::from_millis(slice));
+            slept += slice;
+        }
+    }
+}
+
+/// One `GET /healthz` probe with tight timeouts; any transport fault or
+/// non-200 counts as unhealthy.
+fn probe_health(addr: SocketAddr) -> bool {
+    let timeout = Duration::from_millis(500);
+    let Ok(stream) = TcpStream::connect_timeout(&addr, timeout) else {
+        return false;
+    };
+    let mut stream = stream;
+    if stream.set_read_timeout(Some(timeout)).is_err()
+        || stream.set_write_timeout(Some(timeout)).is_err()
+    {
+        return false;
+    }
+    let probe = b"GET /healthz HTTP/1.1\r\nHost: dg-router\r\nContent-Length: 0\r\nConnection: close\r\n\r\n";
+    if stream.write_all(probe).is_err() {
+        return false;
+    }
+    let mut leftover = Vec::new();
+    matches!(read_framed_reply(&mut stream, &mut leftover), Ok(reply) if reply.status == 200)
+}
+
+/// The router's counters plus every live shard's `/metrics`, with each
+/// shard sample rewritten to carry a `shard="i"` label.
+fn aggregated_metrics(shared: &RouterShared) -> String {
+    let mut out = String::with_capacity(8 * 1024);
+    let c = &shared.counters;
+    for (name, help, v) in [
+        (
+            "dg_router_requests_total",
+            "Requests parsed by the router.",
+            c.requests_total.load(Ordering::Relaxed),
+        ),
+        (
+            "dg_router_retries_total",
+            "Forwards that failed over to another shard.",
+            c.retries_total.load(Ordering::Relaxed),
+        ),
+        (
+            "dg_router_ejections_total",
+            "Shards marked dead.",
+            c.ejections_total.load(Ordering::Relaxed),
+        ),
+        (
+            "dg_router_rejoins_total",
+            "Shards marked live again.",
+            c.rejoins_total.load(Ordering::Relaxed),
+        ),
+        (
+            "dg_router_unrouteable_total",
+            "Requests 503d with no live shard.",
+            c.unrouteable_total.load(Ordering::Relaxed),
+        ),
+        (
+            "dg_router_bad_requests_total",
+            "Client requests rejected by the router parser.",
+            c.bad_requests_total.load(Ordering::Relaxed),
+        ),
+        (
+            "dg_router_shed_total",
+            "Connections shed by router admission control.",
+            c.shed_total.load(Ordering::Relaxed),
+        ),
+        (
+            "dg_router_cache_hits_total",
+            "Requests answered from the router reply cache.",
+            c.cache_hits_total.load(Ordering::Relaxed),
+        ),
+    ] {
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} counter\n{name} {v}\n"
+        ));
+    }
+    out.push_str("# HELP dg_router_shard_requests_total Successful forwards per shard.\n");
+    out.push_str("# TYPE dg_router_shard_requests_total counter\n");
+    for (i, v) in c.shard_requests.iter().enumerate() {
+        out.push_str(&format!(
+            "dg_router_shard_requests_total{{shard=\"{i}\"}} {}\n",
+            v.load(Ordering::Relaxed)
+        ));
+    }
+    out.push_str("# HELP dg_router_shard_alive Shard liveness (1 = routable).\n");
+    out.push_str("# TYPE dg_router_shard_alive gauge\n");
+    for i in 0..shared.config.shards.len() {
+        out.push_str(&format!(
+            "dg_router_shard_alive{{shard=\"{i}\"}} {}\n",
+            u8::from(shared.is_alive(i))
+        ));
+    }
+    for (i, addr) in shared.config.shards.iter().enumerate() {
+        if !shared.is_alive(i) {
+            continue;
+        }
+        let Ok(reply) = http_request(*addr, "GET", "/metrics", None) else {
+            continue;
+        };
+        if reply.status != 200 {
+            continue;
+        }
+        for line in reply.body.lines() {
+            if line.is_empty() || line.starts_with('#') {
+                continue; // HELP/TYPE would repeat per shard; drop them
+            }
+            out.push_str(&relabel(line, i));
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Rewrites `name{labels} v` / `name v` to carry `shard="i"` first.
+fn relabel(line: &str, shard: usize) -> String {
+    if let Some(brace) = line.find('{') {
+        let (name, rest) = line.split_at(brace);
+        let rest = rest.get(1..).unwrap_or_default(); // drop the '{'
+        format!("{name}{{shard=\"{shard}\",{rest}")
+    } else if let Some((name, value)) = line.split_once(' ') {
+        format!("{name}{{shard=\"{shard}\"}} {value}")
+    } else {
+        line.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::http_request;
+    use crate::server::{Server, ServerConfig};
+
+    fn start_shard() -> crate::server::ServerHandle {
+        Server::start(ServerConfig {
+            workers: 2,
+            queue_depth: 64,
+            ..ServerConfig::default()
+        })
+        .expect("shard start")
+    }
+
+    /// A test router with the reply cache off, so every request actually
+    /// exercises the forward path (affinity and failover assertions
+    /// depend on shard traffic, which cache hits would mask).
+    fn start_router(shards: Vec<SocketAddr>) -> RouterHandle {
+        start_router_with_cache(shards, 0)
+    }
+
+    fn start_router_with_cache(
+        shards: Vec<SocketAddr>,
+        reply_cache_entries: usize,
+    ) -> RouterHandle {
+        RouterServer::start(RouterConfig {
+            shards,
+            workers: 4,
+            read_timeout_ms: 1_000,
+            upstream_timeout_ms: 10_000,
+            health_interval_ms: 50,
+            health_failures: 2,
+            reply_cache_entries,
+            ..RouterConfig::default()
+        })
+        .expect("router start")
+    }
+
+    #[test]
+    fn router_forwards_with_affinity_and_aggregates_metrics() {
+        let shard_a = start_shard();
+        let shard_b = start_shard();
+        let router = start_router(vec![shard_a.local_addr(), shard_b.local_addr()]);
+        let addr = router.local_addr();
+
+        // Identical requests must land on one shard (cache affinity).
+        let body = r#"{"variant":"gated","from_a":10,"to_a":60}"#;
+        for _ in 0..4 {
+            let reply = http_request(addr, "POST", "/v1/droop", Some(body)).expect("droop");
+            assert_eq!(reply.status, 200, "{}", reply.body);
+            assert!(reply.body.contains("\"ok\":true"));
+        }
+        let per_shard: Vec<u64> = router
+            .counters()
+            .shard_requests
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        assert_eq!(per_shard.iter().sum::<u64>(), 4);
+        assert!(
+            per_shard.contains(&4),
+            "identical keys must stick to one shard: {per_shard:?}"
+        );
+
+        // Router-local healthz reports both shards live.
+        let health = http_request(addr, "GET", "/healthz", None).expect("healthz");
+        assert_eq!(health.status, 200);
+        assert!(health.body.contains("\"role\":\"router\""));
+        assert_eq!(health.body.matches("\"alive\":true").count(), 2);
+
+        // Aggregated metrics carry shard labels and router counters.
+        let metrics = http_request(addr, "GET", "/metrics", None).expect("metrics");
+        assert!(metrics.body.contains("dg_router_requests_total"));
+        assert!(metrics.body.contains("shard=\"0\""));
+        assert!(metrics.body.contains("shard=\"1\""));
+        assert!(metrics.body.contains("dg_requests_total{shard="));
+
+        // Malformed framing is rejected by the router itself.
+        let bad = crate::client::raw_request(addr, b"NOT HTTP\r\n\r\n").expect("raw");
+        assert_eq!(bad.status, 400);
+        assert_eq!(
+            router.counters().bad_requests_total.load(Ordering::SeqCst),
+            1
+        );
+
+        assert!(router.shutdown(), "router threads must join cleanly");
+        shard_a.shutdown();
+        shard_b.shutdown();
+    }
+
+    #[test]
+    fn dead_shard_is_ejected_and_traffic_fails_over_without_5xx() {
+        let shard_a = start_shard();
+        let shard_b = start_shard();
+        let router = start_router(vec![shard_a.local_addr(), shard_b.local_addr()]);
+        let addr = router.local_addr();
+
+        // Warm both arcs with a spread of keys.
+        for i in 0..6 {
+            let body = format!(
+                "{{\"variant\":\"gated\",\"from_a\":10,\"to_a\":{}}}",
+                40 + i
+            );
+            let reply = http_request(addr, "POST", "/v1/droop", Some(&body)).expect("droop");
+            assert_eq!(reply.status, 200);
+        }
+
+        // Kill shard 1; its keys must fail over with zero 5xx.
+        shard_b.shutdown();
+        for i in 0..12 {
+            let body = format!(
+                "{{\"variant\":\"gated\",\"from_a\":10,\"to_a\":{}}}",
+                40 + i
+            );
+            let reply = http_request(addr, "POST", "/v1/droop", Some(&body)).expect("droop");
+            assert_eq!(
+                reply.status, 200,
+                "request {i} after shard death: {}",
+                reply.body
+            );
+        }
+        assert_eq!(
+            router.counters().unrouteable_total.load(Ordering::SeqCst),
+            0
+        );
+
+        // The health loop confirms the ejection.
+        let deadline = crate::metrics::monotonic_us() + 5_000_000;
+        while router.is_shard_alive(1) && crate::metrics::monotonic_us() < deadline {
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        assert!(!router.is_shard_alive(1), "shard 1 must be ejected");
+        assert!(router.is_shard_alive(0));
+        assert!(
+            router.counters().ejections_total.load(Ordering::SeqCst) >= 1,
+            "ejection must be counted"
+        );
+
+        assert!(router.shutdown());
+        shard_a.shutdown();
+    }
+
+    #[test]
+    fn reply_cache_short_circuits_repeat_keys_with_identical_bytes() {
+        let shard = start_shard();
+        let router = start_router_with_cache(vec![shard.local_addr()], 1_024);
+        let addr = router.local_addr();
+
+        let body = r#"{"variant":"gated","from_a":10,"to_a":60}"#;
+        let first = http_request(addr, "POST", "/v1/droop", Some(body)).expect("droop");
+        assert_eq!(first.status, 200, "{}", first.body);
+        for _ in 0..3 {
+            let repeat = http_request(addr, "POST", "/v1/droop", Some(body)).expect("droop");
+            assert_eq!(repeat.status, 200);
+            assert_eq!(
+                repeat.body, first.body,
+                "cached reply must be byte-identical"
+            );
+        }
+        assert_eq!(
+            router.counters().cache_hits_total.load(Ordering::SeqCst),
+            3,
+            "repeats must be served from the router cache"
+        );
+        let forwarded: u64 = router
+            .counters()
+            .shard_requests
+            .iter()
+            .map(|c| c.load(Ordering::SeqCst))
+            .sum();
+        assert_eq!(forwarded, 1, "only the first request reaches the shard");
+
+        // Error replies are never cached: each bad body hits the shard.
+        for _ in 0..2 {
+            let bad = http_request(addr, "POST", "/v1/droop", Some("{not json")).expect("bad");
+            assert_eq!(bad.status, 400);
+        }
+        assert_eq!(
+            router.counters().cache_hits_total.load(Ordering::SeqCst),
+            3,
+            "non-200 replies must not be admitted to the cache"
+        );
+
+        assert!(router.shutdown());
+        shard.shutdown();
+    }
+
+    #[test]
+    fn relabel_handles_both_sample_shapes() {
+        assert_eq!(
+            relabel("dg_requests_total{route=\"droop\",class=\"2xx\"} 7", 2),
+            "dg_requests_total{shard=\"2\",route=\"droop\",class=\"2xx\"} 7"
+        );
+        assert_eq!(
+            relabel("dg_shed_total 3", 0),
+            "dg_shed_total{shard=\"0\"} 3"
+        );
+    }
+}

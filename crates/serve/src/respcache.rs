@@ -1,0 +1,182 @@
+//! Response cache for deterministic 200s, in memory and on disk.
+//!
+//! Every simulation route is a pure function of its content key (that is
+//! what makes the coalescer sound, and what the chaos oracle's
+//! byte-identical differential check proves on every CI run), so a
+//! *successful* response body can be reused outright instead of
+//! recomputed. This sits in front of the coalescer: the coalescer
+//! deduplicates identical requests that overlap in time, the response
+//! cache deduplicates identical requests across time — and, through the
+//! disk tier ([`darkgates::pdn::diskcache`]), across process restarts.
+//!
+//! Only `200 OK` bodies are cached: errors are cheap to re-render and a
+//! cached error could mask a fixed input. The memory tier is bounded by
+//! entry count and total bytes with FIFO eviction; the disk tier is
+//! content-addressed (filename = content key) with atomic rename writes,
+//! enabled by `--cache-dir`.
+
+use darkgates::pdn::diskcache;
+use std::collections::{HashMap, VecDeque};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// Disk-store kind subdirectory for cached response bodies.
+const KIND: &str = "resp";
+
+/// Default bound on cached entries.
+pub const DEFAULT_MAX_ENTRIES: usize = 1_024;
+
+/// Default bound on total cached body bytes (64 MiB). Large sweep bodies
+/// run to hundreds of kilobytes, so the byte budget binds first for them.
+pub const DEFAULT_MAX_BYTES: usize = 64 * 1024 * 1024;
+
+struct CacheState {
+    map: HashMap<u64, Arc<String>>,
+    order: VecDeque<u64>,
+    bytes: usize,
+}
+
+/// A bounded FIFO cache of response bodies keyed by content key, with a
+/// write-through disk tier when the process-wide cache dir is set.
+pub struct ResponseCache {
+    state: Mutex<CacheState>,
+    max_entries: usize,
+    max_bytes: usize,
+}
+
+impl std::fmt::Debug for ResponseCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let state = lock_recovering(&self.state);
+        f.debug_struct("ResponseCache")
+            .field("entries", &state.map.len())
+            .field("bytes", &state.bytes)
+            .finish()
+    }
+}
+
+fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl Default for ResponseCache {
+    fn default() -> Self {
+        Self::new(DEFAULT_MAX_ENTRIES, DEFAULT_MAX_BYTES)
+    }
+}
+
+impl ResponseCache {
+    /// A cache bounded by `max_entries` entries and `max_bytes` total
+    /// body bytes (both floors of 1 so the cache is never degenerate).
+    pub fn new(max_entries: usize, max_bytes: usize) -> Self {
+        ResponseCache {
+            state: Mutex::new(CacheState {
+                map: HashMap::new(),
+                order: VecDeque::new(),
+                bytes: 0,
+            }),
+            max_entries: max_entries.max(1),
+            max_bytes: max_bytes.max(1),
+        }
+    }
+
+    /// Looks up a cached `200` body: memory first, then the disk tier (a
+    /// disk hit is promoted into memory).
+    pub fn get(&self, key: u64) -> Option<Arc<String>> {
+        if let Some(hit) = self.get_memory(key) {
+            return Some(hit);
+        }
+        let raw = diskcache::load_blob(KIND, diskcache::TAG_RESPONSE, key)?;
+        let body = Arc::new(String::from_utf8(raw).ok()?);
+        self.insert_mem(key, &body);
+        Some(body)
+    }
+
+    /// Looks up the memory tier only — never touches the disk tier, so it
+    /// is safe to call from latency-critical paths (the event loop's
+    /// inline fast path).
+    pub fn get_memory(&self, key: u64) -> Option<Arc<String>> {
+        lock_recovering(&self.state).map.get(&key).map(Arc::clone)
+    }
+
+    /// Caches a `200` body under `key` (idempotent), writing through to
+    /// the disk tier when enabled.
+    pub fn put(&self, key: u64, body: &Arc<String>) {
+        if !self.insert_mem(key, body) {
+            return; // already cached: disk entry exists (or is in flight)
+        }
+        diskcache::store_blob(KIND, diskcache::TAG_RESPONSE, key, body.as_bytes());
+    }
+
+    /// Inserts into the memory tier; returns `false` if already present.
+    fn insert_mem(&self, key: u64, body: &Arc<String>) -> bool {
+        let mut state = lock_recovering(&self.state);
+        if state.map.contains_key(&key) {
+            return false;
+        }
+        state.map.insert(key, Arc::clone(body));
+        state.order.push_back(key);
+        state.bytes = state.bytes.saturating_add(body.len());
+        while state.map.len() > self.max_entries || state.bytes > self.max_bytes {
+            let Some(evicted) = state.order.pop_front() else {
+                break;
+            };
+            if let Some(old) = state.map.remove(&evicted) {
+                state.bytes = state.bytes.saturating_sub(old.len());
+            }
+        }
+        true
+    }
+
+    /// Entries currently in the memory tier (observability).
+    pub fn len(&self) -> usize {
+        lock_recovering(&self.state).map.len()
+    }
+
+    /// Whether the memory tier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(text: &str) -> Arc<String> {
+        Arc::new(text.to_owned())
+    }
+
+    #[test]
+    fn put_then_get_round_trips_and_is_idempotent() {
+        let cache = ResponseCache::new(8, 1 << 20);
+        assert!(cache.get(1).is_none());
+        cache.put(1, &body("{\"ok\":true}"));
+        cache.put(1, &body("{\"ok\":true}"));
+        assert_eq!(
+            cache.get(1).as_deref().map(String::as_str),
+            Some("{\"ok\":true}")
+        );
+        assert_eq!(cache.len(), 1, "idempotent put must not duplicate");
+    }
+
+    #[test]
+    fn entry_count_eviction_is_fifo() {
+        let cache = ResponseCache::new(2, 1 << 20);
+        cache.put(1, &body("a"));
+        cache.put(2, &body("b"));
+        cache.put(3, &body("c"));
+        assert!(cache.get(1).is_none(), "oldest entry evicted first");
+        assert!(cache.get(2).is_some());
+        assert!(cache.get(3).is_some());
+    }
+
+    #[test]
+    fn byte_budget_evicts_large_bodies() {
+        let cache = ResponseCache::new(100, 10);
+        cache.put(1, &body("aaaaaaaa")); // 8 bytes
+        cache.put(2, &body("bbbbbbbb")); // 16 total > 10 → evict key 1
+        assert!(cache.get(1).is_none());
+        assert!(cache.get(2).is_some());
+    }
+}

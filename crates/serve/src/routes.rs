@@ -12,6 +12,7 @@ use crate::coalesce::{Coalescer, Role};
 use crate::http::Request;
 use crate::json::{self, obj, Json};
 use crate::metrics::{Metrics, Route};
+use crate::respcache::ResponseCache;
 use darkgates::claims;
 use darkgates::pdn::cache::{self, ladder_key, ContentKey};
 use darkgates::pdn::impedance::ImpedanceAnalyzer;
@@ -74,7 +75,7 @@ impl Response {
 }
 
 /// The reason phrase for the statuses this server emits.
-fn reason_of(status: u16) -> &'static str {
+pub(crate) fn reason_of(status: u16) -> &'static str {
     match status {
         200 => "OK",
         400 => "Bad Request",
@@ -109,6 +110,7 @@ type HandlerResult = Result<Json, RouteError>;
 pub struct Router {
     metrics: Arc<Metrics>,
     coalescer: Coalescer<(u16, Arc<String>)>,
+    respcache: ResponseCache,
     draining: Arc<AtomicBool>,
     debug_routes: bool,
 }
@@ -121,6 +123,7 @@ impl Router {
         Router {
             metrics,
             coalescer: Coalescer::new(),
+            respcache: ResponseCache::default(),
             draining,
             debug_routes,
         }
@@ -129,6 +132,38 @@ impl Router {
     /// Number of distinct computations currently in flight (observability).
     pub fn inflight_coalesced(&self) -> usize {
         self.coalescer.inflight_len()
+    }
+
+    /// Answers from the in-memory response-cache tier only — the event
+    /// loop's inline fast path. A hit costs one JSON parse and one mutex
+    /// lock; it never touches the disk tier and never occupies a compute
+    /// worker, so repeated identical requests skip both thread handoffs
+    /// of the dispatch path. Returns `None` for anything that must go
+    /// through [`Router::handle`].
+    pub fn cached_response(&self, req: &Request) -> Option<(Route, Response)> {
+        let path = req.target.split('?').next().unwrap_or(&req.target);
+        let route = match (req.method.as_str(), path) {
+            ("GET", "/v1/claims") => Route::Claims,
+            ("POST", "/v1/droop") => Route::Droop,
+            ("POST", "/v1/droop_batch") => Route::DroopBatch,
+            ("POST", "/v1/sweep") => Route::Sweep,
+            ("POST", "/v1/product") => Route::Product,
+            _ => return None,
+        };
+        let key = content_key_of(&req.method, &req.target, &req.body);
+        let body = self.respcache.get_memory(key)?;
+        self.metrics
+            .resp_cache_hits_total
+            .fetch_add(1, Ordering::Relaxed);
+        Some((
+            route,
+            Response {
+                status: 200,
+                reason: reason_of(200),
+                content_type: "application/json",
+                body,
+            },
+        ))
     }
 
     /// Handles one parsed request, returning the route label (for
@@ -209,9 +244,22 @@ impl Router {
         self.coalesced(key_of(&params), move || handler(&params))
     }
 
-    /// Runs `compute` through the single-flight coalescer and books the
-    /// coalesce/panic counters.
+    /// Runs `compute` through the response cache and the single-flight
+    /// coalescer, booking the cache/coalesce/panic counters. The cache is
+    /// consulted first: a hit (memory or disk tier) answers without any
+    /// recompute; successful (`200`) computations populate it.
     fn coalesced(&self, key: u64, compute: impl FnOnce() -> HandlerResult) -> Response {
+        if let Some(body) = self.respcache.get(key) {
+            self.metrics
+                .resp_cache_hits_total
+                .fetch_add(1, Ordering::Relaxed);
+            return Response {
+                status: 200,
+                reason: reason_of(200),
+                content_type: "application/json",
+                body,
+            };
+        }
         let (outcome, role) = self.coalescer.run(key, || match compute() {
             Ok(value) => {
                 let body = obj(vec![("ok", Json::Bool(true)), ("result", value)]);
@@ -233,18 +281,56 @@ impl Router {
             Role::Follower => self.metrics.coalesced_total.fetch_add(1, Ordering::Relaxed),
         };
         match outcome {
-            Ok((status, body)) => Response {
-                status,
-                reason: reason_of(status),
-                content_type: "application/json",
-                body,
-            },
+            Ok((status, body)) => {
+                if status == 200 {
+                    self.respcache.put(key, &body);
+                }
+                Response {
+                    status,
+                    reason: reason_of(status),
+                    content_type: "application/json",
+                    body,
+                }
+            }
             Err(panic_msg) => {
                 self.metrics.panics_total.fetch_add(1, Ordering::Relaxed);
                 Response::error(500, &format!("handler panicked: {panic_msg}"))
             }
         }
     }
+}
+
+/// The content key `dg-router` hashes for shard affinity.
+///
+/// For the simulation routes this reproduces the shard-local coalescing
+/// key exactly, so every repeat of a request lands on the shard whose
+/// coalescer, response cache, and substrate caches already hold it. Any
+/// other request (including unparsable bodies, which the shard will
+/// `400`) hashes method + path + raw body for a stable spread.
+pub fn content_key_of(method: &str, target: &str, body: &[u8]) -> u64 {
+    let path = target.split('?').next().unwrap_or(target);
+    let parsed = std::str::from_utf8(body).ok().and_then(|text| {
+        if text.trim().is_empty() {
+            Some(Json::Obj(Vec::new()))
+        } else {
+            json::parse(text).ok()
+        }
+    });
+    let keyed = match (method, path, &parsed) {
+        ("GET", "/v1/claims", _) => Some(ContentKey::new().bytes(b"claims").finish()),
+        ("POST", "/v1/droop", Some(p)) => Some(droop_key(p)),
+        ("POST", "/v1/droop_batch", Some(p)) => Some(droop_batch_key(p)),
+        ("POST", "/v1/sweep", Some(p)) => Some(sweep_key(p)),
+        ("POST", "/v1/product", Some(p)) => Some(product_key(p)),
+        _ => None,
+    };
+    keyed.unwrap_or_else(|| {
+        ContentKey::new()
+            .bytes(method.as_bytes())
+            .bytes(path.as_bytes())
+            .bytes(body)
+            .finish()
+    })
 }
 
 // ------------------------------------------------------------------ params
@@ -1004,6 +1090,57 @@ mod tests {
         let c = droop_key(&json::parse(r#"{"from_a":10,"to_a":61}"#).expect("json"));
         assert_eq!(a, b, "parameter order must not matter");
         assert_ne!(a, c, "different physics must not coalesce");
+    }
+
+    #[test]
+    fn repeated_identical_requests_hit_the_response_cache() {
+        let metrics = Arc::new(Metrics::default());
+        let r = Router::new(
+            Arc::clone(&metrics),
+            Arc::new(AtomicBool::new(false)),
+            false,
+        );
+        let body = r#"{"variant":"bypassed","from_a":5,"to_a":40}"#;
+        let (_, first) = r.handle(&post("/v1/droop", body));
+        assert_eq!(first.status, 200, "{}", first.body);
+        assert_eq!(metrics.resp_cache_hits_total.load(Ordering::SeqCst), 0);
+        let (_, second) = r.handle(&post("/v1/droop", body));
+        assert_eq!(second.status, 200);
+        assert_eq!(metrics.resp_cache_hits_total.load(Ordering::SeqCst), 1);
+        assert_eq!(
+            *first.body, *second.body,
+            "cached body must be byte-identical"
+        );
+        // Error responses are never cached: a repeat recomputes the 400.
+        let (_, bad) = r.handle(&post("/v1/droop", r#"{"from_a":-3}"#));
+        assert_eq!(bad.status, 400);
+        let (_, bad2) = r.handle(&post("/v1/droop", r#"{"from_a":-3}"#));
+        assert_eq!(bad2.status, 400);
+        assert_eq!(
+            metrics.resp_cache_hits_total.load(Ordering::SeqCst),
+            1,
+            "400s must not populate the response cache"
+        );
+    }
+
+    #[test]
+    fn router_affinity_key_matches_the_shard_coalescing_key() {
+        // Same physics, different JSON spelling → same affinity key.
+        let a = content_key_of("POST", "/v1/droop", br#"{"from_a":10,"to_a":60}"#);
+        let b = content_key_of("POST", "/v1/droop", br#"{"to_a":60,"from_a":10}"#);
+        assert_eq!(a, b);
+        // And it is exactly the shard's coalescing key.
+        let direct = droop_key(&json::parse(r#"{"from_a":10,"to_a":60}"#).expect("json"));
+        assert_eq!(a, direct);
+        // Query strings do not perturb the key; unknown routes still key.
+        assert_eq!(
+            content_key_of("GET", "/v1/claims", b""),
+            content_key_of("GET", "/v1/claims?pretty=1", b"")
+        );
+        assert_ne!(
+            content_key_of("GET", "/nope", b"x"),
+            content_key_of("GET", "/nope", b"y")
+        );
     }
 
     #[test]

@@ -1,35 +1,58 @@
-//! The TCP server: accept loop, bounded work queue, worker pool, and
-//! graceful drain.
+//! The event-driven TCP server: one epoll loop owning every connection's
+//! state machine, a bounded work queue, a worker pool for CPU-bound
+//! routes, and graceful drain.
 //!
 //! Life of a connection:
 //!
-//! 1. the accept loop (non-blocking listener polled every few ms so drain
-//!    flags are noticed promptly) accepts the socket and counts it,
-//! 2. admission control: [`crate::queue::BoundedQueue::try_push`] either
-//!    admits the connection or the accept loop *itself* answers
-//!    `503 Service Unavailable` with `Retry-After` and closes it — workers
-//!    never see shed load, so the backlog and its tail latency stay
-//!    bounded,
-//! 3. a worker pops the connection and runs a keep-alive request loop:
-//!    incremental parse → route dispatch inside
-//!    [`dg_engine::inline_scope`] (nested `par_map` calls run inline, so a
-//!    request costs one thread, not a thread explosion) → response write →
-//!    metrics,
-//! 4. on drain ([`ServerHandle::request_drain`], `POST /admin/drain`, or
-//!    SIGTERM in the binary) the accept loop stops admitting and closes
-//!    the queue; already-admitted connections are served to completion
-//!    with `Connection: close`, then workers exit and
+//! 1. the event loop accepts the socket (non-blocking, counted, `TCP_NODELAY`)
+//!    and registers it for read readiness under a monotonically increasing
+//!    token that is never recycled, so a late completion for a dead
+//!    connection can never touch its successor,
+//! 2. read readiness feeds the hardened incremental [`RequestParser`]
+//!    until one request completes; the loop stops reading there, leaving
+//!    any pipelined bytes to the kernel and the parser buffer,
+//! 3. cheap control routes (`GET /healthz`, `GET /metrics`,
+//!    `POST /admin/drain`) are answered inline on the loop — health stays
+//!    observable even under full compute overload — while every other
+//!    route is pushed onto the bounded [`BoundedQueue`] for the worker
+//!    pool. A full queue sheds **that request** with `503`, a
+//!    `Retry-After` derived from the current queue depth, and
+//!    `Connection: close`,
+//! 4. while a request is dispatched the connection's epoll interest drops
+//!    to zero: the peer's further pipelined bytes stay in the kernel
+//!    buffer (TCP backpressure bounds memory) and only the worker's
+//!    completion — delivered through a self-pipe [`Waker`] — resumes the
+//!    state machine,
+//! 5. responses are written optimistically; a short write parks the
+//!    connection on write readiness (`EPOLLOUT`) until the peer drains
+//!    it, with progress bounded by the read-timeout deadline scan,
+//! 6. HTTP/1.1 keep-alive: after a full flush the parser is polled for a
+//!    buffered pipelined request, otherwise the connection re-arms for
+//!    read readiness and an idle deadline,
+//! 7. closes (errors, `Connection: close`, drain, per-connection request
+//!    cap) go through a non-blocking linger: write side shut down, reads
+//!    sunk for up to [`LINGER_BUDGET_MS`], so the peer's in-flight bytes
+//!    never turn the response into an RST,
+//! 8. on drain ([`ServerHandle::request_drain`], `POST /admin/drain`, or
+//!    SIGTERM in the binary) the listener closes immediately, idle
+//!    connections drop, in-flight requests finish with
+//!    `Connection: close`, then the queue closes, workers exit, and
 //!    [`ServerHandle::shutdown`] reports whether the drain was clean.
 
-use crate::http::{write_response, ParserLimits, Request, RequestParser};
+use crate::event_loop::{drain_wakeups, waker_pair, Poller, Waker, EVENT_READ, EVENT_WRITE};
+use crate::http::{write_response, HttpError, ParserLimits, Request, RequestParser};
 use crate::metrics::{monotonic_us, Metrics, Route};
 use crate::queue::{BoundedQueue, PushError};
-use crate::routes::Router;
+use crate::routes::{Response, Router};
+use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
@@ -39,22 +62,30 @@ pub struct ServerConfig {
     /// Bind address; port 0 picks an ephemeral port (see
     /// [`ServerHandle::local_addr`]).
     pub addr: String,
-    /// Worker threads serving admitted connections.
+    /// Worker threads serving dispatched (CPU-bound) requests.
     pub workers: usize,
-    /// Admission bound: connections queued ahead of the workers before
-    /// the accept loop starts shedding with 503.
+    /// Admission bound: requests queued ahead of the workers before the
+    /// event loop starts shedding with 503.
     pub queue_depth: usize,
     /// HTTP framing limits.
     pub limits: ParserLimits,
-    /// Per-read socket timeout; an idle keep-alive connection is closed
-    /// after this long, and drain latency is bounded by it.
+    /// Idle deadline: a keep-alive connection that neither delivers bytes
+    /// nor accepts response bytes for this long is closed. Drain latency
+    /// is bounded by it.
     pub read_timeout_ms: u64,
-    /// Value of the `Retry-After` header on shed responses.
+    /// Base value of the `Retry-After` header on shed responses; the
+    /// current queue depth adds to it (see [`retry_after_secs`]).
     pub retry_after_secs: u32,
     /// Requests served on one connection before it is closed.
     pub max_requests_per_conn: usize,
+    /// Open-connection cap; beyond it new sockets get a best-effort 503.
+    pub max_connections: usize,
     /// Enables `POST /v1/debug/sleep` (overload tests only).
     pub enable_debug_routes: bool,
+    /// Root of the persistent content-addressed cache (`--cache-dir`).
+    /// Enables the process-wide disk tier for impedance profiles, DC
+    /// steady states, ladder coefficients, and cached response bodies.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -67,31 +98,53 @@ impl Default for ServerConfig {
             read_timeout_ms: 2_000,
             retry_after_secs: 1,
             max_requests_per_conn: 1_000,
+            max_connections: 4_096,
             enable_debug_routes: false,
+            cache_dir: None,
         }
     }
 }
 
-/// How often the accept loop re-checks the drain flags while idle.
-const ACCEPT_POLL: Duration = Duration::from_millis(2);
-
 /// What [`ServerHandle::shutdown`] observed.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DrainReport {
-    /// Requests served over the server's lifetime (all workers).
+    /// Requests served over the server's lifetime (inline + dispatched).
     pub requests_served: usize,
-    /// `true` when the accept loop and every worker exited without
+    /// `true` when the event loop and every worker exited without
     /// panicking — the graceful-drain contract held.
     pub clean: bool,
 }
 
-/// Everything the accept loop and workers share.
+/// A dispatched request: which connection wants the answer, and whether
+/// that connection must close after it.
+struct Job {
+    token: u64,
+    request: Request,
+    close: bool,
+}
+
+/// A worker's finished response, already framed for the wire.
+struct Completion {
+    token: u64,
+    bytes: Vec<u8>,
+    close: bool,
+}
+
+/// Everything the event loop and workers share.
 struct Shared {
     config: ServerConfig,
     metrics: Arc<Metrics>,
     router: Router,
     draining: Arc<AtomicBool>,
-    queue: BoundedQueue<TcpStream>,
+    queue: BoundedQueue<Job>,
+    completions: Mutex<Vec<Completion>>,
+    waker: Waker,
+}
+
+fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// The `dg-serve` daemon. Construct with [`Server::start`].
@@ -103,8 +156,8 @@ pub struct Server;
 pub struct ServerHandle {
     local_addr: SocketAddr,
     shared: Arc<Shared>,
-    accept: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<usize>>,
+    event_loop: Option<JoinHandle<usize>>,
+    workers: Vec<JoinHandle<()>>,
 }
 
 impl std::fmt::Debug for ServerHandle {
@@ -117,16 +170,22 @@ impl std::fmt::Debug for ServerHandle {
 }
 
 impl Server {
-    /// Binds, spawns the worker pool and the accept loop, and returns a
+    /// Binds, spawns the worker pool and the event loop, and returns a
     /// handle.
     ///
     /// # Errors
     ///
-    /// Propagates the bind failure (address in use, permission, …).
+    /// Propagates the bind failure (address in use, permission, …) and
+    /// epoll/self-pipe setup failures.
     pub fn start(config: ServerConfig) -> std::io::Result<ServerHandle> {
+        if let Some(dir) = &config.cache_dir {
+            darkgates::pdn::diskcache::set_dir(Some(dir.clone()));
+        }
         let listener = TcpListener::bind(&config.addr)?;
         listener.set_nonblocking(true)?;
         let local_addr = listener.local_addr()?;
+        let poller = Poller::new()?;
+        let (waker, wake_rx) = waker_pair()?;
 
         let metrics = Arc::new(Metrics::default());
         let draining = Arc::new(AtomicBool::new(false));
@@ -140,6 +199,8 @@ impl Server {
             router,
             metrics,
             draining,
+            completions: Mutex::new(Vec::new()),
+            waker,
             config,
         });
 
@@ -152,17 +213,17 @@ impl Server {
             })
             .collect::<std::io::Result<Vec<_>>>()?;
 
-        let accept = {
+        let event_loop = {
             let shared = Arc::clone(&shared);
             thread::Builder::new()
-                .name("dg-serve-accept".to_owned())
-                .spawn(move || accept_loop(&listener, &shared))?
+                .name("dg-serve-loop".to_owned())
+                .spawn(move || EventLoop::new(&shared, poller, listener, wake_rx).run())?
         };
 
         Ok(ServerHandle {
             local_addr,
             shared,
-            accept: Some(accept),
+            event_loop: Some(event_loop),
             workers,
         })
     }
@@ -189,25 +250,26 @@ impl ServerHandle {
     /// Idempotent; returns immediately.
     pub fn request_drain(&self) {
         self.shared.draining.store(true, Ordering::SeqCst);
+        self.shared.waker.notify();
     }
 
-    /// Drains (if not already draining) and blocks until the accept loop
+    /// Drains (if not already draining) and blocks until the event loop
     /// and every worker have exited, reporting whether the drain was
     /// clean.
     pub fn shutdown(mut self) -> DrainReport {
         self.request_drain();
         let mut clean = true;
-        if let Some(accept) = self.accept.take() {
-            clean &= accept.join().is_ok();
-        }
-        // The accept loop closes the queue on its way out; workers drain
-        // the remaining admitted connections and then see `None`.
         let mut requests_served = 0usize;
-        for worker in self.workers.drain(..) {
-            match worker.join() {
-                Ok(served) => requests_served += served,
+        if let Some(event_loop) = self.event_loop.take() {
+            // The loop closes the queue on its way out; workers then see
+            // `None` and exit.
+            match event_loop.join() {
+                Ok(served) => requests_served = served,
                 Err(_) => clean = false,
             }
+        }
+        for worker in self.workers.drain(..) {
+            clean &= worker.join().is_ok();
         }
         DrainReport {
             requests_served,
@@ -216,68 +278,59 @@ impl ServerHandle {
     }
 }
 
-/// Accepts until a drain is requested, applying admission control.
-fn accept_loop(listener: &TcpListener, shared: &Shared) {
-    while !shared.draining.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                shared
-                    .metrics
-                    .connections_total
-                    .fetch_add(1, Ordering::Relaxed);
-                prepare(&stream, &shared.config);
-                match shared.queue.try_push(stream) {
-                    Ok(()) => {}
-                    Err(PushError::Full(stream) | PushError::Closed(stream)) => {
-                        shed(stream, shared);
-                    }
-                }
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock => thread::sleep(ACCEPT_POLL),
-            // Transient accept errors (EMFILE, ECONNABORTED): back off and
-            // keep serving rather than killing the daemon.
-            Err(_) => thread::sleep(ACCEPT_POLL),
-        }
+/// The `Retry-After` a shed response carries: the configured base plus a
+/// penalty that grows with how deep the queue already is, so a client of
+/// a lightly loaded server retries quickly while a client of a saturated
+/// one backs off harder. Monotone in `queue_len`, capped at 30 s.
+pub fn retry_after_secs(base: u32, queue_len: usize, capacity: usize) -> u32 {
+    if capacity == 0 {
+        // Nothing can ever be admitted; advertise the maximum backoff.
+        return 30;
     }
-    shared.queue.close();
+    let penalty = (3 * queue_len) / capacity;
+    base.saturating_add(penalty.min(u32::MAX as usize) as u32)
+        .min(30)
 }
 
-/// Configures socket timeouts; failures degrade to blocking I/O, which
-/// only affects idle-connection reaping.
-fn prepare(stream: &TcpStream, config: &ServerConfig) {
-    let timeout = Some(Duration::from_millis(config.read_timeout_ms.max(1)));
-    let _ = stream.set_read_timeout(timeout);
-    let _ = stream.set_write_timeout(timeout);
-    let _ = stream.set_nodelay(true);
+/// Frames the shed 503 from the current queue depth.
+fn shed_response_bytes(shared: &Shared) -> Vec<u8> {
+    let secs = retry_after_secs(
+        shared.config.retry_after_secs,
+        shared.queue.len(),
+        shared.queue.capacity(),
+    );
+    let body = format!("{{\"ok\":false,\"error\":\"server is at capacity, retry after {secs}s\"}}");
+    let extra = [("Retry-After".to_owned(), secs.to_string())];
+    write_response(
+        503,
+        "Service Unavailable",
+        "application/json",
+        &extra,
+        body.as_bytes(),
+        true,
+    )
 }
 
-/// Total wall-clock budget for [`linger_close`]. The drain runs on the
-/// accept loop for shed connections, so this bound is what keeps a
-/// slowloris peer (trickling one byte per read) from pinning admission.
+/// Total wall-clock budget for a lingering close. Bounds how long a peer
+/// trickling bytes can keep a closed connection's fd alive.
 const LINGER_BUDGET_MS: u64 = 250;
 
-/// Per-read timeout inside [`linger_close`]; a peer that goes quiet for
-/// this long ends the drain early, well inside the total budget.
+/// Per-read timeout inside the blocking [`linger_close`]; a peer that
+/// goes quiet for this long ends the drain early.
 const LINGER_READ_TIMEOUT_MS: u64 = 50;
 
-/// Write timeout for the shed 503. The accept loop writes this response
-/// itself, so a peer that never reads (zero receive window) must not be
-/// able to stall it for the normal per-connection write timeout.
-const SHED_WRITE_TIMEOUT_MS: u64 = 100;
-
 /// Half-closes `stream` and drains whatever the peer still has in flight
-/// before dropping it. Closing a socket with unread bytes in its receive
-/// buffer makes the kernel send RST, and an RST destroys any response
-/// (such as the shed 503) still sitting in the peer's receive buffer —
+/// before dropping it (blocking variant, used by callers that own the
+/// socket outright, e.g. the router proxy). Closing a socket with unread
+/// bytes in its receive buffer makes the kernel send RST, and an RST
+/// destroys any response still sitting in the peer's receive buffer —
 /// lingering turns that RST into an orderly FIN. Bounded by a hard
 /// wall-clock deadline ([`LINGER_BUDGET_MS`]) so a peer trickling bytes
-/// cannot hold the drain open: each read returns quickly with data, and
-/// without the deadline a byte every few milliseconds would keep the
-/// loop alive indefinitely.
-fn linger_close(mut stream: TcpStream) {
+/// cannot hold the drain open.
+pub fn linger_close(mut stream: TcpStream) {
     let deadline = monotonic_us().saturating_add(LINGER_BUDGET_MS.saturating_mul(1_000));
     let _ = stream.set_read_timeout(Some(Duration::from_millis(LINGER_READ_TIMEOUT_MS)));
-    let _ = stream.shutdown(std::net::Shutdown::Write);
+    let _ = stream.shutdown(Shutdown::Write);
     let mut sink = [0u8; 4096];
     while monotonic_us() < deadline {
         match stream.read(&mut sink) {
@@ -289,153 +342,552 @@ fn linger_close(mut stream: TcpStream) {
     }
 }
 
-/// Answers a connection the queue refused: `503` + `Retry-After` +
-/// `Connection: close`, then a bounded lingering close. Runs on the
-/// accept loop, so both the write and the drain carry short deadlines.
-fn shed(mut stream: TcpStream, shared: &Shared) {
-    shared.metrics.shed_total.fetch_add(1, Ordering::Relaxed);
-    let body = format!(
-        "{{\"ok\":false,\"error\":\"server is at capacity, retry after {}s\"}}",
-        shared.config.retry_after_secs
-    );
-    let extra = [(
-        "Retry-After".to_owned(),
-        shared.config.retry_after_secs.to_string(),
-    )];
-    let _ = stream.set_write_timeout(Some(Duration::from_millis(SHED_WRITE_TIMEOUT_MS)));
-    let _ = stream.write_all(&write_response(
-        503,
-        "Service Unavailable",
-        "application/json",
-        &extra,
-        body.as_bytes(),
-        true,
-    ));
-    linger_close(stream);
-}
-
-/// Pops admitted connections until the queue closes and drains; returns
-/// the number of requests this worker served.
-fn worker_loop(shared: &Shared) -> usize {
-    let mut served = 0usize;
-    while let Some(stream) = shared.queue.pop() {
-        served += handle_connection(stream, shared);
-    }
-    served
-}
-
-/// Serves one connection's keep-alive request loop (with a lingering
-/// close on every exit path); returns requests served on it.
-fn handle_connection(mut stream: TcpStream, shared: &Shared) -> usize {
-    let served = connection_loop(&mut stream, shared);
-    linger_close(stream);
-    served
-}
-
-/// The keep-alive read/parse/dispatch loop behind [`handle_connection`].
-fn connection_loop(stream: &mut TcpStream, shared: &Shared) -> usize {
-    let mut parser = RequestParser::new(shared.config.limits);
-    let mut served = 0usize;
-    let mut chunk = [0u8; 8 * 1024];
-    loop {
-        let n = match stream.read(&mut chunk) {
-            Ok(0) => return served, // peer closed
-            Ok(n) => n,
-            // Idle keep-alive connection timed out (or the peer stalled):
-            // close it; during a drain this is what bounds shutdown time.
-            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
-                return served
+/// Pops dispatched requests, runs the router with panics contained, and
+/// hands the framed response back to the event loop through the
+/// completion list + waker.
+fn worker_loop(shared: &Shared) {
+    while let Some(job) = shared.queue.pop() {
+        shared.metrics.inflight.fetch_add(1, Ordering::Relaxed);
+        let start = monotonic_us();
+        // Handlers run with par_map inlined (one thread per request) and
+        // any panic that escapes the router's own containment becomes a
+        // 500 on this request, not a dead worker.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            dg_engine::inline_scope(|| shared.router.handle(&job.request))
+        }));
+        let (route, response) = match outcome {
+            Ok(pair) => pair,
+            Err(_) => {
+                shared.metrics.panics_total.fetch_add(1, Ordering::Relaxed);
+                (
+                    Route::Other,
+                    Response {
+                        status: 500,
+                        reason: "Internal Server Error",
+                        content_type: "application/json",
+                        body: Arc::new(
+                            "{\"ok\":false,\"error\":\"internal handler panic\"}".to_owned(),
+                        ),
+                    },
+                )
             }
-            Err(_) => return served,
         };
-        let mut input: &[u8] = chunk.get(..n).unwrap_or_default();
-        // Extract every complete request already buffered (pipelining):
-        // after the first, feed no new bytes and let leftovers drain.
+        let latency = monotonic_us().saturating_sub(start);
+        shared.metrics.record(route, response.status, latency);
+        shared.metrics.inflight.fetch_sub(1, Ordering::Relaxed);
+
+        let close = job.close || shared.draining.load(Ordering::SeqCst);
+        let bytes = write_response(
+            response.status,
+            response.reason,
+            response.content_type,
+            &[],
+            response.body.as_bytes(),
+            close,
+        );
+        lock_recovering(&shared.completions).push(Completion {
+            token: job.token,
+            bytes,
+            close,
+        });
+        shared.waker.notify();
+    }
+}
+
+const TOKEN_LISTENER: u64 = 0;
+const TOKEN_WAKER: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// epoll wait timeout; also the granularity of the deadline scan.
+const TICK_MS: i32 = 25;
+
+/// Where a connection's state machine currently is.
+enum ConnState {
+    /// Waiting for (more) request bytes, or flushing a response.
+    Reading,
+    /// A request is with the worker pool; epoll interest is empty, so the
+    /// peer's further bytes exert TCP backpressure instead of buffering.
+    Dispatched,
+    /// Write side shut down; sinking the peer's in-flight bytes until FIN
+    /// or the deadline.
+    Lingering { deadline_us: u64 },
+}
+
+struct Conn {
+    stream: TcpStream,
+    parser: RequestParser,
+    out: Vec<u8>,
+    out_pos: usize,
+    state: ConnState,
+    close_after_write: bool,
+    served: usize,
+    last_activity_us: u64,
+    interest: u32,
+}
+
+/// What a readiness handler decided about one connection.
+enum Action {
+    /// Nothing further; keep waiting.
+    Keep,
+    /// Close and forget the connection.
+    Drop,
+    /// A complete request parsed; dispatch it.
+    Request(Request),
+    /// The parser rejected the framing.
+    ParseError(HttpError),
+}
+
+struct EventLoop<'a> {
+    shared: &'a Shared,
+    poller: Poller,
+    listener: Option<TcpListener>,
+    wake_rx: UnixStream,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    served: usize,
+    events: Vec<(u64, u32)>,
+}
+
+impl<'a> EventLoop<'a> {
+    fn new(shared: &'a Shared, poller: Poller, listener: TcpListener, wake_rx: UnixStream) -> Self {
+        let _ = poller.add(listener.as_raw_fd(), TOKEN_LISTENER, EVENT_READ);
+        let _ = poller.add(wake_rx.as_raw_fd(), TOKEN_WAKER, EVENT_READ);
+        EventLoop {
+            shared,
+            poller,
+            listener: Some(listener),
+            wake_rx,
+            conns: HashMap::new(),
+            next_token: FIRST_CONN_TOKEN,
+            served: 0,
+            events: Vec::with_capacity(256),
+        }
+    }
+
+    fn run(mut self) -> usize {
         loop {
-            match parser.feed(input) {
-                Ok(Some(request)) => {
-                    input = &[];
-                    served += 1;
-                    if serve_one(stream, &request, shared, served).is_break() {
-                        return served;
+            if self.shared.draining.load(Ordering::SeqCst) {
+                self.begin_drain();
+                if self.conns.is_empty() {
+                    self.shared.queue.close();
+                    return self.served;
+                }
+            }
+            let mut events = std::mem::take(&mut self.events);
+            let _ = self.poller.wait(&mut events, TICK_MS);
+            for &(token, _readiness) in &events {
+                match token {
+                    TOKEN_LISTENER => self.accept_ready(),
+                    TOKEN_WAKER => drain_wakeups(&mut self.wake_rx),
+                    token => self.conn_ready(token),
+                }
+            }
+            self.events = events;
+            self.apply_completions();
+            self.scan_deadlines();
+        }
+    }
+
+    /// Stops admission (idempotent): close the listener, drop idle
+    /// connections. In-flight work — dispatched requests, partial
+    /// uploads, unflushed responses, lingers — continues to completion,
+    /// each path bounded by its own deadline.
+    fn begin_drain(&mut self) {
+        if let Some(listener) = self.listener.take() {
+            let _ = self.poller.remove(listener.as_raw_fd());
+        }
+        let idle: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| {
+                matches!(c.state, ConnState::Reading)
+                    && c.out.is_empty()
+                    && c.parser.buffered() == 0
+            })
+            .map(|(&t, _)| t)
+            .collect();
+        for token in idle {
+            self.drop_conn(token);
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let Some(listener) = &self.listener else {
+                return;
+            };
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    self.shared
+                        .metrics
+                        .connections_total
+                        .fetch_add(1, Ordering::Relaxed);
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    if self.conns.len() >= self.shared.config.max_connections {
+                        // Best-effort shed; never block the loop on it.
+                        self.shared
+                            .metrics
+                            .shed_total
+                            .fetch_add(1, Ordering::Relaxed);
+                        let mut stream = stream;
+                        let _ = stream.write(&shed_response_bytes(self.shared));
+                        continue;
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .poller
+                        .add(stream.as_raw_fd(), token, EVENT_READ)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            parser: RequestParser::new(self.shared.config.limits),
+                            out: Vec::new(),
+                            out_pos: 0,
+                            state: ConnState::Reading,
+                            close_after_write: false,
+                            served: 0,
+                            last_activity_us: monotonic_us(),
+                            interest: EVENT_READ,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                // Transient accept errors (EMFILE, ECONNABORTED): the next
+                // readiness event retries rather than killing the daemon.
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn conn_ready(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        match conn.state {
+            // Ignore readiness while dispatched (interest is empty, but
+            // level-triggered ERR/HUP still fire): the completion path
+            // discovers a dead peer at write time.
+            ConnState::Dispatched => {}
+            ConnState::Lingering { .. } => self.linger_ready(token),
+            ConnState::Reading => {
+                if conn.out_pos < conn.out.len() {
+                    self.flush(token);
+                } else {
+                    self.read_ready(token);
+                }
+            }
+        }
+    }
+
+    /// Reads until one request completes, the socket runs dry, or the
+    /// connection dies. Stops at the first complete request so pipelined
+    /// successors wait their turn in kernel + parser buffers.
+    fn read_ready(&mut self, token: u64) {
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            let action = match conn.stream.read(&mut chunk) {
+                Ok(0) => Action::Drop,
+                Ok(n) => {
+                    conn.last_activity_us = monotonic_us();
+                    match conn.parser.feed(chunk.get(..n).unwrap_or_default()) {
+                        Ok(Some(request)) => Action::Request(request),
+                        Ok(None) => continue,
+                        Err(e) => Action::ParseError(e),
                     }
                 }
-                Ok(None) => break, // need more bytes from the socket
-                Err(e) => {
-                    shared
-                        .metrics
-                        .bad_requests_total
-                        .fetch_add(1, Ordering::Relaxed);
-                    let (status, reason) = e.status();
-                    shared.metrics.record(Route::Other, status, 0);
-                    let body = format!("{{\"ok\":false,\"error\":\"{e}\"}}");
-                    let _ = stream.write_all(&write_response(
-                        status,
-                        reason,
-                        "application/json",
-                        &[],
-                        body.as_bytes(),
-                        true,
-                    ));
-                    return served; // framing is ambiguous: poison + close
-                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => Action::Keep,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => Action::Drop,
+            };
+            match action {
+                Action::Keep => return,
+                Action::Drop => return self.drop_conn(token),
+                Action::Request(request) => return self.on_request(token, request),
+                Action::ParseError(e) => return self.on_parse_error(token, e),
             }
+        }
+    }
+
+    /// A complete request: answer control routes inline, dispatch the
+    /// rest to the worker pool, shed if the queue refuses.
+    fn on_request(&mut self, token: u64, request: Request) {
+        self.served += 1;
+        let draining = self.shared.draining.load(Ordering::SeqCst);
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        conn.served += 1;
+        let close = !request.keep_alive()
+            || draining
+            || conn.served >= self.shared.config.max_requests_per_conn;
+
+        if is_inline(&request) {
+            let start = monotonic_us();
+            let outcome = catch_unwind(AssertUnwindSafe(|| self.shared.router.handle(&request)));
+            let (route, response) = match outcome {
+                Ok(pair) => pair,
+                Err(_) => {
+                    self.shared
+                        .metrics
+                        .panics_total
+                        .fetch_add(1, Ordering::Relaxed);
+                    (
+                        Route::Other,
+                        Response {
+                            status: 500,
+                            reason: "Internal Server Error",
+                            content_type: "application/json",
+                            body: Arc::new(
+                                "{\"ok\":false,\"error\":\"internal handler panic\"}".to_owned(),
+                            ),
+                        },
+                    )
+                }
+            };
+            let latency = monotonic_us().saturating_sub(start);
+            self.shared.metrics.record(route, response.status, latency);
+            // `POST /admin/drain` flips the flag inside the handler; honor
+            // it on this very response.
+            let close = close || self.shared.draining.load(Ordering::SeqCst);
+            let bytes = write_response(
+                response.status,
+                response.reason,
+                response.content_type,
+                &[],
+                response.body.as_bytes(),
+                close,
+            );
+            self.queue_write(token, bytes, close);
+            return;
+        }
+
+        // Memoized content answers straight off the loop: one JSON parse
+        // and one lock, no queue dispatch, no completion wake-up.
+        if let Some((route, response)) = self.shared.router.cached_response(&request) {
+            self.shared.metrics.record(route, response.status, 0);
+            let bytes = write_response(
+                response.status,
+                response.reason,
+                response.content_type,
+                &[],
+                response.body.as_bytes(),
+                close,
+            );
+            self.queue_write(token, bytes, close);
+            return;
+        }
+
+        match self.shared.queue.try_push(Job {
+            token,
+            request,
+            close,
+        }) {
+            Ok(()) => {
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.state = ConnState::Dispatched;
+                }
+                self.set_interest(token, 0);
+            }
+            Err(PushError::Full(_) | PushError::Closed(_)) => {
+                self.shared
+                    .metrics
+                    .shed_total
+                    .fetch_add(1, Ordering::Relaxed);
+                let bytes = shed_response_bytes(self.shared);
+                self.queue_write(token, bytes, true);
+            }
+        }
+    }
+
+    fn on_parse_error(&mut self, token: u64, error: HttpError) {
+        self.shared
+            .metrics
+            .bad_requests_total
+            .fetch_add(1, Ordering::Relaxed);
+        let (status, reason) = error.status();
+        self.shared.metrics.record(Route::Other, status, 0);
+        let body = format!("{{\"ok\":false,\"error\":\"{error}\"}}");
+        let bytes = write_response(
+            status,
+            reason,
+            "application/json",
+            &[],
+            body.as_bytes(),
+            true,
+        );
+        // Framing is ambiguous from here on: answer and close.
+        self.queue_write(token, bytes, true);
+    }
+
+    /// Stages `bytes` as the connection's pending output and flushes
+    /// optimistically.
+    fn queue_write(&mut self, token: u64, bytes: Vec<u8>, close: bool) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        conn.state = ConnState::Reading;
+        conn.out = bytes;
+        conn.out_pos = 0;
+        conn.close_after_write = close;
+        self.flush(token);
+    }
+
+    /// Writes pending output until done or the kernel pushes back; a full
+    /// flush either lingers the connection out or re-arms it for the next
+    /// request (serving a buffered pipelined one immediately).
+    fn flush(&mut self, token: u64) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.out_pos >= conn.out.len() {
+                break;
+            }
+            let pending = conn.out.get(conn.out_pos..).unwrap_or_default();
+            match conn.stream.write(pending) {
+                Ok(0) => return self.drop_conn(token),
+                Ok(n) => {
+                    conn.out_pos += n;
+                    conn.last_activity_us = monotonic_us();
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                    // Peer not draining yet: park on write readiness.
+                    return self.set_interest(token, EVENT_WRITE);
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return self.drop_conn(token),
+            }
+        }
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        conn.out = Vec::new();
+        conn.out_pos = 0;
+        if conn.close_after_write {
+            return self.begin_linger(token);
+        }
+        conn.last_activity_us = monotonic_us();
+        self.set_interest(token, EVENT_READ);
+        // Keep-alive: a pipelined successor may already be buffered.
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        match conn.parser.feed(&[]) {
+            Ok(Some(request)) => self.on_request(token, request),
+            Ok(None) => {}
+            Err(e) => self.on_parse_error(token, e),
+        }
+    }
+
+    /// Non-blocking linger: half-close, then sink reads until FIN or the
+    /// deadline scan reaps the connection.
+    fn begin_linger(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let _ = conn.stream.shutdown(Shutdown::Write);
+        conn.state = ConnState::Lingering {
+            deadline_us: monotonic_us().saturating_add(LINGER_BUDGET_MS.saturating_mul(1_000)),
+        };
+        self.set_interest(token, EVENT_READ);
+        self.linger_ready(token);
+    }
+
+    fn linger_ready(&mut self, token: u64) {
+        let mut sink = [0u8; 4096];
+        loop {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            match conn.stream.read(&mut sink) {
+                Ok(0) => return self.drop_conn(token),
+                Ok(_) => {}
+                Err(e) if e.kind() == ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(_) => return self.drop_conn(token),
+            }
+        }
+    }
+
+    /// Hands worker completions back to their connections' state machines.
+    fn apply_completions(&mut self) {
+        let done = std::mem::take(&mut *lock_recovering(&self.shared.completions));
+        for completion in done {
+            // The connection may have died while its request was in
+            // flight; tokens are never recycled, so a stale completion
+            // simply misses.
+            if self.conns.contains_key(&completion.token) {
+                self.queue_write(completion.token, completion.bytes, completion.close);
+            }
+        }
+    }
+
+    /// Reaps idle connections, stalled writers, and expired lingers.
+    fn scan_deadlines(&mut self) {
+        let now = monotonic_us();
+        let idle_budget_us = self
+            .shared
+            .config
+            .read_timeout_ms
+            .max(1)
+            .saturating_mul(1_000);
+        let expired: Vec<u64> = self
+            .conns
+            .iter()
+            .filter(|(_, c)| match c.state {
+                ConnState::Lingering { deadline_us } => now >= deadline_us,
+                // Covers idle keep-alive, stalled heads/bodies, and peers
+                // not draining their response (write stall): any quiet
+                // period past the read timeout closes the connection.
+                ConnState::Reading => now.saturating_sub(c.last_activity_us) >= idle_budget_us,
+                // The worker owns the deadline while dispatched.
+                ConnState::Dispatched => false,
+            })
+            .map(|(&t, _)| t)
+            .collect();
+        for token in expired {
+            self.drop_conn(token);
+        }
+    }
+
+    fn set_interest(&mut self, token: u64, interest: u32) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if conn.interest != interest {
+            let _ = self.poller.modify(conn.stream.as_raw_fd(), token, interest);
+            conn.interest = interest;
+        }
+    }
+
+    fn drop_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self.poller.remove(conn.stream.as_raw_fd());
         }
     }
 }
 
-/// Dispatches one request and writes the response. `Break` means the
-/// connection must close.
-fn serve_one(
-    stream: &mut TcpStream,
-    request: &Request,
-    shared: &Shared,
-    served_on_conn: usize,
-) -> std::ops::ControlFlow<()> {
-    shared.metrics.inflight.fetch_add(1, Ordering::Relaxed);
-    let start = monotonic_us();
-    // Handlers run with par_map inlined (one thread per request) and any
-    // panic that escapes the router's own containment becomes a 500.
-    let outcome = catch_unwind(AssertUnwindSafe(|| {
-        dg_engine::inline_scope(|| shared.router.handle(request))
-    }));
-    let (route, response) = match outcome {
-        Ok(pair) => pair,
-        Err(_) => {
-            shared.metrics.panics_total.fetch_add(1, Ordering::Relaxed);
-            (
-                Route::Other,
-                crate::routes::Response {
-                    status: 500,
-                    reason: "Internal Server Error",
-                    content_type: "application/json",
-                    body: Arc::new(
-                        "{\"ok\":false,\"error\":\"internal handler panic\"}".to_owned(),
-                    ),
-                },
-            )
-        }
-    };
-    let latency = monotonic_us().saturating_sub(start);
-    shared.metrics.record(route, response.status, latency);
-    shared.metrics.inflight.fetch_sub(1, Ordering::Relaxed);
-
-    let close = !request.keep_alive()
-        || shared.draining.load(Ordering::SeqCst)
-        || served_on_conn >= shared.config.max_requests_per_conn;
-    let bytes = write_response(
-        response.status,
-        response.reason,
-        response.content_type,
-        &[],
-        response.body.as_bytes(),
-        close,
-    );
-    if stream.write_all(&bytes).is_err() || close {
-        std::ops::ControlFlow::Break(())
-    } else {
-        std::ops::ControlFlow::Continue(())
-    }
+/// Routes cheap enough (and important enough) to answer on the event loop
+/// itself: liveness and metrics stay observable under full compute
+/// overload, and `POST /admin/drain` cannot be shed by the very pressure
+/// it relieves.
+fn is_inline(request: &Request) -> bool {
+    matches!(
+        (request.method.as_str(), request.target.as_str()),
+        ("GET", "/healthz") | ("GET", "/metrics") | ("POST", "/admin/drain")
+    )
 }
 
 #[cfg(test)]
@@ -454,7 +906,7 @@ mod tests {
     fn talk(addr: SocketAddr, raw: &[u8]) -> String {
         let mut s = TcpStream::connect(addr).expect("connect");
         s.write_all(raw).expect("write");
-        let _ = s.shutdown(std::net::Shutdown::Write);
+        let _ = s.shutdown(Shutdown::Write);
         let mut out = Vec::new();
         let _ = s.read_to_end(&mut out);
         String::from_utf8_lossy(&out).into_owned()
@@ -508,6 +960,138 @@ mod tests {
     }
 
     #[test]
+    fn pipelined_requests_are_served_in_order_on_one_connection() {
+        let handle = Server::start(tiny_config()).expect("bind");
+        let mut s = TcpStream::connect(handle.local_addr()).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        // Three requests in one write; the last one asks to close, so
+        // read_to_end frames the burst.
+        s.write_all(
+            b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n\
+              GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n\
+              GET /healthz HTTP/1.1\r\nHost: t\r\nConnection: close\r\n\r\n",
+        )
+        .expect("write");
+        let mut out = Vec::new();
+        let _ = s.read_to_end(&mut out);
+        let text = String::from_utf8_lossy(&out);
+        assert_eq!(
+            text.matches("HTTP/1.1 200 OK").count(),
+            3,
+            "all three pipelined requests answered: {text}"
+        );
+        let report = handle.shutdown();
+        assert!(report.clean);
+        assert_eq!(report.requests_served, 3);
+    }
+
+    #[test]
+    fn half_read_head_completes_across_readiness_events() {
+        let handle = Server::start(tiny_config()).expect("bind");
+        let mut s = TcpStream::connect(handle.local_addr()).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        // The head arrives in three fragments with genuine gaps, so the
+        // loop sees readable events with an incomplete parse in between.
+        for fragment in [
+            &b"GET /hea"[..],
+            &b"lthz HTTP/1.1\r\nHo"[..],
+            &b"st: t\r\nConnection: close\r\n\r\n"[..],
+        ] {
+            s.write_all(fragment).expect("write fragment");
+            thread::sleep(Duration::from_millis(40));
+        }
+        let mut out = Vec::new();
+        let _ = s.read_to_end(&mut out);
+        let text = String::from_utf8_lossy(&out);
+        assert!(text.starts_with("HTTP/1.1 200 OK"), "{text}");
+        assert!(handle.shutdown().clean);
+    }
+
+    #[test]
+    fn large_body_survives_short_writes_to_a_slow_reader() {
+        let handle = Server::start(ServerConfig {
+            read_timeout_ms: 2_000,
+            ..tiny_config()
+        })
+        .expect("bind");
+        let mut s = TcpStream::connect(handle.local_addr()).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(10)))
+            .expect("timeout");
+        // A ~600 KB sweep response: far beyond the socket buffers, so the
+        // server's optimistic write hits WouldBlock and the connection
+        // parks on EPOLLOUT while we drain it slowly.
+        let body = br#"{"variant":"gated","points":20000,"decimate":1}"#;
+        let head = format!(
+            "POST /v1/sweep HTTP/1.1\r\nHost: t\r\nConnection: close\r\nContent-Length: {}\r\n\r\n",
+            body.len()
+        );
+        s.write_all(head.as_bytes()).expect("head");
+        s.write_all(body).expect("body");
+        let mut out = Vec::new();
+        let mut chunk = [0u8; 4096];
+        loop {
+            match s.read(&mut chunk) {
+                Ok(0) => break,
+                Ok(n) => {
+                    out.extend_from_slice(chunk.get(..n).unwrap_or_default());
+                    thread::sleep(Duration::from_millis(2));
+                }
+                Err(e) => panic!("slow read failed after {} bytes: {e}", out.len()),
+            }
+        }
+        let text = String::from_utf8_lossy(&out);
+        assert!(
+            text.starts_with("HTTP/1.1 200 OK"),
+            "{}",
+            &text[..text.len().min(200)]
+        );
+        let content_length: usize = text
+            .lines()
+            .find_map(|l| l.strip_prefix("Content-Length: "))
+            .expect("Content-Length header")
+            .trim()
+            .parse()
+            .expect("numeric");
+        let body_start = out
+            .windows(4)
+            .position(|w| w == b"\r\n\r\n")
+            .expect("head terminator")
+            + 4;
+        assert_eq!(
+            out.len() - body_start,
+            content_length,
+            "the full body must arrive intact through short writes"
+        );
+        assert!(content_length > 400_000, "response is genuinely large");
+        assert!(handle.shutdown().clean);
+    }
+
+    #[test]
+    fn keep_alive_idle_past_read_timeout_is_closed_by_the_server() {
+        let handle = Server::start(tiny_config()).expect("bind");
+        let mut s = TcpStream::connect(handle.local_addr()).expect("connect");
+        s.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
+        s.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n")
+            .expect("write");
+        let mut buf = [0u8; 2048];
+        let n = s.read(&mut buf).expect("reply");
+        assert!(n > 0);
+        // Go idle past the 200 ms read timeout: the server must close.
+        let start = monotonic_us();
+        let eof = s.read(&mut buf).expect("server FIN, not client timeout");
+        let elapsed_ms = monotonic_us().saturating_sub(start) / 1_000;
+        assert_eq!(eof, 0, "idle keep-alive connection must be closed");
+        assert!(
+            (150..4_000).contains(&elapsed_ms),
+            "close arrived after {elapsed_ms} ms for a 200 ms idle budget"
+        );
+        assert!(handle.shutdown().clean);
+    }
+
+    #[test]
     fn linger_close_is_bounded_against_trickling_peers() {
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
         let addr = listener.local_addr().expect("addr");
@@ -543,36 +1127,68 @@ mod tests {
     }
 
     #[test]
-    fn shed_503_carries_connection_close_and_retry_after() {
-        // Drive shed() directly over a real socket pair so the assertion
-        // covers the exact bytes the accept loop puts on the wire.
-        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
-        let addr = listener.local_addr().expect("addr");
-        let client = thread::spawn(move || {
-            let mut s = TcpStream::connect(addr).expect("connect");
-            let _ = s.set_read_timeout(Some(Duration::from_secs(5)));
-            let mut out = Vec::new();
-            let _ = s.read_to_end(&mut out);
-            String::from_utf8_lossy(&out).into_owned()
-        });
-        let (server_side, _) = listener.accept().expect("accept");
-        let shared = Shared {
-            config: tiny_config(),
-            metrics: Arc::new(Metrics::default()),
-            router: Router::new(
-                Arc::new(Metrics::default()),
-                Arc::new(AtomicBool::new(false)),
-                false,
-            ),
-            draining: Arc::new(AtomicBool::new(false)),
-            queue: BoundedQueue::new(1),
-        };
-        shed(server_side, &shared);
-        let reply = client.join().expect("client");
-        assert!(reply.starts_with("HTTP/1.1 503"), "{reply}");
-        assert!(reply.contains("Connection: close"), "{reply}");
-        assert!(reply.contains("Retry-After: 1"), "{reply}");
-        assert_eq!(shared.metrics.shed_total.load(Ordering::Relaxed), 1);
+    fn retry_after_grows_with_queue_depth_and_stays_bounded() {
+        assert_eq!(retry_after_secs(1, 0, 64), 1, "empty queue: just the base");
+        assert_eq!(retry_after_secs(1, 64, 64), 4, "full queue: base + 3");
+        assert_eq!(retry_after_secs(1, 32, 64), 2, "half full");
+        let mut last = 0;
+        for len in 0..=128 {
+            let secs = retry_after_secs(1, len, 128);
+            assert!(secs >= last, "must be monotone in queue depth");
+            last = secs;
+        }
+        assert_eq!(retry_after_secs(29, 1000, 1), 30, "capped at 30 s");
+        assert_eq!(retry_after_secs(1, 5, 0), 30, "zero capacity cannot divide");
+    }
+
+    #[test]
+    fn shed_503_carries_depth_derived_retry_after_and_close() {
+        // One worker, queue depth 1: concurrent slow requests force the
+        // dispatch path to shed with the full-queue Retry-After.
+        let handle = Server::start(ServerConfig {
+            workers: 1,
+            queue_depth: 1,
+            enable_debug_routes: true,
+            ..tiny_config()
+        })
+        .expect("bind");
+        let addr = handle.local_addr();
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                thread::spawn(move || {
+                    talk(
+                        addr,
+                        b"POST /v1/debug/sleep HTTP/1.1\r\nHost: t\r\nContent-Length: 11\r\n\r\n{\"ms\": 300}",
+                    )
+                })
+            })
+            .collect();
+        let mut shed = 0u64;
+        for t in threads {
+            let reply = t.join().expect("client");
+            if reply.starts_with("HTTP/1.1 503") {
+                shed += 1;
+                assert!(reply.contains("Connection: close"), "{reply}");
+                let retry: u32 = reply
+                    .lines()
+                    .find_map(|l| l.strip_prefix("Retry-After: "))
+                    .expect("Retry-After header")
+                    .trim()
+                    .parse()
+                    .expect("numeric Retry-After");
+                // Shed happens with the queue at (or near) capacity, so
+                // the depth penalty must be visible over the base of 1.
+                assert!(
+                    (1..=4).contains(&retry),
+                    "depth-derived Retry-After out of range: {retry}"
+                );
+            } else {
+                assert!(reply.starts_with("HTTP/1.1 200"), "{reply}");
+            }
+        }
+        assert!(shed >= 1, "8 concurrent sleeps on 1 worker must shed");
+        assert_eq!(handle.metrics().shed_total.load(Ordering::Relaxed), shed);
+        assert!(handle.shutdown().clean);
     }
 
     #[test]
@@ -581,9 +1197,10 @@ mod tests {
         let addr = handle.local_addr();
         handle.request_drain();
         assert!(handle.is_draining());
-        // Give the accept loop a poll interval to notice.
-        thread::sleep(Duration::from_millis(50));
-        // New connections are now either refused outright or shed.
+        // Give the event loop a tick to notice and close the listener.
+        thread::sleep(Duration::from_millis(100));
+        // New connections are now refused outright (or, if they raced the
+        // listener close, answered and closed).
         if let Ok(mut s) = TcpStream::connect(addr) {
             let _ = s.write_all(b"GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
             let mut out = Vec::new();

@@ -6,7 +6,7 @@
 //! step: same assertions, but against `Server::start` in-process, so a
 //! regression is caught by `cargo test` without building binaries.
 
-use dg_serve::client::{http_request, run_mix};
+use dg_serve::client::{http_request, run_mix, run_mix_with, MixKind, RunOptions};
 use dg_serve::http::ParserLimits;
 use dg_serve::json::{self, Json};
 use dg_serve::{Server, ServerConfig};
@@ -157,6 +157,85 @@ fn forced_overload_sheds_with_503_and_retry_after_only() {
 }
 
 #[test]
+fn shed_requests_recover_under_a_followup_burst() {
+    // Regression for the shedding path: a burst that forces 503s must not
+    // poison the server — an immediately following burst of valid traffic
+    // has to come back entirely 2xx.
+    let handle = start(ServerConfig {
+        workers: 1,
+        queue_depth: 1,
+        ..small()
+    });
+    let addr = handle.local_addr();
+
+    let threads: Vec<_> = (0..8)
+        .map(|_| {
+            std::thread::spawn(move || {
+                http_request(addr, "POST", "/v1/debug/sleep", Some(r#"{"ms":300}"#))
+                    .expect("transport")
+                    .status
+            })
+        })
+        .collect();
+    let mut shed = 0;
+    for t in threads {
+        match t.join().expect("client thread") {
+            200 => {}
+            503 => shed += 1,
+            other => panic!("overload must answer 200 or 503, got {other}"),
+        }
+    }
+    assert!(shed >= 1, "the setup burst must actually shed");
+
+    // Recovery: the same server, serial valid-only keep-alive traffic.
+    // (One request in flight never fills even a depth-1 queue, so any
+    // shed here means the burst left the admission path wedged.)
+    let report = run_mix_with(
+        addr,
+        &RunOptions {
+            n: 100,
+            seed: 7,
+            concurrency: 1,
+            kind: MixKind::Valid,
+            keep_alive: true,
+        },
+    );
+    assert_eq!(report.requests, 100);
+    assert_eq!(
+        report.ok_2xx, 100,
+        "post-shed valid traffic must be all-2xx: {report:?}"
+    );
+    assert_eq!(report.transport_errors, 0, "{report:?}");
+    assert!(handle.shutdown().clean);
+}
+
+#[test]
+fn keep_alive_valid_mix_is_error_free_end_to_end() {
+    let handle = start(ServerConfig {
+        workers: 4,
+        queue_depth: 64,
+        ..small()
+    });
+    let report = run_mix_with(
+        handle.local_addr(),
+        &RunOptions {
+            n: 200,
+            seed: 42,
+            concurrency: 8,
+            kind: MixKind::Valid,
+            keep_alive: true,
+        },
+    );
+    assert_eq!(report.requests, 200);
+    assert_eq!(report.ok_2xx, 200, "{report:?}");
+    assert_eq!(report.err_4xx, 0, "{report:?}");
+    assert_eq!(report.transport_errors, 0, "{report:?}");
+    assert!(report.p50_us() > 0 && report.p99_us() >= report.p50_us());
+    let drained = handle.shutdown();
+    assert!(drained.clean);
+}
+
+#[test]
 fn concurrent_identical_sweeps_coalesce_to_one_leader() {
     let handle = start(ServerConfig {
         workers: 6,
@@ -177,6 +256,7 @@ fn concurrent_identical_sweeps_coalesce_to_one_leader() {
         );
         let before_leaders = metrics.coalesce_leaders_total.load(Ordering::Relaxed);
         let before_followers = metrics.coalesced_total.load(Ordering::Relaxed);
+        let before_hits = metrics.resp_cache_hits_total.load(Ordering::Relaxed);
         let threads: Vec<_> = (0..6)
             .map(|_| {
                 let body = body.clone();
@@ -192,10 +272,11 @@ fn concurrent_identical_sweeps_coalesce_to_one_leader() {
         }
         let leaders = metrics.coalesce_leaders_total.load(Ordering::Relaxed) - before_leaders;
         let followers = metrics.coalesced_total.load(Ordering::Relaxed) - before_followers;
+        let cache_hits = metrics.resp_cache_hits_total.load(Ordering::Relaxed) - before_hits;
         assert_eq!(
-            leaders + followers,
+            leaders + followers + cache_hits,
             6,
-            "all six requests pass the coalescer"
+            "every request is a leader, a coalesced follower, or a response-cache hit"
         );
         assert!(leaders >= 1);
         if followers >= 1 {
