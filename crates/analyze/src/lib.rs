@@ -17,6 +17,20 @@
 //! * `doc-coverage` — every public item is documented.
 //! * `dep-hygiene` — only vendored path/workspace dependencies.
 //!
+//! On top of the per-file rules, a flow pass ([`flow`], fed by the
+//! item/scope parser in [`scope`]) reasons across functions and crates:
+//!
+//! * `lock-order` — the workspace-wide tracked-lock acquisition graph must
+//!   be acyclic; `--witness FILE` additionally cross-checks runtime
+//!   acquisition orders recorded by `dg-engine`'s `lock-witness` feature
+//!   against it ([`witness`]).
+//! * `guard-across-blocking` — no live guard spans a blocking call in
+//!   `dg-serve`/`dg-pdn`.
+//! * `no-blocking-in-event-loop` — nothing reachable from an epoll pump in
+//!   `dg-serve` may block.
+//! * `swallowed-result` — `let _ =` never discards a workspace `Result` in
+//!   the no-panic crates.
+//!
 //! Violations can be suppressed, with a mandatory reason, via
 //! `// dg-analyze: allow(rule, reason = "…")` ([`allow`]); stale or
 //! reason-less suppressions are themselves violations, so the tree stays
@@ -24,11 +38,14 @@
 //! `#[test]` harness (`tests/workspace_clean.rs`), or the CI step.
 
 pub mod allow;
+pub mod flow;
 pub mod lexer;
 pub mod manifest;
 pub mod rules;
+pub mod scope;
+pub mod witness;
 
-use crate::allow::collect_allows;
+use crate::allow::{collect_allows, Allow, BadAllow};
 use crate::rules::{Finding, RuleId};
 use std::fmt;
 use std::fs;
@@ -152,6 +169,33 @@ pub fn analyze_workspace(root: &Path) -> io::Result<Report> {
 /// [`RuleId::AllowSyntax`] is always implied: suppression hygiene cannot
 /// be opted out of.
 pub fn analyze_workspace_rules(root: &Path, enabled: &[RuleId]) -> io::Result<Report> {
+    analyze_workspace_witness(root, enabled, None)
+}
+
+/// One loaded source file, carried between the per-file and flow phases.
+struct FileData {
+    crate_name: String,
+    rel: PathBuf,
+    kind: FileKind,
+    src: String,
+    lexed: lexer::Lexed,
+    allows: Vec<Allow>,
+    bad_allows: Vec<BadAllow>,
+    findings: Vec<Finding>,
+}
+
+/// Analyses the workspace, optionally cross-checking a runtime lock-order
+/// witness file (see [`witness`]) against the static graph.
+///
+/// The engine runs in two phases: a per-file pass (local rules, allow
+/// collection), then the workspace-wide flow pass whose findings are
+/// attributed back to their files and filtered through the same
+/// allow-comments.
+pub fn analyze_workspace_witness(
+    root: &Path,
+    enabled: &[RuleId],
+    witness_path: Option<&Path>,
+) -> io::Result<Report> {
     let mut report = Report::default();
     let crates_dir = root.join("crates");
     let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
@@ -161,6 +205,8 @@ pub fn analyze_workspace_rules(root: &Path, enabled: &[RuleId]) -> io::Result<Re
         .collect();
     crate_dirs.sort();
 
+    // Phase 1: load + lex every source file and run the per-file rules.
+    let mut data: Vec<FileData> = Vec::new();
     for crate_dir in &crate_dirs {
         let crate_name = crate_package_name(crate_dir)?;
         let mut files = Vec::new();
@@ -171,8 +217,77 @@ pub fn analyze_workspace_rules(root: &Path, enabled: &[RuleId]) -> io::Result<Re
             if kind == FileKind::Aux {
                 continue;
             }
-            analyze_file(root, &crate_name, &file, kind, enabled, &mut report)?;
+            data.push(load_file(root, &crate_name, &file, kind, enabled)?);
+            report.files_scanned += 1;
         }
+    }
+
+    // Phase 2: workspace-wide flow rules.
+    let flow_inputs: Vec<flow::FileFlow> = data
+        .iter()
+        .map(|d| flow::FileFlow {
+            crate_name: d.crate_name.clone(),
+            rel: d.rel.display().to_string(),
+            is_lib: d.kind == FileKind::Lib,
+            lexed: &d.lexed,
+            src: &d.src,
+            allows: d
+                .allows
+                .iter()
+                .enumerate()
+                .filter_map(|(i, a)| {
+                    RuleId::parse(&a.rule).map(|rule| flow::FlowAllow {
+                        index: i,
+                        rule,
+                        target_line: a.target_line,
+                    })
+                })
+                .collect(),
+        })
+        .collect();
+    let flow_report = flow::analyze_flow(&flow_inputs, enabled);
+    drop(flow_inputs);
+    for (file_idx, finding) in flow_report.findings {
+        data[file_idx].findings.push(finding);
+    }
+
+    // Phase 3: cross-check the runtime witness against the static graph.
+    if let Some(path) = witness_path {
+        let text = fs::read_to_string(path)?;
+        let lines: Vec<&str> = text.lines().collect();
+        let findings = match witness::parse_witness(&text) {
+            Ok(w) => witness::check_witness(&w, &flow_report.graph),
+            Err((line, error)) => vec![Finding {
+                rule: RuleId::LockOrder,
+                line,
+                message: format!("malformed witness file: {error}"),
+                help: "regenerate the witness (dg-chaos --smoke --witness FILE, built with \
+                       --features dg-engine/lock-witness)"
+                    .into(),
+            }],
+        };
+        let rel = path.strip_prefix(root).unwrap_or(path).to_path_buf();
+        for f in findings {
+            report.violations.push(Violation {
+                rule: f.rule,
+                path: rel.clone(),
+                line: f.line,
+                message: f.message,
+                snippet: snippet_of(&lines, f.line),
+                help: f.help,
+            });
+        }
+    }
+
+    // Phase 4: allow-comment filtering and suppression hygiene per file.
+    for (file_idx, d) in data.into_iter().enumerate() {
+        let pre_consumed: Vec<usize> = flow_report
+            .consumed
+            .iter()
+            .filter(|(f, _)| *f == file_idx)
+            .map(|(_, a)| *a)
+            .collect();
+        filter_file(d, enabled, &pre_consumed, &mut report);
     }
 
     if enabled.contains(&RuleId::DepHygiene) {
@@ -215,21 +330,17 @@ pub fn analyze_workspace_rules(root: &Path, enabled: &[RuleId]) -> io::Result<Re
     Ok(report)
 }
 
-/// Runs the enabled source rules over one file and folds the surviving
-/// violations into `report`.
-fn analyze_file(
+/// Loads one source file and runs the per-file rules over it.
+fn load_file(
     root: &Path,
     crate_name: &str,
     file: &Path,
     kind: FileKind,
     enabled: &[RuleId],
-    report: &mut Report,
-) -> io::Result<()> {
+) -> io::Result<FileData> {
     let src = fs::read_to_string(file)?;
     let lexed = lexer::lex(&src);
     let rel = file.strip_prefix(root).unwrap_or(file).to_path_buf();
-    let lines: Vec<&str> = src.lines().collect();
-    report.files_scanned += 1;
 
     let is_lib = kind == FileKind::Lib;
     let mut findings: Vec<Finding> = Vec::new();
@@ -267,9 +378,42 @@ fn analyze_file(
         }
     }
 
-    // Allow-comment filtering.
     let (allows, bad_allows) = collect_allows(&lexed);
+    Ok(FileData {
+        crate_name: crate_name.to_string(),
+        rel,
+        kind,
+        src,
+        lexed,
+        allows,
+        bad_allows,
+        findings,
+    })
+}
+
+/// Applies allow-comment filtering and suppression hygiene to one file's
+/// accumulated findings (per-file and flow), folding survivors into the
+/// report. `pre_consumed` lists allow indices already consumed by the flow
+/// pass's edge pruning.
+fn filter_file(d: FileData, enabled: &[RuleId], pre_consumed: &[usize], report: &mut Report) {
+    let FileData {
+        crate_name,
+        rel,
+        kind,
+        src,
+        lexed: _,
+        allows,
+        bad_allows,
+        findings,
+    } = d;
+    let is_lib = kind == FileKind::Lib;
+    let lines: Vec<&str> = src.lines().collect();
     let mut allow_used = vec![false; allows.len()];
+    for &i in pre_consumed {
+        if let Some(slot) = allow_used.get_mut(i) {
+            *slot = true;
+        }
+    }
     for finding in findings {
         let mut suppressed = false;
         for (i, a) in allows.iter().enumerate() {
@@ -318,11 +462,16 @@ fn analyze_file(
         } else if enabled.contains(&RuleId::parse(&a.rule).unwrap_or(RuleId::AllowSyntax)) {
             // Only police staleness when the named rule actually ran, so a
             // `--rule` filtered invocation doesn't misreport live allows.
+            let name = crate_name.as_str();
             let in_scope = match RuleId::parse(&a.rule) {
-                Some(RuleId::NoPanicInLib) => is_lib && NO_PANIC_CRATES.contains(&crate_name),
-                Some(RuleId::UnitHygiene) => is_lib && UNIT_CRATES.contains(&crate_name),
-                Some(RuleId::DeterminismHygiene) => DETERMINISM_CRATES.contains(&crate_name),
+                Some(RuleId::NoPanicInLib) => is_lib && NO_PANIC_CRATES.contains(&name),
+                Some(RuleId::UnitHygiene) => is_lib && UNIT_CRATES.contains(&name),
+                Some(RuleId::DeterminismHygiene) => DETERMINISM_CRATES.contains(&name),
                 Some(RuleId::DocCoverage) => is_lib,
+                Some(RuleId::LockOrder) => true,
+                Some(RuleId::GuardAcrossBlocking) => flow::GUARD_BLOCKING_CRATES.contains(&name),
+                Some(RuleId::NoBlockingInEventLoop) => name == flow::EVENT_LOOP_CRATE,
+                Some(RuleId::SwallowedResult) => is_lib && NO_PANIC_CRATES.contains(&name),
                 _ => false,
             };
             if in_scope {
@@ -340,7 +489,6 @@ fn analyze_file(
             }
         }
     }
-    Ok(())
 }
 
 /// `true` when `name.rs` / `name/mod.rs` next to `parent_file` starts with

@@ -1,23 +1,30 @@
 //! The `dg-analyze` command-line interface.
 //!
 //! ```text
-//! dg-analyze [--root DIR] [--rule RULE]... [--quiet] [--list-rules]
+//! dg-analyze [--root DIR] [--rule RULE]... [--witness FILE] [--quiet] [--list-rules]
 //! ```
 //!
 //! Exits 0 on a clean tree. Otherwise the exit code is the OR of one bit
 //! per failing rule (`no-panic-in-lib` = 1, `unit-hygiene` = 2,
 //! `determinism-hygiene` = 4, `doc-coverage` = 8, `dep-hygiene` = 16,
-//! `allow-syntax` = 32), so CI logs show *which* family of invariant broke
-//! at a glance.
+//! `allow-syntax` = 32, `lock-order` = 64, `guard-across-blocking` = 128,
+//! `no-blocking-in-event-loop` = 256, `swallowed-result` = 512), so CI
+//! logs show *which* family of invariant broke at a glance.
+//!
+//! `--witness FILE` cross-checks a runtime lock-order witness (recorded by
+//! `dg-engine`'s `lock-witness` feature, e.g. via `dg-chaos --smoke
+//! --witness FILE`) against the static lock-order graph; mismatches report
+//! under the `lock-order` bit against the witness file.
 
 use dg_analyze::rules::RuleId;
-use dg_analyze::{analyze_workspace_rules, Report};
+use dg_analyze::{analyze_workspace_witness, Report};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let mut root: Option<PathBuf> = None;
     let mut enabled: Vec<RuleId> = Vec::new();
+    let mut witness: Option<PathBuf> = None;
     let mut quiet = false;
 
     let mut args = std::env::args().skip(1);
@@ -30,6 +37,10 @@ fn main() -> ExitCode {
             "--rule" => match args.next().as_deref().and_then(RuleId::parse) {
                 Some(rule) => enabled.push(rule),
                 None => return usage("--rule needs a known rule name (see --list-rules)"),
+            },
+            "--witness" => match args.next() {
+                Some(file) => witness = Some(PathBuf::from(file)),
+                None => return usage("--witness needs a file path"),
             },
             "--quiet" | "-q" => quiet = true,
             "--list-rules" => {
@@ -46,9 +57,11 @@ fn main() -> ExitCode {
             "--help" | "-h" => {
                 println!(
                     "dg-analyze: DarkGates workspace lint engine\n\n\
-                     USAGE: dg-analyze [--root DIR] [--rule RULE]... [--quiet] [--list-rules]\n\n\
+                     USAGE: dg-analyze [--root DIR] [--rule RULE]... [--witness FILE] \
+                     [--quiet] [--list-rules]\n\n\
                      Without --rule, every rule runs. The exit code ORs one bit per\n\
-                     failing rule; 0 means the tree is clean."
+                     failing rule; 0 means the tree is clean. --witness cross-checks a\n\
+                     runtime lock-order witness file against the static graph."
                 );
                 return ExitCode::SUCCESS;
             }
@@ -63,7 +76,7 @@ fn main() -> ExitCode {
         enabled
     };
 
-    let report = match analyze_workspace_rules(&root, &enabled) {
+    let report = match analyze_workspace_witness(&root, &enabled, witness.as_deref()) {
         Ok(report) => report,
         Err(err) => {
             eprintln!("dg-analyze: cannot analyze {}: {err}", root.display());

@@ -25,17 +25,31 @@ pub enum RuleId {
     DepHygiene,
     /// Malformed, reason-less, or unused `dg-analyze:` directives.
     AllowSyntax,
+    /// Cycles (including self-loops) in the workspace-wide lock-order
+    /// graph, plus runtime-witness edges the static graph cannot explain.
+    LockOrder,
+    /// A live lock guard spanning a blocking operation (file I/O, channel
+    /// recv, thread join) in the serve/pdn tiers.
+    GuardAcrossBlocking,
+    /// Blocking operations reachable from an epoll event-loop thread.
+    NoBlockingInEventLoop,
+    /// `let _ =` discarding a `Result` returned by a workspace function.
+    SwallowedResult,
 }
 
 impl RuleId {
     /// All rules, in reporting order.
-    pub const ALL: [RuleId; 6] = [
+    pub const ALL: [RuleId; 10] = [
         RuleId::NoPanicInLib,
         RuleId::UnitHygiene,
         RuleId::DeterminismHygiene,
         RuleId::DocCoverage,
         RuleId::DepHygiene,
         RuleId::AllowSyntax,
+        RuleId::LockOrder,
+        RuleId::GuardAcrossBlocking,
+        RuleId::NoBlockingInEventLoop,
+        RuleId::SwallowedResult,
     ];
 
     /// The kebab-case rule name used in diagnostics and allow-comments.
@@ -47,6 +61,10 @@ impl RuleId {
             RuleId::DocCoverage => "doc-coverage",
             RuleId::DepHygiene => "dep-hygiene",
             RuleId::AllowSyntax => "allow-syntax",
+            RuleId::LockOrder => "lock-order",
+            RuleId::GuardAcrossBlocking => "guard-across-blocking",
+            RuleId::NoBlockingInEventLoop => "no-blocking-in-event-loop",
+            RuleId::SwallowedResult => "swallowed-result",
         }
     }
 
@@ -84,6 +102,23 @@ impl RuleId {
                 "dg-analyze: directives must parse, carry a reason, and suppress \
                  at least one violation"
             }
+            RuleId::LockOrder => {
+                "the workspace-wide lock-order graph (tracked-lock classes, with \
+                 cross-function propagation) must be acyclic; --witness also \
+                 cross-checks runtime acquisition orders against it"
+            }
+            RuleId::GuardAcrossBlocking => {
+                "no live lock guard may span a blocking call (file I/O, channel \
+                 recv, thread join) in dg-serve or dg-pdn"
+            }
+            RuleId::NoBlockingInEventLoop => {
+                "no blocking operation may be reachable from an epoll event-loop \
+                 thread's dispatch functions in dg-serve"
+            }
+            RuleId::SwallowedResult => {
+                "`let _ =` must not discard a Result returned by a workspace \
+                 function in the no-panic crates"
+            }
         }
     }
 }
@@ -101,12 +136,12 @@ pub struct Finding {
     pub help: String,
 }
 
-fn is_ident_byte(b: u8) -> bool {
+pub(crate) fn is_ident_byte(b: u8) -> bool {
     b.is_ascii_alphanumeric() || b == b'_'
 }
 
 /// Yields `(start, end)` byte spans of identifiers in `text`.
-fn idents(text: &str) -> Vec<(usize, usize)> {
+pub(crate) fn idents(text: &str) -> Vec<(usize, usize)> {
     let bytes = text.as_bytes();
     let mut out = Vec::new();
     let mut i = 0;
@@ -125,7 +160,7 @@ fn idents(text: &str) -> Vec<(usize, usize)> {
 }
 
 /// First non-whitespace byte at or after `i`.
-fn next_nonspace(bytes: &[u8], mut i: usize) -> Option<(usize, u8)> {
+pub(crate) fn next_nonspace(bytes: &[u8], mut i: usize) -> Option<(usize, u8)> {
     while i < bytes.len() {
         if !bytes[i].is_ascii_whitespace() {
             return Some((i, bytes[i]));
@@ -136,7 +171,7 @@ fn next_nonspace(bytes: &[u8], mut i: usize) -> Option<(usize, u8)> {
 }
 
 /// Last non-whitespace byte strictly before `i`.
-fn prev_nonspace(bytes: &[u8], i: usize) -> Option<(usize, u8)> {
+pub(crate) fn prev_nonspace(bytes: &[u8], i: usize) -> Option<(usize, u8)> {
     let mut j = i;
     while j > 0 {
         j -= 1;
@@ -358,7 +393,7 @@ fn is_pub_fn(masked: &str, ids: &[(usize, usize)], idx: usize) -> bool {
 
 /// Starting at the `<` at `i`, returns the offset just past the matching
 /// `>` (treating `->` as an arrow, not a close).
-fn skip_generics(bytes: &[u8], i: usize) -> Option<usize> {
+pub(crate) fn skip_generics(bytes: &[u8], i: usize) -> Option<usize> {
     let mut depth = 0usize;
     let mut j = i;
     while j < bytes.len() {
@@ -379,7 +414,7 @@ fn skip_generics(bytes: &[u8], i: usize) -> Option<usize> {
 }
 
 /// Offset of the `)` matching the `(` at `open`.
-fn matching_paren(bytes: &[u8], open: usize) -> Option<usize> {
+pub(crate) fn matching_paren(bytes: &[u8], open: usize) -> Option<usize> {
     let mut depth = 0usize;
     let mut j = open;
     while j < bytes.len() {

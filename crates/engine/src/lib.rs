@@ -33,12 +33,14 @@
 //! variable, then `RAYON_NUM_THREADS` (honoured for familiarity), then
 //! [`std::thread::available_parallelism`].
 
+pub mod sync;
+
+use crate::sync::TrackedMutex;
 use std::cell::Cell;
 use std::error::Error;
 use std::fmt;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Mutex;
 
 /// Process-wide thread-count override, used by determinism tests.
 /// 0 means "no override".
@@ -271,21 +273,14 @@ pub fn num_threads() -> usize {
     std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
 }
 
-/// Acquires a mutex even if a previous holder panicked; the engine's
-/// protected state (result buckets) is always valid because payloads are
-/// only written after a work item completes.
-fn lock_recovering<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    mutex
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
 /// One work item's outcome inside the pool.
 type Outcome<U> = Result<U, String>;
 
-/// One worker's local results: `(input index, outcome)` pairs, merged into
-/// slot order after the scope joins.
-type Bucket<U> = Mutex<Vec<(usize, Outcome<U>)>>;
+/// One worker's local results: `(index, outcome)` pairs, merged into slot
+/// order after the scope joins. [`TrackedMutex`] recovers from poison by
+/// construction; the protected state is always valid because payloads are
+/// only written after a work item completes.
+type Bucket<U> = TrackedMutex<Vec<(usize, Outcome<U>)>>;
 
 /// Maps `f` over `items` in parallel, returning outputs in input order.
 ///
@@ -345,7 +340,9 @@ where
     // permutation, perturbing the interleaving without touching results.
     let schedule_seed = SCHEDULE_SEED.load(Ordering::SeqCst);
     let cursor = AtomicUsize::new(0);
-    let buckets: Vec<Bucket<U>> = (0..threads).map(|_| Mutex::new(Vec::new())).collect();
+    let buckets: Vec<Bucket<U>> = (0..threads)
+        .map(|_| TrackedMutex::new("engine.bucket", Vec::new()))
+        .collect();
 
     std::thread::scope(|scope| {
         for bucket in &buckets {
@@ -362,15 +359,15 @@ where
                     let i = schedule_index(schedule_seed, slot, items.len());
                     local.push((i, run_guarded(|| f(i, &items[i]))));
                 }
-                *lock_recovering(bucket) = local;
+                *bucket.lock() = local;
                 IN_WORKER.with(|w| w.set(false));
             });
         }
     });
 
     let mut outcomes = Vec::with_capacity(items.len());
-    for bucket in buckets {
-        outcomes.extend(lock_recovering(&bucket).drain(..));
+    for bucket in &buckets {
+        outcomes.extend(bucket.lock().drain(..));
     }
     collect_outcomes(outcomes, items.len())
 }
@@ -417,31 +414,30 @@ pub fn try_par_tasks<U: Send>(tasks: Vec<Task<'_, U>>) -> Result<Vec<U>, EngineE
         );
     }
 
-    let outcomes: Mutex<Vec<(usize, Outcome<U>)>> = Mutex::new(Vec::with_capacity(n));
+    let outcomes: TrackedMutex<Vec<(usize, Outcome<U>)>> =
+        TrackedMutex::new("engine.tasks.outcomes", Vec::with_capacity(n));
     // Tasks are popped from the back; reversing yields submission order.
     // A schedule seed instead permutes the pop order deterministically
     // (results are still collected in submission order).
     let schedule_seed = SCHEDULE_SEED.load(Ordering::SeqCst);
-    let queue: Mutex<Vec<(usize, Task<'_, U>)>> = {
-        let mut indexed: Vec<(usize, Task<'_, U>)> = tasks.into_iter().enumerate().collect();
-        if schedule_seed != 0 {
-            let order = schedule_order(schedule_seed, n);
-            let mut slots: Vec<Option<(usize, Task<'_, U>)>> =
-                indexed.into_iter().map(Some).collect();
-            let mut permuted = Vec::with_capacity(n);
-            for idx in order.into_iter().rev() {
-                if let Some(slot) = slots.get_mut(idx) {
-                    if let Some(task) = slot.take() {
-                        permuted.push(task);
-                    }
+    let mut indexed: Vec<(usize, Task<'_, U>)> = tasks.into_iter().enumerate().collect();
+    if schedule_seed != 0 {
+        let order = schedule_order(schedule_seed, n);
+        let mut slots: Vec<Option<(usize, Task<'_, U>)>> = indexed.into_iter().map(Some).collect();
+        let mut permuted = Vec::with_capacity(n);
+        for idx in order.into_iter().rev() {
+            if let Some(slot) = slots.get_mut(idx) {
+                if let Some(task) = slot.take() {
+                    permuted.push(task);
                 }
             }
-            indexed = permuted;
-        } else {
-            indexed.reverse();
         }
-        Mutex::new(indexed)
-    };
+        indexed = permuted;
+    } else {
+        indexed.reverse();
+    }
+    let queue: TrackedMutex<Vec<(usize, Task<'_, U>)>> =
+        TrackedMutex::new("engine.tasks.queue", indexed);
 
     std::thread::scope(|scope| {
         for _ in 0..threads {
@@ -450,18 +446,18 @@ pub fn try_par_tasks<U: Send>(tasks: Vec<Task<'_, U>>) -> Result<Vec<U>, EngineE
             scope.spawn(move || {
                 IN_WORKER.with(|w| w.set(true));
                 loop {
-                    let Some((i, task)) = lock_recovering(queue).pop() else {
+                    let Some((i, task)) = queue.lock().pop() else {
                         break;
                     };
                     let outcome = run_guarded(task);
-                    lock_recovering(outcomes).push((i, outcome));
+                    outcomes.lock().push((i, outcome));
                 }
                 IN_WORKER.with(|w| w.set(false));
             });
         }
     });
 
-    let pairs: Vec<(usize, Outcome<U>)> = lock_recovering(&outcomes).drain(..).collect();
+    let pairs: Vec<(usize, Outcome<U>)> = outcomes.lock().drain(..).collect();
     collect_outcomes(pairs, n)
 }
 
@@ -513,6 +509,7 @@ fn collect_outcomes<U>(pairs: Vec<(usize, Outcome<U>)>, n: usize) -> Result<Vec<
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Mutex;
 
     /// The override is process-global, so tests that touch it must not
     /// interleave. Poisoning is expected (one test panics on purpose).

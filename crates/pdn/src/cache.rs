@@ -19,17 +19,9 @@ use crate::impedance::{ImpedanceAnalyzer, ImpedanceProfile};
 use crate::ladder::Ladder;
 use crate::skylake::{PdnVariant, SkylakePdn};
 use crate::transient::LadderCoeffs;
+use dg_engine::sync::TrackedMutex;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
-
-/// Acquires a cache mutex even if a worker thread panicked while holding
-/// it. Entries are only inserted complete (`Arc`ed values are built before
-/// the lock is taken), so a poisoned map is still a valid map.
-fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    mutex
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
-}
+use std::sync::{Arc, OnceLock};
 
 /// Incremental FNV-1a hasher over 64-bit words. Collision quality is ample
 /// for the handful of distinct substrates an experiment run touches, and
@@ -119,25 +111,25 @@ fn analyzer_key(analyzer: &ImpedanceAnalyzer) -> ContentKey {
         .word(analyzer.points as u64)
 }
 
-type ProfileMap = Mutex<HashMap<u64, Arc<ImpedanceProfile>>>;
+type ProfileMap = TrackedMutex<HashMap<u64, Arc<ImpedanceProfile>>>;
 
 fn profile_map() -> &'static ProfileMap {
     static MAP: OnceLock<ProfileMap> = OnceLock::new();
-    MAP.get_or_init(|| Mutex::new(HashMap::new()))
+    MAP.get_or_init(|| TrackedMutex::new("pdn.cache.profiles", HashMap::new()))
 }
 
 /// The impedance profile of `ladder` under `analyzer`, computed once per
 /// distinct (sweep, circuit) content and shared thereafter.
 pub fn impedance_profile(analyzer: &ImpedanceAnalyzer, ladder: &Ladder) -> Arc<ImpedanceProfile> {
     let key = analyzer_key(analyzer).word(ladder_key(ladder)).finish();
-    if let Some(hit) = lock_recovering(profile_map()).get(&key) {
+    if let Some(hit) = profile_map().lock().get(&key) {
         return Arc::clone(hit);
     }
     // Disk tier before compute: a warmed `--cache-dir` turns a
     // milliseconds-long sweep into one read. Exact bit patterns round-trip
     // through the codec, so a disk hit equals the original computation.
     if let Some(warm) = crate::diskcache::load_profile(key) {
-        let mut map = lock_recovering(profile_map());
+        let mut map = profile_map().lock();
         return Arc::clone(map.entry(key).or_insert_with(|| Arc::new(warm)));
     }
     // Compute outside the lock: profiles take milliseconds and other
@@ -145,7 +137,7 @@ pub fn impedance_profile(analyzer: &ImpedanceAnalyzer, ladder: &Ladder) -> Arc<I
     // same key computes twice and the entries are identical.
     let fresh = Arc::new(analyzer.profile(ladder));
     crate::diskcache::store_profile(key, &fresh);
-    let mut map = lock_recovering(profile_map());
+    let mut map = profile_map().lock();
     Arc::clone(map.entry(key).or_insert(fresh))
 }
 
@@ -166,11 +158,11 @@ pub fn skylake_profile(variant: PdnVariant) -> Arc<ImpedanceProfile> {
     }))
 }
 
-type SteadyStateMap = Mutex<HashMap<u64, Arc<Vec<f64>>>>;
+type SteadyStateMap = TrackedMutex<HashMap<u64, Arc<Vec<f64>>>>;
 
 fn steady_state_map() -> &'static SteadyStateMap {
     static MAP: OnceLock<SteadyStateMap> = OnceLock::new();
-    MAP.get_or_init(|| Mutex::new(HashMap::new()))
+    MAP.get_or_init(|| TrackedMutex::new("pdn.cache.steady", HashMap::new()))
 }
 
 /// The DC steady state of `ladder`'s transient chain model for a given
@@ -188,24 +180,24 @@ pub fn dc_steady_state(
         .f64(source)
         .f64(load)
         .finish();
-    if let Some(hit) = lock_recovering(steady_state_map()).get(&key) {
+    if let Some(hit) = steady_state_map().lock().get(&key) {
         return Arc::clone(hit);
     }
     if let Some(warm) = crate::diskcache::load_state(key) {
-        let mut map = lock_recovering(steady_state_map());
+        let mut map = steady_state_map().lock();
         return Arc::clone(map.entry(key).or_insert_with(|| Arc::new(warm)));
     }
     let fresh = Arc::new(compute());
     crate::diskcache::store_state(key, &fresh);
-    let mut map = lock_recovering(steady_state_map());
+    let mut map = steady_state_map().lock();
     Arc::clone(map.entry(key).or_insert(fresh))
 }
 
-type CoeffsMap = Mutex<HashMap<u64, Arc<LadderCoeffs>>>;
+type CoeffsMap = TrackedMutex<HashMap<u64, Arc<LadderCoeffs>>>;
 
 fn coeffs_map() -> &'static CoeffsMap {
     static MAP: OnceLock<CoeffsMap> = OnceLock::new();
-    MAP.get_or_init(|| Mutex::new(HashMap::new()))
+    MAP.get_or_init(|| TrackedMutex::new("pdn.cache.coeffs", HashMap::new()))
 }
 
 /// The precompiled transient chain-model coefficients of `ladder`, computed
@@ -214,16 +206,16 @@ fn coeffs_map() -> &'static CoeffsMap {
 /// of load steps against one ladder pay the `from_ladder` walk exactly once.
 pub fn ladder_coeffs(ladder: &Ladder) -> Arc<LadderCoeffs> {
     let key = ladder_key(ladder);
-    if let Some(hit) = lock_recovering(coeffs_map()).get(&key) {
+    if let Some(hit) = coeffs_map().lock().get(&key) {
         return Arc::clone(hit);
     }
     if let Some(warm) = crate::diskcache::load_coeffs(key) {
-        let mut map = lock_recovering(coeffs_map());
+        let mut map = coeffs_map().lock();
         return Arc::clone(map.entry(key).or_insert_with(|| Arc::new(warm)));
     }
     let fresh = Arc::new(LadderCoeffs::from_ladder(ladder));
     crate::diskcache::store_coeffs(key, &fresh);
-    let mut map = lock_recovering(coeffs_map());
+    let mut map = coeffs_map().lock();
     Arc::clone(map.entry(key).or_insert(fresh))
 }
 

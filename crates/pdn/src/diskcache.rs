@@ -31,10 +31,11 @@ use crate::cache::ContentKey;
 use crate::impedance::ImpedanceProfile;
 use crate::transient::LadderCoeffs;
 use crate::units::{Hertz, Ohms};
+use dg_engine::sync::TrackedMutex;
 use std::fs;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::OnceLock;
 
 const MAGIC: [u8; 4] = *b"DGC1";
 
@@ -43,9 +44,9 @@ static MISSES: AtomicU64 = AtomicU64::new(0);
 static STORES: AtomicU64 = AtomicU64::new(0);
 static TMP_SEQ: AtomicU64 = AtomicU64::new(0);
 
-fn dir_slot() -> &'static Mutex<Option<PathBuf>> {
-    static DIR: OnceLock<Mutex<Option<PathBuf>>> = OnceLock::new();
-    DIR.get_or_init(|| Mutex::new(None))
+fn dir_slot() -> &'static TrackedMutex<Option<PathBuf>> {
+    static DIR: OnceLock<TrackedMutex<Option<PathBuf>>> = OnceLock::new();
+    DIR.get_or_init(|| TrackedMutex::new("pdn.diskcache.dir", None))
 }
 
 /// Points the disk tier at `root` (creating it), or disables it with
@@ -55,14 +56,12 @@ pub fn set_dir(root: Option<PathBuf>) {
     if let Some(dir) = &root {
         let _ = fs::create_dir_all(dir);
     }
-    if let Ok(mut slot) = dir_slot().lock() {
-        *slot = root;
-    }
+    *dir_slot().lock() = root;
 }
 
 /// The currently configured root, if the tier is enabled.
 pub fn dir() -> Option<PathBuf> {
-    dir_slot().lock().ok().and_then(|slot| slot.clone())
+    dir_slot().lock().clone()
 }
 
 /// Cumulative `(hits, misses, stores)` since process start. Misses count

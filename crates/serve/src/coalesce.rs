@@ -18,9 +18,10 @@
 //! A leader that panics publishes the panic message instead of a value, so
 //! followers never hang; the flight entry is removed either way.
 
+use dg_engine::sync::{TrackedCondvar, TrackedMutex};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::sync::Arc;
 
 /// How a request's result was obtained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,8 +34,8 @@ pub enum Role {
 
 /// One in-flight computation: publication slot plus wakeup signal.
 struct Flight<T> {
-    slot: Mutex<Option<Result<T, String>>>,
-    done: Condvar,
+    slot: TrackedMutex<Option<Result<T, String>>>,
+    done: TrackedCondvar,
 }
 
 /// A single-flight coalescer over content-keyed computations.
@@ -42,13 +43,13 @@ struct Flight<T> {
 /// `T` is cloned out to every follower, so callers wrap bulky payloads in
 /// [`Arc`] (the server coalesces `Arc<str>` response bodies).
 pub struct Coalescer<T: Clone> {
-    inflight: Mutex<HashMap<u64, Arc<Flight<T>>>>,
+    inflight: TrackedMutex<HashMap<u64, Arc<Flight<T>>>>,
 }
 
 impl<T: Clone> Default for Coalescer<T> {
     fn default() -> Self {
         Coalescer {
-            inflight: Mutex::new(HashMap::new()),
+            inflight: TrackedMutex::new("serve.coalesce.inflight", HashMap::new()),
         }
     }
 }
@@ -61,14 +62,6 @@ impl<T: Clone> std::fmt::Debug for Coalescer<T> {
     }
 }
 
-/// Acquires a mutex even if another thread panicked holding it; flight
-/// slots are only ever written whole, so the state is always valid.
-fn lock_recovering<S>(mutex: &Mutex<S>) -> MutexGuard<'_, S> {
-    mutex
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
 impl<T: Clone> Coalescer<T> {
     /// A fresh coalescer with nothing in flight.
     pub fn new() -> Self {
@@ -78,7 +71,7 @@ impl<T: Clone> Coalescer<T> {
     /// Number of distinct keys currently in flight (observability; also
     /// exported as a gauge by the server).
     pub fn inflight_len(&self) -> usize {
-        lock_recovering(&self.inflight).len()
+        self.inflight.lock().len()
     }
 
     /// Runs `compute` for `key`, coalescing with any identical in-flight
@@ -89,15 +82,15 @@ impl<T: Clone> Coalescer<T> {
     /// message as `Err` (and the panic does not propagate).
     pub fn run(&self, key: u64, compute: impl FnOnce() -> T) -> (Result<T, String>, Role) {
         let flight = {
-            let mut map = lock_recovering(&self.inflight);
+            let mut map = self.inflight.lock();
             if let Some(existing) = map.get(&key) {
                 let flight = Arc::clone(existing);
                 drop(map);
                 return (self.wait(&flight), Role::Follower);
             }
             let fresh = Arc::new(Flight {
-                slot: Mutex::new(None),
-                done: Condvar::new(),
+                slot: TrackedMutex::new("serve.coalesce.flight", None),
+                done: TrackedCondvar::new(),
             });
             map.insert(key, Arc::clone(&fresh));
             fresh
@@ -113,22 +106,19 @@ impl<T: Clone> Coalescer<T> {
                 .or_else(|| payload.downcast_ref::<String>().cloned())
                 .unwrap_or_else(|| "handler panicked".to_owned())
         });
-        *lock_recovering(&flight.slot) = Some(outcome.clone());
+        *flight.slot.lock() = Some(outcome.clone());
         flight.done.notify_all();
-        lock_recovering(&self.inflight).remove(&key);
+        self.inflight.lock().remove(&key);
         (outcome, Role::Leader)
     }
 
     fn wait(&self, flight: &Flight<T>) -> Result<T, String> {
-        let mut slot = lock_recovering(&flight.slot);
+        let mut slot = flight.slot.lock();
         loop {
             if let Some(result) = slot.as_ref() {
                 return result.clone();
             }
-            slot = match flight.done.wait(slot) {
-                Ok(guard) => guard,
-                Err(poisoned) => poisoned.into_inner(),
-            };
+            slot = flight.done.wait(slot);
         }
     }
 }

@@ -52,13 +52,14 @@ use crate::ring::{HashRing, DEFAULT_REPLICAS};
 use crate::routes::{content_key_of, reason_of};
 use crate::server::retry_after_secs;
 use darkgates::pdn::cache::ContentKey;
+use dg_engine::sync::TrackedMutex;
 use std::collections::{HashMap, VecDeque};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
 use std::os::unix::net::UnixStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -154,7 +155,7 @@ pub struct RouterMetrics {
 /// admitted (see [`cacheable_route`]), so a cached entry is exactly the
 /// bytes the owning shard would send again.
 struct ReplyCache {
-    state: Mutex<ReplyCacheState>,
+    state: TrackedMutex<ReplyCacheState>,
     max_entries: usize,
     max_bytes: usize,
 }
@@ -169,20 +170,17 @@ struct ReplyCacheState {
 /// shard response cache's default).
 const REPLY_CACHE_MAX_BYTES: usize = 64 * 1024 * 1024;
 
-fn lock_recovering<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    mutex
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
 impl ReplyCache {
     fn new(max_entries: usize) -> Self {
         ReplyCache {
-            state: Mutex::new(ReplyCacheState {
-                map: HashMap::new(),
-                order: VecDeque::new(),
-                bytes: 0,
-            }),
+            state: TrackedMutex::new(
+                "serve.router.replycache",
+                ReplyCacheState {
+                    map: HashMap::new(),
+                    order: VecDeque::new(),
+                    bytes: 0,
+                },
+            ),
             max_entries,
             max_bytes: REPLY_CACHE_MAX_BYTES,
         }
@@ -192,14 +190,14 @@ impl ReplyCache {
         if self.max_entries == 0 {
             return None;
         }
-        lock_recovering(&self.state).map.get(&key).map(Arc::clone)
+        self.state.lock().map.get(&key).map(Arc::clone)
     }
 
     fn put(&self, key: u64, bytes: &[u8]) {
         if self.max_entries == 0 {
             return;
         }
-        let mut state = lock_recovering(&self.state);
+        let mut state = self.state.lock();
         if state.map.contains_key(&key) {
             return;
         }
@@ -263,7 +261,7 @@ struct RouterShared {
     alive: Vec<AtomicBool>,
     stop: AtomicBool,
     queue: BoundedQueue<ProxyJob>,
-    completions: Mutex<Vec<ProxyCompletion>>,
+    completions: TrackedMutex<Vec<ProxyCompletion>>,
     waker: Waker,
     counters: RouterMetrics,
     replies: ReplyCache,
@@ -445,7 +443,7 @@ impl RouterServer {
             alive: (0..n).map(|_| AtomicBool::new(true)).collect(),
             stop: AtomicBool::new(false),
             queue: BoundedQueue::new(config.queue_depth.max(1)),
-            completions: Mutex::new(Vec::new()),
+            completions: TrackedMutex::new("serve.router.completions", Vec::new()),
             waker,
             counters: RouterMetrics {
                 shard_requests: (0..n).map(|_| AtomicU64::new(0)).collect(),
@@ -649,7 +647,7 @@ fn forward_worker_loop(shared: &RouterShared) {
                 }
             },
         };
-        lock_recovering(&shared.completions).push(ProxyCompletion {
+        shared.completions.lock().push(ProxyCompletion {
             token: job.token,
             bytes,
             close,
@@ -1042,7 +1040,7 @@ impl<'a> RouterEventLoop<'a> {
 
     /// Hands worker completions back to their connections' state machines.
     fn apply_completions(&mut self) {
-        let done = std::mem::take(&mut *lock_recovering(&self.shared.completions));
+        let done = std::mem::take(&mut *self.shared.completions.lock());
         for completion in done {
             // Tokens are never recycled, so a completion for a dead
             // connection simply misses.
@@ -1083,13 +1081,22 @@ impl<'a> RouterEventLoop<'a> {
             return;
         };
         if conn.interest != interest {
-            let _ = self.poller.modify(conn.stream.as_raw_fd(), token, interest);
+            // A failed re-arm would otherwise leave the fd silently stalled
+            // (never readable/writable again): tear the connection down.
+            let rearmed = self
+                .poller
+                .modify(conn.stream.as_raw_fd(), token, interest)
+                .is_ok();
             conn.interest = interest;
+            if !rearmed {
+                self.drop_conn(token);
+            }
         }
     }
 
     fn drop_conn(&mut self, token: u64) {
         if let Some(conn) = self.conns.remove(&token) {
+            // dg-analyze: allow(swallowed-result, reason = "the fd is being torn down; EBADF from epoll_ctl DEL is the expected benign race with peer close")
             let _ = self.poller.remove(conn.stream.as_raw_fd());
         }
     }

@@ -9,8 +9,8 @@
 //! contract: closing stops admission while every already-admitted
 //! connection is still served.
 
+use dg_engine::sync::{TrackedCondvar, TrackedMutex};
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex, MutexGuard};
 
 /// Why [`BoundedQueue::try_push`] refused an item.
 #[derive(Debug, PartialEq, Eq)]
@@ -28,8 +28,8 @@ struct State<T> {
 
 /// A fixed-capacity FIFO shared between the accept loop and the workers.
 pub struct BoundedQueue<T> {
-    state: Mutex<State<T>>,
-    available: Condvar,
+    state: TrackedMutex<State<T>>,
+    available: TrackedCondvar,
     capacity: usize,
 }
 
@@ -42,21 +42,18 @@ impl<T> std::fmt::Debug for BoundedQueue<T> {
     }
 }
 
-fn lock_recovering<S>(mutex: &Mutex<S>) -> MutexGuard<'_, S> {
-    mutex
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
-}
-
 impl<T> BoundedQueue<T> {
     /// A queue admitting at most `capacity` items (minimum 1).
     pub fn new(capacity: usize) -> Self {
         BoundedQueue {
-            state: Mutex::new(State {
-                items: VecDeque::new(),
-                closed: false,
-            }),
-            available: Condvar::new(),
+            state: TrackedMutex::new(
+                "serve.queue.state",
+                State {
+                    items: VecDeque::new(),
+                    closed: false,
+                },
+            ),
+            available: TrackedCondvar::new(),
             capacity: capacity.max(1),
         }
     }
@@ -68,7 +65,7 @@ impl<T> BoundedQueue<T> {
 
     /// Items currently queued (racy; for observability only).
     pub fn len(&self) -> usize {
-        lock_recovering(&self.state).items.len()
+        self.state.lock().items.len()
     }
 
     /// Whether the queue is currently empty (racy; observability only).
@@ -83,7 +80,7 @@ impl<T> BoundedQueue<T> {
     /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
     /// [`BoundedQueue::close`]; both hand the item back to the caller.
     pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
-        let mut state = lock_recovering(&self.state);
+        let mut state = self.state.lock();
         if state.closed {
             return Err(PushError::Closed(item));
         }
@@ -99,7 +96,7 @@ impl<T> BoundedQueue<T> {
     /// Blocks until an item is available or the queue is closed and empty
     /// (drain complete), in which case `None` is returned.
     pub fn pop(&self) -> Option<T> {
-        let mut state = lock_recovering(&self.state);
+        let mut state = self.state.lock();
         loop {
             if let Some(item) = state.items.pop_front() {
                 return Some(item);
@@ -107,10 +104,7 @@ impl<T> BoundedQueue<T> {
             if state.closed {
                 return None;
             }
-            state = match self.available.wait(state) {
-                Ok(guard) => guard,
-                Err(poisoned) => poisoned.into_inner(),
-            };
+            state = self.available.wait(state);
         }
     }
 
@@ -118,7 +112,7 @@ impl<T> BoundedQueue<T> {
     /// drains, every blocked and future [`BoundedQueue::pop`] returns
     /// `None`.
     pub fn close(&self) {
-        lock_recovering(&self.state).closed = true;
+        self.state.lock().closed = true;
         self.available.notify_all();
     }
 }

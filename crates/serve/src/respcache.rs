@@ -16,8 +16,9 @@
 //! enabled by `--cache-dir`.
 
 use darkgates::pdn::diskcache;
+use dg_engine::sync::TrackedMutex;
 use std::collections::{HashMap, VecDeque};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
 
 /// Disk-store kind subdirectory for cached response bodies.
 const KIND: &str = "resp";
@@ -38,25 +39,19 @@ struct CacheState {
 /// A bounded FIFO cache of response bodies keyed by content key, with a
 /// write-through disk tier when the process-wide cache dir is set.
 pub struct ResponseCache {
-    state: Mutex<CacheState>,
+    state: TrackedMutex<CacheState>,
     max_entries: usize,
     max_bytes: usize,
 }
 
 impl std::fmt::Debug for ResponseCache {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let state = lock_recovering(&self.state);
+        let state = self.state.lock();
         f.debug_struct("ResponseCache")
             .field("entries", &state.map.len())
             .field("bytes", &state.bytes)
             .finish()
     }
-}
-
-fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    mutex
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 impl Default for ResponseCache {
@@ -70,11 +65,14 @@ impl ResponseCache {
     /// body bytes (both floors of 1 so the cache is never degenerate).
     pub fn new(max_entries: usize, max_bytes: usize) -> Self {
         ResponseCache {
-            state: Mutex::new(CacheState {
-                map: HashMap::new(),
-                order: VecDeque::new(),
-                bytes: 0,
-            }),
+            state: TrackedMutex::new(
+                "serve.respcache.state",
+                CacheState {
+                    map: HashMap::new(),
+                    order: VecDeque::new(),
+                    bytes: 0,
+                },
+            ),
             max_entries: max_entries.max(1),
             max_bytes: max_bytes.max(1),
         }
@@ -96,7 +94,7 @@ impl ResponseCache {
     /// is safe to call from latency-critical paths (the event loop's
     /// inline fast path).
     pub fn get_memory(&self, key: u64) -> Option<Arc<String>> {
-        lock_recovering(&self.state).map.get(&key).map(Arc::clone)
+        self.state.lock().map.get(&key).map(Arc::clone)
     }
 
     /// Caches a `200` body under `key` (idempotent), writing through to
@@ -110,7 +108,7 @@ impl ResponseCache {
 
     /// Inserts into the memory tier; returns `false` if already present.
     fn insert_mem(&self, key: u64, body: &Arc<String>) -> bool {
-        let mut state = lock_recovering(&self.state);
+        let mut state = self.state.lock();
         if state.map.contains_key(&key) {
             return false;
         }
@@ -130,7 +128,7 @@ impl ResponseCache {
 
     /// Entries currently in the memory tier (observability).
     pub fn len(&self) -> usize {
-        lock_recovering(&self.state).map.len()
+        self.state.lock().map.len()
     }
 
     /// Whether the memory tier is empty.

@@ -44,6 +44,7 @@ use crate::http::{write_response, HttpError, ParserLimits, Request, RequestParse
 use crate::metrics::{monotonic_us, Metrics, Route};
 use crate::queue::{BoundedQueue, PushError};
 use crate::routes::{Response, Router};
+use dg_engine::sync::TrackedMutex;
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -52,7 +53,7 @@ use std::os::unix::net::UnixStream;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::Duration;
 
@@ -137,14 +138,8 @@ struct Shared {
     router: Router,
     draining: Arc<AtomicBool>,
     queue: BoundedQueue<Job>,
-    completions: Mutex<Vec<Completion>>,
+    completions: TrackedMutex<Vec<Completion>>,
     waker: Waker,
-}
-
-fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    mutex
-        .lock()
-        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// The `dg-serve` daemon. Construct with [`Server::start`].
@@ -199,7 +194,7 @@ impl Server {
             router,
             metrics,
             draining,
-            completions: Mutex::new(Vec::new()),
+            completions: TrackedMutex::new("serve.completions", Vec::new()),
             waker,
             config,
         });
@@ -385,7 +380,7 @@ fn worker_loop(shared: &Shared) {
             response.body.as_bytes(),
             close,
         );
-        lock_recovering(&shared.completions).push(Completion {
+        shared.completions.lock().push(Completion {
             token: job.token,
             bytes,
             close,
@@ -494,6 +489,7 @@ impl<'a> EventLoop<'a> {
     /// each path bounded by its own deadline.
     fn begin_drain(&mut self) {
         if let Some(listener) = self.listener.take() {
+            // dg-analyze: allow(swallowed-result, reason = "the listener is closed on the next line regardless; a failed epoll DEL cannot keep it admitting")
             let _ = self.poller.remove(listener.as_raw_fd());
         }
         let idle: Vec<u64> = self
@@ -635,6 +631,7 @@ impl<'a> EventLoop<'a> {
 
         if is_inline(&request) {
             let start = monotonic_us();
+            // dg-analyze: allow(no-blocking-in-event-loop, reason = "is_inline gates this dispatch to /healthz, /metrics and /admin/drain, which touch no disk, queue, coalescer or sleep; every other route goes through the worker pool below")
             let outcome = catch_unwind(AssertUnwindSafe(|| self.shared.router.handle(&request)));
             let (route, response) = match outcome {
                 Ok(pair) => pair,
@@ -823,7 +820,7 @@ impl<'a> EventLoop<'a> {
 
     /// Hands worker completions back to their connections' state machines.
     fn apply_completions(&mut self) {
-        let done = std::mem::take(&mut *lock_recovering(&self.shared.completions));
+        let done = std::mem::take(&mut *self.shared.completions.lock());
         for completion in done {
             // The connection may have died while its request was in
             // flight; tokens are never recycled, so a stale completion
@@ -867,13 +864,22 @@ impl<'a> EventLoop<'a> {
             return;
         };
         if conn.interest != interest {
-            let _ = self.poller.modify(conn.stream.as_raw_fd(), token, interest);
+            // A failed re-arm would otherwise leave the fd silently stalled
+            // (never readable/writable again): tear the connection down.
+            let rearmed = self
+                .poller
+                .modify(conn.stream.as_raw_fd(), token, interest)
+                .is_ok();
             conn.interest = interest;
+            if !rearmed {
+                self.drop_conn(token);
+            }
         }
     }
 
     fn drop_conn(&mut self, token: u64) {
         if let Some(conn) = self.conns.remove(&token) {
+            // dg-analyze: allow(swallowed-result, reason = "the fd is being torn down; EBADF from epoll_ctl DEL is the expected benign race with peer close")
             let _ = self.poller.remove(conn.stream.as_raw_fd());
         }
     }

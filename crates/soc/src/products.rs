@@ -16,6 +16,7 @@
 
 use dg_cstates::power::GatingConfig;
 use dg_cstates::states::PackageCstate;
+use dg_engine::sync::TrackedMutex;
 use dg_pdn::skylake::PdnVariant;
 use dg_pmu::guardband::GuardbandManager;
 use dg_pmu::modes::{Fuse, OperatingMode};
@@ -28,7 +29,7 @@ use dg_power::units::{Hertz, Volts, Watts};
 use dg_power::vf::VfCurve;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::sync::OnceLock;
 
 /// Uncore active floor charged off the top of the TDP (matches the C0
 /// entry of [`dg_cstates::power::UNCORE_POWER_W`]).
@@ -119,10 +120,11 @@ impl Product {
     ///
     /// Panics if `tdp` is not one of the catalog's levels.
     pub fn skylake(tdp: Watts, mode: OperatingMode) -> Self {
-        static CACHE: OnceLock<Mutex<HashMap<(u64, bool), Product>>> = OnceLock::new();
+        static CACHE: OnceLock<TrackedMutex<HashMap<(u64, bool), Product>>> = OnceLock::new();
         let key = (tdp.value().to_bits(), mode == OperatingMode::Bypass);
-        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-        if let Some(hit) = lock_recovering(cache).get(&key) {
+        let skylake_cache =
+            CACHE.get_or_init(|| TrackedMutex::new("soc.products.skylake", HashMap::new()));
+        if let Some(hit) = skylake_cache.lock().get(&key) {
             return hit.clone();
         }
 
@@ -137,7 +139,7 @@ impl Product {
         let fresh = Self::build(name, mode, tdp, &curve, f1c, fac, None)
             // dg-analyze: allow(no-panic-in-lib, reason = "catalog fused ceilings and guardbands always lie on the calibrated curve; a test builds the full catalog")
             .expect("catalog constants build cleanly");
-        lock_recovering(cache).entry(key).or_insert(fresh).clone()
+        skylake_cache.lock().entry(key).or_insert(fresh).clone()
     }
 
     /// The Broadwell predecessor (gated) used for the motivational Fig. 3
@@ -150,10 +152,11 @@ impl Product {
     /// Panics if `tdp` is not one of the catalog's levels
     /// (35/45/65/95 W).
     pub fn broadwell(tdp: Watts, guardband_delta: Volts) -> Self {
-        static CACHE: OnceLock<Mutex<HashMap<(u64, u64), Product>>> = OnceLock::new();
+        static CACHE: OnceLock<TrackedMutex<HashMap<(u64, u64), Product>>> = OnceLock::new();
         let key = (tdp.value().to_bits(), guardband_delta.value().to_bits());
-        let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
-        if let Some(hit) = lock_recovering(cache).get(&key) {
+        let broadwell_cache =
+            CACHE.get_or_init(|| TrackedMutex::new("soc.products.broadwell", HashMap::new()));
+        if let Some(hit) = broadwell_cache.lock().get(&key) {
             return hit.clone();
         }
 
@@ -177,7 +180,7 @@ impl Product {
         )
         // dg-analyze: allow(no-panic-in-lib, reason = "catalog fused ceilings and guardband deltas stay on the calibrated curve; a test sweeps the Fig. 3 grid")
         .expect("catalog constants build cleanly");
-        lock_recovering(cache).entry(key).or_insert(fresh).clone()
+        broadwell_cache.lock().entry(key).or_insert(fresh).clone()
     }
 
     fn build(
@@ -337,15 +340,6 @@ pub fn catalog() -> Vec<Product> {
         all.push(Product::skylake_h(tdp));
     }
     all
-}
-
-/// Acquires a product-cache mutex even if another thread panicked while
-/// holding it. Entries are only inserted complete (products are built
-/// outside the lock), so a poisoned map is still a valid map.
-fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
-    mutex
-        .lock()
-        .unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 fn lookup_fused(table: &[(f64, f64, f64)], tdp: Watts) -> Option<(f64, f64)> {
