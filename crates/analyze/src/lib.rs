@@ -53,7 +53,7 @@ use std::io;
 use std::path::{Path, PathBuf};
 
 /// Crates whose library code must be panic-free.
-const NO_PANIC_CRATES: [&str; 9] = [
+const NO_PANIC_CRATES: [&str; 10] = [
     "dg-pdn",
     "dg-pmu",
     "dg-power",
@@ -67,13 +67,16 @@ const NO_PANIC_CRATES: [&str; 9] = [
     // The chaos harness: a panic in the fault driver or oracle would be
     // indistinguishable from the server failure it is hunting.
     "dg-chaos",
+    // The design-space engine: a panic mid-sweep would abort a streamed
+    // `/v1/explore` response instead of ending it with an error line.
+    "dg-explore",
 ];
 
 /// Crates whose public API seams must use unit newtypes.
 const UNIT_CRATES: [&str; 3] = ["dg-pdn", "dg-power", "dg-pmu"];
 
 /// Crates on the experiment result path (deterministic by contract).
-const DETERMINISM_CRATES: [&str; 9] = [
+const DETERMINISM_CRATES: [&str; 10] = [
     "dg-pdn",
     "dg-pmu",
     "dg-power",
@@ -83,6 +86,9 @@ const DETERMINISM_CRATES: [&str; 9] = [
     "dg-workloads",
     "darkgates",
     "dg-bench",
+    // Frontier results are replayed byte-identically from caches and the
+    // CLI; wall-clock or entropy anywhere in the sweep would break that.
+    "dg-explore",
 ];
 
 /// A rule violation bound to a file.

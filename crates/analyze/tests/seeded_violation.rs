@@ -91,6 +91,32 @@ fn no_panic_in_lib_fires_on_a_seeded_violation_in_crates_serve() {
 }
 
 #[test]
+fn no_panic_in_lib_fires_on_a_seeded_violation_in_crates_explore() {
+    // The design-space engine streams long-running sweeps through
+    // `/v1/explore`; its registration must have the same teeth.
+    let root = seed_workspace_with("explore", &[("explore", "dg-explore")]);
+    let report = analyze_workspace(&root).expect("scan scratch workspace");
+    fs::remove_dir_all(&root).expect("clean up scratch workspace");
+
+    assert_eq!(
+        report.count(RuleId::NoPanicInLib),
+        1,
+        "the seeded unwrap in dg-explore must fire: {:?}",
+        report.violations
+    );
+    assert!(
+        report
+            .violations
+            .iter()
+            .any(|v| v.rule == RuleId::NoPanicInLib
+                && v.path == std::path::Path::new("crates/explore/src/lib.rs")),
+        "the dg-explore registration must have teeth: {:?}",
+        report.violations
+    );
+    assert_ne!(report.exit_code(), 0);
+}
+
+#[test]
 fn no_panic_in_lib_fires_on_a_seeded_violation_in_crates_chaos() {
     // The chaos harness is registered alongside the daemon: a seeded
     // unwrap in either library must fire, and nothing else.

@@ -306,6 +306,43 @@ where
     }
 }
 
+/// Maps `f` over `items` in parallel like [`par_map`], reporting progress
+/// after each contiguous chunk completes.
+///
+/// Items are processed in contiguous chunks of `chunk` items (floored to
+/// 1); each chunk runs through [`par_map`], then `progress` is invoked on
+/// the calling thread with the number of items completed so far and the
+/// just-finished chunk's outputs in index order. The returned vector is
+/// exactly what a single [`par_map`] over all items would have produced.
+///
+/// Because the chunk loop itself is sequential, the *sequence* of
+/// progress calls — and anything folded over it, like a running Pareto
+/// frontier — is bit-identical for any thread count. This is the seam
+/// `dg-explore` streams `/v1/explore` progress records through.
+///
+/// # Panics
+///
+/// If `f` panics for any item, the panic payload is re-raised on the
+/// calling thread (for the lowest panicking index in the first chunk that
+/// panicked); chunks after it do not run.
+pub fn par_map_progress<T, U, F, P>(items: &[T], chunk: usize, f: F, mut progress: P) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+    P: FnMut(usize, &[U]),
+{
+    let chunk = chunk.max(1);
+    let mut out: Vec<U> = Vec::with_capacity(items.len());
+    for slice in items.chunks(chunk) {
+        let base = out.len();
+        let part = par_map(slice, |i, x| f(base + i, x));
+        out.extend(part);
+        progress(out.len(), &out[base..]);
+    }
+    out
+}
+
 /// Fallible form of [`par_map`]: worker panics surface as
 /// [`EngineError::WorkerPanic`] with the item index and payload, instead
 /// of unwinding through the caller.
@@ -547,6 +584,40 @@ mod tests {
             let out: Vec<u64> = par_map(&items, work).iter().map(|v| v.to_bits()).collect();
             assert_eq!(out, baseline, "thread count {threads} changed results");
         }
+    }
+
+    #[test]
+    fn par_map_progress_reports_deterministic_chunks_and_matches_par_map() {
+        let _l = serial();
+        let items: Vec<u64> = (0..103).collect();
+        let work = |i: usize, &x: &u64| x * 7 + i as u64;
+        let expected: Vec<u64> = {
+            let _g = set_thread_override(1);
+            par_map(&items, work)
+        };
+        for threads in [1, 2, 5] {
+            let _g = set_thread_override(threads);
+            let mut calls: Vec<(usize, usize)> = Vec::new();
+            let out = par_map_progress(&items, 16, work, |done, chunk| {
+                calls.push((done, chunk.len()));
+            });
+            assert_eq!(out, expected, "thread count {threads} changed results");
+            // 103 items in chunks of 16: six full chunks, one of 7.
+            let expected_calls: Vec<(usize, usize)> = (1..=6)
+                .map(|c| (c * 16, 16))
+                .chain(std::iter::once((103, 7)))
+                .collect();
+            assert_eq!(
+                calls, expected_calls,
+                "thread count {threads} changed cadence"
+            );
+        }
+        // A zero chunk is floored to 1 rather than looping forever.
+        let _g = set_thread_override(2);
+        let mut n = 0usize;
+        let out = par_map_progress(&items[..3], 0, work, |_, chunk| n += chunk.len());
+        assert_eq!(out, expected[..3]);
+        assert_eq!(n, 3);
     }
 
     #[test]

@@ -1,0 +1,78 @@
+//! Typed errors for the exploration engine.
+//!
+//! `dg-explore` is on the dg-analyze no-panic crate list: every way a
+//! sweep can fail — malformed spec, out-of-range axis value, oversized
+//! grid — surfaces as an [`ExploreError`], never a panic, so the serve
+//! tier can turn it into a 400/413 and the CLI into an exit code.
+
+use darkgates::json::JsonError;
+use std::fmt;
+
+/// Why a sweep spec could not be expanded or evaluated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExploreError {
+    /// The spec document is malformed or carries an invalid value.
+    Spec {
+        /// Human-readable reason, safe to echo to an HTTP client.
+        reason: String,
+    },
+    /// The axis product exceeds the caller's grid bound.
+    GridTooLarge {
+        /// Points the axes would expand into.
+        points: u64,
+        /// The bound that was exceeded.
+        max: u64,
+    },
+}
+
+impl ExploreError {
+    /// Shorthand for a spec-shaped error.
+    pub fn spec(reason: impl Into<String>) -> Self {
+        ExploreError::Spec {
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExploreError::Spec { reason } => write!(f, "invalid explore spec: {reason}"),
+            ExploreError::GridTooLarge { points, max } => {
+                write!(f, "grid of {points} points exceeds the limit of {max}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}
+
+impl From<JsonError> for ExploreError {
+    fn from(e: JsonError) -> Self {
+        ExploreError::spec(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ExploreError::spec("`tdp_w` must not be empty");
+        assert!(e.to_string().contains("tdp_w"));
+        let e = ExploreError::GridTooLarge {
+            points: 50_000,
+            max: 20_000,
+        };
+        assert!(e.to_string().contains("50000"));
+        assert!(e.to_string().contains("20000"));
+    }
+
+    #[test]
+    fn json_errors_convert_to_spec_errors() {
+        let bad = darkgates::json::parse("{").expect_err("malformed");
+        let e = ExploreError::from(bad);
+        assert!(matches!(e, ExploreError::Spec { .. }));
+    }
+}

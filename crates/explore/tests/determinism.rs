@@ -1,0 +1,45 @@
+//! The byte-identity contract across worker-pool widths: one spec must
+//! render the same `ExploreResult` JSON whether the sweep is evaluated
+//! on a single engine thread or many. `/v1/explore` relies on this when
+//! it caches a leader's bytes and replays them to later clients that may
+//! hit a differently-sized pool, as does `dg-explore --threads`.
+//!
+//! Thread overrides are process-global, so every width is probed from
+//! one `#[test]` rather than racing overrides across the harness's own
+//! test threads.
+
+use dg_engine::set_thread_override;
+use dg_explore::ExploreSpec;
+
+/// A sweep large enough to split into several `par_map` chunks at every
+/// probed width, with trade-off-rich axes so the frontier is non-trivial.
+const SPEC: &str = r#"{"seed":7,"tech_nodes":[45,32,22,16],"tdp_w":[35,65,91],
+    "big_perf":[10,25,40],"small_perf":[1,4],"fraction_parallelism":[0.999,0.95,0.9],
+    "fuse":["gated","bypassed"],"batch":16}"#;
+
+fn render_at(threads: usize) -> String {
+    let _guard = set_thread_override(threads);
+    let spec = ExploreSpec::from_text(SPEC).expect("valid spec");
+    dg_explore::run(&spec)
+        .expect("sweep runs")
+        .to_json()
+        .render()
+}
+
+#[test]
+fn results_are_byte_identical_across_thread_counts() {
+    let baseline = render_at(1);
+    assert!(
+        baseline.contains("\"frontier\""),
+        "the reference run must carry a frontier: {baseline}"
+    );
+    for threads in [2, 3, 4, 8] {
+        let wide = render_at(threads);
+        assert_eq!(
+            baseline, wide,
+            "rendered result diverges between 1 and {threads} engine threads"
+        );
+    }
+    // And the single-threaded run itself is stable under repetition.
+    assert_eq!(baseline, render_at(1), "re-running must not perturb bytes");
+}

@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! # CI smoke gate: spawn a constrained server, fire a 200-request mixed
-//! # burst (including malformed and oversized probes), force an overload,
+//! # burst (including malformed, oversized, and streaming /v1/explore
+//! # probes), force an overload,
 //! # verify only-503 shedding, spot-check results against the library,
 //! # and require a clean graceful drain. Exit 0 only if all of it holds.
 //! cargo run --release -p dg-serve --bin dg-load -- --smoke --spawn

@@ -6,6 +6,7 @@
 //! makes `BENCH_serve.json` comparable across runs and the CI smoke step
 //! reproducible.
 
+use crate::http::{chunked_body_end, decode_chunked};
 use crate::json::{obj, Json};
 use crate::metrics::monotonic_us;
 use std::io::{Read, Write};
@@ -390,6 +391,36 @@ pub fn read_framed_reply(
         .filter_map(|l| l.split_once(':'))
         .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_owned()))
         .collect();
+    if is_chunked(&headers) {
+        // A streamed reply (`/v1/explore`): read until the terminal
+        // chunk, then hand back the de-chunked payload so callers see
+        // the NDJSON lines, not the chunk framing.
+        let encoded_len = loop {
+            if let Some(end) = chunked_body_end(leftover.get(head_len..).unwrap_or_default()) {
+                break end;
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) => {
+                    return Err(Error::new(
+                        ErrorKind::UnexpectedEof,
+                        "connection closed mid-stream",
+                    ))
+                }
+                Ok(n) => leftover.extend_from_slice(chunk.get(..n).unwrap_or_default()),
+                Err(e) if e.kind() == ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        };
+        let total = head_len.saturating_add(encoded_len);
+        let (payload, _) = decode_chunked(leftover.get(head_len..total).unwrap_or_default())
+            .ok_or_else(|| Error::new(ErrorKind::InvalidData, "bad chunked framing"))?;
+        leftover.drain(..total);
+        return Ok(HttpReply {
+            status,
+            headers,
+            body: String::from_utf8_lossy(&payload).into_owned(),
+        });
+    }
     let content_length: usize = headers
         .iter()
         .find(|(k, _)| k == "content-length")
@@ -541,6 +572,13 @@ impl KeepAliveClient {
     }
 }
 
+/// Whether a lowercased header list declares a chunked body.
+fn is_chunked(headers: &[(String, String)]) -> bool {
+    headers
+        .iter()
+        .any(|(k, v)| k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked"))
+}
+
 fn parse_reply(bytes: &[u8]) -> Option<HttpReply> {
     let text = String::from_utf8_lossy(bytes);
     let (head, body) = match text.split_once("\r\n\r\n") {
@@ -550,14 +588,22 @@ fn parse_reply(bytes: &[u8]) -> Option<HttpReply> {
     let mut lines = head.lines();
     let status_line = lines.next()?;
     let status: u16 = status_line.split(' ').nth(1)?.parse().ok()?;
-    let headers = lines
+    let headers: Vec<(String, String)> = lines
         .filter_map(|l| l.split_once(':'))
         .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_owned()))
         .collect();
+    let body = if is_chunked(&headers) {
+        // A streamed reply read to EOF: de-chunk so callers see the
+        // NDJSON payload, not the chunk framing.
+        let (payload, _) = decode_chunked(body.as_bytes())?;
+        String::from_utf8_lossy(&payload).into_owned()
+    } else {
+        body.to_owned()
+    };
     Some(HttpReply {
         status,
         headers,
-        body: body.to_owned(),
+        body,
     })
 }
 
@@ -685,6 +731,43 @@ fn valid_batch_probe(rng: &mut Lcg) -> MixItem {
     )
 }
 
+fn explore_probe(rng: &mut Lcg) -> MixItem {
+    // A small 2x2 design-space sweep (8 points with two fuse modes):
+    // streams chunked NDJSON, which the reply readers de-chunk. Two seeds
+    // keep the response cache honest without splitting it per request.
+    let seed = rng.below(2);
+    MixItem::Framed(
+        "POST",
+        "/v1/explore",
+        format!(
+            "{{\"seed\":{seed},\"tech_nodes\":[45,22],\"tdp_w\":[45,91],\"big_perf\":[20],\
+             \"small_perf\":[2],\"fraction_parallelism\":[0.9]}}"
+        ),
+        None,
+    )
+}
+
+fn malformed_explore_probe() -> MixItem {
+    // Well-framed HTTP around an unparseable spec document: the route
+    // must 400 before any grid work.
+    MixItem::Framed("POST", "/v1/explore", "{not a spec".to_owned(), Some(400))
+}
+
+fn oversized_explore_probe() -> MixItem {
+    // A 32-value parallelism axis over the default Charm axes crosses to
+    // 6*4*4*4*32*2 = 24576 points, past the serve tier's 20k cap: 413
+    // before any evaluation.
+    let fractions: Vec<String> = (0..32)
+        .map(|i| format!("{:.6}", f64::from(i) / 32.0))
+        .collect();
+    MixItem::Framed(
+        "POST",
+        "/v1/explore",
+        format!("{{\"fraction_parallelism\":[{}]}}", fractions.join(",")),
+        Some(413),
+    )
+}
+
 fn garbage_probe() -> MixItem {
     MixItem::Raw(b"THIS IS NOT HTTP\r\n\r\n".to_vec(), 400)
 }
@@ -729,7 +812,7 @@ fn oversized_batch_probe() -> MixItem {
 /// the lockstep transient kernel and its admission limits.
 fn mix_item_of(rng: &mut Lcg, kind: MixKind) -> MixItem {
     match kind {
-        MixKind::Full => match rng.below(19) {
+        MixKind::Full => match rng.below(22) {
             0 | 1 => MixItem::Framed("GET", "/healthz", String::new(), None),
             2 => MixItem::Framed("GET", "/v1/claims", String::new(), None),
             3..=6 => droop_probe(rng),
@@ -741,9 +824,12 @@ fn mix_item_of(rng: &mut Lcg, kind: MixKind) -> MixItem {
             15 => oversized_probe(),
             16 => valid_batch_probe(rng),
             17 => empty_batch_probe(),
-            _ => oversized_batch_probe(),
+            18 => oversized_batch_probe(),
+            19 => explore_probe(rng),
+            20 => malformed_explore_probe(),
+            _ => oversized_explore_probe(),
         },
-        MixKind::Valid => match rng.below(15) {
+        MixKind::Valid => match rng.below(16) {
             0 | 1 => MixItem::Framed("GET", "/healthz", String::new(), None),
             2 => MixItem::Framed("GET", "/v1/claims", String::new(), None),
             3..=6 => droop_probe(rng),
@@ -751,13 +837,16 @@ fn mix_item_of(rng: &mut Lcg, kind: MixKind) -> MixItem {
             10 | 11 => product_spec_probe(),
             12 => product_energy_probe(),
             13 => MixItem::Framed("GET", "/metrics", String::new(), None),
-            _ => valid_batch_probe(rng),
+            14 => valid_batch_probe(rng),
+            _ => explore_probe(rng),
         },
-        MixKind::ErrorProbes => match rng.below(4) {
+        MixKind::ErrorProbes => match rng.below(6) {
             0 => garbage_probe(),
             1 => oversized_probe(),
             2 => empty_batch_probe(),
-            _ => oversized_batch_probe(),
+            3 => oversized_batch_probe(),
+            4 => malformed_explore_probe(),
+            _ => oversized_explore_probe(),
         },
     }
 }
@@ -1068,6 +1157,7 @@ mod tests {
             "/v1/sweep",
             "/v1/product",
             "/v1/claims",
+            "/v1/explore",
         ] {
             assert!(
                 items
@@ -1100,6 +1190,28 @@ mod tests {
                 .iter()
                 .any(|(b, e)| *e == Some(400) && b.len() > 1000),
             "no oversized-batch probe"
+        );
+        // The explore probes cover its whole admission surface too:
+        // a valid streamed sweep, a malformed spec (400), and a grid
+        // past the point cap (413).
+        let explore_probes: Vec<(&String, Option<u16>)> = items
+            .iter()
+            .filter_map(|i| match i {
+                MixItem::Framed(_, "/v1/explore", body, expect) => Some((body, *expect)),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            explore_probes.iter().any(|(_, e)| e.is_none()),
+            "no valid explore probe"
+        );
+        assert!(
+            explore_probes.iter().any(|(_, e)| *e == Some(400)),
+            "no malformed explore probe"
+        );
+        assert!(
+            explore_probes.iter().any(|(_, e)| *e == Some(413)),
+            "no oversized explore probe"
         );
     }
 

@@ -386,6 +386,107 @@ pub fn write_response(
     out
 }
 
+/// The terminal zero-length chunk of a chunked response (no trailers).
+pub const LAST_CHUNK: &[u8] = b"0\r\n\r\n";
+
+/// Serialises the head of a chunked (streaming) HTTP/1.1 response.
+///
+/// No `Content-Length` is emitted — the body is framed as
+/// `Transfer-Encoding: chunked` and the caller appends [`write_chunk`]
+/// frames followed by [`LAST_CHUNK`]. Used by `POST /v1/explore`, whose
+/// progress records exist before the final body length does.
+pub fn write_stream_head(status: u16, reason: &str, content_type: &str, close: bool) -> Vec<u8> {
+    let mut out = Vec::with_capacity(256);
+    out.extend_from_slice(format!("HTTP/1.1 {status} {reason}\r\n").as_bytes());
+    out.extend_from_slice(format!("Content-Type: {content_type}\r\n").as_bytes());
+    out.extend_from_slice(b"Transfer-Encoding: chunked\r\n");
+    if close {
+        out.extend_from_slice(b"Connection: close\r\n");
+    }
+    out.extend_from_slice(b"\r\n");
+    out
+}
+
+/// Frames one non-empty chunk of a chunked response body
+/// (`{len:x}\r\n{payload}\r\n`). An empty payload yields no bytes — a
+/// zero-length chunk would terminate the stream early.
+pub fn write_chunk(payload: &[u8]) -> Vec<u8> {
+    if payload.is_empty() {
+        return Vec::new();
+    }
+    let mut out = Vec::with_capacity(payload.len() + 16);
+    out.extend_from_slice(format!("{:x}\r\n", payload.len()).as_bytes());
+    out.extend_from_slice(payload);
+    out.extend_from_slice(b"\r\n");
+    out
+}
+
+/// Largest chunk size the decoders will honour (matches the spirit of
+/// the request-body cap: our own streams emit far smaller chunks).
+const MAX_CHUNK_BYTES: usize = 16 * 1024 * 1024;
+
+/// Parses one chunk-size line at `buf[at..]`: returns
+/// `(payload_start, size)`. `None` while the line is incomplete or on
+/// malformed framing (callers treat both as "not a complete message").
+fn chunk_size_at(buf: &[u8], at: usize) -> Option<(usize, usize)> {
+    let rest = buf.get(at..)?;
+    let line_end = rest.windows(2).position(|w| w == b"\r\n")?;
+    let digits = rest.get(..line_end)?;
+    if digits.is_empty() || digits.len() > 8 {
+        return None;
+    }
+    let mut size = 0usize;
+    for &b in digits {
+        let d = (b as char).to_digit(16)?;
+        size = size.checked_mul(16)?.checked_add(d as usize)?;
+    }
+    if size > MAX_CHUNK_BYTES {
+        return None;
+    }
+    Some((at + line_end + 2, size))
+}
+
+/// Finds the end of a chunked message body starting at `buf[0]`:
+/// returns the total encoded length (through the terminal `0\r\n\r\n`)
+/// once the whole message has arrived, `None` while incomplete. Used by
+/// the router proxy to relay chunked shard replies verbatim.
+pub fn chunked_body_end(buf: &[u8]) -> Option<usize> {
+    let mut at = 0usize;
+    loop {
+        let (payload_start, size) = chunk_size_at(buf, at)?;
+        if size == 0 {
+            // Terminal chunk: we never emit trailers, so the next two
+            // bytes close the message.
+            if buf.get(payload_start..payload_start + 2)? == b"\r\n" {
+                return Some(payload_start + 2);
+            }
+            return None;
+        }
+        let after = payload_start.checked_add(size)?;
+        if buf.get(after..after + 2)? != b"\r\n" {
+            return None;
+        }
+        at = after + 2;
+    }
+}
+
+/// Decodes a complete chunked body into its payload bytes, returning
+/// `(payload, encoded_len)`. `None` while the message is incomplete.
+/// Used by the load/differential clients to read `/v1/explore` streams.
+pub fn decode_chunked(buf: &[u8]) -> Option<(Vec<u8>, usize)> {
+    let total = chunked_body_end(buf)?;
+    let mut payload = Vec::new();
+    let mut at = 0usize;
+    loop {
+        let (payload_start, size) = chunk_size_at(buf, at)?;
+        if size == 0 {
+            return Some((payload, total));
+        }
+        payload.extend_from_slice(buf.get(payload_start..payload_start + size)?);
+        at = payload_start + size + 2;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -552,5 +653,49 @@ mod tests {
         assert!(text.contains("Content-Length: 2\r\n"));
         assert!(text.contains("Connection: close\r\n"));
         assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn stream_head_declares_chunked_framing_without_a_length() {
+        let head = write_stream_head(200, "OK", "application/x-ndjson", false);
+        let text = String::from_utf8(head).expect("ascii");
+        assert!(text.starts_with("HTTP/1.1 200 OK\r\n"));
+        assert!(text.contains("Transfer-Encoding: chunked\r\n"));
+        assert!(!text.contains("Content-Length"));
+        assert!(!text.contains("Connection: close"));
+        assert!(text.ends_with("\r\n\r\n"));
+    }
+
+    #[test]
+    fn chunk_round_trips_through_the_decoder() {
+        let mut body = write_chunk(b"{\"a\":1}\n");
+        body.extend_from_slice(&write_chunk(b"{\"b\":22}\n"));
+        body.extend_from_slice(LAST_CHUNK);
+        assert!(body.starts_with(b"8\r\n"));
+        let (payload, consumed) = decode_chunked(&body).expect("complete");
+        assert_eq!(payload, b"{\"a\":1}\n{\"b\":22}\n");
+        assert_eq!(consumed, body.len());
+        assert_eq!(chunked_body_end(&body), Some(body.len()));
+        // Empty payloads frame to nothing rather than a premature
+        // terminator.
+        assert!(write_chunk(b"").is_empty());
+    }
+
+    #[test]
+    fn incomplete_or_malformed_chunked_bodies_are_not_decoded() {
+        let mut body = write_chunk(b"hello");
+        assert_eq!(chunked_body_end(&body), None, "no terminator yet");
+        body.extend_from_slice(b"0\r\n");
+        assert_eq!(chunked_body_end(&body), None, "terminator still partial");
+        body.extend_from_slice(b"\r\n");
+        assert!(chunked_body_end(&body).is_some());
+        // Trailing pipelined bytes after the terminator don't confuse the
+        // end finder.
+        let end = chunked_body_end(&body).expect("complete");
+        body.extend_from_slice(b"HTTP/1.1 200 OK\r\n");
+        assert_eq!(chunked_body_end(&body), Some(end));
+        for bad in [&b"zz\r\nhi\r\n0\r\n\r\n"[..], b"5\r\nhelloXX0\r\n\r\n"] {
+            assert_eq!(decode_chunked(bad), None, "{bad:?}");
+        }
     }
 }

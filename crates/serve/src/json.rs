@@ -1,441 +1,9 @@
-//! Minimal, dependency-free JSON: a value tree, a recursive-descent
-//! parser with a depth limit, and a deterministic renderer.
+//! The workspace JSON layer, re-exported.
 //!
-//! The vendored `serde` stand-in is derive-only (no data model, no
-//! serializer), so the server carries its own JSON layer. Objects are kept
-//! as insertion-ordered `Vec<(String, Value)>` rather than a `HashMap`, so
-//! rendering is byte-deterministic — two identical requests produce
-//! identical response bodies, which is what makes response-level request
-//! coalescing sound.
+//! The value tree, parser, and deterministic renderer originally lived
+//! here; they moved to [`darkgates::json`] so crates below the serve tier
+//! (notably `dg-explore`, whose spec reader must not depend on the HTTP
+//! stack) can share them. This shim keeps every `crate::json::` /
+//! `dg_serve::json::` call site compiling unchanged.
 
-use std::fmt;
-
-/// Maximum nesting depth the parser accepts. Request bodies are tiny
-/// parameter records; anything deeper is hostile or corrupt.
-const MAX_DEPTH: usize = 32;
-
-/// A parsed JSON value.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Json {
-    /// `null`.
-    Null,
-    /// `true` / `false`.
-    Bool(bool),
-    /// Any JSON number (always carried as `f64`).
-    Num(f64),
-    /// A string.
-    Str(String),
-    /// An array.
-    Arr(Vec<Json>),
-    /// An object, in insertion order (first write wins on duplicate keys).
-    Obj(Vec<(String, Json)>),
-}
-
-/// A JSON syntax or structure error, with the byte offset it occurred at.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct JsonError {
-    /// Byte offset into the input where parsing failed.
-    pub at: usize,
-    /// What went wrong.
-    pub reason: String,
-}
-
-impl fmt::Display for JsonError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid JSON at byte {}: {}", self.at, self.reason)
-    }
-}
-
-impl std::error::Error for JsonError {}
-
-impl Json {
-    /// Looks up a key in an object; `None` for missing keys or non-objects.
-    pub fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
-            _ => None,
-        }
-    }
-
-    /// The value as a finite number, if it is one.
-    pub fn as_f64(&self) -> Option<f64> {
-        match self {
-            Json::Num(n) if n.is_finite() => Some(*n),
-            _ => None,
-        }
-    }
-
-    /// The value as a non-negative integer, if it is one.
-    pub fn as_u64(&self) -> Option<u64> {
-        let n = self.as_f64()?;
-        if n >= 0.0 && n.fract() == 0.0 && n <= 2f64.powi(53) {
-            #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-            Some(n as u64)
-        } else {
-            None
-        }
-    }
-
-    /// The value as a string slice, if it is a string.
-    pub fn as_str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    /// The value as a bool, if it is one.
-    pub fn as_bool(&self) -> Option<bool> {
-        match self {
-            Json::Bool(b) => Some(*b),
-            _ => None,
-        }
-    }
-
-    /// The value as an array slice, if it is one.
-    pub fn as_arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(items) => Some(items),
-            _ => None,
-        }
-    }
-
-    /// Renders the value as compact JSON text.
-    ///
-    /// Numbers use Rust's shortest-roundtrip `f64` formatting; non-finite
-    /// numbers (which valid JSON cannot carry) render as `null`.
-    pub fn render(&self) -> String {
-        let mut out = String::new();
-        self.render_into(&mut out);
-        out
-    }
-
-    fn render_into(&self, out: &mut String) {
-        match self {
-            Json::Null => out.push_str("null"),
-            Json::Bool(true) => out.push_str("true"),
-            Json::Bool(false) => out.push_str("false"),
-            Json::Num(n) => {
-                if n.is_finite() {
-                    // `{}` on f64 is shortest-roundtrip, so render(parse(x))
-                    // is stable after one round.
-                    out.push_str(&format!("{n}"));
-                } else {
-                    out.push_str("null");
-                }
-            }
-            Json::Str(s) => render_string(s, out),
-            Json::Arr(items) => {
-                out.push('[');
-                for (i, item) in items.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    item.render_into(out);
-                }
-                out.push(']');
-            }
-            Json::Obj(pairs) => {
-                out.push('{');
-                for (i, (k, v)) in pairs.iter().enumerate() {
-                    if i > 0 {
-                        out.push(',');
-                    }
-                    render_string(k, out);
-                    out.push(':');
-                    v.render_into(out);
-                }
-                out.push('}');
-            }
-        }
-    }
-}
-
-/// Builds an object from key/value pairs (convenience for responses).
-pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
-    Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_owned(), v)).collect())
-}
-
-fn render_string(s: &str, out: &mut String) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-/// Parses a complete JSON document.
-///
-/// # Errors
-///
-/// Returns a [`JsonError`] with the byte offset on malformed input,
-/// trailing garbage, or nesting deeper than an internal limit.
-pub fn parse(text: &str) -> Result<Json, JsonError> {
-    let bytes = text.as_bytes();
-    let mut pos = 0usize;
-    let value = parse_value(bytes, &mut pos, 0)?;
-    skip_ws(bytes, &mut pos);
-    if pos != bytes.len() {
-        return Err(err(pos, "trailing characters after the document"));
-    }
-    Ok(value)
-}
-
-fn err(at: usize, reason: &str) -> JsonError {
-    JsonError {
-        at,
-        reason: reason.to_owned(),
-    }
-}
-
-fn skip_ws(bytes: &[u8], pos: &mut usize) {
-    while let Some(b) = bytes.get(*pos) {
-        if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
-            *pos += 1;
-        } else {
-            break;
-        }
-    }
-}
-
-fn parse_value(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
-    if depth > MAX_DEPTH {
-        return Err(err(*pos, "nesting too deep"));
-    }
-    skip_ws(bytes, pos);
-    match bytes.get(*pos) {
-        None => Err(err(*pos, "unexpected end of input")),
-        Some(b'n') => parse_keyword(bytes, pos, "null", Json::Null),
-        Some(b't') => parse_keyword(bytes, pos, "true", Json::Bool(true)),
-        Some(b'f') => parse_keyword(bytes, pos, "false", Json::Bool(false)),
-        Some(b'"') => parse_string(bytes, pos).map(Json::Str),
-        Some(b'[') => parse_array(bytes, pos, depth),
-        Some(b'{') => parse_object(bytes, pos, depth),
-        Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
-        Some(_) => Err(err(*pos, "unexpected character")),
-    }
-}
-
-fn parse_keyword(
-    bytes: &[u8],
-    pos: &mut usize,
-    word: &str,
-    value: Json,
-) -> Result<Json, JsonError> {
-    let end = *pos + word.len();
-    if bytes.get(*pos..end) == Some(word.as_bytes()) {
-        *pos = end;
-        Ok(value)
-    } else {
-        Err(err(*pos, "invalid literal"))
-    }
-}
-
-fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, JsonError> {
-    let start = *pos;
-    while let Some(b) = bytes.get(*pos) {
-        if matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9') {
-            *pos += 1;
-        } else {
-            break;
-        }
-    }
-    let text = std::str::from_utf8(bytes.get(start..*pos).unwrap_or_default())
-        .map_err(|_| err(start, "non-UTF-8 number"))?;
-    match text.parse::<f64>() {
-        Ok(n) if n.is_finite() => Ok(Json::Num(n)),
-        _ => Err(err(start, "malformed number")),
-    }
-}
-
-fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, JsonError> {
-    // Caller guarantees bytes[pos] == b'"'.
-    *pos += 1;
-    let mut out = String::new();
-    loop {
-        match bytes.get(*pos) {
-            None => return Err(err(*pos, "unterminated string")),
-            Some(b'"') => {
-                *pos += 1;
-                return Ok(out);
-            }
-            Some(b'\\') => {
-                *pos += 1;
-                match bytes.get(*pos) {
-                    Some(b'"') => out.push('"'),
-                    Some(b'\\') => out.push('\\'),
-                    Some(b'/') => out.push('/'),
-                    Some(b'n') => out.push('\n'),
-                    Some(b't') => out.push('\t'),
-                    Some(b'r') => out.push('\r'),
-                    Some(b'b') => out.push('\u{8}'),
-                    Some(b'f') => out.push('\u{c}'),
-                    Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or_else(|| err(*pos, "truncated \\u escape"))?;
-                        let hex = std::str::from_utf8(hex)
-                            .map_err(|_| err(*pos, "non-UTF-8 \\u escape"))?;
-                        let code = u32::from_str_radix(hex, 16)
-                            .map_err(|_| err(*pos, "malformed \\u escape"))?;
-                        // Surrogates are replaced rather than paired; the
-                        // server never emits them and requests carrying
-                        // them still parse deterministically.
-                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
-                        *pos += 4;
-                    }
-                    _ => return Err(err(*pos, "unknown escape")),
-                }
-                *pos += 1;
-            }
-            Some(_) => {
-                // Consume one UTF-8 scalar (input came from &str, so the
-                // boundaries are valid).
-                let rest = std::str::from_utf8(bytes.get(*pos..).unwrap_or_default())
-                    .map_err(|_| err(*pos, "non-UTF-8 text"))?;
-                match rest.chars().next() {
-                    Some(c) if (c as u32) >= 0x20 => {
-                        out.push(c);
-                        *pos += c.len_utf8();
-                    }
-                    _ => return Err(err(*pos, "raw control character in string")),
-                }
-            }
-        }
-    }
-}
-
-fn parse_array(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
-    *pos += 1; // consume '['
-    let mut items = Vec::new();
-    skip_ws(bytes, pos);
-    if bytes.get(*pos) == Some(&b']') {
-        *pos += 1;
-        return Ok(Json::Arr(items));
-    }
-    loop {
-        items.push(parse_value(bytes, pos, depth + 1)?);
-        skip_ws(bytes, pos);
-        match bytes.get(*pos) {
-            Some(b',') => {
-                *pos += 1;
-            }
-            Some(b']') => {
-                *pos += 1;
-                return Ok(Json::Arr(items));
-            }
-            _ => return Err(err(*pos, "expected ',' or ']' in array")),
-        }
-    }
-}
-
-fn parse_object(bytes: &[u8], pos: &mut usize, depth: usize) -> Result<Json, JsonError> {
-    *pos += 1; // consume '{'
-    let mut pairs: Vec<(String, Json)> = Vec::new();
-    skip_ws(bytes, pos);
-    if bytes.get(*pos) == Some(&b'}') {
-        *pos += 1;
-        return Ok(Json::Obj(pairs));
-    }
-    loop {
-        skip_ws(bytes, pos);
-        if bytes.get(*pos) != Some(&b'"') {
-            return Err(err(*pos, "expected string key"));
-        }
-        let key = parse_string(bytes, pos)?;
-        skip_ws(bytes, pos);
-        if bytes.get(*pos) != Some(&b':') {
-            return Err(err(*pos, "expected ':' after key"));
-        }
-        *pos += 1;
-        let value = parse_value(bytes, pos, depth + 1)?;
-        if !pairs.iter().any(|(k, _)| *k == key) {
-            pairs.push((key, value));
-        }
-        skip_ws(bytes, pos);
-        match bytes.get(*pos) {
-            Some(b',') => {
-                *pos += 1;
-            }
-            Some(b'}') => {
-                *pos += 1;
-                return Ok(Json::Obj(pairs));
-            }
-            _ => return Err(err(*pos, "expected ',' or '}' in object")),
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn round_trips_scalars_and_containers() {
-        let text = r#"{"a":1.5,"b":[true,null,"x\n"],"c":{"d":-2}}"#;
-        let v = parse(text).expect("valid document");
-        assert_eq!(v.get("a").and_then(Json::as_f64), Some(1.5));
-        assert_eq!(v.render(), text);
-        assert_eq!(parse(&v.render()), Ok(v));
-    }
-
-    #[test]
-    fn rejects_malformed_documents() {
-        for bad in [
-            "",
-            "{",
-            "[1,",
-            "{\"a\"}",
-            "{\"a\":}",
-            "nul",
-            "1.2.3",
-            "\"\\q\"",
-            "[1] x",
-            "{\"a\":1,}",
-        ] {
-            assert!(parse(bad).is_err(), "{bad:?} should fail");
-        }
-    }
-
-    #[test]
-    fn rejects_excessive_nesting() {
-        let deep = "[".repeat(64) + &"]".repeat(64);
-        assert!(parse(&deep).is_err());
-    }
-
-    #[test]
-    fn first_duplicate_key_wins_deterministically() {
-        let v = parse(r#"{"k":1,"k":2}"#).expect("parses");
-        assert_eq!(v.get("k").and_then(Json::as_f64), Some(1.0));
-    }
-
-    #[test]
-    fn accessors_reject_wrong_shapes() {
-        let v = parse(r#"{"n":1e400}"#);
-        assert!(v.is_err(), "overflowing number is not finite");
-        let v = parse(r#"{"n":3.25,"s":"x","b":false,"a":[1]}"#).expect("parses");
-        assert_eq!(v.get("n").and_then(Json::as_u64), None);
-        assert_eq!(v.get("s").and_then(Json::as_str), Some("x"));
-        assert_eq!(v.get("b").and_then(Json::as_bool), Some(false));
-        assert_eq!(
-            v.get("a").and_then(Json::as_arr).map(<[Json]>::len),
-            Some(1)
-        );
-        assert_eq!(v.get("missing"), None);
-        assert_eq!(Json::Null.get("x"), None);
-    }
-
-    #[test]
-    fn unicode_escapes_decode() {
-        let v = parse(r#""\u0041\u00e9""#).expect("parses");
-        assert_eq!(v.as_str(), Some("Aé"));
-    }
-}
+pub use darkgates::json::*;

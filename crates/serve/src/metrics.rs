@@ -139,6 +139,8 @@ pub enum Route {
     Sweep,
     /// `POST /v1/product`
     Product,
+    /// `POST /v1/explore` (streamed)
+    Explore,
     /// `GET /v1/claims`
     Claims,
     /// `GET /metrics`
@@ -151,11 +153,12 @@ pub enum Route {
 
 impl Route {
     /// All tracked routes, in render order.
-    pub const ALL: [Route; 8] = [
+    pub const ALL: [Route; 9] = [
         Route::Droop,
         Route::DroopBatch,
         Route::Sweep,
         Route::Product,
+        Route::Explore,
         Route::Claims,
         Route::Metrics,
         Route::Healthz,
@@ -169,6 +172,7 @@ impl Route {
             Route::DroopBatch => "droop_batch",
             Route::Sweep => "sweep",
             Route::Product => "product",
+            Route::Explore => "explore",
             Route::Claims => "claims",
             Route::Metrics => "metrics",
             Route::Healthz => "healthz",
@@ -184,6 +188,7 @@ struct RouteSlots {
     droop_batch: RouteMetrics,
     sweep: RouteMetrics,
     product: RouteMetrics,
+    explore: RouteMetrics,
     claims: RouteMetrics,
     metrics: RouteMetrics,
     healthz: RouteMetrics,
@@ -235,6 +240,7 @@ impl Metrics {
             Route::DroopBatch => &self.routes.droop_batch,
             Route::Sweep => &self.routes.sweep,
             Route::Product => &self.routes.product,
+            Route::Explore => &self.routes.explore,
             Route::Claims => &self.routes.claims,
             Route::Metrics => &self.routes.metrics,
             Route::Healthz => &self.routes.healthz,

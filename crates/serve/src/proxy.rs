@@ -44,7 +44,9 @@
 
 use crate::client::{http_request, read_framed_reply};
 use crate::event_loop::{drain_wakeups, waker_pair, Poller, Waker, EVENT_READ, EVENT_WRITE};
-use crate::http::{write_response, HttpError, ParserLimits, Request, RequestParser};
+use crate::http::{
+    chunked_body_end, write_response, HttpError, ParserLimits, Request, RequestParser,
+};
 use crate::json::{obj, Json};
 use crate::metrics::monotonic_us;
 use crate::queue::{BoundedQueue, PushError};
@@ -349,10 +351,13 @@ fn header_value<'a>(head: &'a [u8], name: &str) -> Option<&'a str> {
     None
 }
 
-/// Reads one `Content-Length`-framed reply off `stream` without parsing
-/// it into headers: the hot path only needs the framing boundary and the
-/// `Connection: close` verdict, and the bytes are relayed verbatim.
-/// Pipelined successor bytes are preserved in `leftover`.
+/// Reads one framed reply off `stream` without parsing it into headers:
+/// the hot path only needs the framing boundary and the
+/// `Connection: close` verdict, and the bytes are relayed verbatim —
+/// `Content-Length` bodies and chunked streams (`/v1/explore`) alike,
+/// chunk framing included, so a streaming client behind the router sees
+/// the shard's exact progress protocol. Pipelined successor bytes are
+/// preserved in `leftover`.
 fn read_raw_reply(stream: &mut TcpStream, leftover: &mut Vec<u8>) -> std::io::Result<RawReply> {
     let mut chunk = [0u8; 16 * 1024];
     let head_len = loop {
@@ -375,11 +380,30 @@ fn read_raw_reply(stream: &mut TcpStream, leftover: &mut Vec<u8>) -> std::io::Re
             "upstream reply is not HTTP",
         ));
     }
-    let body_len: usize = header_value(head, "content-length")
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(0);
+    let chunked =
+        header_value(head, "transfer-encoding").is_some_and(|v| v.eq_ignore_ascii_case("chunked"));
     let close = header_value(head, "connection").is_some_and(|v| v.eq_ignore_ascii_case("close"));
-    let total = head_len + body_len;
+    let total = if chunked {
+        loop {
+            let body = leftover.get(head_len..).unwrap_or_default();
+            if let Some(encoded_len) = chunked_body_end(body) {
+                break head_len + encoded_len;
+            }
+            let n = stream.read(&mut chunk)?;
+            if n == 0 {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-stream",
+                ));
+            }
+            leftover.extend_from_slice(chunk.get(..n).unwrap_or_default());
+        }
+    } else {
+        let body_len: usize = header_value(head, "content-length")
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        head_len + body_len
+    };
     while leftover.len() < total {
         let n = stream.read(&mut chunk)?;
         if n == 0 {

@@ -25,11 +25,17 @@ use darkgates::workloads::energy::{energy_star, ready_mode, video_conferencing, 
 use darkgates::workloads::graphics::three_dmark_suite;
 use darkgates::workloads::spec::{by_name, SpecMode};
 use darkgates::DarkGates;
+use dg_explore::ExploreSpec;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 /// Largest accepted impedance-sweep point count (compute admission).
 const MAX_SWEEP_POINTS: u64 = 20_000;
+
+/// Largest accepted `/v1/explore` grid (compute admission: one sweep
+/// holds a worker for its whole runtime; the library's own
+/// [`dg_explore::MAX_POINTS`] memory bound is far looser).
+pub const MAX_EXPLORE_POINTS: u64 = 20_000;
 
 /// Largest accepted `/v1/droop_batch` lane count (compute admission: one
 /// batch integrates every lane in lockstep on one worker).
@@ -104,6 +110,34 @@ fn bad_request(message: impl Into<String>) -> RouteError {
 }
 
 type HandlerResult = Result<Json, RouteError>;
+
+/// What the worker should do with a `POST /v1/explore` request
+/// (computed by [`Router::plan_explore`] before any streaming starts).
+pub enum ExplorePlan {
+    /// Invalid spec or oversized grid: answer with an ordinary framed
+    /// response — no stream ever starts.
+    Reject(Response),
+    /// The result line is already cached (memory or disk tier): stream
+    /// head + result line + terminator without running anything.
+    Cached(Arc<String>),
+    /// Run the sweep single-flight on `key`, streaming progress.
+    Run {
+        /// Coalescing / response-cache key (normalized-spec content hash).
+        key: u64,
+        /// The validated spec.
+        spec: Box<ExploreSpec>,
+    },
+}
+
+/// Leader-side stream events emitted by [`Router::run_explore`]: the
+/// coalescing leader's connection sees the head and every progress line;
+/// followers receive only the shared result.
+pub enum ExploreEvent<'a> {
+    /// The sweep is starting — send the stream head now.
+    Started,
+    /// One newline-terminated NDJSON progress line.
+    Progress(&'a str),
+}
 
 /// Dispatches requests to handlers; shared across all worker threads.
 #[derive(Debug)]
@@ -195,12 +229,13 @@ impl Router {
                 Route::Product,
                 self.json_route(req, product_key, product_route),
             ),
+            ("POST", "/v1/explore") => (Route::Explore, self.explore_sync(req)),
             ("POST", "/admin/drain") => (Route::Other, self.drain()),
             ("POST", "/v1/debug/sleep") if self.debug_routes => (Route::Other, debug_sleep(req)),
             (
                 "GET" | "POST" | "HEAD" | "PUT" | "DELETE",
                 "/healthz" | "/metrics" | "/v1/claims" | "/v1/droop" | "/v1/droop_batch"
-                | "/v1/sweep" | "/v1/product" | "/admin/drain",
+                | "/v1/sweep" | "/v1/product" | "/v1/explore" | "/admin/drain",
             ) => (
                 Route::Other,
                 Response::error(405, "method not allowed for this resource"),
@@ -298,6 +333,148 @@ impl Router {
             }
         }
     }
+
+    /// Validates a `POST /v1/explore` request and decides how the worker
+    /// answers it. Rejections (400/413) come back as ordinary framed
+    /// responses; cache hits skip compute entirely; everything else runs
+    /// through [`Router::run_explore`].
+    pub fn plan_explore(&self, req: &Request) -> ExplorePlan {
+        let spec = match explore_spec_of(&req.body) {
+            Ok(spec) => spec,
+            Err(resp) => return ExplorePlan::Reject(resp),
+        };
+        let points = spec.point_count();
+        if points > MAX_EXPLORE_POINTS {
+            return ExplorePlan::Reject(Response::error(
+                413,
+                &format!("grid of {points} points exceeds the {MAX_EXPLORE_POINTS} point limit"),
+            ));
+        }
+        let key = explore_key(&spec);
+        if let Some(body) = self.respcache.get(key) {
+            self.metrics
+                .resp_cache_hits_total
+                .fetch_add(1, Ordering::Relaxed);
+            return ExplorePlan::Cached(body);
+        }
+        ExplorePlan::Run {
+            key,
+            spec: Box::new(spec),
+        }
+    }
+
+    /// Runs a planned explore sweep single-flight, booking the coalesce
+    /// counters and populating the response cache on success.
+    ///
+    /// `on_event` fires only on the coalescing leader (the closure the
+    /// [`Coalescer`] runs): [`ExploreEvent::Started`] before the first
+    /// batch, then one [`ExploreEvent::Progress`] line per batch.
+    /// Followers see neither — they receive only the shared result. The
+    /// returned body is the final result line (no trailing newline);
+    /// `Err` carries a leader panic message.
+    pub fn run_explore(
+        &self,
+        key: u64,
+        spec: &ExploreSpec,
+        mut on_event: impl FnMut(ExploreEvent<'_>),
+    ) -> (Result<(u16, Arc<String>), String>, Role) {
+        let (outcome, role) = self.coalescer.run(key, || {
+            on_event(ExploreEvent::Started);
+            match dg_explore::run_with_progress(spec, |p| {
+                let line = progress_line(p);
+                on_event(ExploreEvent::Progress(&line));
+            }) {
+                Ok(result) => {
+                    let body = obj(vec![("ok", Json::Bool(true)), ("result", result.to_json())]);
+                    (200u16, Arc::new(body.render()))
+                }
+                // Unreachable behind plan_explore's tighter point bound,
+                // but the library contract allows it: render it like any
+                // other handler error instead of panicking.
+                Err(e) => {
+                    let body = obj(vec![
+                        ("ok", Json::Bool(false)),
+                        ("error", Json::Str(format!("{e}"))),
+                    ]);
+                    (500u16, Arc::new(body.render()))
+                }
+            }
+        });
+        match role {
+            Role::Leader => self
+                .metrics
+                .coalesce_leaders_total
+                .fetch_add(1, Ordering::Relaxed),
+            Role::Follower => self.metrics.coalesced_total.fetch_add(1, Ordering::Relaxed),
+        };
+        if let Ok((200, body)) = &outcome {
+            self.respcache.put(key, body);
+        }
+        if outcome.is_err() {
+            self.metrics.panics_total.fetch_add(1, Ordering::Relaxed);
+        }
+        (outcome, role)
+    }
+
+    /// The non-streaming `/v1/explore` fallback used when the request
+    /// reaches the generic [`Router::handle`] dispatch (direct library
+    /// callers, tests, the chaos oracle): same plan, same single-flight
+    /// run, same result body — just without the progress stream around it.
+    fn explore_sync(&self, req: &Request) -> Response {
+        match self.plan_explore(req) {
+            ExplorePlan::Reject(resp) => resp,
+            ExplorePlan::Cached(body) => Response {
+                status: 200,
+                reason: reason_of(200),
+                content_type: "application/json",
+                body,
+            },
+            ExplorePlan::Run { key, spec } => match self.run_explore(key, &spec, |_| {}) {
+                (Ok((status, body)), _) => Response {
+                    status,
+                    reason: reason_of(status),
+                    content_type: "application/json",
+                    body,
+                },
+                (Err(panic_msg), _) => {
+                    Response::error(500, &format!("handler panicked: {panic_msg}"))
+                }
+            },
+        }
+    }
+}
+
+/// Parses and validates an explore spec body (empty body → the default
+/// Charm axes, mirroring the CLI's `{}` spec).
+fn explore_spec_of(body: &[u8]) -> Result<ExploreSpec, Response> {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return Err(Response::error(400, "body is not UTF-8")),
+    };
+    let text = if text.trim().is_empty() { "{}" } else { text };
+    ExploreSpec::from_text(text).map_err(|e| Response::error(400, &format!("spec: {e}")))
+}
+
+/// Coalescing / response-cache / shard-affinity key for an explore
+/// sweep: the content hash of the *normalized* spec rendering, so
+/// formatting, key order, and omitted defaults never split the cache.
+fn explore_key(spec: &ExploreSpec) -> u64 {
+    ContentKey::new()
+        .bytes(b"explore")
+        .bytes(spec.normalized_json().render().as_bytes())
+        .finish()
+}
+
+/// One newline-terminated NDJSON progress line.
+fn progress_line(p: dg_explore::Progress) -> String {
+    let mut line = obj(vec![
+        ("completed", Json::Num(approx_f64(p.completed))),
+        ("total", Json::Num(approx_f64(p.total))),
+        ("frontier", Json::Num(approx_f64(p.frontier))),
+    ])
+    .render();
+    line.push('\n');
+    line
 }
 
 /// The content key `dg-router` hashes for shard affinity.
@@ -322,6 +499,10 @@ pub fn content_key_of(method: &str, target: &str, body: &[u8]) -> u64 {
         ("POST", "/v1/droop_batch", Some(p)) => Some(droop_batch_key(p)),
         ("POST", "/v1/sweep", Some(p)) => Some(sweep_key(p)),
         ("POST", "/v1/product", Some(p)) => Some(product_key(p)),
+        ("POST", "/v1/explore", Some(p)) => Some(match ExploreSpec::from_json(p) {
+            Ok(spec) => explore_key(&spec),
+            Err(_) => error_key(b"explore-invalid", p),
+        }),
         _ => None,
     };
     keyed.unwrap_or_else(|| {

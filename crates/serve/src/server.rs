@@ -39,11 +39,16 @@
 //!    `Connection: close`, then the queue closes, workers exit, and
 //!    [`ServerHandle::shutdown`] reports whether the drain was clean.
 
+use crate::coalesce::Role;
 use crate::event_loop::{drain_wakeups, waker_pair, Poller, Waker, EVENT_READ, EVENT_WRITE};
-use crate::http::{write_response, HttpError, ParserLimits, Request, RequestParser};
+use crate::http::{
+    write_chunk, write_response, write_stream_head, HttpError, ParserLimits, Request,
+    RequestParser, LAST_CHUNK,
+};
+use crate::json::{obj, Json};
 use crate::metrics::{monotonic_us, Metrics, Route};
 use crate::queue::{BoundedQueue, PushError};
-use crate::routes::{Response, Router};
+use crate::routes::{ExploreEvent, ExplorePlan, Response, Router};
 use dg_engine::sync::TrackedMutex;
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
@@ -124,11 +129,18 @@ struct Job {
     close: bool,
 }
 
-/// A worker's finished response, already framed for the wire.
+/// Bytes a worker hands back to the event loop, already framed for the
+/// wire. Ordinary routes produce exactly one completion with
+/// `fin = true`; the streaming `/v1/explore` route produces a sequence —
+/// head, progress chunks, then the terminal chunk — where only the last
+/// carries `fin`. Completions for one token are pushed in wire order and
+/// the event loop appends them in arrival order.
 struct Completion {
     token: u64,
     bytes: Vec<u8>,
     close: bool,
+    /// Whether this completion ends the response.
+    fin: bool,
 }
 
 /// Everything the event loop and workers share.
@@ -342,6 +354,10 @@ pub fn linger_close(mut stream: TcpStream) {
 /// completion list + waker.
 fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
+        if wants_explore_stream(&job.request) {
+            stream_explore(shared, &job);
+            continue;
+        }
         shared.metrics.inflight.fetch_add(1, Ordering::Relaxed);
         let start = monotonic_us();
         // Handlers run with par_map inlined (one thread per request) and
@@ -384,9 +400,188 @@ fn worker_loop(shared: &Shared) {
             token: job.token,
             bytes,
             close,
+            fin: true,
         });
         shared.waker.notify();
     }
+}
+
+/// Whether a dispatched request takes the streaming `/v1/explore` path
+/// instead of the generic handle-then-frame path.
+fn wants_explore_stream(request: &Request) -> bool {
+    let path = request.target.split('?').next().unwrap_or(&request.target);
+    request.method == "POST" && path == "/v1/explore"
+}
+
+/// The NDJSON stream head for `/v1/explore`.
+fn explore_head(close: bool) -> Vec<u8> {
+    write_stream_head(200, "OK", "application/x-ndjson", close)
+}
+
+/// Frames `body` as the newline-terminated final line of a stream,
+/// followed by the terminal chunk.
+fn explore_tail(body: &str) -> Vec<u8> {
+    let mut line = String::with_capacity(body.len() + 1);
+    line.push_str(body);
+    line.push('\n');
+    let mut bytes = write_chunk(line.as_bytes());
+    bytes.extend_from_slice(LAST_CHUNK);
+    bytes
+}
+
+/// Serves one `POST /v1/explore` request: chunked NDJSON progress lines
+/// as batches finish, then the result line. Rejections (400/413) stay
+/// ordinary framed responses; cache hits and coalesced followers stream
+/// only the result line.
+fn stream_explore(shared: &Shared, job: &Job) {
+    shared.metrics.inflight.fetch_add(1, Ordering::Relaxed);
+    let start = monotonic_us();
+    let close = job.close || shared.draining.load(Ordering::SeqCst);
+    let token = job.token;
+
+    let push = |bytes: Vec<u8>, fin: bool, close: bool| {
+        shared.completions.lock().push(Completion {
+            token,
+            bytes,
+            close,
+            fin,
+        });
+        shared.waker.notify();
+    };
+
+    let plan = catch_unwind(AssertUnwindSafe(|| {
+        shared.router.plan_explore(&job.request)
+    }));
+    let status = match plan {
+        Err(_) => {
+            shared.metrics.panics_total.fetch_add(1, Ordering::Relaxed);
+            push(
+                write_response(
+                    500,
+                    "Internal Server Error",
+                    "application/json",
+                    &[],
+                    b"{\"ok\":false,\"error\":\"internal handler panic\"}",
+                    close,
+                ),
+                true,
+                close,
+            );
+            500
+        }
+        Ok(ExplorePlan::Reject(resp)) => {
+            push(
+                write_response(
+                    resp.status,
+                    resp.reason,
+                    resp.content_type,
+                    &[],
+                    resp.body.as_bytes(),
+                    close,
+                ),
+                true,
+                close,
+            );
+            resp.status
+        }
+        Ok(ExplorePlan::Cached(body)) => {
+            let mut bytes = explore_head(close);
+            bytes.extend_from_slice(&explore_tail(&body));
+            push(bytes, true, close);
+            200
+        }
+        Ok(ExplorePlan::Run { key, spec }) => {
+            // The sweep deliberately runs with the engine's par_map pool
+            // live (no inline_scope): a 10k-point grid is exactly the
+            // workload the chunked evaluation parallelises, and its
+            // results are bit-identical for any thread count.
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                shared.router.run_explore(key, &spec, |event| match event {
+                    ExploreEvent::Started => push(explore_head(close), false, close),
+                    ExploreEvent::Progress(line) => {
+                        push(write_chunk(line.as_bytes()), false, close);
+                    }
+                })
+            }));
+            match outcome {
+                Ok((Ok((status, body)), role)) => {
+                    match role {
+                        // Head and progress are already queued in order;
+                        // a non-200 logical status rides the wire-200
+                        // stream (the head is long gone) and closes.
+                        Role::Leader => push(explore_tail(&body), true, close || status != 200),
+                        // Followers saw no events: stream head + result
+                        // line, exactly like a cache hit — unless the
+                        // shared outcome is an error, which they can
+                        // still report with honest framing.
+                        Role::Follower if status == 200 => {
+                            let mut bytes = explore_head(close);
+                            bytes.extend_from_slice(&explore_tail(&body));
+                            push(bytes, true, close);
+                        }
+                        Role::Follower => push(
+                            write_response(
+                                status,
+                                "Internal Server Error",
+                                "application/json",
+                                &[],
+                                body.as_bytes(),
+                                close,
+                            ),
+                            true,
+                            close,
+                        ),
+                    }
+                    status
+                }
+                Ok((Err(panic_msg), role)) => {
+                    // The leader's compute panicked inside the coalescer
+                    // (already booked in panics_total by run_explore).
+                    // The leader's head is on the wire: terminate its
+                    // stream with an error line and close. Followers sent
+                    // nothing yet and get a plain framed 500.
+                    let body = obj(vec![
+                        ("ok", Json::Bool(false)),
+                        ("error", Json::Str(format!("handler panicked: {panic_msg}"))),
+                    ])
+                    .render();
+                    match role {
+                        Role::Leader => push(explore_tail(&body), true, true),
+                        Role::Follower => push(
+                            write_response(
+                                500,
+                                "Internal Server Error",
+                                "application/json",
+                                &[],
+                                body.as_bytes(),
+                                close,
+                            ),
+                            true,
+                            true,
+                        ),
+                    }
+                    500
+                }
+                Err(_) => {
+                    // A panic escaped run_explore itself (outside the
+                    // coalescer's containment — bookkeeping, not compute).
+                    // Whether the head went out is unknowable here; end
+                    // the response as a stream and close, which bounds
+                    // the damage either way.
+                    shared.metrics.panics_total.fetch_add(1, Ordering::Relaxed);
+                    push(
+                        explore_tail("{\"ok\":false,\"error\":\"internal handler panic\"}"),
+                        true,
+                        true,
+                    );
+                    500
+                }
+            }
+        }
+    };
+    let latency = monotonic_us().saturating_sub(start);
+    shared.metrics.record(Route::Explore, status, latency);
+    shared.metrics.inflight.fetch_sub(1, Ordering::Relaxed);
 }
 
 const TOKEN_LISTENER: u64 = 0;
@@ -415,6 +610,10 @@ struct Conn {
     out_pos: usize,
     state: ConnState,
     close_after_write: bool,
+    /// Set when the final completion of a streamed response has been
+    /// appended to `out`: the next full flush may leave [`ConnState::Dispatched`]
+    /// instead of waiting for more chunks.
+    stream_fin: bool,
     served: usize,
     last_activity_us: u64,
     interest: u32,
@@ -550,6 +749,7 @@ impl<'a> EventLoop<'a> {
                             out_pos: 0,
                             state: ConnState::Reading,
                             close_after_write: false,
+                            stream_fin: false,
                             served: 0,
                             last_activity_us: monotonic_us(),
                             interest: EVENT_READ,
@@ -569,10 +769,15 @@ impl<'a> EventLoop<'a> {
             return;
         };
         match conn.state {
-            // Ignore readiness while dispatched (interest is empty, but
-            // level-triggered ERR/HUP still fire): the completion path
-            // discovers a dead peer at write time.
-            ConnState::Dispatched => {}
+            // While dispatched, readiness only matters if a streamed
+            // response parked mid-chunk on write readiness; otherwise
+            // (interest is empty, but level-triggered ERR/HUP still fire)
+            // the completion path discovers a dead peer at write time.
+            ConnState::Dispatched => {
+                if conn.out_pos < conn.out.len() {
+                    self.flush(token);
+                }
+            }
             ConnState::Lingering { .. } => self.linger_ready(token),
             ConnState::Reading => {
                 if conn.out_pos < conn.out.len() {
@@ -738,6 +943,7 @@ impl<'a> EventLoop<'a> {
         conn.out = bytes;
         conn.out_pos = 0;
         conn.close_after_write = close;
+        conn.stream_fin = false;
         self.flush(token);
     }
 
@@ -770,8 +976,19 @@ impl<'a> EventLoop<'a> {
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
+        if matches!(conn.state, ConnState::Dispatched) && !conn.stream_fin {
+            // Mid-stream: the chunks written so far are out, the worker
+            // will push more. Stay dispatched with empty interest so only
+            // the next completion (or a terminal deadline) resumes us.
+            conn.out = Vec::new();
+            conn.out_pos = 0;
+            conn.last_activity_us = monotonic_us();
+            return self.set_interest(token, 0);
+        }
         conn.out = Vec::new();
         conn.out_pos = 0;
+        conn.stream_fin = false;
+        conn.state = ConnState::Reading;
         if conn.close_after_write {
             return self.begin_linger(token);
         }
@@ -819,13 +1036,31 @@ impl<'a> EventLoop<'a> {
     }
 
     /// Hands worker completions back to their connections' state machines.
+    /// A dispatched connection **appends** each completion's bytes (the
+    /// completion vector preserves the worker's push order, so a streamed
+    /// head → progress → terminal sequence lands on the wire in order);
+    /// only the `fin` completion releases the connection back to
+    /// [`ConnState::Reading`] via the flush tail.
     fn apply_completions(&mut self) {
         let done = std::mem::take(&mut *self.shared.completions.lock());
         for completion in done {
             // The connection may have died while its request was in
             // flight; tokens are never recycled, so a stale completion
             // simply misses.
-            if self.conns.contains_key(&completion.token) {
+            let Some(conn) = self.conns.get_mut(&completion.token) else {
+                continue;
+            };
+            if matches!(conn.state, ConnState::Dispatched) {
+                conn.out.extend_from_slice(&completion.bytes);
+                if completion.fin {
+                    conn.stream_fin = true;
+                    conn.close_after_write = completion.close;
+                }
+                self.flush(completion.token);
+            } else {
+                // Defensive: a completion for a connection no longer
+                // dispatched (should not happen — the worker owns the
+                // connection until fin). Frame it as a whole response.
                 self.queue_write(completion.token, completion.bytes, completion.close);
             }
         }
@@ -849,8 +1084,13 @@ impl<'a> EventLoop<'a> {
                 // not draining their response (write stall): any quiet
                 // period past the read timeout closes the connection.
                 ConnState::Reading => now.saturating_sub(c.last_activity_us) >= idle_budget_us,
-                // The worker owns the deadline while dispatched.
-                ConnState::Dispatched => false,
+                // The worker owns the deadline while dispatched — unless a
+                // streamed response has pending bytes the peer will not
+                // drain (a stalled streaming reader), which the idle
+                // budget reaps like any other write stall.
+                ConnState::Dispatched => {
+                    !c.out.is_empty() && now.saturating_sub(c.last_activity_us) >= idle_budget_us
+                }
             })
             .map(|(&t, _)| t)
             .collect();
