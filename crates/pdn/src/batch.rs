@@ -1,26 +1,34 @@
-//! Batched structure-of-arrays transient kernel.
+//! Batched structure-of-arrays transient kernel with explicit-SIMD lanes.
 //!
 //! Sweeps integrate hundreds of independent load-step scenarios against the
-//! *same* ladder. The scalar kernel in [`crate::transient`] walks one
-//! scenario at a time, and its node-recurrence derivative loop carries a
-//! loop-carried dependency (`v_prev`) that defeats auto-vectorization. This
-//! module steps B scenarios ("lanes") in lockstep instead: state is held in
-//! lane-major structure-of-arrays buffers (`buf[k * b + col]` — state
-//! variable `k`, lane column `col`), so the inner loop of every derivative
-//! evaluation and RK4 combination runs across lanes, which are mutually
-//! independent and therefore vectorize cleanly.
+//! *same* ladder. This module steps B scenarios ("lanes") in lockstep:
+//! state is held in lane-major structure-of-arrays buffers
+//! (`buf[k * b + col]` — state variable `k`, lane column `col`), so the
+//! inner loop of every derivative evaluation and RK4 combination runs
+//! across lanes, which are mutually independent.
+//!
+//! Since PR 9 those inner loops are written against the explicit
+//! [`crate::simd::Lanes`] wrapper instead of relying on auto-vectorization:
+//! [`TransientSim::run_batch`] picks a [`KernelWidth`] once per batch (the
+//! widest the CPU supports) and hands the whole integration loop to a
+//! width-specific entry point compiled under the matching `target_feature`.
+//! Columns beyond the last full vector run the scalar `f64` implementation
+//! of the same generic code. Because every lane operation is a pure
+//! per-element IEEE-754 expression in the same form and order as the
+//! scalar kernel — lanes never mix, nothing fuses into FMA — every lane is
+//! bit-identical to the scalar path at every width.
 //!
 //! Lanes that reach the settle band early stop paying derivative cost: a
 //! retired column is swapped with the last active column and the active
 //! width shrinks (swap-compaction), so the hot loops always run over a
 //! dense prefix of live lanes.
 //!
-//! The batch path is bit-identical to the scalar path lane-for-lane: every
-//! floating-point expression is evaluated in the same form and order per
-//! lane as in [`TransientSim::run`], lanes never mix arithmetically, and
-//! both paths share the memoized [`LadderCoeffs`] and DC steady states.
+//! This is also the *only* kernel: [`TransientSim::run`] is a thin wrapper
+//! over a 1-lane batch, so there is exactly one integration loop to
+//! optimize and test.
 
 use crate::ladder::Ladder;
+use crate::simd::{F64x4, F64x8, KernelWidth, Lanes};
 use crate::transient::{
     push_final_sample, LadderCoeffs, LoadStep, TransientResult, TransientSim, SETTLE_ABS_TOL_V,
     SETTLE_REL_TOL, SETTLE_WINDOW_S,
@@ -52,18 +60,60 @@ struct LaneOut {
     t_exit: f64,
 }
 
+/// Everything the width-dispatched integration loop touches, bundled so the
+/// `#[target_feature]` entry points stay non-generic while the loop itself
+/// is generic over the lane type.
+struct Kernel<'a> {
+    coeffs: &'a LadderCoeffs,
+    source: f64,
+    dt: f64,
+    b: usize,
+    n_steps: usize,
+    decimate: usize,
+    settle_steps: usize,
+    state: Vec<f64>,
+    k1: Vec<f64>,
+    k2: Vec<f64>,
+    k3: Vec<f64>,
+    k4: Vec<f64>,
+    tmp: Vec<f64>,
+    i_now: Vec<f64>,
+    i_mid: Vec<f64>,
+    i_end: Vec<f64>,
+    cols: Vec<LaneRun>,
+    outs: Vec<LaneOut>,
+}
+
 impl TransientSim {
     /// Runs `steps.len()` independent load-step scenarios against `ladder`
     /// in one lockstep batch, returning one [`TransientResult`] per input
     /// step, in input order.
     ///
-    /// Each lane's result is bit-identical to what [`TransientSim::run`]
-    /// returns for the same step — including lanes that settle and retire
-    /// at different times — so callers may batch freely without perturbing
-    /// the repo's determinism contract. An empty slice returns an empty
-    /// vector.
+    /// The kernel width is chosen once per call via [`KernelWidth::detect`]
+    /// (the widest the running CPU supports). Each lane's result is
+    /// bit-identical at every width — including lanes that settle and
+    /// retire at different times — so callers may batch freely without
+    /// perturbing the repo's determinism contract. An empty slice returns
+    /// an empty vector.
     #[must_use]
     pub fn run_batch(&self, ladder: &Ladder, steps: &[LoadStep]) -> Vec<TransientResult> {
+        self.run_batch_with_width(ladder, steps, KernelWidth::detect())
+    }
+
+    /// [`TransientSim::run_batch`] with an explicit kernel width.
+    ///
+    /// A request wider than the running CPU supports falls back to the
+    /// *portable* compilation of the same generic kernel (no AVX codegen),
+    /// so the wide data path — vector chunks plus scalar remainder — can be
+    /// exercised and benchmarked on any machine. Results are bit-identical
+    /// to [`KernelWidth::Scalar`] in every case.
+    #[must_use]
+    pub fn run_batch_with_width(
+        &self,
+        ladder: &Ladder,
+        steps: &[LoadStep],
+        width: KernelWidth,
+    ) -> Vec<TransientResult> {
         let b = steps.len();
         if b == 0 {
             return Vec::new();
@@ -115,121 +165,35 @@ impl TransientSim {
             });
         }
 
-        let mut k1 = vec![0.0; 2 * n * b];
-        let mut k2 = vec![0.0; 2 * n * b];
-        let mut k3 = vec![0.0; 2 * n * b];
-        let mut k4 = vec![0.0; 2 * n * b];
-        let mut tmp = vec![0.0; 2 * n * b];
-        let mut i_now = vec![0.0; b];
-        let mut i_mid = vec![0.0; b];
-        let mut i_end = vec![0.0; b];
-        let mut exits: Vec<usize> = Vec::with_capacity(b);
-
-        let mut active = b;
-        for s in 0..n_steps {
-            if active == 0 {
-                break;
-            }
-            #[allow(clippy::cast_precision_loss)]
-            let t = s as f64 * dt;
-            for (col, run) in cols.iter().enumerate().take(active) {
-                i_mid[col] = run.step.current_at(Seconds::new(t + 0.5 * dt)).value();
-                i_now[col] = run.step.current_at(Seconds::new(t)).value();
-                i_end[col] = run.step.current_at(Seconds::new(t + dt)).value();
-            }
-
-            derivative_batch(&coeffs, source, &state, &i_now, &mut k1, b, active);
-            axpy_batch(&state, &k1, 0.5 * dt, &mut tmp, b, active);
-            derivative_batch(&coeffs, source, &tmp, &i_mid, &mut k2, b, active);
-            axpy_batch(&state, &k2, 0.5 * dt, &mut tmp, b, active);
-            derivative_batch(&coeffs, source, &tmp, &i_mid, &mut k3, b, active);
-            axpy_batch(&state, &k3, dt, &mut tmp, b, active);
-            derivative_batch(&coeffs, source, &tmp, &i_end, &mut k4, b, active);
-
-            if active == b {
-                // Full-width fast path: every column is live, so the
-                // row-by-row `take(active)` masking collapses into one flat
-                // loop over the whole SoA buffer. The per-element expression
-                // is unchanged, so lanes stay bit-identical to the scalar
-                // path.
-                for ((((st, &a), &bv), &c), &d) in
-                    state.iter_mut().zip(&k1).zip(&k2).zip(&k3).zip(&k4)
-                {
-                    *st += dt / 6.0 * (a + 2.0 * bv + 2.0 * c + d);
-                }
-            } else {
-                for ((((srow, arow), brow), crow), drow) in state
-                    .chunks_exact_mut(b)
-                    .zip(k1.chunks_exact(b))
-                    .zip(k2.chunks_exact(b))
-                    .zip(k3.chunks_exact(b))
-                    .zip(k4.chunks_exact(b))
-                {
-                    for ((((st, &a), &bv), &c), &d) in srow
-                        .iter_mut()
-                        .zip(arow)
-                        .zip(brow)
-                        .zip(crow)
-                        .zip(drow)
-                        .take(active)
-                    {
-                        *st += dt / 6.0 * (a + 2.0 * bv + 2.0 * c + d);
-                    }
-                }
-            }
-
-            let t_now = Seconds::new(t + dt);
-            exits.clear();
-            for (col, run) in cols.iter_mut().enumerate().take(active) {
-                let out = &mut outs[run.lane];
-                let v_die = Volts::new(state[(2 * n - 1) * b + col]);
-                out.t_exit = t_now.value();
-                if v_die < out.v_min {
-                    out.v_min = v_die;
-                    out.t_min = t_now;
-                }
-                if s % decimate == 0 {
-                    out.samples.push((t_now, v_die));
-                }
-                if t_now.value() >= run.settle_after {
-                    if (v_die.value() - run.v_settle_target).abs() <= run.settle_tol {
-                        run.in_band += 1;
-                        if run.in_band >= settle_steps {
-                            exits.push(col);
-                        }
-                    } else {
-                        run.in_band = 0;
-                    }
-                }
-            }
-            // Retire settled lanes: record final state, then swap the last
-            // active column into the vacated slot. Descending column order
-            // guarantees every swapped-in column survived this step.
-            for &col in exits.iter().rev() {
-                let lane = cols[col].lane;
-                let out = &mut outs[lane];
-                out.v_final = Volts::new(state[(2 * n - 1) * b + col]);
-                push_final_sample(&mut out.samples, out.t_exit, out.v_final);
-                let last = active - 1;
-                if col != last {
-                    for row in state.chunks_exact_mut(b) {
-                        row.swap(col, last);
-                    }
-                    cols.swap(col, last);
-                }
-                active = last;
-            }
+        let mut kernel = Kernel {
+            coeffs: &coeffs,
+            source,
+            dt,
+            b,
+            n_steps,
+            decimate,
+            settle_steps,
+            state,
+            k1: vec![0.0; 2 * n * b],
+            k2: vec![0.0; 2 * n * b],
+            k3: vec![0.0; 2 * n * b],
+            k4: vec![0.0; 2 * n * b],
+            tmp: vec![0.0; 2 * n * b],
+            i_now: vec![0.0; b],
+            i_mid: vec![0.0; b],
+            i_end: vec![0.0; b],
+            cols,
+            outs,
+        };
+        match width {
+            KernelWidth::Scalar => kernel.integrate::<f64>(),
+            KernelWidth::X4 => integrate_x4(&mut kernel),
+            KernelWidth::X8 => integrate_x8(&mut kernel),
         }
 
-        // Survivors ran the full window (their t_exit is the last step's
-        // timestamp, exactly as in the scalar path).
-        for (col, run) in cols.iter().enumerate().take(active) {
-            let out = &mut outs[run.lane];
-            out.v_final = Volts::new(state[(2 * n - 1) * b + col]);
-            push_final_sample(&mut out.samples, out.t_exit, out.v_final);
-        }
-
-        outs.into_iter()
+        kernel
+            .outs
+            .into_iter()
             .map(|o| TransientResult {
                 samples: o.samples,
                 v_min: o.v_min,
@@ -241,15 +205,193 @@ impl TransientSim {
     }
 }
 
+/// Runs the 4-lane kernel — under AVX2 codegen when the CPU has it, else
+/// the portable compilation of the same generic code (so the 4-lane data
+/// path is exercisable anywhere).
+#[cfg(target_arch = "x86_64")]
+fn integrate_x4(kernel: &mut Kernel<'_>) {
+    #[target_feature(enable = "avx2")]
+    fn inner(kernel: &mut Kernel<'_>) {
+        kernel.integrate::<F64x4>();
+    }
+    if KernelWidth::detect() >= KernelWidth::X4 {
+        // SAFETY: `detect()` returns X4 or wider only when the running CPU
+        // reports AVX2, so the feature-gated entry point is sound here.
+        unsafe { inner(kernel) }
+    } else {
+        kernel.integrate::<F64x4>();
+    }
+}
+
+/// Portable 4-lane kernel for non-x86-64 targets (same generic code, no
+/// feature-gated codegen).
+#[cfg(not(target_arch = "x86_64"))]
+fn integrate_x4(kernel: &mut Kernel<'_>) {
+    kernel.integrate::<F64x4>();
+}
+
+/// Runs the 8-lane kernel — under AVX-512F codegen when the CPU has it,
+/// else the portable compilation of the same generic code.
+#[cfg(target_arch = "x86_64")]
+fn integrate_x8(kernel: &mut Kernel<'_>) {
+    #[target_feature(enable = "avx512f")]
+    fn inner(kernel: &mut Kernel<'_>) {
+        kernel.integrate::<F64x8>();
+    }
+    if KernelWidth::detect() >= KernelWidth::X8 {
+        // SAFETY: `detect()` returns X8 only when the running CPU reports
+        // AVX-512F, so the feature-gated entry point is sound here.
+        unsafe { inner(kernel) }
+    } else {
+        kernel.integrate::<F64x8>();
+    }
+}
+
+/// Portable 8-lane kernel for non-x86-64 targets.
+#[cfg(not(target_arch = "x86_64"))]
+fn integrate_x8(kernel: &mut Kernel<'_>) {
+    kernel.integrate::<F64x8>();
+}
+
+impl Kernel<'_> {
+    /// The whole integration loop — RK4 stages, settle detection, and
+    /// swap-compaction — generic over the lane type. `#[inline(always)]`
+    /// so each width-specific entry point gets its own codegen under its
+    /// own target features.
+    #[inline(always)]
+    fn integrate<L: Lanes>(&mut self) {
+        let b = self.b;
+        let n = self.coeffs.nodes();
+        let dt = self.dt;
+        let source = self.source;
+        let mut exits: Vec<usize> = Vec::with_capacity(b);
+        let mut active = b;
+        for s in 0..self.n_steps {
+            if active == 0 {
+                break;
+            }
+            #[allow(clippy::cast_precision_loss)]
+            let t = s as f64 * dt;
+            for (col, run) in self.cols.iter().enumerate().take(active) {
+                self.i_mid[col] = run.step.current_at(Seconds::new(t + 0.5 * dt)).value();
+                self.i_now[col] = run.step.current_at(Seconds::new(t)).value();
+                self.i_end[col] = run.step.current_at(Seconds::new(t + dt)).value();
+            }
+
+            derivative_rows::<L>(
+                self.coeffs,
+                source,
+                &self.state,
+                &self.i_now,
+                &mut self.k1,
+                b,
+                active,
+            );
+            axpy_rows::<L>(&self.state, &self.k1, 0.5 * dt, &mut self.tmp, b, active);
+            derivative_rows::<L>(
+                self.coeffs,
+                source,
+                &self.tmp,
+                &self.i_mid,
+                &mut self.k2,
+                b,
+                active,
+            );
+            axpy_rows::<L>(&self.state, &self.k2, 0.5 * dt, &mut self.tmp, b, active);
+            derivative_rows::<L>(
+                self.coeffs,
+                source,
+                &self.tmp,
+                &self.i_mid,
+                &mut self.k3,
+                b,
+                active,
+            );
+            axpy_rows::<L>(&self.state, &self.k3, dt, &mut self.tmp, b, active);
+            derivative_rows::<L>(
+                self.coeffs,
+                source,
+                &self.tmp,
+                &self.i_end,
+                &mut self.k4,
+                b,
+                active,
+            );
+
+            rk4_combine_rows::<L>(
+                &mut self.state,
+                &self.k1,
+                &self.k2,
+                &self.k3,
+                &self.k4,
+                dt,
+                b,
+                active,
+            );
+
+            let t_now = Seconds::new(t + dt);
+            exits.clear();
+            for (col, run) in self.cols.iter_mut().enumerate().take(active) {
+                let out = &mut self.outs[run.lane];
+                let v_die = Volts::new(self.state[(2 * n - 1) * b + col]);
+                out.t_exit = t_now.value();
+                if v_die < out.v_min {
+                    out.v_min = v_die;
+                    out.t_min = t_now;
+                }
+                if s % self.decimate == 0 {
+                    out.samples.push((t_now, v_die));
+                }
+                if t_now.value() >= run.settle_after {
+                    if (v_die.value() - run.v_settle_target).abs() <= run.settle_tol {
+                        run.in_band += 1;
+                        if run.in_band >= self.settle_steps {
+                            exits.push(col);
+                        }
+                    } else {
+                        run.in_band = 0;
+                    }
+                }
+            }
+            // Retire settled lanes: record final state, then swap the last
+            // active column into the vacated slot. Descending column order
+            // guarantees every swapped-in column survived this step.
+            for &col in exits.iter().rev() {
+                let lane = self.cols[col].lane;
+                let out = &mut self.outs[lane];
+                out.v_final = Volts::new(self.state[(2 * n - 1) * b + col]);
+                push_final_sample(&mut out.samples, out.t_exit, out.v_final);
+                let last = active - 1;
+                if col != last {
+                    for row in self.state.chunks_exact_mut(b) {
+                        row.swap(col, last);
+                    }
+                    self.cols.swap(col, last);
+                }
+                active = last;
+            }
+        }
+
+        // Survivors ran the full window (their t_exit is the last step's
+        // timestamp, exactly as before early-exit retirement).
+        for (col, run) in self.cols.iter().enumerate().take(active) {
+            let out = &mut self.outs[run.lane];
+            out.v_final = Volts::new(self.state[(2 * n - 1) * b + col]);
+            push_final_sample(&mut out.samples, out.t_exit, out.v_final);
+        }
+    }
+}
+
 /// Computes `d(state)/dt` for the first `active` lane columns into `out`.
 ///
 /// Row-by-row mirror of [`LadderCoeffs::derivative`]: the forward branch
 /// recurrence and the backward node recurrence walk the same coefficient
-/// order, but the inner loop runs across lanes — which carry no
-/// cross-lane dependency — so it auto-vectorizes where the scalar
-/// recurrence cannot. Per lane, every expression is evaluated exactly as
-/// in the scalar kernel.
-fn derivative_batch(
+/// order, but the inner loop runs across lanes — which carry no cross-lane
+/// dependency — in explicit `L::WIDTH`-wide vectors plus a scalar
+/// remainder. Per lane, every expression is evaluated exactly as in the
+/// scalar kernel.
+#[inline(always)]
+fn derivative_rows<L: Lanes>(
     coeffs: &LadderCoeffs,
     source: f64,
     state: &[f64],
@@ -269,14 +411,10 @@ fn derivative_batch(
         let rk = coeffs.r[k];
         let inv_lk = coeffs.inv_l[k];
         if k == 0 {
-            for ((d, &vc), &ic) in dk.iter_mut().zip(vk).zip(ik) {
-                *d = (source - vc - rk * ic) * inv_lk;
-            }
+            branch_head_span::<L>(source, vk, ik, rk, inv_lk, dk);
         } else {
             let vp = &v_rows[(k - 1) * b..(k - 1) * b + active];
-            for (((d, &vpc), &vc), &ic) in dk.iter_mut().zip(vp).zip(vk).zip(ik) {
-                *d = (vpc - vc - rk * ic) * inv_lk;
-            }
+            branch_span::<L>(vp, vk, ik, rk, inv_lk, dk);
         }
     }
     // Walk backwards so each node sees its downstream neighbour's current;
@@ -286,27 +424,111 @@ fn derivative_batch(
         let dvk = &mut dv_rows[k * b..k * b + active];
         let inv_ck = coeffs.inv_c[k];
         if k == n - 1 {
-            for ((d, &ic), &il) in dvk.iter_mut().zip(ik).zip(i_load) {
-                *d = (ic - il) * inv_ck;
-            }
+            sub_scale_span::<L>(ik, &i_load[..active], inv_ck, dvk);
         } else {
             let i_next = &i_rows[(k + 1) * b..(k + 1) * b + active];
-            for ((d, &ic), &inc) in dvk.iter_mut().zip(ik).zip(i_next) {
-                *d = (ic - inc) * inv_ck;
-            }
+            sub_scale_span::<L>(ik, i_next, inv_ck, dvk);
         }
     }
 }
 
-/// `out = x + a * scale` over the first `active` columns of every row —
+/// `out = (source - v - r·i) · inv_l` across one span — the head branch,
+/// whose upstream voltage is the VR setpoint.
+#[inline(always)]
+fn branch_head_span<L: Lanes>(
+    source: f64,
+    v: &[f64],
+    i: &[f64],
+    r: f64,
+    inv_l: f64,
+    out: &mut [f64],
+) {
+    let sv = L::splat(source);
+    let rv = L::splat(r);
+    let lv = L::splat(inv_l);
+    let mut oc = out.chunks_exact_mut(L::WIDTH);
+    let mut vc = v.chunks_exact(L::WIDTH);
+    let mut ic = i.chunks_exact(L::WIDTH);
+    for ((ow, vw), iw) in (&mut oc).zip(&mut vc).zip(&mut ic) {
+        sv.sub(L::load(vw))
+            .sub(rv.mul(L::load(iw)))
+            .mul(lv)
+            .store(ow);
+    }
+    for ((o, &vx), &ix) in oc
+        .into_remainder()
+        .iter_mut()
+        .zip(vc.remainder())
+        .zip(ic.remainder())
+    {
+        *o = (source - vx - r * ix) * inv_l;
+    }
+}
+
+/// `out = (v_prev - v - r·i) · inv_l` across one span — an interior branch
+/// fed by the previous node's voltage.
+#[inline(always)]
+fn branch_span<L: Lanes>(
+    v_prev: &[f64],
+    v: &[f64],
+    i: &[f64],
+    r: f64,
+    inv_l: f64,
+    out: &mut [f64],
+) {
+    let rv = L::splat(r);
+    let lv = L::splat(inv_l);
+    let mut oc = out.chunks_exact_mut(L::WIDTH);
+    let mut pc = v_prev.chunks_exact(L::WIDTH);
+    let mut vc = v.chunks_exact(L::WIDTH);
+    let mut ic = i.chunks_exact(L::WIDTH);
+    for (((ow, pw), vw), iw) in (&mut oc).zip(&mut pc).zip(&mut vc).zip(&mut ic) {
+        L::load(pw)
+            .sub(L::load(vw))
+            .sub(rv.mul(L::load(iw)))
+            .mul(lv)
+            .store(ow);
+    }
+    for (((o, &px), &vx), &ix) in oc
+        .into_remainder()
+        .iter_mut()
+        .zip(pc.remainder())
+        .zip(vc.remainder())
+        .zip(ic.remainder())
+    {
+        *o = (px - vx - r * ix) * inv_l;
+    }
+}
+
+/// `out = (a - b) · scale` across one span — the backward node recurrence
+/// (`b` is the downstream current row, or the die load for the last node).
+#[inline(always)]
+fn sub_scale_span<L: Lanes>(a: &[f64], b: &[f64], scale: f64, out: &mut [f64]) {
+    let sv = L::splat(scale);
+    let mut oc = out.chunks_exact_mut(L::WIDTH);
+    let mut ac = a.chunks_exact(L::WIDTH);
+    let mut bc = b.chunks_exact(L::WIDTH);
+    for ((ow, aw), bw) in (&mut oc).zip(&mut ac).zip(&mut bc) {
+        L::load(aw).sub(L::load(bw)).mul(sv).store(ow);
+    }
+    for ((o, &ax), &bx) in oc
+        .into_remainder()
+        .iter_mut()
+        .zip(ac.remainder())
+        .zip(bc.remainder())
+    {
+        *o = (ax - bx) * scale;
+    }
+}
+
+/// `out = x + a · scale` over the first `active` columns of every row —
 /// the batched mirror of the scalar kernel's `axpy`.
-fn axpy_batch(x: &[f64], a: &[f64], scale: f64, out: &mut [f64], b: usize, active: usize) {
+#[inline(always)]
+fn axpy_rows<L: Lanes>(x: &[f64], a: &[f64], scale: f64, out: &mut [f64], b: usize, active: usize) {
     if active == b {
-        // Full-width fast path: no masking needed, one flat vectorizable
-        // loop over the whole buffer (same per-element expression).
-        for ((o, &xi), &ai) in out.iter_mut().zip(x).zip(a) {
-            *o = xi + ai * scale;
-        }
+        // Full-width fast path: no masking needed, one flat span over the
+        // whole buffer (same per-element expression).
+        axpy_span::<L>(x, a, scale, out);
         return;
     }
     for ((orow, xrow), arow) in out
@@ -314,9 +536,108 @@ fn axpy_batch(x: &[f64], a: &[f64], scale: f64, out: &mut [f64], b: usize, activ
         .zip(x.chunks_exact(b))
         .zip(a.chunks_exact(b))
     {
-        for ((o, &xi), &ai) in orow.iter_mut().zip(xrow).zip(arow).take(active) {
-            *o = xi + ai * scale;
-        }
+        axpy_span::<L>(&xrow[..active], &arow[..active], scale, &mut orow[..active]);
+    }
+}
+
+/// `out = x + a · scale` across one span.
+#[inline(always)]
+fn axpy_span<L: Lanes>(x: &[f64], a: &[f64], scale: f64, out: &mut [f64]) {
+    let sv = L::splat(scale);
+    let mut oc = out.chunks_exact_mut(L::WIDTH);
+    let mut xc = x.chunks_exact(L::WIDTH);
+    let mut ac = a.chunks_exact(L::WIDTH);
+    for ((ow, xw), aw) in (&mut oc).zip(&mut xc).zip(&mut ac) {
+        L::load(xw).add(L::load(aw).mul(sv)).store(ow);
+    }
+    for ((o, &xi), &ai) in oc
+        .into_remainder()
+        .iter_mut()
+        .zip(xc.remainder())
+        .zip(ac.remainder())
+    {
+        *o = xi + ai * scale;
+    }
+}
+
+/// RK4 state update `state += dt/6 · (k1 + 2·k2 + 2·k3 + k4)` over the
+/// first `active` columns of every row.
+#[inline(always)]
+#[allow(clippy::too_many_arguments)]
+fn rk4_combine_rows<L: Lanes>(
+    state: &mut [f64],
+    k1: &[f64],
+    k2: &[f64],
+    k3: &[f64],
+    k4: &[f64],
+    dt: f64,
+    b: usize,
+    active: usize,
+) {
+    if active == b {
+        // Full-width fast path: every column is live, so the row-by-row
+        // masking collapses into one flat span over the whole SoA buffer.
+        rk4_combine_span::<L>(state, k1, k2, k3, k4, dt);
+        return;
+    }
+    for ((((srow, arow), brow), crow), drow) in state
+        .chunks_exact_mut(b)
+        .zip(k1.chunks_exact(b))
+        .zip(k2.chunks_exact(b))
+        .zip(k3.chunks_exact(b))
+        .zip(k4.chunks_exact(b))
+    {
+        rk4_combine_span::<L>(
+            &mut srow[..active],
+            &arow[..active],
+            &brow[..active],
+            &crow[..active],
+            &drow[..active],
+            dt,
+        );
+    }
+}
+
+/// RK4 state update across one span. The lane expression mirrors the
+/// scalar `st += dt / 6.0 * (a + 2.0 * b + 2.0 * c + d)` term-for-term in
+/// the same association order, so every width is bit-identical.
+#[inline(always)]
+fn rk4_combine_span<L: Lanes>(
+    state: &mut [f64],
+    k1: &[f64],
+    k2: &[f64],
+    k3: &[f64],
+    k4: &[f64],
+    dt: f64,
+) {
+    let dt6 = L::splat(dt / 6.0);
+    let two = L::splat(2.0);
+    let mut sc = state.chunks_exact_mut(L::WIDTH);
+    let mut ac = k1.chunks_exact(L::WIDTH);
+    let mut bc = k2.chunks_exact(L::WIDTH);
+    let mut cc = k3.chunks_exact(L::WIDTH);
+    let mut dc = k4.chunks_exact(L::WIDTH);
+    for ((((sw, aw), bw), cw), dw) in (&mut sc)
+        .zip(&mut ac)
+        .zip(&mut bc)
+        .zip(&mut cc)
+        .zip(&mut dc)
+    {
+        let sum = L::load(aw)
+            .add(two.mul(L::load(bw)))
+            .add(two.mul(L::load(cw)))
+            .add(L::load(dw));
+        L::load(sw).add(dt6.mul(sum)).store(sw);
+    }
+    for ((((st, &av), &bv), &cv), &dv) in sc
+        .into_remainder()
+        .iter_mut()
+        .zip(ac.remainder())
+        .zip(bc.remainder())
+        .zip(cc.remainder())
+        .zip(dc.remainder())
+    {
+        *st += dt / 6.0 * (av + 2.0 * bv + 2.0 * cv + dv);
     }
 }
 
@@ -399,6 +720,36 @@ mod tests {
         for (step, got) in steps.iter().zip(&batch) {
             let scalar = sim.run(&ladder, *step);
             assert_results_bit_identical(&scalar, got);
+        }
+    }
+
+    #[test]
+    fn every_kernel_width_is_bit_identical() {
+        let ladder = small_ladder();
+        let sim = TransientSim {
+            source: Volts::new(1.0),
+            dt: Seconds::from_ns(0.5),
+            duration: Seconds::from_us(20.0),
+            decimate: 64,
+        };
+        // 5 lanes: not a multiple of either vector width, so both wide
+        // kernels process a scalar remainder alongside full vectors.
+        let steps: Vec<LoadStep> = [3.0, 40.0, 12.0, 27.0, 8.0]
+            .iter()
+            .map(|&delta| LoadStep {
+                from: Amps::new(5.0),
+                to: Amps::new(5.0 + delta),
+                at: Seconds::from_us(1.0),
+                slew: Seconds::from_ns(10.0),
+            })
+            .collect();
+        let reference = sim.run_batch_with_width(&ladder, &steps, KernelWidth::Scalar);
+        for width in [KernelWidth::X4, KernelWidth::X8] {
+            let wide = sim.run_batch_with_width(&ladder, &steps, width);
+            assert_eq!(wide.len(), reference.len());
+            for (a, b) in reference.iter().zip(&wide) {
+                assert_results_bit_identical(a, b);
+            }
         }
     }
 

@@ -12,10 +12,17 @@ use crate::transient::{LoadStep, TransientResult, TransientSim};
 use crate::units::{Amps, Seconds, Volts};
 use serde::{Deserialize, Serialize};
 
-/// Lanes per batched transient task: large enough to fill the SIMD width
-/// of the structure-of-arrays kernel with headroom, small enough that a
-/// sweep still spreads across the worker pool.
-pub(crate) const SWEEP_LANES: usize = 8;
+/// Lanes per batched transient task: several full vectors of the widest
+/// explicit-SIMD kernel ([`crate::simd::KernelWidth::X8`]) so the
+/// per-step bookkeeping amortizes across a wide batch, yet small enough
+/// that a sweep still spreads across the worker pool.
+pub(crate) const SWEEP_LANES: usize = 32;
+
+/// Lane groups integrated between two progress reports in
+/// [`droop_sweep_with_progress`]: large enough to keep every worker busy
+/// between barriers, small enough that a streaming consumer sees steady
+/// progress.
+pub(crate) const PROGRESS_GROUPS: usize = 8;
 
 /// A named di/dt event class.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -160,7 +167,53 @@ pub fn droop_sweep(
     deltas: &[Amps],
     slew: Seconds,
 ) -> Vec<Volts> {
-    let steps: Vec<LoadStep> = deltas
+    let steps = sweep_steps(quiescent, deltas, slew);
+    let chunks: Vec<&[LoadStep]> = steps.chunks(SWEEP_LANES).collect();
+    dg_engine::par_map(&chunks, |_, chunk| droop_group(ladder, sim, chunk))
+        .into_iter()
+        .flatten()
+        .collect()
+}
+
+/// [`droop_sweep`] with streaming progress: `progress` is called on the
+/// integrating thread after each [`PROGRESS_GROUPS`]-group wave completes,
+/// with the total number of finished lanes and the just-finished droops in
+/// input order.
+///
+/// Built on [`dg_engine::par_map_progress`], so the returned vector — and
+/// the *sequence* of progress calls — is bit-identical to [`droop_sweep`]
+/// for any thread count. This is the seam `/v1/droop_sweep` streams
+/// population-scale sweeps through.
+pub fn droop_sweep_with_progress(
+    ladder: &Ladder,
+    sim: &TransientSim,
+    quiescent: Amps,
+    deltas: &[Amps],
+    slew: Seconds,
+    mut progress: impl FnMut(usize, &[Volts]),
+) -> Vec<Volts> {
+    let steps = sweep_steps(quiescent, deltas, slew);
+    let groups: Vec<&[LoadStep]> = steps.chunks(SWEEP_LANES).collect();
+    let mut done = 0usize;
+    dg_engine::par_map_progress(
+        &groups,
+        PROGRESS_GROUPS,
+        |_, group| droop_group(ladder, sim, group),
+        |_, fresh| {
+            let flat: Vec<Volts> = fresh.iter().flatten().copied().collect();
+            done += flat.len();
+            progress(done, &flat);
+        },
+    )
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
+/// Expands a delta grid into the load steps [`analyze`] applies (ramp
+/// start at 1 µs, shared slew).
+fn sweep_steps(quiescent: Amps, deltas: &[Amps], slew: Seconds) -> Vec<LoadStep> {
+    deltas
         .iter()
         .map(|&delta| LoadStep {
             from: quiescent,
@@ -168,17 +221,15 @@ pub fn droop_sweep(
             at: Seconds::from_us(1.0),
             slew,
         })
-        .collect();
-    let chunks: Vec<&[LoadStep]> = steps.chunks(SWEEP_LANES).collect();
-    dg_engine::par_map(&chunks, |_, chunk| {
-        sim.run_batch(ladder, chunk)
-            .iter()
-            .map(TransientResult::droop)
-            .collect::<Vec<Volts>>()
-    })
-    .into_iter()
-    .flatten()
-    .collect()
+        .collect()
+}
+
+/// Integrates one lane group as a lockstep batch and reduces to droops.
+fn droop_group(ladder: &Ladder, sim: &TransientSim, group: &[LoadStep]) -> Vec<Volts> {
+    sim.run_batch(ladder, group)
+        .iter()
+        .map(TransientResult::droop)
+        .collect()
 }
 
 #[cfg(test)]
@@ -266,12 +317,14 @@ mod tests {
         let pdn = SkylakePdn::build(PdnVariant::Bypassed);
         let sim = TransientSim {
             source: Volts::new(1.0),
-            dt: Seconds::from_ns(0.5),
-            duration: Seconds::from_us(20.0),
+            dt: Seconds::from_ns(1.0),
+            duration: Seconds::from_us(10.0),
             decimate: 128,
         };
-        // More deltas than SWEEP_LANES so the sweep spans several batches.
-        let deltas: Vec<Amps> = (1..=11).map(|k| Amps::new(4.0 * f64::from(k))).collect();
+        // More deltas than SWEEP_LANES so the sweep spans several batches,
+        // with a remainder group narrower than one batch.
+        let deltas: Vec<Amps> = (1..=35).map(|k| Amps::new(1.5 * f64::from(k))).collect();
+        assert!(deltas.len() > SWEEP_LANES && !deltas.len().is_multiple_of(SWEEP_LANES));
         let quiescent = Amps::new(5.0);
         let slew = Seconds::from_ns(10.0);
         let swept = droop_sweep(&pdn.ladder, &sim, quiescent, &deltas, slew);
@@ -290,6 +343,53 @@ mod tests {
         for w in swept.windows(2) {
             assert!(w[1] >= w[0]);
         }
+    }
+
+    #[test]
+    fn droop_sweep_with_progress_matches_and_streams_in_order() {
+        let pdn = SkylakePdn::build(PdnVariant::Bypassed);
+        let sim = TransientSim {
+            source: Volts::new(1.0),
+            dt: Seconds::from_ns(2.0),
+            duration: Seconds::from_us(5.0),
+            decimate: 256,
+        };
+        // Enough lanes for several progress waves plus a short tail.
+        let n = PROGRESS_GROUPS * SWEEP_LANES * 2 + 7;
+        #[allow(clippy::cast_precision_loss)]
+        let deltas: Vec<Amps> = (0..n).map(|k| Amps::new(0.25 * k as f64 + 1.0)).collect();
+        let quiescent = Amps::new(5.0);
+        let slew = Seconds::from_ns(10.0);
+        let plain = droop_sweep(&pdn.ladder, &sim, quiescent, &deltas, slew);
+
+        let mut seen: Vec<Volts> = Vec::new();
+        let mut counts: Vec<usize> = Vec::new();
+        let streamed = droop_sweep_with_progress(
+            &pdn.ladder,
+            &sim,
+            quiescent,
+            &deltas,
+            slew,
+            |done, fresh| {
+                seen.extend_from_slice(fresh);
+                counts.push(done);
+            },
+        );
+
+        // The returned vector is bit-identical to the plain sweep, and the
+        // progress stream concatenates to exactly that vector.
+        assert_eq!(streamed.len(), plain.len());
+        for (a, b) in plain.iter().zip(&streamed) {
+            assert_eq!(a.value().to_bits(), b.value().to_bits());
+        }
+        assert_eq!(seen.len(), plain.len());
+        for (a, b) in plain.iter().zip(&seen) {
+            assert_eq!(a.value().to_bits(), b.value().to_bits());
+        }
+        // Done-counts are strictly increasing and end at the lane count.
+        assert!(counts.windows(2).all(|w| w[1] > w[0]));
+        assert_eq!(counts.last().copied(), Some(n));
+        assert!(counts.len() >= 3, "expected several waves, got {counts:?}");
     }
 
     #[test]

@@ -12,7 +12,7 @@ use serde::{Deserialize, Serialize};
 /// Frequencies evaluated per worker task in [`ImpedanceAnalyzer::profile`]:
 /// the default 400-point sweep still spreads over every worker, while each
 /// task amortizes its scheduling cost across a cache-friendly run of points.
-pub(crate) const SWEEP_CHUNK: usize = 32;
+pub(crate) const SWEEP_CHUNK: usize = 64;
 
 /// Configuration for a logarithmic frequency sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]

@@ -50,6 +50,7 @@ pub mod ladder;
 pub mod loadline;
 pub mod package;
 pub mod sensitivity;
+pub mod simd;
 pub mod skylake;
 pub mod transient;
 pub mod units;
@@ -57,7 +58,8 @@ pub mod vr;
 
 pub use architectures::{delivery_loss, IvrModel, LdoModel, PdnArchitecture};
 pub use didt::{
-    analyze as didt_analyze, client_event_family, droop_sweep, DidtEvent, NoiseAnalysis,
+    analyze as didt_analyze, client_event_family, droop_sweep, droop_sweep_with_progress,
+    DidtEvent, NoiseAnalysis,
 };
 pub use error::PdnError;
 pub use impedance::{ImpedanceAnalyzer, ImpedanceProfile};
@@ -68,6 +70,7 @@ pub use sensitivity::{
     droop_sensitivities, peak_sensitivities, target_impedance, DroopSensitivity, ElementKind,
     Sensitivity,
 };
+pub use simd::{KernelWidth, Lanes};
 pub use transient::{LadderCoeffs, LoadStep, TransientResult, TransientSim};
 pub use units::{Amps, Celsius, Farads, Henries, Hertz, Ohms, Seconds, Volts, Watts};
 pub use vr::{VoltageRegulator, VrLimits};

@@ -1,0 +1,273 @@
+//! Portable explicit-SIMD lane arithmetic for the batched transient kernel.
+//!
+//! The batched RK4 kernel in [`crate::batch`] steps B independent scenarios
+//! ("lanes") in lockstep over lane-major structure-of-arrays buffers. Its
+//! inner loops are pure element-wise f64 arithmetic across lanes, which this
+//! module expresses explicitly: a [`Lanes`] trait over array-backed vector
+//! newtypes ([`F64x4`], [`F64x8`]) plus the plain `f64` scalar fallback.
+//!
+//! Two invariants make the wrapper safe to dispatch at any width:
+//!
+//! * **Lanes never mix.** Every operation is a per-element IEEE-754 add,
+//!   subtract, or multiply in lane order — never a horizontal reduction and
+//!   never a fused multiply-add (Rust does not contract `a * b + c`). An
+//!   element's value therefore depends only on its own lane's inputs, and
+//!   every width produces bit-identical results element-for-element.
+//! * **One dispatch seam.** [`KernelWidth::detect`] is the only place in the
+//!   workspace allowed to query CPU features at runtime (enforced by
+//!   `dg-analyze`'s determinism-hygiene rule); the kernel picks a width once
+//!   per batch and the remainder columns run the scalar implementation.
+//!
+//! The newtypes are plain `[f64; N]` arrays, not `std::arch` intrinsics: the
+//! batch kernel's width-specific entry points are compiled under
+//! `#[target_feature(enable = "avx2")]` / `"avx512f"`, where LLVM lowers the
+//! per-element loops to full-width vector instructions. Off x86-64, or on
+//! CPUs without the feature, the same generic code compiles portably.
+
+/// Kernel vector width, selected once per batch at the dispatch seam.
+///
+/// Widths are ordered narrowest-first so a requested width can be clamped
+/// to what the running CPU supports (`min(requested, detected)`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum KernelWidth {
+    /// One lane per loop iteration — the portable fallback, and the
+    /// reference semantics every wider width must reproduce bit-for-bit.
+    Scalar,
+    /// Four f64 lanes per iteration (AVX2 ymm registers).
+    X4,
+    /// Eight f64 lanes per iteration (AVX-512F zmm registers).
+    X8,
+}
+
+impl KernelWidth {
+    /// Every width, narrowest first (bench and equivalence tests iterate
+    /// this).
+    pub const ALL: [KernelWidth; 3] = [KernelWidth::Scalar, KernelWidth::X4, KernelWidth::X8];
+
+    /// Number of f64 elements processed per inner-loop iteration.
+    #[must_use]
+    pub fn lanes(self) -> usize {
+        match self {
+            KernelWidth::Scalar => 1,
+            KernelWidth::X4 => 4,
+            KernelWidth::X8 => 8,
+        }
+    }
+
+    /// Stable label used in bench rows and diagnostics.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelWidth::Scalar => "scalar",
+            KernelWidth::X4 => "x4",
+            KernelWidth::X8 => "x8",
+        }
+    }
+
+    /// The widest kernel the running CPU can execute natively.
+    ///
+    /// This is the workspace's **only** runtime CPU-feature query: every
+    /// other module takes a [`KernelWidth`] value and trusts it. The choice
+    /// cannot perturb results — all widths are bit-identical — so dispatch
+    /// stays outside the determinism contract by construction.
+    #[must_use]
+    pub fn detect() -> Self {
+        #[cfg(target_arch = "x86_64")]
+        {
+            // dg-analyze: allow(determinism-hygiene, reason = "the single sanctioned dispatch seam; all widths are bit-identical")
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                return KernelWidth::X8;
+            }
+            // dg-analyze: allow(determinism-hygiene, reason = "the single sanctioned dispatch seam; all widths are bit-identical")
+            if std::arch::is_x86_feature_detected!("avx2") {
+                return KernelWidth::X4;
+            }
+        }
+        KernelWidth::Scalar
+    }
+}
+
+/// Element-wise f64 arithmetic over a fixed number of lanes.
+///
+/// Implementations must be pure per-element IEEE-754 operations in lane
+/// order with no fused multiply-add and no cross-lane interaction, so that
+/// any two implementations agree bit-for-bit element-for-element. The
+/// batch kernel's correctness proptests pin this contract.
+pub trait Lanes: Copy {
+    /// Number of f64 elements per vector.
+    const WIDTH: usize;
+
+    /// Broadcasts `x` into every lane.
+    fn splat(x: f64) -> Self;
+
+    /// Loads `Self::WIDTH` elements from the head of `src`.
+    ///
+    /// Callers hand exact-width chunks (via `chunks_exact`); shorter
+    /// slices load zeros in the missing lanes rather than panicking.
+    fn load(src: &[f64]) -> Self;
+
+    /// Stores the lanes into the head of `dst` (excess lanes are dropped
+    /// if `dst` is shorter than the width).
+    fn store(self, dst: &mut [f64]);
+
+    /// Lane-wise addition.
+    #[must_use]
+    fn add(self, rhs: Self) -> Self;
+
+    /// Lane-wise subtraction.
+    #[must_use]
+    fn sub(self, rhs: Self) -> Self;
+
+    /// Lane-wise multiplication.
+    #[must_use]
+    fn mul(self, rhs: Self) -> Self;
+}
+
+impl Lanes for f64 {
+    const WIDTH: usize = 1;
+
+    #[inline(always)]
+    fn splat(x: f64) -> Self {
+        x
+    }
+
+    #[inline(always)]
+    fn load(src: &[f64]) -> Self {
+        src.first().copied().unwrap_or(0.0)
+    }
+
+    #[inline(always)]
+    fn store(self, dst: &mut [f64]) {
+        if let Some(d) = dst.first_mut() {
+            *d = self;
+        }
+    }
+
+    #[inline(always)]
+    fn add(self, rhs: Self) -> Self {
+        self + rhs
+    }
+
+    #[inline(always)]
+    fn sub(self, rhs: Self) -> Self {
+        self - rhs
+    }
+
+    #[inline(always)]
+    fn mul(self, rhs: Self) -> Self {
+        self * rhs
+    }
+}
+
+macro_rules! array_lanes {
+    ($(#[$doc:meta])* $name:ident, $w:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone, Copy)]
+        pub struct $name([f64; $w]);
+
+        impl Lanes for $name {
+            const WIDTH: usize = $w;
+
+            #[inline(always)]
+            fn splat(x: f64) -> Self {
+                $name([x; $w])
+            }
+
+            #[inline(always)]
+            fn load(src: &[f64]) -> Self {
+                $name(core::array::from_fn(|i| src.get(i).copied().unwrap_or(0.0)))
+            }
+
+            #[inline(always)]
+            fn store(self, dst: &mut [f64]) {
+                for (d, s) in dst.iter_mut().zip(self.0) {
+                    *d = s;
+                }
+            }
+
+            #[inline(always)]
+            fn add(self, rhs: Self) -> Self {
+                $name(core::array::from_fn(|i| self.0[i] + rhs.0[i]))
+            }
+
+            #[inline(always)]
+            fn sub(self, rhs: Self) -> Self {
+                $name(core::array::from_fn(|i| self.0[i] - rhs.0[i]))
+            }
+
+            #[inline(always)]
+            fn mul(self, rhs: Self) -> Self {
+                $name(core::array::from_fn(|i| self.0[i] * rhs.0[i]))
+            }
+        }
+    };
+}
+
+array_lanes!(
+    /// Four f64 lanes backed by a plain array; lowers to one ymm register
+    /// under AVX2 codegen and to SSE2 pairs portably.
+    F64x4,
+    4
+);
+
+array_lanes!(
+    /// Eight f64 lanes backed by a plain array; lowers to one zmm register
+    /// under AVX-512F codegen and to narrower pairs portably.
+    F64x8,
+    8
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn probe<L: Lanes>() {
+        let xs: Vec<f64> = (0..L::WIDTH).map(|i| 1.5 + i as f64).collect();
+        let ys: Vec<f64> = (0..L::WIDTH).map(|i| 0.25 * (i as f64 + 1.0)).collect();
+        let x = L::load(&xs);
+        let y = L::load(&ys);
+        let mut add = vec![0.0; L::WIDTH];
+        let mut sub = vec![0.0; L::WIDTH];
+        let mut mul = vec![0.0; L::WIDTH];
+        x.add(y).store(&mut add);
+        x.sub(y).store(&mut sub);
+        x.mul(y).store(&mut mul);
+        for i in 0..L::WIDTH {
+            assert_eq!(add[i].to_bits(), (xs[i] + ys[i]).to_bits());
+            assert_eq!(sub[i].to_bits(), (xs[i] - ys[i]).to_bits());
+            assert_eq!(mul[i].to_bits(), (xs[i] * ys[i]).to_bits());
+        }
+        let mut splat = vec![0.0; L::WIDTH];
+        L::splat(3.75).store(&mut splat);
+        assert!(splat.iter().all(|v| v.to_bits() == 3.75f64.to_bits()));
+    }
+
+    #[test]
+    fn lane_ops_match_scalar_bitwise_at_every_width() {
+        probe::<f64>();
+        probe::<F64x4>();
+        probe::<F64x8>();
+    }
+
+    #[test]
+    fn short_loads_fill_missing_lanes_with_zero() {
+        let v = F64x4::load(&[7.0, 8.0]);
+        let mut out = [1.0; 4];
+        v.store(&mut out);
+        assert_eq!(out, [7.0, 8.0, 0.0, 0.0]);
+        // A short store drops the excess lanes without panicking.
+        let mut two = [0.0; 2];
+        F64x8::splat(2.5).store(&mut two);
+        assert_eq!(two, [2.5, 2.5]);
+    }
+
+    #[test]
+    fn detect_is_stable_and_ordered() {
+        let w = KernelWidth::detect();
+        assert_eq!(w, KernelWidth::detect());
+        assert!(KernelWidth::Scalar <= w);
+        assert_eq!(KernelWidth::ALL.map(KernelWidth::lanes), [1, 4, 8]);
+        assert_eq!(KernelWidth::Scalar.label(), "scalar");
+        assert_eq!(KernelWidth::X8.label(), "x8");
+    }
+}

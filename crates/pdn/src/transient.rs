@@ -109,6 +109,18 @@ impl TransientResult {
     pub fn dynamic_droop(&self) -> Volts {
         (self.v_final - self.v_min).max(Volts::ZERO)
     }
+
+    /// A degenerate flat waveform pinned at `v` — the non-panicking
+    /// fallback for code paths that are unreachable by construction.
+    pub(crate) fn flatline(v: Volts) -> Self {
+        TransientResult {
+            samples: vec![(Seconds::ZERO, v)],
+            v_min: v,
+            t_min: Seconds::ZERO,
+            v_initial: v,
+            v_final: v,
+        }
+    }
 }
 
 /// Fixed-step RK4 transient simulator over a [`Ladder`].
@@ -156,111 +168,26 @@ impl TransientSim {
 
     /// Runs the simulation of `step` applied to `ladder`'s die node.
     ///
-    /// The chain-model coefficients are memoized per ladder content in
-    /// [`crate::cache::ladder_coeffs`], and the system starts in the exact
-    /// DC steady state for `step.from` (memoized per operating point in
-    /// [`crate::cache`]). Once the die voltage has held the post-step
-    /// analytic steady state to within a tight tolerance band for
-    /// [`SETTLE_WINDOW_S`] of simulated time, the remaining window is
+    /// This is a thin wrapper over a one-lane [`TransientSim::run_batch`]
+    /// call — the batched structure-of-arrays kernel in [`crate::batch`]
+    /// is the *only* integration loop, and it is bit-identical
+    /// lane-for-lane at every kernel width, so a single-lane batch is the
+    /// scalar path. The chain-model coefficients are memoized per ladder
+    /// content in [`crate::cache::ladder_coeffs`], the system starts in
+    /// the exact DC steady state for `step.from`, and once the die voltage
+    /// has held the post-step analytic steady state within a tight band
+    /// for [`SETTLE_WINDOW_S`] of simulated time the remaining window is
     /// skipped: every later sample would differ from `v_final` by less
     /// than the band, and the global minimum (which the droop guardband is
     /// derived from) necessarily occurred earlier.
     #[must_use]
     pub fn run(&self, ladder: &Ladder, step: LoadStep) -> TransientResult {
-        let coeffs = crate::cache::ladder_coeffs(ladder);
-        let n = coeffs.nodes();
-        // State layout: [i_0..i_{n-1}, v_0..v_{n-1}]
-        let mut state =
-            crate::cache::dc_steady_state(ladder, self.source.value(), step.from.value(), || {
-                coeffs.steady_state(self.source, step.from)
-            })
-            .as_ref()
-            .clone();
-        let v_initial = Volts::new(state[2 * n - 1]);
-
-        let dt = self.dt.value();
-        // Step counts and window sizes are small positive ratios; the
-        // casts cannot truncate or lose sign in practice.
-        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-        let steps = (self.duration.value() / dt).ceil() as usize;
-        let decimate = self.decimate.max(1);
-        let mut samples = Vec::with_capacity(steps / decimate + 2);
-        let mut v_min = v_initial;
-        let mut t_min = Seconds::ZERO;
-
-        // Early-exit bookkeeping: the analytic post-step level, a band
-        // scaled to the overall excursion, and the consecutive-step count
-        // required to fill the settle window.
-        let v_settle_target = coeffs.die_steady_voltage(self.source, step.to);
-        let settle_tol =
-            SETTLE_ABS_TOL_V.max(SETTLE_REL_TOL * (v_initial.value() - v_settle_target).abs());
-        let settle_after = (step.at + step.slew).value();
-        #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
-        let settle_steps = ((SETTLE_WINDOW_S / dt).ceil() as usize).max(1);
-        let mut in_band = 0usize;
-
-        let mut k1 = vec![0.0; 2 * n];
-        let mut k2 = vec![0.0; 2 * n];
-        let mut k3 = vec![0.0; 2 * n];
-        let mut k4 = vec![0.0; 2 * n];
-        let mut tmp = vec![0.0; 2 * n];
-
-        let source = self.source.value();
-        // Time of the most recently integrated step: the waveform's true
-        // end, whether the settle detector exits early or the window runs
-        // to completion.
-        let mut t_exit = 0.0;
-        samples.push((Seconds::ZERO, v_initial));
-        for s in 0..steps {
-            #[allow(clippy::cast_precision_loss)]
-            let t = s as f64 * dt;
-            let i_mid = step.current_at(Seconds::new(t + 0.5 * dt)).value();
-            let i_now = step.current_at(Seconds::new(t)).value();
-            let i_end = step.current_at(Seconds::new(t + dt)).value();
-
-            coeffs.derivative(source, &state, i_now, &mut k1);
-            axpy(&state, &k1, 0.5 * dt, &mut tmp);
-            coeffs.derivative(source, &tmp, i_mid, &mut k2);
-            axpy(&state, &k2, 0.5 * dt, &mut tmp);
-            coeffs.derivative(source, &tmp, i_mid, &mut k3);
-            axpy(&state, &k3, dt, &mut tmp);
-            coeffs.derivative(source, &tmp, i_end, &mut k4);
-
-            for ((((st, &a), &b), &c), &d) in state.iter_mut().zip(&k1).zip(&k2).zip(&k3).zip(&k4) {
-                *st += dt / 6.0 * (a + 2.0 * b + 2.0 * c + d);
-            }
-
-            let v_die = Volts::new(state[2 * n - 1]);
-            let t_now = Seconds::new(t + dt);
-            t_exit = t_now.value();
-            if v_die < v_min {
-                v_min = v_die;
-                t_min = t_now;
-            }
-            if s % decimate == 0 {
-                samples.push((t_now, v_die));
-            }
-            if t_now.value() >= settle_after {
-                if (v_die.value() - v_settle_target).abs() <= settle_tol {
-                    in_band += 1;
-                    if in_band >= settle_steps {
-                        break;
-                    }
-                } else {
-                    in_band = 0;
-                }
-            }
-        }
-        let v_final = Volts::new(state[2 * n - 1]);
-        push_final_sample(&mut samples, t_exit, v_final);
-
-        TransientResult {
-            samples,
-            v_min,
-            t_min,
-            v_initial,
-            v_final,
-        }
+        self.run_batch(ladder, core::slice::from_ref(&step))
+            .pop()
+            // run_batch returns exactly one result per input lane, so the
+            // fallback is unreachable; it exists only to honour the
+            // crate's no-panic rule.
+            .unwrap_or_else(|| TransientResult::flatline(self.source))
     }
 
     /// Convenience: worst droop for a current step of `delta` amps starting
@@ -385,10 +312,11 @@ impl LadderCoeffs {
     /// Computes `d(state)/dt` into `out` for die load current `i_load`,
     /// with the VR setpoint `source` at the head of the chain.
     ///
-    /// Zipped iteration (no indexing) so the hot loop — four evaluations per
-    /// RK4 step, hundreds of thousands of steps per run — carries no bounds
-    /// checks.
-    pub(crate) fn derivative(&self, source: f64, state: &[f64], i_load: f64, out: &mut [f64]) {
+    /// This is the scalar *reference* recurrence: the batched kernel in
+    /// [`crate::batch`] mirrors it row-by-row across lanes, and the
+    /// equivalence tests pin the two together bit-for-bit. Zipped
+    /// iteration (no indexing) so the loop carries no bounds checks.
+    pub fn derivative(&self, source: f64, state: &[f64], i_load: f64, out: &mut [f64]) {
         let n = self.nodes();
         let (i, v) = state.split_at(n);
         let (di, dv) = out.split_at_mut(n);
@@ -406,13 +334,6 @@ impl LadderCoeffs {
             *d = (ik - i_out) * inv_ck;
             i_out = ik;
         }
-    }
-}
-
-/// `out = x + a * scale`, element-wise.
-fn axpy(x: &[f64], a: &[f64], scale: f64, out: &mut [f64]) {
-    for ((o, &xi), &ai) in out.iter_mut().zip(x).zip(a) {
-        *o = xi + ai * scale;
     }
 }
 

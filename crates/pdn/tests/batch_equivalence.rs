@@ -6,8 +6,10 @@
 //! produce exactly what per-lane `run` calls would — including lanes that
 //! settle early at different steps and lanes that never settle at all.
 
+use dg_pdn::didt;
 use dg_pdn::elements::{CapBank, SeriesBranch};
 use dg_pdn::ladder::{Ladder, VrOutputModel};
+use dg_pdn::simd::KernelWidth;
 use dg_pdn::transient::{LoadStep, TransientResult, TransientSim};
 use dg_pdn::units::{Amps, Farads, Henries, Hertz, Ohms, Seconds, Volts};
 use proptest::prelude::*;
@@ -188,6 +190,87 @@ proptest! {
         for (lane, (batch, step)) in batched.iter().zip(&steps).enumerate() {
             let scalar = sim.run(&ladder, *step);
             assert_lane_bit_identical(lane, batch, &scalar)?;
+        }
+    }
+
+    /// Remainder lanes: for batch sizes that are *not* multiples of either
+    /// SIMD width (1..=11 covers every residue mod 4 and several mod 8),
+    /// each forced kernel width must agree bit-for-bit with the forced
+    /// scalar kernel — the vector chunks and the per-row scalar remainder
+    /// have to be the same arithmetic in the same order.
+    #[test]
+    fn every_kernel_width_matches_scalar_for_remainder_counts(
+        lanes in prop::collection::vec(lane_spec(), 1..12),
+        dur_us in 1.5..4.0f64,
+    ) {
+        let ladder = build_ladder(0.3, 100.0, 400.0, 0.1, 300.0);
+        let sim = TransientSim::new(
+            Volts::new(1.0),
+            Seconds::from_ns(1.0),
+            Seconds::from_us(dur_us),
+        ).unwrap();
+        let steps: Vec<LoadStep> = lanes
+            .iter()
+            .map(|l| LoadStep {
+                from: Amps::new(l.from_a),
+                to: Amps::new(l.to_a),
+                at: Seconds::from_us(l.at_us),
+                slew: Seconds::from_ns(l.slew_ns),
+            })
+            .collect();
+        let scalar = sim.run_batch_with_width(&ladder, &steps, KernelWidth::Scalar);
+        prop_assert_eq!(scalar.len(), steps.len());
+        for width in [KernelWidth::X4, KernelWidth::X8] {
+            let wide = sim.run_batch_with_width(&ladder, &steps, width);
+            prop_assert_eq!(wide.len(), scalar.len());
+            for (lane, (w, s)) in wide.iter().zip(&scalar).enumerate() {
+                assert_lane_bit_identical(lane, w, s)?;
+            }
+        }
+    }
+
+    /// `didt::droop_sweep` (the engine behind `/v1/droop_sweep`) is
+    /// bit-identical to per-lane scalar `run` calls for population sizes
+    /// around the sweep's group size — including counts that leave
+    /// remainder lanes in the last group and are not multiples of any
+    /// SIMD width.
+    #[test]
+    fn droop_sweep_matches_per_lane_scalar_runs(
+        n_small in 1usize..12,
+        straddle in prop::bool::ANY,
+        quiescent in 1.0..20.0f64,
+        slew_ns in 0.0..20.0f64,
+    ) {
+        // Half the cases stay inside one 32-lane group; the other half
+        // straddle the group boundary (29..=39 lanes) so the last group
+        // is a remainder narrower than SWEEP_LANES.
+        let n_deltas = if straddle { n_small + 28 } else { n_small };
+        let ladder = build_ladder(0.4, 120.0, 500.0, 0.2, 400.0);
+        let sim = TransientSim::new(
+            Volts::new(1.0),
+            Seconds::from_ns(1.0),
+            Seconds::from_us(3.0),
+        ).unwrap();
+        let deltas: Vec<Amps> = (0..n_deltas)
+            .map(|i| Amps::new(1.0 + 2.0 * i as f64))
+            .collect();
+        let quiescent = Amps::new(quiescent);
+        let slew = Seconds::from_ns(slew_ns);
+        let sweep = didt::droop_sweep(&ladder, &sim, quiescent, &deltas, slew);
+        prop_assert_eq!(sweep.len(), deltas.len());
+        for (lane, (droop, delta)) in sweep.iter().zip(&deltas).enumerate() {
+            let scalar = sim.run(&ladder, LoadStep {
+                from: quiescent,
+                to: quiescent + *delta,
+                at: Seconds::from_us(1.0),
+                slew,
+            });
+            prop_assert_eq!(
+                droop.value().to_bits(),
+                scalar.droop().value().to_bits(),
+                "lane {}",
+                lane
+            );
         }
     }
 }

@@ -2,8 +2,8 @@
 //!
 //! ```text
 //! # CI smoke gate: spawn a constrained server, fire a 200-request mixed
-//! # burst (including malformed, oversized, and streaming /v1/explore
-//! # probes), force an overload,
+//! # burst (including malformed, oversized, and streaming /v1/explore and
+//! # /v1/droop_sweep probes), force an overload,
 //! # verify only-503 shedding, spot-check results against the library,
 //! # and require a clean graceful drain. Exit 0 only if all of it holds.
 //! cargo run --release -p dg-serve --bin dg-load -- --smoke --spawn
@@ -291,11 +291,104 @@ fn spot_check_droop_batch(addr: SocketAddr, gate: &mut Gate) {
         &format!("status {:?}", empty.map(|r| r.status)),
     );
 
-    let lanes = vec![r#"{"from_a":10,"to_a":40}"#; 65].join(",");
+    let lanes = vec![r#"{"from_a":10,"to_a":40}"#; 257].join(",");
     let oversized_body = format!("{{\"steps\":[{lanes}]}}");
     let oversized = http_request(addr, "POST", "/v1/droop_batch", Some(&oversized_body));
     gate.check(
         "droop_batch rejects an oversized batch",
+        oversized.as_ref().is_ok_and(|r| r.status == 400),
+        &format!("status {:?}", oversized.map(|r| r.status)),
+    );
+}
+
+/// Streams a `/v1/droop_sweep` delta grid and recomputes it with a direct
+/// library call: both the concatenated progress waves and the result
+/// line's lanes must be *bit*-identical to [`didt::droop_sweep`] over the
+/// same [`delta_grid`] expansion (the renderer is shortest-roundtrip, so
+/// the HTTP round trip preserves every bit). Then probes the population
+/// cap: one grid point past it must be rejected with 400.
+///
+/// [`didt::droop_sweep`]: darkgates::pdn::didt::droop_sweep
+/// [`delta_grid`]: dg_serve::routes::delta_grid
+fn spot_check_droop_sweep(addr: SocketAddr, gate: &mut Gate) {
+    let body = r#"{"variant":"bypassed","source_v":1.0,"quiescent_a":8,"slew_ns":2,"delta":{"start_a":5,"stop_a":45,"points":9}}"#;
+    let lines: Vec<Json> = http_request(addr, "POST", "/v1/droop_sweep", Some(body))
+        .ok()
+        .filter(|r| r.status == 200)
+        .map(|r| {
+            r.body
+                .lines()
+                .filter_map(|line| json::parse(line).ok())
+                .collect()
+        })
+        .unwrap_or_default();
+    let mv_array = |v: &Json| -> Option<Vec<f64>> {
+        v.get("droop_mv")
+            .and_then(Json::as_arr)?
+            .iter()
+            .map(Json::as_f64)
+            .collect()
+    };
+    let streamed: Option<Vec<f64>> = lines
+        .split_last()
+        .filter(|(_, progress)| !progress.is_empty())
+        .map(|(_, progress)| progress)
+        .and_then(|progress| {
+            let mut lanes = Vec::new();
+            for wave in progress {
+                lanes.extend(mv_array(wave)?);
+            }
+            Some(lanes)
+        });
+    let result: Option<Vec<f64>> = lines
+        .last()
+        .and_then(|line| line.get("result"))
+        .and_then(mv_array);
+
+    use darkgates::pdn::didt;
+    use darkgates::pdn::skylake::{PdnVariant, SkylakePdn};
+    use darkgates::pdn::transient::TransientSim;
+    use darkgates::pdn::units::{Amps, Seconds, Volts};
+    use dg_serve::routes::delta_grid;
+    let pdn = SkylakePdn::build(PdnVariant::Bypassed);
+    let deltas: Vec<Amps> = delta_grid(5.0, 45.0, 9)
+        .into_iter()
+        .map(Amps::new)
+        .collect();
+    let direct: Vec<f64> = didt::droop_sweep(
+        &pdn.ladder,
+        &TransientSim::droop_capture(Volts::new(1.0)),
+        Amps::new(8.0),
+        &deltas,
+        Seconds::from_ns(2.0),
+    )
+    .iter()
+    .map(|v| v.as_mv())
+    .collect();
+    let bits_equal = |lanes: &Option<Vec<f64>>| {
+        lanes.as_ref().is_some_and(|mvs| {
+            mvs.len() == direct.len()
+                && mvs
+                    .iter()
+                    .zip(&direct)
+                    .all(|(mv, lib)| mv.to_bits() == lib.to_bits())
+        })
+    };
+    gate.check(
+        "droop_sweep result lanes bit-identical to library droop_sweep",
+        bits_equal(&result),
+        &format!("served {result:?} mV, library {direct:?} mV"),
+    );
+    gate.check(
+        "droop_sweep progress waves concatenate to the result lanes",
+        bits_equal(&streamed),
+        &format!("{} streamed lane(s)", streamed.map_or(0, |s| s.len())),
+    );
+
+    let oversized_body = r#"{"delta":{"start_a":1,"stop_a":50,"points":8193}}"#;
+    let oversized = http_request(addr, "POST", "/v1/droop_sweep", Some(oversized_body));
+    gate.check(
+        "droop_sweep rejects a grid past the population cap",
         oversized.as_ref().is_ok_and(|r| r.status == 400),
         &format!("status {:?}", oversized.map(|r| r.status)),
     );
@@ -360,6 +453,7 @@ fn smoke(addr: SocketAddr, opts: &Options, spawned: Option<Spawned>) -> i32 {
 
     spot_check_droop(addr, &mut gate);
     spot_check_droop_batch(addr, &mut gate);
+    spot_check_droop_sweep(addr, &mut gate);
 
     let report = run_mix(addr, opts.n, opts.seed, opts.concurrency);
     gate.check(

@@ -188,6 +188,20 @@ pub fn backoff_schedule(policy: &RetryPolicy, seed: u64) -> Vec<u64> {
         .collect()
 }
 
+/// The pause (µs) before retry number `attempt` (0-based).
+///
+/// Attempts past the end of the schedule reuse its final — largest,
+/// capped — pause instead of falling back to zero: a fallback of 0 would
+/// turn any overrun into a busy retry loop hammering a server that is
+/// by then demonstrably struggling.
+fn backoff_pause(schedule: &[u64], attempt: usize) -> u64 {
+    schedule
+        .get(attempt)
+        .or_else(|| schedule.last())
+        .copied()
+        .unwrap_or(0)
+}
+
 /// Converts a µs budget into a socket-timeout duration (never zero,
 /// because a zero `Duration` is rejected by `set_read_timeout`).
 fn us_timeout(us: u64) -> Duration {
@@ -244,14 +258,41 @@ fn attempt_once(addr: SocketAddr, raw: &[u8], deadline_us: u64) -> std::io::Resu
     match parse_reply(&bytes) {
         Some(reply) => Ok(reply),
         // Nothing (or a truncated head) came back: the server closed
-        // early, which a retry may well fix. A complete head that still
-        // does not parse is a server bug a retry will only reproduce.
+        // early, which a retry may well fix. A complete head over a
+        // chunked stream whose terminal chunk never arrived is the same
+        // kind of truncation, just later in the response. A complete head
+        // that still does not parse is a server bug a retry will only
+        // reproduce.
         None if !bytes.windows(4).any(|w| w == b"\r\n\r\n") => Err(Error::new(
             ErrorKind::UnexpectedEof,
             "connection closed before a complete response",
         )),
+        None if is_truncated_chunked(&bytes) => Err(Error::new(
+            ErrorKind::UnexpectedEof,
+            "connection closed mid chunked stream",
+        )),
         None => Err(Error::new(ErrorKind::InvalidData, "unparseable reply")),
     }
+}
+
+/// Whether `bytes` is a complete response head declaring a chunked body
+/// whose terminal chunk never arrived — a stream cut mid-flight, not a
+/// framing bug. [`attempt_once`] classifies this as `UnexpectedEof`
+/// (retryable) rather than `InvalidData`: the leftover chunk bytes may
+/// even decode to an empty or partial payload, but the truncation is the
+/// server dying, which a retry may well fix.
+fn is_truncated_chunked(bytes: &[u8]) -> bool {
+    let Some(head_len) = head_end(bytes) else {
+        return false;
+    };
+    let head = String::from_utf8_lossy(bytes.get(..head_len).unwrap_or_default()).into_owned();
+    let headers: Vec<(String, String)> = head
+        .lines()
+        .skip(1)
+        .filter_map(|l| l.split_once(':'))
+        .map(|(k, v)| (k.trim().to_ascii_lowercase(), v.trim().to_owned()))
+        .collect();
+    is_chunked(&headers) && chunked_body_end(bytes.get(head_len..).unwrap_or_default()).is_none()
 }
 
 /// Issues `raw` with retries, deterministic jittered backoff, and a hard
@@ -298,7 +339,7 @@ pub fn request_with_retries(
             }
         }
         if attempt + 1 < attempts {
-            let pause = schedule.get(attempt as usize).copied().unwrap_or(0);
+            let pause = backoff_pause(&schedule, attempt as usize);
             if monotonic_us().saturating_add(pause) >= deadline {
                 return Err(ClientError::DeadlineExpired {
                     elapsed_us: monotonic_us().saturating_sub(start),
@@ -794,11 +835,41 @@ fn empty_batch_probe() -> MixItem {
 fn oversized_batch_probe() -> MixItem {
     // One lane beyond the admission limit: rejected with 400 before any
     // lane is integrated.
-    let steps = vec!["{\"from_a\":10,\"to_a\":40}"; 65];
+    let steps = vec!["{\"from_a\":10,\"to_a\":40}"; 257];
     MixItem::Framed(
         "POST",
         "/v1/droop_batch",
         format!("{{\"steps\":[{}]}}", steps.join(",")),
+        Some(400),
+    )
+}
+
+fn droop_sweep_probe(rng: &mut Lcg) -> MixItem {
+    // A small delta grid (2 or 3 lanes from two fixed shapes): streams
+    // chunked NDJSON waves like explore, with enough repetition that the
+    // coalescer and response cache both see the route. Kept tiny on
+    // purpose — each lane is a full transient capture, and the smoke
+    // server is deliberately starved (2 workers, queue of 4), so a fat
+    // grid would turn the whole burst into a shed storm.
+    let points = 2 + rng.below(2);
+    MixItem::Framed(
+        "POST",
+        "/v1/droop_sweep",
+        format!(
+            "{{\"variant\":\"gated\",\"quiescent_a\":10,\
+             \"delta\":{{\"start_a\":20,\"stop_a\":40,\"points\":{points}}}}}"
+        ),
+        None,
+    )
+}
+
+fn oversized_sweep_probe() -> MixItem {
+    // One grid point past the population cap: rejected with 400 before
+    // any lane is expanded or integrated.
+    MixItem::Framed(
+        "POST",
+        "/v1/droop_sweep",
+        "{\"delta\":{\"start_a\":1,\"stop_a\":50,\"points\":8193}}".to_owned(),
         Some(400),
     )
 }
@@ -812,7 +883,7 @@ fn oversized_batch_probe() -> MixItem {
 /// the lockstep transient kernel and its admission limits.
 fn mix_item_of(rng: &mut Lcg, kind: MixKind) -> MixItem {
     match kind {
-        MixKind::Full => match rng.below(22) {
+        MixKind::Full => match rng.below(24) {
             0 | 1 => MixItem::Framed("GET", "/healthz", String::new(), None),
             2 => MixItem::Framed("GET", "/v1/claims", String::new(), None),
             3..=6 => droop_probe(rng),
@@ -827,9 +898,11 @@ fn mix_item_of(rng: &mut Lcg, kind: MixKind) -> MixItem {
             18 => oversized_batch_probe(),
             19 => explore_probe(rng),
             20 => malformed_explore_probe(),
-            _ => oversized_explore_probe(),
+            21 => oversized_explore_probe(),
+            22 => droop_sweep_probe(rng),
+            _ => oversized_sweep_probe(),
         },
-        MixKind::Valid => match rng.below(16) {
+        MixKind::Valid => match rng.below(17) {
             0 | 1 => MixItem::Framed("GET", "/healthz", String::new(), None),
             2 => MixItem::Framed("GET", "/v1/claims", String::new(), None),
             3..=6 => droop_probe(rng),
@@ -838,15 +911,17 @@ fn mix_item_of(rng: &mut Lcg, kind: MixKind) -> MixItem {
             12 => product_energy_probe(),
             13 => MixItem::Framed("GET", "/metrics", String::new(), None),
             14 => valid_batch_probe(rng),
-            _ => explore_probe(rng),
+            15 => explore_probe(rng),
+            _ => droop_sweep_probe(rng),
         },
-        MixKind::ErrorProbes => match rng.below(6) {
+        MixKind::ErrorProbes => match rng.below(7) {
             0 => garbage_probe(),
             1 => oversized_probe(),
             2 => empty_batch_probe(),
             3 => oversized_batch_probe(),
             4 => malformed_explore_probe(),
-            _ => oversized_explore_probe(),
+            5 => oversized_explore_probe(),
+            _ => oversized_sweep_probe(),
         },
     }
 }
@@ -877,18 +952,29 @@ pub struct LoadReport {
 
 impl LoadReport {
     /// The `q`-quantile latency in µs (0 with no samples).
+    ///
+    /// Nearest-rank: the smallest sample with at least a `q` fraction of
+    /// the population at or below it — `rank = ceil(n·q)` clamped to
+    /// `1..=n`, the same semantics as the server-side
+    /// [`Histogram::quantile_upper_us`], so a client-reported p99 and the
+    /// `/metrics` p99 describe the same order statistic. (The old
+    /// `floor((n-1)·q)` index under-reported tail quantiles: with 50
+    /// samples it called the 49th value "p99" when nearest-rank says the
+    /// maximum.)
+    ///
+    /// [`Histogram::quantile_upper_us`]: crate::metrics::Histogram::quantile_upper_us
     pub fn quantile_us(&self, q: f64) -> u64 {
-        if self.latencies_us.is_empty() {
+        let n = self.latencies_us.len();
+        if n == 0 {
             return 0;
         }
-        let hi = self.latencies_us.len() - 1;
         #[allow(
             clippy::cast_precision_loss,
             clippy::cast_possible_truncation,
             clippy::cast_sign_loss
         )]
-        let idx = ((hi as f64) * q.clamp(0.0, 1.0)).floor() as usize;
-        self.latencies_us.get(idx.min(hi)).copied().unwrap_or(0)
+        let rank = (((n as f64) * q.clamp(0.0, 1.0)).ceil() as usize).clamp(1, n);
+        self.latencies_us.get(rank - 1).copied().unwrap_or(0)
     }
 
     /// Median latency, µs.
@@ -1158,6 +1244,7 @@ mod tests {
             "/v1/product",
             "/v1/claims",
             "/v1/explore",
+            "/v1/droop_sweep",
         ] {
             assert!(
                 items
@@ -1212,6 +1299,25 @@ mod tests {
         assert!(
             explore_probes.iter().any(|(_, e)| *e == Some(413)),
             "no oversized explore probe"
+        );
+        // And the droop-sweep probes: a valid streamed grid plus a grid
+        // one point past the population cap (400).
+        let sweep_probes: Vec<(&String, Option<u16>)> = items
+            .iter()
+            .filter_map(|i| match i {
+                MixItem::Framed(_, "/v1/droop_sweep", body, expect) => Some((body, *expect)),
+                _ => None,
+            })
+            .collect();
+        assert!(
+            sweep_probes.iter().any(|(_, e)| e.is_none()),
+            "no valid droop-sweep probe"
+        );
+        assert!(
+            sweep_probes
+                .iter()
+                .any(|(b, e)| *e == Some(400) && b.contains("8193")),
+            "no oversized droop-sweep probe"
         );
     }
 
@@ -1354,6 +1460,102 @@ mod tests {
         assert_eq!(r.p99_us(), 99);
         assert!((r.rps() - 100.0).abs() < 1e-9);
         assert_eq!(LoadReport::default().p99_us(), 0);
+    }
+
+    #[test]
+    fn quantiles_use_nearest_rank_matching_the_server_histogram() {
+        // Nearest-rank (rank = ceil(n·q), 1-based) on a small population,
+        // where the old floor((n-1)·q) index visibly under-reported the
+        // tail: with 50 samples, p99 is the maximum, not the 49th value.
+        let r = LoadReport {
+            latencies_us: (1..=50).collect(),
+            requests: 50,
+            ..LoadReport::default()
+        };
+        assert_eq!(r.quantile_us(0.0), 1, "q=0 is the minimum (rank 1)");
+        assert_eq!(r.quantile_us(0.5), 25, "rank ceil(25.0) = 25");
+        assert_eq!(r.quantile_us(0.99), 50, "rank ceil(49.5) = 50: the max");
+        assert_eq!(r.quantile_us(1.0), 50, "q=1 is the maximum (rank n)");
+        // Out-of-range q clamps rather than indexing out of bounds.
+        assert_eq!(r.quantile_us(-3.0), 1);
+        assert_eq!(r.quantile_us(7.0), 50);
+        let one = LoadReport {
+            latencies_us: vec![42],
+            requests: 1,
+            ..LoadReport::default()
+        };
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(one.quantile_us(q), 42, "a single sample is every quantile");
+        }
+    }
+
+    #[test]
+    fn backoff_pause_clamps_overruns_to_the_last_entry() {
+        let schedule = [100, 200, 400];
+        assert_eq!(backoff_pause(&schedule, 0), 100);
+        assert_eq!(backoff_pause(&schedule, 2), 400);
+        // Attempts past the schedule keep the final (capped) pause — a
+        // zero fallback here would busy-retry a struggling server.
+        assert_eq!(backoff_pause(&schedule, 3), 400);
+        assert_eq!(backoff_pause(&schedule, 99), 400);
+        assert_eq!(backoff_pause(&[], 0), 0, "no retries → no pause");
+    }
+
+    #[test]
+    fn truncated_chunked_classifier_spots_cut_streams() {
+        // Head + declared chunked body, terminal chunk never arrives.
+        assert!(is_truncated_chunked(
+            b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhel"
+        ));
+        // Same, with no body bytes at all after the head.
+        assert!(is_truncated_chunked(
+            b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"
+        ));
+        // A complete chunked stream is not a truncation.
+        assert!(!is_truncated_chunked(
+            b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n2\r\nok\r\n0\r\n\r\n"
+        ));
+        // Content-Length framing and incomplete heads are other cases.
+        assert!(!is_truncated_chunked(
+            b"HTTP/1.1 200 OK\r\nContent-Length: 99\r\n\r\nshort"
+        ));
+        assert!(!is_truncated_chunked(b"HTTP/1.1 200 OK\r\nTransfer-"));
+    }
+
+    #[test]
+    fn truncated_chunked_stream_is_retryable_not_fatal() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let server = std::thread::spawn(move || {
+            // First connection: a complete head, then the stream dies
+            // mid-chunk. Second: the head alone, then the close. Both are
+            // truncations the client must classify as retryable.
+            for reply in [
+                &b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n5\r\nhel"[..],
+                &b"HTTP/1.1 200 OK\r\nTransfer-Encoding: chunked\r\n\r\n"[..],
+            ] {
+                if let Ok((mut s, _)) = listener.accept() {
+                    let mut sink = [0u8; 1024];
+                    let _ = s.read(&mut sink);
+                    let _ = s.write_all(reply);
+                }
+            }
+        });
+        let policy = RetryPolicy {
+            max_attempts: 2,
+            base_backoff_us: 500,
+            max_backoff_us: 1_000,
+            deadline_us: 5_000_000,
+        };
+        let err = http_request_with(addr, "POST", "/v1/explore", Some("{}"), &policy, 23)
+            .expect_err("a twice-truncated stream must fail");
+        match err {
+            ClientError::Retryable(e) => {
+                assert_eq!(e.kind(), std::io::ErrorKind::UnexpectedEof, "{e}");
+            }
+            other => panic!("expected Retryable(UnexpectedEof), got {other}"),
+        }
+        server.join().expect("server thread");
     }
 
     #[test]

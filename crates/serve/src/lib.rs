@@ -6,10 +6,11 @@
 //! | endpoint | what it computes |
 //! |---|---|
 //! | `POST /v1/droop` | one transient droop capture ([`darkgates::pdn::transient`]) |
-//! | `POST /v1/droop_batch` | up to 64 load-step lanes through the lockstep SoA kernel |
+//! | `POST /v1/droop_batch` | up to 256 load-step lanes through the lockstep explicit-SIMD kernel |
 //! | `POST /v1/sweep` | an impedance sweep via the content-keyed substrate cache |
 //! | `POST /v1/product` | a SPEC / graphics / energy cell on a catalog product |
 //! | `POST /v1/explore` | a design-space sweep ([`dg_explore`]) streamed as chunked NDJSON: progress lines per batch, then the result document |
+//! | `POST /v1/droop_sweep` | a population droop sweep: a delta *grid* expanded server-side into up to 8192 lanes, streamed as chunked NDJSON waves |
 //! | `GET /v1/claims` | the 12 paper-claim graders ([`darkgates::claims`]) |
 //! | `GET /metrics` | Prometheus text: latency histograms, shed/coalesce/panic counters |
 //! | `GET /healthz` | liveness + drain state |
@@ -34,12 +35,12 @@
 //! admitting, finish what was admitted, then exit; SIGTERM does this in
 //! the binary).
 //!
-//! `/v1/explore` is the one streaming route (DESIGN.md §14): the worker
-//! emits a chunked-transfer NDJSON stream — a progress line after every
-//! evaluated batch, then a result line — through multi-completion
-//! dispatch to the event loop. Replays (response-cache hits, coalesced
-//! followers) stream only the result line, byte-identical to the
-//! leader's; the same bytes the `dg-explore` CLI renders for that spec.
+//! `/v1/explore` and `/v1/droop_sweep` are the streaming routes
+//! (DESIGN.md §14): the worker emits a chunked-transfer NDJSON stream — a
+//! progress line after every evaluated batch or lane wave, then a result
+//! line — through multi-completion dispatch to the event loop. Replays
+//! (response-cache hits, coalesced followers) stream only the result
+//! line, byte-identical to the leader's.
 //!
 //! The crate is on the `dg-analyze` no-panic list: handler bugs become
 //! `500`s and a `dg_panics_total` increment, never a dead worker.

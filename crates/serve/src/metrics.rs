@@ -141,6 +141,8 @@ pub enum Route {
     Product,
     /// `POST /v1/explore` (streamed)
     Explore,
+    /// `POST /v1/droop_sweep` (streamed)
+    DroopSweep,
     /// `GET /v1/claims`
     Claims,
     /// `GET /metrics`
@@ -153,12 +155,13 @@ pub enum Route {
 
 impl Route {
     /// All tracked routes, in render order.
-    pub const ALL: [Route; 9] = [
+    pub const ALL: [Route; 10] = [
         Route::Droop,
         Route::DroopBatch,
         Route::Sweep,
         Route::Product,
         Route::Explore,
+        Route::DroopSweep,
         Route::Claims,
         Route::Metrics,
         Route::Healthz,
@@ -173,6 +176,7 @@ impl Route {
             Route::Sweep => "sweep",
             Route::Product => "product",
             Route::Explore => "explore",
+            Route::DroopSweep => "droop_sweep",
             Route::Claims => "claims",
             Route::Metrics => "metrics",
             Route::Healthz => "healthz",
@@ -189,6 +193,7 @@ struct RouteSlots {
     sweep: RouteMetrics,
     product: RouteMetrics,
     explore: RouteMetrics,
+    droop_sweep: RouteMetrics,
     claims: RouteMetrics,
     metrics: RouteMetrics,
     healthz: RouteMetrics,
@@ -241,6 +246,7 @@ impl Metrics {
             Route::Sweep => &self.routes.sweep,
             Route::Product => &self.routes.product,
             Route::Explore => &self.routes.explore,
+            Route::DroopSweep => &self.routes.droop_sweep,
             Route::Claims => &self.routes.claims,
             Route::Metrics => &self.routes.metrics,
             Route::Healthz => &self.routes.healthz,

@@ -219,7 +219,11 @@ impl ReplyCache {
 
 /// Whether a request targets one of the deterministic simulation routes
 /// whose `200` replies are safe to cache (mirrors the shard's own
-/// response-cache admission in `routes.rs`).
+/// response-cache admission in `routes.rs`). The streaming routes
+/// (`/v1/explore`, `/v1/droop_sweep`) are deliberately excluded: their
+/// leader replies interleave progress lines, so the router relays them
+/// verbatim instead of replaying one leader's progress to every client —
+/// the shard's own response cache already makes repeats cheap.
 fn cacheable_route(method: &str, path: &str) -> bool {
     matches!(
         (method, path),

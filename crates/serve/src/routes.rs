@@ -15,6 +15,7 @@ use crate::metrics::{Metrics, Route};
 use crate::respcache::ResponseCache;
 use darkgates::claims;
 use darkgates::pdn::cache::{self, ladder_key, ContentKey};
+use darkgates::pdn::didt;
 use darkgates::pdn::impedance::ImpedanceAnalyzer;
 use darkgates::pdn::skylake::{PdnVariant, SkylakePdn};
 use darkgates::pdn::transient::{LoadStep, TransientSim};
@@ -38,8 +39,16 @@ const MAX_SWEEP_POINTS: u64 = 20_000;
 pub const MAX_EXPLORE_POINTS: u64 = 20_000;
 
 /// Largest accepted `/v1/droop_batch` lane count (compute admission: one
-/// batch integrates every lane in lockstep on one worker).
-const MAX_BATCH_LANES: usize = 64;
+/// batch integrates every lane in lockstep on one worker). The explicit-SIMD
+/// kernel amortises per-step bookkeeping across lanes, so wide batches are
+/// the cheap shape — the cap bounds memory, not compute.
+const MAX_BATCH_LANES: usize = 256;
+
+/// Largest accepted `/v1/droop_sweep` lane count after server-side grid
+/// expansion (population-scale admission: the sweep is chunked across the
+/// worker pool in [`darkgates::pdn::didt`]-sized batches, so the cap bounds
+/// total stream size rather than any single worker's runtime).
+pub const MAX_SWEEP_LANES: u64 = 8_192;
 
 /// Largest accepted debug-sleep duration.
 const MAX_SLEEP_MS: u64 = 10_000;
@@ -111,32 +120,37 @@ fn bad_request(message: impl Into<String>) -> RouteError {
 
 type HandlerResult = Result<Json, RouteError>;
 
-/// What the worker should do with a `POST /v1/explore` request
-/// (computed by [`Router::plan_explore`] before any streaming starts).
-pub enum ExplorePlan {
+/// Leader-side stream events emitted by a [`StreamPlan::Run`] runner: the
+/// coalescing leader's connection sees the head and every progress line;
+/// followers receive only the shared result.
+pub enum StreamEvent<'a> {
+    /// The computation is starting — send the stream head now.
+    Started,
+    /// One newline-terminated NDJSON progress line.
+    Progress(&'a str),
+}
+
+/// A planned single-flight stream computation, boxed so every streaming
+/// route (`/v1/explore`, `/v1/droop_sweep`) presents the worker loop with
+/// the same shape: invoke it with the leader-side event sink and collect
+/// the final result line. The runner books the coalesce counters and
+/// populates the response cache on success; `Err` carries a leader panic
+/// message.
+pub type StreamRunner<'r> = Box<
+    dyn FnOnce(&mut dyn FnMut(StreamEvent<'_>)) -> (Result<(u16, Arc<String>), String>, Role) + 'r,
+>;
+
+/// What the worker should do with a request on a streaming route
+/// (computed by [`Router::plan_stream`] before any bytes go out).
+pub enum StreamPlan<'r> {
     /// Invalid spec or oversized grid: answer with an ordinary framed
     /// response — no stream ever starts.
     Reject(Response),
     /// The result line is already cached (memory or disk tier): stream
     /// head + result line + terminator without running anything.
     Cached(Arc<String>),
-    /// Run the sweep single-flight on `key`, streaming progress.
-    Run {
-        /// Coalescing / response-cache key (normalized-spec content hash).
-        key: u64,
-        /// The validated spec.
-        spec: Box<ExploreSpec>,
-    },
-}
-
-/// Leader-side stream events emitted by [`Router::run_explore`]: the
-/// coalescing leader's connection sees the head and every progress line;
-/// followers receive only the shared result.
-pub enum ExploreEvent<'a> {
-    /// The sweep is starting — send the stream head now.
-    Started,
-    /// One newline-terminated NDJSON progress line.
-    Progress(&'a str),
+    /// Run the computation single-flight, streaming progress events.
+    Run(StreamRunner<'r>),
 }
 
 /// Dispatches requests to handlers; shared across all worker threads.
@@ -229,13 +243,16 @@ impl Router {
                 Route::Product,
                 self.json_route(req, product_key, product_route),
             ),
-            ("POST", "/v1/explore") => (Route::Explore, self.explore_sync(req)),
+            ("POST", "/v1/explore") => (Route::Explore, self.stream_sync(Route::Explore, req)),
+            ("POST", "/v1/droop_sweep") => {
+                (Route::DroopSweep, self.stream_sync(Route::DroopSweep, req))
+            }
             ("POST", "/admin/drain") => (Route::Other, self.drain()),
             ("POST", "/v1/debug/sleep") if self.debug_routes => (Route::Other, debug_sleep(req)),
             (
                 "GET" | "POST" | "HEAD" | "PUT" | "DELETE",
                 "/healthz" | "/metrics" | "/v1/claims" | "/v1/droop" | "/v1/droop_batch"
-                | "/v1/sweep" | "/v1/product" | "/v1/explore" | "/admin/drain",
+                | "/v1/sweep" | "/v1/product" | "/v1/explore" | "/v1/droop_sweep" | "/admin/drain",
             ) => (
                 Route::Other,
                 Response::error(405, "method not allowed for this resource"),
@@ -264,17 +281,9 @@ impl Router {
         key_of: fn(&Json) -> u64,
         handler: fn(&Json) -> HandlerResult,
     ) -> Response {
-        let text = match std::str::from_utf8(&req.body) {
-            Ok(t) => t,
-            Err(_) => return Response::error(400, "body is not UTF-8"),
-        };
-        let params = if text.trim().is_empty() {
-            Json::Obj(Vec::new())
-        } else {
-            match json::parse(text) {
-                Ok(v) => v,
-                Err(e) => return Response::error(400, &format!("body: {e}")),
-            }
+        let params = match body_json_of(&req.body) {
+            Ok(params) => params,
+            Err(resp) => return resp,
         };
         self.coalesced(key_of(&params), move || handler(&params))
     }
@@ -334,18 +343,29 @@ impl Router {
         }
     }
 
-    /// Validates a `POST /v1/explore` request and decides how the worker
-    /// answers it. Rejections (400/413) come back as ordinary framed
-    /// responses; cache hits skip compute entirely; everything else runs
-    /// through [`Router::run_explore`].
-    pub fn plan_explore(&self, req: &Request) -> ExplorePlan {
+    /// Validates a request on a streaming route and decides how the
+    /// worker answers it: `Route::DroopSweep` plans a delta-grid droop
+    /// sweep, everything else plans a design-space explore. Rejections
+    /// (400/413) come back as ordinary framed responses; cache hits skip
+    /// compute entirely; everything else returns a boxed single-flight
+    /// runner the worker drives with its event sink.
+    pub fn plan_stream(&self, route: Route, req: &Request) -> StreamPlan<'_> {
+        if route == Route::DroopSweep {
+            self.plan_droop_sweep(req)
+        } else {
+            self.plan_explore(req)
+        }
+    }
+
+    /// Plans a `POST /v1/explore` design-space sweep.
+    fn plan_explore(&self, req: &Request) -> StreamPlan<'_> {
         let spec = match explore_spec_of(&req.body) {
             Ok(spec) => spec,
-            Err(resp) => return ExplorePlan::Reject(resp),
+            Err(resp) => return StreamPlan::Reject(resp),
         };
         let points = spec.point_count();
         if points > MAX_EXPLORE_POINTS {
-            return ExplorePlan::Reject(Response::error(
+            return StreamPlan::Reject(Response::error(
                 413,
                 &format!("grid of {points} points exceeds the {MAX_EXPLORE_POINTS} point limit"),
             ));
@@ -355,50 +375,98 @@ impl Router {
             self.metrics
                 .resp_cache_hits_total
                 .fetch_add(1, Ordering::Relaxed);
-            return ExplorePlan::Cached(body);
+            return StreamPlan::Cached(body);
         }
-        ExplorePlan::Run {
-            key,
-            spec: Box::new(spec),
-        }
+        StreamPlan::Run(Box::new(move |on_event| {
+            self.run_stream(key, on_event, |emit| {
+                match dg_explore::run_with_progress(&spec, |p| {
+                    let line = progress_line(p);
+                    emit(StreamEvent::Progress(&line));
+                }) {
+                    Ok(result) => {
+                        let body =
+                            obj(vec![("ok", Json::Bool(true)), ("result", result.to_json())]);
+                        (200u16, Arc::new(body.render()))
+                    }
+                    // Unreachable behind plan_explore's tighter point
+                    // bound, but the library contract allows it: render it
+                    // like any other handler error instead of panicking.
+                    Err(e) => {
+                        let body = obj(vec![
+                            ("ok", Json::Bool(false)),
+                            ("error", Json::Str(format!("{e}"))),
+                        ]);
+                        (500u16, Arc::new(body.render()))
+                    }
+                }
+            })
+        }))
     }
 
-    /// Runs a planned explore sweep single-flight, booking the coalesce
-    /// counters and populating the response cache on success.
+    /// Plans a `POST /v1/droop_sweep` population droop sweep: the request
+    /// carries a delta *grid*, not an array of lanes; the server expands
+    /// it and integrates [`didt::SWEEP_LANES`]-wide batches through the
+    /// explicit-SIMD kernel, emitting one progress line per finished wave
+    /// with the fresh droops in lane order.
+    fn plan_droop_sweep(&self, req: &Request) -> StreamPlan<'_> {
+        let params = match body_json_of(&req.body) {
+            Ok(params) => params,
+            Err(resp) => return StreamPlan::Reject(resp),
+        };
+        let p = match droop_sweep_params(&params) {
+            Ok(p) => p,
+            Err(e) => return StreamPlan::Reject(Response::error(e.status, &e.message)),
+        };
+        let key = droop_sweep_key(&p);
+        if let Some(body) = self.respcache.get(key) {
+            self.metrics
+                .resp_cache_hits_total
+                .fetch_add(1, Ordering::Relaxed);
+            return StreamPlan::Cached(body);
+        }
+        StreamPlan::Run(Box::new(move |on_event| {
+            self.run_stream(key, on_event, |emit| {
+                let pdn = SkylakePdn::build(p.variant);
+                let sim = TransientSim::droop_capture(Volts::new(p.source_v));
+                let deltas: Vec<Amps> = delta_grid(p.start_a, p.stop_a, p.points)
+                    .into_iter()
+                    .map(Amps::new)
+                    .collect();
+                let total = deltas.len();
+                let droops = didt::droop_sweep_with_progress(
+                    &pdn.ladder,
+                    &sim,
+                    Amps::new(p.quiescent_a),
+                    &deltas,
+                    Seconds::from_ns(p.slew_ns),
+                    |done, fresh| {
+                        let line = sweep_progress_line(done, total, fresh);
+                        emit(StreamEvent::Progress(&line));
+                    },
+                );
+                (200u16, Arc::new(droop_sweep_body(&p, &droops)))
+            })
+        }))
+    }
+
+    /// Runs a planned stream computation single-flight, booking the
+    /// coalesce counters and populating the response cache on success.
     ///
     /// `on_event` fires only on the coalescing leader (the closure the
-    /// [`Coalescer`] runs): [`ExploreEvent::Started`] before the first
-    /// batch, then one [`ExploreEvent::Progress`] line per batch.
+    /// [`Coalescer`] runs): [`StreamEvent::Started`] before any compute,
+    /// then whatever [`StreamEvent::Progress`] lines `compute` emits.
     /// Followers see neither — they receive only the shared result. The
     /// returned body is the final result line (no trailing newline);
     /// `Err` carries a leader panic message.
-    pub fn run_explore(
+    fn run_stream(
         &self,
         key: u64,
-        spec: &ExploreSpec,
-        mut on_event: impl FnMut(ExploreEvent<'_>),
+        on_event: &mut dyn FnMut(StreamEvent<'_>),
+        compute: impl FnOnce(&mut dyn FnMut(StreamEvent<'_>)) -> (u16, Arc<String>),
     ) -> (Result<(u16, Arc<String>), String>, Role) {
         let (outcome, role) = self.coalescer.run(key, || {
-            on_event(ExploreEvent::Started);
-            match dg_explore::run_with_progress(spec, |p| {
-                let line = progress_line(p);
-                on_event(ExploreEvent::Progress(&line));
-            }) {
-                Ok(result) => {
-                    let body = obj(vec![("ok", Json::Bool(true)), ("result", result.to_json())]);
-                    (200u16, Arc::new(body.render()))
-                }
-                // Unreachable behind plan_explore's tighter point bound,
-                // but the library contract allows it: render it like any
-                // other handler error instead of panicking.
-                Err(e) => {
-                    let body = obj(vec![
-                        ("ok", Json::Bool(false)),
-                        ("error", Json::Str(format!("{e}"))),
-                    ]);
-                    (500u16, Arc::new(body.render()))
-                }
-            }
+            on_event(StreamEvent::Started);
+            compute(&mut *on_event)
         });
         match role {
             Role::Leader => self
@@ -416,20 +484,20 @@ impl Router {
         (outcome, role)
     }
 
-    /// The non-streaming `/v1/explore` fallback used when the request
-    /// reaches the generic [`Router::handle`] dispatch (direct library
-    /// callers, tests, the chaos oracle): same plan, same single-flight
-    /// run, same result body — just without the progress stream around it.
-    fn explore_sync(&self, req: &Request) -> Response {
-        match self.plan_explore(req) {
-            ExplorePlan::Reject(resp) => resp,
-            ExplorePlan::Cached(body) => Response {
+    /// The non-streaming fallback used when a streaming route reaches the
+    /// generic [`Router::handle`] dispatch (direct library callers, tests,
+    /// the chaos oracle): same plan, same single-flight run, same result
+    /// body — just without the progress stream around it.
+    fn stream_sync(&self, route: Route, req: &Request) -> Response {
+        match self.plan_stream(route, req) {
+            StreamPlan::Reject(resp) => resp,
+            StreamPlan::Cached(body) => Response {
                 status: 200,
                 reason: reason_of(200),
                 content_type: "application/json",
                 body,
             },
-            ExplorePlan::Run { key, spec } => match self.run_explore(key, &spec, |_| {}) {
+            StreamPlan::Run(run) => match run(&mut |_| {}) {
                 (Ok((status, body)), _) => Response {
                     status,
                     reason: reason_of(status),
@@ -442,6 +510,19 @@ impl Router {
             },
         }
     }
+}
+
+/// Parses a request body as JSON (empty body → `{}`), mapping UTF-8 and
+/// parse failures to the framed 400 every JSON route shares.
+fn body_json_of(body: &[u8]) -> Result<Json, Response> {
+    let text = match std::str::from_utf8(body) {
+        Ok(t) => t,
+        Err(_) => return Err(Response::error(400, "body is not UTF-8")),
+    };
+    if text.trim().is_empty() {
+        return Ok(Json::Obj(Vec::new()));
+    }
+    json::parse(text).map_err(|e| Response::error(400, &format!("body: {e}")))
 }
 
 /// Parses and validates an explore spec body (empty body → the default
@@ -499,6 +580,7 @@ pub fn content_key_of(method: &str, target: &str, body: &[u8]) -> u64 {
         ("POST", "/v1/droop_batch", Some(p)) => Some(droop_batch_key(p)),
         ("POST", "/v1/sweep", Some(p)) => Some(sweep_key(p)),
         ("POST", "/v1/product", Some(p)) => Some(product_key(p)),
+        ("POST", "/v1/droop_sweep", Some(p)) => Some(droop_sweep_key_of(p)),
         ("POST", "/v1/explore", Some(p)) => Some(match ExploreSpec::from_json(p) {
             Ok(spec) => explore_key(&spec),
             Err(_) => error_key(b"explore-invalid", p),
@@ -740,6 +822,150 @@ fn droop_batch_route(params: &Json) -> HandlerResult {
         ("n_lanes", Json::Num(approx_f64(lanes.len()))),
         ("lanes", Json::Arr(lanes)),
     ]))
+}
+
+// ------------------------------------------------------------- droop sweep
+
+/// The validated `POST /v1/droop_sweep` spec: a delta *grid* (start, stop,
+/// point count) the server expands into lanes, never an array of lanes —
+/// the request stays a few hundred bytes while the sweep spans thousands
+/// of load steps.
+struct DroopSweepParams {
+    variant: PdnVariant,
+    source_v: f64,
+    quiescent_a: f64,
+    start_a: f64,
+    stop_a: f64,
+    points: usize,
+    slew_ns: f64,
+}
+
+fn droop_sweep_params(params: &Json) -> Result<DroopSweepParams, RouteError> {
+    let delta = params.get("delta").unwrap_or(&Json::Null);
+    let points = delta
+        .get("points")
+        .map_or(Some(64), Json::as_u64)
+        .filter(|&n| (1..=MAX_SWEEP_LANES).contains(&n))
+        .ok_or_else(|| {
+            bad_request(format!(
+                "`delta.points` must be an integer in [1, {MAX_SWEEP_LANES}]"
+            ))
+        })?;
+    let p = DroopSweepParams {
+        variant: variant_of(params)?,
+        source_v: in_range("source_v", finite_f64(params, "source_v", 1.0)?, 0.5, 2.0)?,
+        quiescent_a: in_range(
+            "quiescent_a",
+            finite_f64(params, "quiescent_a", 10.0)?,
+            0.0,
+            500.0,
+        )?,
+        start_a: in_range(
+            "delta.start_a",
+            finite_f64(delta, "start_a", 1.0)?,
+            0.0,
+            500.0,
+        )?,
+        stop_a: in_range(
+            "delta.stop_a",
+            finite_f64(delta, "stop_a", 50.0)?,
+            0.0,
+            500.0,
+        )?,
+        points: usize::try_from(points).unwrap_or(1),
+        slew_ns: in_range("slew_ns", finite_f64(params, "slew_ns", 0.0)?, 0.0, 1_000.0)?,
+    };
+    // The grid is monotone between its endpoints, so bounding them bounds
+    // every lane's absolute current at the same 500 A cap `/v1/droop` uses.
+    let worst = p.quiescent_a + p.start_a.max(p.stop_a);
+    if worst > 500.0 {
+        return Err(bad_request(format!(
+            "`quiescent_a` + largest delta = {worst} exceeds the 500 A cap"
+        )));
+    }
+    Ok(p)
+}
+
+/// Expands a delta grid into per-lane current deltas: `points` values
+/// linearly spaced from `start_a` to `stop_a` inclusive (a single point
+/// sits at `start_a`).
+///
+/// This is *the* expansion the server integrates, so clients and probes
+/// that want bit-identity with a library-side
+/// [`didt::droop_sweep`] run must build their deltas through it.
+#[allow(clippy::cast_precision_loss)] // points ≤ MAX_SWEEP_LANES ≪ 2^52
+pub fn delta_grid(start_a: f64, stop_a: f64, points: usize) -> Vec<f64> {
+    if points <= 1 {
+        return vec![start_a];
+    }
+    let span = stop_a - start_a;
+    let last = (points - 1) as f64;
+    (0..points)
+        .map(|i| start_a + span * (i as f64) / last)
+        .collect()
+}
+
+/// Coalescing key: route tag + ladder content hash + every grid parameter
+/// — two sweeps coalesce exactly when their expanded populations match.
+fn droop_sweep_key(p: &DroopSweepParams) -> u64 {
+    let pdn = SkylakePdn::build(p.variant);
+    ContentKey::new()
+        .bytes(b"droop_sweep")
+        .word(ladder_key(&pdn.ladder))
+        .f64(p.source_v)
+        .f64(p.quiescent_a)
+        .f64(p.start_a)
+        .f64(p.stop_a)
+        .word(p.points as u64)
+        .f64(p.slew_ns)
+        .finish()
+}
+
+/// The shard-affinity key for a raw droop-sweep body (see
+/// [`content_key_of`]).
+fn droop_sweep_key_of(params: &Json) -> u64 {
+    match droop_sweep_params(params) {
+        Ok(p) => droop_sweep_key(&p),
+        Err(_) => error_key(b"droop-sweep-invalid", params),
+    }
+}
+
+/// One newline-terminated NDJSON progress line: total lanes finished so
+/// far plus the just-finished wave's droops in lane order.
+fn sweep_progress_line(done: usize, total: usize, fresh: &[Volts]) -> String {
+    let droops: Vec<Json> = fresh.iter().map(|d| Json::Num(d.as_mv())).collect();
+    let mut line = obj(vec![
+        ("completed", Json::Num(approx_f64(done))),
+        ("total", Json::Num(approx_f64(total))),
+        ("droop_mv", Json::Arr(droops)),
+    ])
+    .render();
+    line.push('\n');
+    line
+}
+
+/// The final result line: the full droop population in lane order plus
+/// its extremes, wrapped in the standard `{"ok":true,"result":…}` frame.
+fn droop_sweep_body(p: &DroopSweepParams, droops: &[Volts]) -> String {
+    let mut worst = f64::NEG_INFINITY;
+    let mut best = f64::INFINITY;
+    for d in droops {
+        worst = worst.max(d.as_mv());
+        best = best.min(d.as_mv());
+    }
+    let lanes: Vec<Json> = droops.iter().map(|d| Json::Num(d.as_mv())).collect();
+    let result = obj(vec![
+        ("variant", Json::Str(p.variant.label().to_owned())),
+        ("n_lanes", Json::Num(approx_f64(droops.len()))),
+        ("quiescent_a", Json::Num(p.quiescent_a)),
+        ("start_a", Json::Num(p.start_a)),
+        ("stop_a", Json::Num(p.stop_a)),
+        ("slew_ns", Json::Num(p.slew_ns)),
+        ("worst_droop_mv", Json::Num(worst)),
+        ("best_droop_mv", Json::Num(best)),
+        ("droop_mv", Json::Arr(lanes)),
+    ]);
+    obj(vec![("ok", Json::Bool(true)), ("result", result)]).render()
 }
 
 // ------------------------------------------------------------------- sweep
@@ -1165,6 +1391,123 @@ mod tests {
         );
         assert_eq!(a, b, "parameter order within a lane must not matter");
         assert_ne!(a, c, "lane order changes the batch's physics");
+    }
+
+    #[test]
+    fn droop_sweep_route_matches_library_sweep() {
+        let r = router();
+        let body = r#"{"variant":"bypassed","source_v":1.0,"quiescent_a":8,"slew_ns":2,
+                       "delta":{"start_a":5,"stop_a":45,"points":9}}"#;
+        let (route, resp) = r.handle(&post("/v1/droop_sweep", body));
+        assert_eq!(route, Route::DroopSweep);
+        assert_eq!(resp.status, 200, "{}", resp.body);
+        let v = json::parse(&resp.body).expect("valid JSON");
+        let result = v.get("result").expect("result");
+        assert_eq!(result.get("n_lanes").and_then(Json::as_u64), Some(9));
+        let lanes: Vec<f64> = result
+            .get("droop_mv")
+            .and_then(Json::as_arr)
+            .expect("droop_mv")
+            .iter()
+            .map(|x| Json::as_f64(x).expect("numeric lane"))
+            .collect();
+        // Every lane is bit-identical to the library sweep over the same
+        // grid expansion (the renderer is shortest-roundtrip).
+        let pdn = SkylakePdn::build(PdnVariant::Bypassed);
+        let deltas: Vec<Amps> = delta_grid(5.0, 45.0, 9)
+            .into_iter()
+            .map(Amps::new)
+            .collect();
+        let direct: Vec<f64> = didt::droop_sweep(
+            &pdn.ladder,
+            &TransientSim::droop_capture(Volts::new(1.0)),
+            Amps::new(8.0),
+            &deltas,
+            Seconds::from_ns(2.0),
+        )
+        .iter()
+        .map(|v| v.as_mv())
+        .collect();
+        assert_eq!(lanes.len(), direct.len());
+        for (i, (mv, lib)) in lanes.iter().zip(&direct).enumerate() {
+            assert_eq!(mv.to_bits(), lib.to_bits(), "lane {i}: {mv} vs {lib}");
+        }
+        let worst = result
+            .get("worst_droop_mv")
+            .and_then(Json::as_f64)
+            .expect("worst_droop_mv");
+        let max = direct.iter().fold(f64::MIN, |a, b| a.max(*b));
+        assert_eq!(worst.to_bits(), max.to_bits(), "worst {worst} vs {max}");
+    }
+
+    #[test]
+    fn droop_sweep_rejects_bad_grids() {
+        let r = router();
+        for body in [
+            r#"{"delta":{"points":0}}"#,    // below the grid minimum
+            r#"{"delta":{"points":8193}}"#, // past the population cap
+            r#"{"variant":"wormhole"}"#,    // unknown PDN variant
+            r#"{"quiescent_a":400,"delta":{"start_a":50,"stop_a":200,"points":4}}"#, // combined current past the ladder's envelope
+            "{not json",
+        ] {
+            let (route, resp) = r.handle(&post("/v1/droop_sweep", body));
+            assert_eq!(route, Route::DroopSweep);
+            assert_eq!(resp.status, 400, "{body} → {}", resp.body);
+        }
+        let (_, resp) = r.handle(&get("/v1/droop_sweep"));
+        assert_eq!(resp.status, 405);
+    }
+
+    #[test]
+    fn identical_droop_sweeps_share_a_content_key() {
+        let a = content_key_of(
+            "POST",
+            "/v1/droop_sweep",
+            br#"{"quiescent_a":8,"delta":{"start_a":5,"stop_a":45,"points":9}}"#,
+        );
+        let b = content_key_of(
+            "POST",
+            "/v1/droop_sweep",
+            br#"{"delta":{"points":9,"stop_a":45,"start_a":5},"quiescent_a":8}"#,
+        );
+        let c = content_key_of(
+            "POST",
+            "/v1/droop_sweep",
+            br#"{"quiescent_a":8,"delta":{"start_a":5,"stop_a":45,"points":10}}"#,
+        );
+        assert_eq!(a, b, "parameter order must not matter");
+        assert_ne!(a, c, "a different grid must not coalesce");
+    }
+
+    #[test]
+    fn delta_grid_is_inclusive_and_exact_at_the_endpoints() {
+        let g = delta_grid(5.0, 45.0, 9);
+        assert_eq!(g.len(), 9);
+        assert_eq!(g.first().copied(), Some(5.0));
+        assert_eq!(g.last().copied(), Some(45.0));
+        assert!(g.windows(2).all(|w| w[1] > w[0]), "monotone grid");
+        assert_eq!(delta_grid(7.5, 99.0, 1), vec![7.5], "one point = start");
+    }
+
+    #[test]
+    fn repeated_droop_sweeps_hit_the_response_cache() {
+        let metrics = Arc::new(Metrics::default());
+        let r = Router::new(
+            Arc::clone(&metrics),
+            Arc::new(AtomicBool::new(false)),
+            false,
+        );
+        let body = r#"{"delta":{"start_a":10,"stop_a":20,"points":2}}"#;
+        let (_, first) = r.handle(&post("/v1/droop_sweep", body));
+        assert_eq!(first.status, 200, "{}", first.body);
+        assert_eq!(metrics.resp_cache_hits_total.load(Ordering::SeqCst), 0);
+        let (_, second) = r.handle(&post("/v1/droop_sweep", body));
+        assert_eq!(second.status, 200);
+        assert_eq!(metrics.resp_cache_hits_total.load(Ordering::SeqCst), 1);
+        assert_eq!(
+            *first.body, *second.body,
+            "cached result line must be byte-identical"
+        );
     }
 
     #[test]

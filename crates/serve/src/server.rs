@@ -48,7 +48,7 @@ use crate::http::{
 use crate::json::{obj, Json};
 use crate::metrics::{monotonic_us, Metrics, Route};
 use crate::queue::{BoundedQueue, PushError};
-use crate::routes::{ExploreEvent, ExplorePlan, Response, Router};
+use crate::routes::{Response, Router, StreamEvent, StreamPlan};
 use dg_engine::sync::TrackedMutex;
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
@@ -354,8 +354,8 @@ pub fn linger_close(mut stream: TcpStream) {
 /// completion list + waker.
 fn worker_loop(shared: &Shared) {
     while let Some(job) = shared.queue.pop() {
-        if wants_explore_stream(&job.request) {
-            stream_explore(shared, &job);
+        if let Some(route) = streaming_route(&job.request) {
+            stream_route(shared, &job, route);
             continue;
         }
         shared.metrics.inflight.fetch_add(1, Ordering::Relaxed);
@@ -406,21 +406,26 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-/// Whether a dispatched request takes the streaming `/v1/explore` path
-/// instead of the generic handle-then-frame path.
-fn wants_explore_stream(request: &Request) -> bool {
+/// The streaming route a dispatched request targets, if any — these
+/// bypass the generic handle-then-frame path for multi-completion
+/// chunked NDJSON.
+fn streaming_route(request: &Request) -> Option<Route> {
     let path = request.target.split('?').next().unwrap_or(&request.target);
-    request.method == "POST" && path == "/v1/explore"
+    match (request.method.as_str(), path) {
+        ("POST", "/v1/explore") => Some(Route::Explore),
+        ("POST", "/v1/droop_sweep") => Some(Route::DroopSweep),
+        _ => None,
+    }
 }
 
-/// The NDJSON stream head for `/v1/explore`.
-fn explore_head(close: bool) -> Vec<u8> {
+/// The NDJSON stream head shared by every streaming route.
+fn stream_head(close: bool) -> Vec<u8> {
     write_stream_head(200, "OK", "application/x-ndjson", close)
 }
 
 /// Frames `body` as the newline-terminated final line of a stream,
 /// followed by the terminal chunk.
-fn explore_tail(body: &str) -> Vec<u8> {
+fn stream_tail(body: &str) -> Vec<u8> {
     let mut line = String::with_capacity(body.len() + 1);
     line.push_str(body);
     line.push('\n');
@@ -429,11 +434,12 @@ fn explore_tail(body: &str) -> Vec<u8> {
     bytes
 }
 
-/// Serves one `POST /v1/explore` request: chunked NDJSON progress lines
-/// as batches finish, then the result line. Rejections (400/413) stay
-/// ordinary framed responses; cache hits and coalesced followers stream
-/// only the result line.
-fn stream_explore(shared: &Shared, job: &Job) {
+/// Serves one request on a streaming route (`/v1/explore`,
+/// `/v1/droop_sweep`): chunked NDJSON progress lines as batches finish,
+/// then the result line. Rejections (400/413) stay ordinary framed
+/// responses; cache hits and coalesced followers stream only the result
+/// line.
+fn stream_route(shared: &Shared, job: &Job, route: Route) {
     shared.metrics.inflight.fetch_add(1, Ordering::Relaxed);
     let start = monotonic_us();
     let close = job.close || shared.draining.load(Ordering::SeqCst);
@@ -450,7 +456,7 @@ fn stream_explore(shared: &Shared, job: &Job) {
     };
 
     let plan = catch_unwind(AssertUnwindSafe(|| {
-        shared.router.plan_explore(&job.request)
+        shared.router.plan_stream(route, &job.request)
     }));
     let status = match plan {
         Err(_) => {
@@ -469,7 +475,7 @@ fn stream_explore(shared: &Shared, job: &Job) {
             );
             500
         }
-        Ok(ExplorePlan::Reject(resp)) => {
+        Ok(StreamPlan::Reject(resp)) => {
             push(
                 write_response(
                     resp.status,
@@ -484,21 +490,22 @@ fn stream_explore(shared: &Shared, job: &Job) {
             );
             resp.status
         }
-        Ok(ExplorePlan::Cached(body)) => {
-            let mut bytes = explore_head(close);
-            bytes.extend_from_slice(&explore_tail(&body));
+        Ok(StreamPlan::Cached(body)) => {
+            let mut bytes = stream_head(close);
+            bytes.extend_from_slice(&stream_tail(&body));
             push(bytes, true, close);
             200
         }
-        Ok(ExplorePlan::Run { key, spec }) => {
+        Ok(StreamPlan::Run(run)) => {
             // The sweep deliberately runs with the engine's par_map pool
-            // live (no inline_scope): a 10k-point grid is exactly the
-            // workload the chunked evaluation parallelises, and its
-            // results are bit-identical for any thread count.
+            // live (no inline_scope): a 10k-point explore grid or a
+            // thousand-lane droop population is exactly the workload the
+            // chunked evaluation parallelises, and its results are
+            // bit-identical for any thread count.
             let outcome = catch_unwind(AssertUnwindSafe(|| {
-                shared.router.run_explore(key, &spec, |event| match event {
-                    ExploreEvent::Started => push(explore_head(close), false, close),
-                    ExploreEvent::Progress(line) => {
+                run(&mut |event| match event {
+                    StreamEvent::Started => push(stream_head(close), false, close),
+                    StreamEvent::Progress(line) => {
                         push(write_chunk(line.as_bytes()), false, close);
                     }
                 })
@@ -509,14 +516,14 @@ fn stream_explore(shared: &Shared, job: &Job) {
                         // Head and progress are already queued in order;
                         // a non-200 logical status rides the wire-200
                         // stream (the head is long gone) and closes.
-                        Role::Leader => push(explore_tail(&body), true, close || status != 200),
+                        Role::Leader => push(stream_tail(&body), true, close || status != 200),
                         // Followers saw no events: stream head + result
                         // line, exactly like a cache hit — unless the
                         // shared outcome is an error, which they can
                         // still report with honest framing.
                         Role::Follower if status == 200 => {
-                            let mut bytes = explore_head(close);
-                            bytes.extend_from_slice(&explore_tail(&body));
+                            let mut bytes = stream_head(close);
+                            bytes.extend_from_slice(&stream_tail(&body));
                             push(bytes, true, close);
                         }
                         Role::Follower => push(
@@ -536,7 +543,7 @@ fn stream_explore(shared: &Shared, job: &Job) {
                 }
                 Ok((Err(panic_msg), role)) => {
                     // The leader's compute panicked inside the coalescer
-                    // (already booked in panics_total by run_explore).
+                    // (already booked in panics_total by the runner).
                     // The leader's head is on the wire: terminate its
                     // stream with an error line and close. Followers sent
                     // nothing yet and get a plain framed 500.
@@ -546,7 +553,7 @@ fn stream_explore(shared: &Shared, job: &Job) {
                     ])
                     .render();
                     match role {
-                        Role::Leader => push(explore_tail(&body), true, true),
+                        Role::Leader => push(stream_tail(&body), true, true),
                         Role::Follower => push(
                             write_response(
                                 500,
@@ -563,14 +570,14 @@ fn stream_explore(shared: &Shared, job: &Job) {
                     500
                 }
                 Err(_) => {
-                    // A panic escaped run_explore itself (outside the
+                    // A panic escaped the runner itself (outside the
                     // coalescer's containment — bookkeeping, not compute).
                     // Whether the head went out is unknowable here; end
                     // the response as a stream and close, which bounds
                     // the damage either way.
                     shared.metrics.panics_total.fetch_add(1, Ordering::Relaxed);
                     push(
-                        explore_tail("{\"ok\":false,\"error\":\"internal handler panic\"}"),
+                        stream_tail("{\"ok\":false,\"error\":\"internal handler panic\"}"),
                         true,
                         true,
                     );
@@ -580,7 +587,7 @@ fn stream_explore(shared: &Shared, job: &Job) {
         }
     };
     let latency = monotonic_us().saturating_sub(start);
-    shared.metrics.record(Route::Explore, status, latency);
+    shared.metrics.record(route, status, latency);
     shared.metrics.inflight.fetch_sub(1, Ordering::Relaxed);
 }
 

@@ -17,9 +17,13 @@ fn start(config: ServerConfig) -> dg_serve::ServerHandle {
 }
 
 fn small() -> ServerConfig {
+    // Deliberately starved (8 burst clients against capacity 8 = 2 in
+    // service + 6 queued) so overload stays reachable, but not so tight
+    // that admission races dominate now that the explicit-SIMD kernel
+    // answers transient routes in milliseconds even without optimization.
     ServerConfig {
         workers: 2,
-        queue_depth: 4,
+        queue_depth: 6,
         read_timeout_ms: 500,
         enable_debug_routes: true,
         ..ServerConfig::default()
