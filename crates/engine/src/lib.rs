@@ -10,6 +10,14 @@
 //!   Output is bit-identical to the sequential loop for any thread count,
 //!   because each result is written back to its input index and any
 //!   reduction is done by the caller in index order.
+//! * [`par_map_progress`] — the same map with a streaming progress seam:
+//!   a barrier-free scheduler claims items across the whole range, parks
+//!   completed chunks in a preallocated reorder window, and emits the
+//!   sealed prefix to the caller's `progress` callback in index order as
+//!   soon as it closes (no join between chunks). The retired
+//!   chunk-barrier scheduler survives as [`par_map_progress_barrier`],
+//!   the executable oracle the streaming one is differentially tested
+//!   against.
 //! * [`par_tasks`] / [`try_par_tasks`] — run a set of heterogeneous boxed
 //!   closures concurrently, again collecting results in input order.
 //!
@@ -306,26 +314,208 @@ where
     }
 }
 
+/// One chunk's cell in the streaming scheduler's reorder window: outcome
+/// slots for the chunk's items plus the count still outstanding. The whole
+/// window is preallocated (one slot per input item, exactly the footprint
+/// of the output vector), so the window is statically bounded — stragglers
+/// can never make it grow.
+struct StreamCell<U> {
+    /// Per-item outcome slots, in index order within the chunk.
+    slots: Vec<Option<Outcome<U>>>,
+    /// Items not yet deposited; the chunk is *sealed* at zero.
+    remaining: usize,
+}
+
 /// Maps `f` over `items` in parallel like [`par_map`], reporting progress
-/// after each contiguous chunk completes.
+/// after each contiguous chunk of `chunk` items (floored to 1) completes.
 ///
-/// Items are processed in contiguous chunks of `chunk` items (floored to
-/// 1); each chunk runs through [`par_map`], then `progress` is invoked on
-/// the calling thread with the number of items completed so far and the
-/// just-finished chunk's outputs in index order. The returned vector is
-/// exactly what a single [`par_map`] over all items would have produced.
+/// Since PR 10 this is a **barrier-free ordered-streaming** map: workers
+/// claim item slots off one work-stealing atomic cursor across the
+/// *entire* input range (no join between chunks), completed items land in
+/// a preallocated per-chunk reorder window, and the calling thread emits
+/// the sealed prefix — invoking `progress` with the number of items
+/// completed so far and the just-sealed chunk's outputs in index order —
+/// while workers keep integrating ahead. A slow item therefore delays
+/// only the chunks at or after it; it no longer idles every worker at a
+/// wave boundary the way the retired
+/// [`par_map_progress_barrier`] scheduler did.
 ///
-/// Because the chunk loop itself is sequential, the *sequence* of
-/// progress calls — and anything folded over it, like a running Pareto
-/// frontier — is bit-identical for any thread count. This is the seam
-/// `dg-explore` streams `/v1/explore` progress records through.
+/// The observable contract is exactly the barrier scheduler's: the
+/// returned vector, and the *sequence* of progress calls (both the `done`
+/// counts and the emitted slices), are bit-identical to
+/// [`par_map_progress_barrier`] for any thread count and any
+/// [`set_schedule_seed`] permutation; `progress` always runs on the
+/// calling thread. This is the seam `dg-explore` streams `/v1/explore`
+/// progress records and `didt` streams `/v1/droop_sweep` waves through.
+///
+/// The one divergence is speculation, which is unobservable through the
+/// contract: when an item panics, the barrier scheduler never invoked `f`
+/// past the panicking chunk, whereas the streaming scheduler may already
+/// have run items from later chunks. The emitted prefix, the progress
+/// sequence, and the re-raised payload are unchanged — chunks after the
+/// first panicking chunk are never emitted, and workers stop claiming
+/// their items as soon as the panic is observed.
 ///
 /// # Panics
 ///
 /// If `f` panics for any item, the panic payload is re-raised on the
 /// calling thread (for the lowest panicking index in the first chunk that
-/// panicked); chunks after it do not run.
+/// panicked); chunks after it are never emitted.
 pub fn par_map_progress<T, U, F, P>(items: &[T], chunk: usize, f: F, mut progress: P) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+    P: FnMut(usize, &[U]),
+{
+    let chunk = chunk.max(1);
+    let n = items.len();
+    let threads = num_threads().min(n.max(1));
+    let n_chunks = n.div_ceil(chunk);
+    if threads <= 1 || n <= 1 || n_chunks <= 1 || IN_WORKER.with(Cell::get) {
+        // Sequential, single-chunk, and nested calls have no wave
+        // boundaries to dissolve; the barrier scheduler *is* the
+        // reference semantics there.
+        return par_map_progress_barrier(items, chunk, f, progress);
+    }
+
+    let schedule_seed = SCHEDULE_SEED.load(Ordering::SeqCst);
+    let cursor = AtomicUsize::new(0);
+    // Lowest chunk known to hold a panicking item. Chunks strictly after
+    // it can never reach the sealed prefix, so workers skip their items
+    // instead of burning doomed work; the panicking chunk itself still
+    // completes (the emitter needs it sealed to pick the lowest index).
+    let doomed = AtomicUsize::new(usize::MAX);
+    let cells: Vec<StreamCell<U>> = (0..n_chunks)
+        .map(|c| {
+            let len = chunk.min(n - c * chunk);
+            StreamCell {
+                slots: (0..len).map(|_| None).collect(),
+                remaining: len,
+            }
+        })
+        .collect();
+    let window = TrackedMutex::new("engine.stream.window", cells);
+    let sealed = crate::sync::TrackedCondvar::new();
+
+    let mut out: Vec<U> = Vec::with_capacity(n);
+    let mut panic_payload: Option<String> = None;
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let cursor = &cursor;
+            let doomed = &doomed;
+            let f = &f;
+            let window = &window;
+            let sealed = &sealed;
+            scope.spawn(move || {
+                IN_WORKER.with(|w| w.set(true));
+                loop {
+                    let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                    if slot >= n {
+                        break;
+                    }
+                    let i = schedule_index(schedule_seed, slot, n);
+                    let c = i / chunk;
+                    if c > doomed.load(Ordering::Relaxed) {
+                        continue;
+                    }
+                    let outcome = run_guarded(|| f(i, &items[i]));
+                    if outcome.is_err() {
+                        doomed.fetch_min(c, Ordering::Relaxed);
+                    }
+                    let just_sealed = {
+                        let mut cells = window.lock();
+                        let cell = &mut cells[c];
+                        if let Some(s) = cell.slots.get_mut(i - c * chunk) {
+                            *s = Some(outcome);
+                        }
+                        cell.remaining -= 1;
+                        cell.remaining == 0
+                    };
+                    if just_sealed {
+                        sealed.notify_all();
+                    }
+                }
+                IN_WORKER.with(|w| w.set(false));
+            });
+        }
+
+        // The calling thread is the emitter: it drains the window in
+        // chunk order, so the output vector and the progress sequence are
+        // reconstructed exactly as the barrier scheduler produced them.
+        // Waiting on chunk `c` is deadlock-free: the emitter only reaches
+        // `c` after chunks `0..c` sealed clean, so `doomed >= c` and no
+        // worker ever skips an item of chunk `c`.
+        for c in 0..n_chunks {
+            let taken: Vec<Option<Outcome<U>>> = {
+                let mut cells = window.lock();
+                while cells[c].remaining > 0 {
+                    cells = sealed.wait(cells);
+                }
+                std::mem::take(&mut cells[c].slots)
+            };
+            let base = out.len();
+            let mut failure: Option<String> = None;
+            for slot in taken {
+                match slot {
+                    Some(Ok(value)) => {
+                        if failure.is_none() {
+                            out.push(value);
+                        }
+                    }
+                    Some(Err(payload)) => {
+                        if failure.is_none() {
+                            failure = Some(payload);
+                        }
+                    }
+                    // Unreachable by construction (a sealed chunk has
+                    // every slot deposited); treated as a panic outcome
+                    // rather than panicking here directly.
+                    None => {
+                        if failure.is_none() {
+                            failure = Some("work item produced no result".to_string());
+                        }
+                    }
+                }
+            }
+            if let Some(payload) = failure {
+                panic_payload = Some(payload);
+                doomed.fetch_min(c, Ordering::Relaxed);
+                break;
+            }
+            progress(out.len(), &out[base..]);
+        }
+    });
+
+    match panic_payload {
+        None => out,
+        Some(payload) => resume_unwind(Box::new(payload)),
+    }
+}
+
+/// The retired chunk-barrier progress scheduler: items are processed in
+/// contiguous chunks, each chunk runs through a full [`par_map`] (spawn,
+/// integrate, join), then `progress` observes it before the next wave
+/// starts.
+///
+/// Kept as the executable reference semantics for [`par_map_progress`]:
+/// the streaming scheduler's differential proptests oracle against it,
+/// `bench-pdn`'s end-to-end sweep row measures against it, and the
+/// sequential/nested paths of [`par_map_progress`] delegate to it. New
+/// code should call [`par_map_progress`].
+///
+/// # Panics
+///
+/// If `f` panics for any item, the panic payload is re-raised on the
+/// calling thread (for the lowest panicking index in the first chunk that
+/// panicked); chunks after it do not run at all.
+pub fn par_map_progress_barrier<T, U, F, P>(
+    items: &[T],
+    chunk: usize,
+    f: F,
+    mut progress: P,
+) -> Vec<U>
 where
     T: Sync,
     U: Send,
@@ -618,6 +808,65 @@ mod tests {
         let out = par_map_progress(&items[..3], 0, work, |_, chunk| n += chunk.len());
         assert_eq!(out, expected[..3]);
         assert_eq!(n, 3);
+    }
+
+    #[test]
+    fn streaming_progress_matches_barrier_scheduler_bit_for_bit() {
+        let _l = serial();
+        let items: Vec<f64> = (0..131).map(|i| 0.7 + f64::from(i) * 0.13).collect();
+        let work = |i: usize, &x: &f64| (x.sin() * (i as f64 + 1.0).ln()).to_bits();
+        for threads in [2, 3, 8] {
+            for seed in [0u64, 7, 0xBEEF] {
+                for chunk in [1usize, 5, 16, 131, 500] {
+                    let _g = set_thread_override(threads);
+                    let _s = set_schedule_seed(seed);
+                    let mut barrier_calls: Vec<(usize, Vec<u64>)> = Vec::new();
+                    let barrier = par_map_progress_barrier(&items, chunk, work, |done, fresh| {
+                        barrier_calls.push((done, fresh.to_vec()));
+                    });
+                    let mut stream_calls: Vec<(usize, Vec<u64>)> = Vec::new();
+                    let streamed = par_map_progress(&items, chunk, work, |done, fresh| {
+                        stream_calls.push((done, fresh.to_vec()));
+                    });
+                    assert_eq!(
+                        streamed, barrier,
+                        "threads={threads} seed={seed} chunk={chunk}: outputs diverged"
+                    );
+                    assert_eq!(
+                        stream_calls, barrier_calls,
+                        "threads={threads} seed={seed} chunk={chunk}: progress diverged"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn streaming_progress_panic_matches_barrier_payload_and_prefix() {
+        let _l = serial();
+        let items: Vec<u32> = (0..97).collect();
+        // Panics at 40 and 61: chunk 2 (of 16) is the first panicking
+        // chunk, 40 its lowest panicking index.
+        let work = |_: usize, &x: &u32| {
+            assert!(x != 40 && x != 61, "boom {x}");
+            x * 3
+        };
+        for threads in [2, 5] {
+            let _g = set_thread_override(threads);
+            let mut stream_calls: Vec<(usize, usize)> = Vec::new();
+            let caught = catch_unwind(AssertUnwindSafe(|| {
+                par_map_progress(&items, 16, work, |done, fresh| {
+                    stream_calls.push((done, fresh.len()));
+                })
+            }))
+            .expect_err("the panic must propagate");
+            let payload = caught
+                .downcast_ref::<String>()
+                .expect("payload is re-raised as a String");
+            assert_eq!(payload, "boom 40", "threads={threads}");
+            // Exactly the chunks before the panicking one were emitted.
+            assert_eq!(stream_calls, vec![(16, 16), (32, 16)], "threads={threads}");
+        }
     }
 
     #[test]

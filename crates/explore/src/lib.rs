@@ -12,10 +12,15 @@
 //! extracting the exact Pareto frontier over (performance, power,
 //! dark-silicon ratio) with per-axis marginals ([`pareto`]).
 //!
-//! Evaluation is chunked through [`dg_engine::par_map_progress`], so
-//! results are bit-identical for any thread count and a caller-supplied
-//! observer sees `(completed, total, frontier-size)` after every batch —
-//! the seam `POST /v1/explore` streams progress records through. The
+//! Evaluation is chunked through [`dg_engine::par_map_progress`] — since
+//! the barrier-free streaming rewrite, workers race ahead across the
+//! whole grid while each batch's progress record flushes the moment its
+//! prefix seals, with results bit-identical for any thread count — and a
+//! caller-supplied observer sees `(completed, total, frontier-size)`
+//! after every batch, the seam `POST /v1/explore` streams progress
+//! records through. Transient refinement integrates through each
+//! thread's warm `dg_pdn::BatchWorkspace`, so steady-state waves
+//! allocate nothing in the kernel. The
 //! spec seed shuffles evaluation *order* only: the progress trace is a
 //! function of (spec, seed), the final [`ExploreResult`] of the spec
 //! alone, and its JSON rendering is byte-identical across the CLI, the

@@ -10,8 +10,10 @@
 //! Since PR 9 those inner loops are written against the explicit
 //! [`crate::simd::Lanes`] wrapper instead of relying on auto-vectorization:
 //! [`TransientSim::run_batch`] picks a [`KernelWidth`] once per batch (the
-//! widest the CPU supports) and hands the whole integration loop to a
-//! width-specific entry point compiled under the matching `target_feature`.
+//! *calibrated* [`KernelWidth::dispatch`] choice — x4 on AVX-512 hosts,
+//! where downclocking makes x8 measurably slower) and hands the whole
+//! integration loop to a width-specific entry point compiled under the
+//! matching `target_feature`.
 //! Columns beyond the last full vector run the scalar `f64` implementation
 //! of the same generic code. Because every lane operation is a pure
 //! per-element IEEE-754 expression in the same form and order as the
@@ -48,29 +50,31 @@ struct LaneRun {
     in_band: usize,
 }
 
-/// Per-lane accumulated outputs, indexed by original lane order (never
-/// compacted, so results come back in input order).
-#[derive(Debug, Clone)]
-struct LaneOut {
-    samples: Vec<(Seconds, Volts)>,
-    v_min: Volts,
-    t_min: Seconds,
-    v_initial: Volts,
-    v_final: Volts,
-    t_exit: f64,
-}
-
-/// Everything the width-dispatched integration loop touches, bundled so the
-/// `#[target_feature]` entry points stay non-generic while the loop itself
-/// is generic over the lane type.
-struct Kernel<'a> {
-    coeffs: &'a LadderCoeffs,
-    source: f64,
-    dt: f64,
-    b: usize,
-    n_steps: usize,
-    decimate: usize,
-    settle_steps: usize,
+/// Reusable scratch for the batched transient kernel: every buffer
+/// [`TransientSim::run_batch_in`] touches — the structure-of-arrays state
+/// and RK4 stage buffers, the per-lane current samples, the lane
+/// bookkeeping, and the result records themselves (including each lane's
+/// waveform `Vec`) — held together so a warm workspace makes a
+/// steady-state batch run perform **zero heap allocations**.
+///
+/// Buffers grow monotonically (a bigger batch or ladder enlarges them
+/// once; smaller runs reuse the prefix) and waveform vectors are cleared,
+/// never dropped, so their capacity survives between calls. The zero-alloc
+/// contract is pinned by a counting-allocator harness in
+/// `tests/zero_alloc.rs`.
+///
+/// Ownership rules:
+///
+/// * A workspace is **not** shared: one `&mut BatchWorkspace` per caller
+///   at a time, typically one per worker thread via
+///   [`with_thread_workspace`].
+/// * Results returned by [`TransientSim::run_batch_in`] are *views into
+///   the workspace* — they borrow it and are overwritten by the next
+///   batch run through the same workspace. Callers that need owned
+///   results clone (which is exactly what the compatibility wrapper
+///   [`TransientSim::run_batch`] does).
+#[derive(Debug, Default)]
+pub struct BatchWorkspace {
     state: Vec<f64>,
     k1: Vec<f64>,
     k2: Vec<f64>,
@@ -81,7 +85,109 @@ struct Kernel<'a> {
     i_mid: Vec<f64>,
     i_end: Vec<f64>,
     cols: Vec<LaneRun>,
-    outs: Vec<LaneOut>,
+    results: Vec<TransientResult>,
+    t_exit: Vec<f64>,
+    exits: Vec<usize>,
+}
+
+impl BatchWorkspace {
+    /// An empty workspace; buffers are sized on first use and grow
+    /// monotonically thereafter.
+    #[must_use]
+    pub fn new() -> Self {
+        BatchWorkspace::default()
+    }
+
+    /// Sizes every buffer for a batch of `b` lanes over `rows` SoA
+    /// entries (`2 * nodes * b`), clearing per-run bookkeeping while
+    /// preserving capacity. Allocates only when a dimension grows past
+    /// anything this workspace has seen.
+    fn prepare(&mut self, rows: usize, b: usize) {
+        for buf in [
+            &mut self.state,
+            &mut self.k1,
+            &mut self.k2,
+            &mut self.k3,
+            &mut self.k4,
+            &mut self.tmp,
+        ] {
+            if buf.len() < rows {
+                buf.resize(rows, 0.0);
+            }
+        }
+        for buf in [&mut self.i_now, &mut self.i_mid, &mut self.i_end] {
+            if buf.len() < b {
+                buf.resize(b, 0.0);
+            }
+        }
+        if self.t_exit.len() < b {
+            self.t_exit.resize(b, 0.0);
+        }
+        self.cols.clear();
+        self.cols.reserve(b);
+        self.exits.clear();
+        self.exits.reserve(b);
+        while self.results.len() < b {
+            self.results.push(TransientResult {
+                samples: Vec::new(),
+                v_min: Volts::ZERO,
+                t_min: Seconds::ZERO,
+                v_initial: Volts::ZERO,
+                v_final: Volts::ZERO,
+            });
+        }
+        for out in self.results.iter_mut().take(b) {
+            out.samples.clear();
+        }
+    }
+}
+
+thread_local! {
+    /// One warm workspace per thread: engine workers (and the serve
+    /// tier's handler threads) reuse it across every batch they
+    /// integrate, so steady-state sweeps stop paying heap round-trips.
+    static WORKSPACE: std::cell::RefCell<BatchWorkspace> =
+        std::cell::RefCell::new(BatchWorkspace::new());
+}
+
+/// Runs `f` with the current thread's warm [`BatchWorkspace`].
+///
+/// Re-entrant calls (an `f` that itself batches through the thread
+/// workspace) fall back to a fresh scratch workspace instead of
+/// panicking on the nested borrow, so the helper is safe to use from any
+/// library code path.
+pub fn with_thread_workspace<R>(f: impl FnOnce(&mut BatchWorkspace) -> R) -> R {
+    WORKSPACE.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut ws) => f(&mut ws),
+        Err(_) => f(&mut BatchWorkspace::new()),
+    })
+}
+
+/// Everything the width-dispatched integration loop touches, bundled so the
+/// `#[target_feature]` entry points stay non-generic while the loop itself
+/// is generic over the lane type. All buffers are borrowed from a
+/// [`BatchWorkspace`]; the kernel owns no heap memory of its own.
+struct Kernel<'a> {
+    coeffs: &'a LadderCoeffs,
+    source: f64,
+    dt: f64,
+    b: usize,
+    n_steps: usize,
+    decimate: usize,
+    settle_steps: usize,
+    state: &'a mut [f64],
+    k1: &'a mut [f64],
+    k2: &'a mut [f64],
+    k3: &'a mut [f64],
+    k4: &'a mut [f64],
+    tmp: &'a mut [f64],
+    i_now: &'a mut [f64],
+    i_mid: &'a mut [f64],
+    i_end: &'a mut [f64],
+    cols: &'a mut Vec<LaneRun>,
+    results: &'a mut [TransientResult],
+    t_exit: &'a mut [f64],
+    exits: &'a mut Vec<usize>,
 }
 
 impl TransientSim {
@@ -89,15 +195,22 @@ impl TransientSim {
     /// in one lockstep batch, returning one [`TransientResult`] per input
     /// step, in input order.
     ///
-    /// The kernel width is chosen once per call via [`KernelWidth::detect`]
-    /// (the widest the running CPU supports). Each lane's result is
-    /// bit-identical at every width — including lanes that settle and
-    /// retire at different times — so callers may batch freely without
-    /// perturbing the repo's determinism contract. An empty slice returns
-    /// an empty vector.
+    /// The kernel width is chosen once per call via
+    /// [`KernelWidth::dispatch`] — the *calibrated* choice, which prefers
+    /// x4 over x8 on AVX-512 hosts where frequency downclocking makes the
+    /// wider kernel slower (measured in `BENCH_pdn.json`). Each lane's
+    /// result is bit-identical at every width — including lanes that
+    /// settle and retire at different times — so the width choice can
+    /// never perturb the repo's determinism contract. An empty slice
+    /// returns an empty vector.
+    ///
+    /// Heap traffic: this convenience wrapper borrows the calling
+    /// thread's warm [`BatchWorkspace`] and clones the results out, so it
+    /// still allocates for the returned `Vec`s. Hot paths that can hold a
+    /// workspace should call [`TransientSim::run_batch_in`] directly.
     #[must_use]
     pub fn run_batch(&self, ladder: &Ladder, steps: &[LoadStep]) -> Vec<TransientResult> {
-        self.run_batch_with_width(ladder, steps, KernelWidth::detect())
+        self.run_batch_with_width(ladder, steps, KernelWidth::dispatch())
     }
 
     /// [`TransientSim::run_batch`] with an explicit kernel width.
@@ -114,9 +227,33 @@ impl TransientSim {
         steps: &[LoadStep],
         width: KernelWidth,
     ) -> Vec<TransientResult> {
+        with_thread_workspace(|ws| self.run_batch_in(ladder, steps, width, ws).to_vec())
+    }
+
+    /// The allocation-free core of [`TransientSim::run_batch`]: integrates
+    /// `steps.len()` lanes into `ws` and returns the per-lane results as a
+    /// view into the workspace (input order, one entry per step).
+    ///
+    /// After `ws` has warmed up on a given batch shape — same or larger
+    /// ladder and lane count, warm coefficient/steady-state caches — a
+    /// call performs **zero heap allocations**: every state buffer, the
+    /// lane bookkeeping, and each result's waveform `Vec` are reused in
+    /// place. The returned slice borrows `ws` and is overwritten by the
+    /// next batch run through the same workspace.
+    ///
+    /// Results are bit-identical to [`TransientSim::run_batch`] at every
+    /// width; the wrappers are thin clones of this path.
+    #[must_use]
+    pub fn run_batch_in<'w>(
+        &self,
+        ladder: &Ladder,
+        steps: &[LoadStep],
+        width: KernelWidth,
+        ws: &'w mut BatchWorkspace,
+    ) -> &'w [TransientResult] {
         let b = steps.len();
         if b == 0 {
-            return Vec::new();
+            return &[];
         }
         let coeffs = crate::cache::ladder_coeffs(ladder);
         let n = coeffs.nodes();
@@ -130,22 +267,30 @@ impl TransientSim {
         let settle_steps = ((SETTLE_WINDOW_S / dt).ceil() as usize).max(1);
         let source = self.source.value();
 
+        let rows = 2 * n * b;
+        ws.prepare(rows, b);
+
         // Lane-major SoA state: row k (state variable) × column (lane).
-        let mut state = vec![0.0; 2 * n * b];
-        let mut cols: Vec<LaneRun> = Vec::with_capacity(b);
-        let mut outs: Vec<LaneOut> = Vec::with_capacity(b);
         for (lane, &step) in steps.iter().enumerate() {
             let init = crate::cache::dc_steady_state(ladder, source, step.from.value(), || {
                 coeffs.steady_state(self.source, step.from)
             });
             for (k, &x) in init.iter().enumerate() {
-                state[k * b + lane] = x;
+                ws.state[k * b + lane] = x;
             }
             let v_initial = Volts::new(init[2 * n - 1]);
-            let v_settle_target = coeffs.die_steady_voltage(self.source, step.to);
+            // The settle target is the die entry of the post-step DC
+            // solution — the same solve `dc_steady_state` already caches,
+            // so a warm sweep reads it back alloc-free instead of paying a
+            // fresh `steady_state` vector per lane per call. Bit-identical
+            // to `coeffs.die_steady_voltage(self.source, step.to)`.
+            let target = crate::cache::dc_steady_state(ladder, source, step.to.value(), || {
+                coeffs.steady_state(self.source, step.to)
+            });
+            let v_settle_target = target.get(2 * n - 1).copied().unwrap_or(source);
             let settle_tol =
                 SETTLE_ABS_TOL_V.max(SETTLE_REL_TOL * (v_initial.value() - v_settle_target).abs());
-            cols.push(LaneRun {
+            ws.cols.push(LaneRun {
                 lane,
                 step,
                 v_settle_target,
@@ -153,16 +298,14 @@ impl TransientSim {
                 settle_after: (step.at + step.slew).value(),
                 in_band: 0,
             });
-            let mut samples = Vec::with_capacity(n_steps / decimate + 2);
-            samples.push((Seconds::ZERO, v_initial));
-            outs.push(LaneOut {
-                samples,
-                v_min: v_initial,
-                t_min: Seconds::ZERO,
-                v_initial,
-                v_final: v_initial,
-                t_exit: 0.0,
-            });
+            let out = &mut ws.results[lane];
+            out.samples.reserve(n_steps / decimate + 2);
+            out.samples.push((Seconds::ZERO, v_initial));
+            out.v_min = v_initial;
+            out.t_min = Seconds::ZERO;
+            out.v_initial = v_initial;
+            out.v_final = v_initial;
+            ws.t_exit[lane] = 0.0;
         }
 
         let mut kernel = Kernel {
@@ -173,17 +316,19 @@ impl TransientSim {
             n_steps,
             decimate,
             settle_steps,
-            state,
-            k1: vec![0.0; 2 * n * b],
-            k2: vec![0.0; 2 * n * b],
-            k3: vec![0.0; 2 * n * b],
-            k4: vec![0.0; 2 * n * b],
-            tmp: vec![0.0; 2 * n * b],
-            i_now: vec![0.0; b],
-            i_mid: vec![0.0; b],
-            i_end: vec![0.0; b],
-            cols,
-            outs,
+            state: &mut ws.state[..rows],
+            k1: &mut ws.k1[..rows],
+            k2: &mut ws.k2[..rows],
+            k3: &mut ws.k3[..rows],
+            k4: &mut ws.k4[..rows],
+            tmp: &mut ws.tmp[..rows],
+            i_now: &mut ws.i_now[..b],
+            i_mid: &mut ws.i_mid[..b],
+            i_end: &mut ws.i_end[..b],
+            cols: &mut ws.cols,
+            results: &mut ws.results[..b],
+            t_exit: &mut ws.t_exit[..b],
+            exits: &mut ws.exits,
         };
         match width {
             KernelWidth::Scalar => kernel.integrate::<f64>(),
@@ -191,17 +336,7 @@ impl TransientSim {
             KernelWidth::X8 => integrate_x8(&mut kernel),
         }
 
-        kernel
-            .outs
-            .into_iter()
-            .map(|o| TransientResult {
-                samples: o.samples,
-                v_min: o.v_min,
-                t_min: o.t_min,
-                v_initial: o.v_initial,
-                v_final: o.v_final,
-            })
-            .collect()
+        &ws.results[..b]
     }
 }
 
@@ -264,7 +399,6 @@ impl Kernel<'_> {
         let n = self.coeffs.nodes();
         let dt = self.dt;
         let source = self.source;
-        let mut exits: Vec<usize> = Vec::with_capacity(b);
         let mut active = b;
         for s in 0..self.n_steps {
             if active == 0 {
@@ -281,60 +415,53 @@ impl Kernel<'_> {
             derivative_rows::<L>(
                 self.coeffs,
                 source,
-                &self.state,
-                &self.i_now,
-                &mut self.k1,
+                self.state,
+                self.i_now,
+                self.k1,
                 b,
                 active,
             );
-            axpy_rows::<L>(&self.state, &self.k1, 0.5 * dt, &mut self.tmp, b, active);
+            axpy_rows::<L>(self.state, self.k1, 0.5 * dt, self.tmp, b, active);
             derivative_rows::<L>(
                 self.coeffs,
                 source,
-                &self.tmp,
-                &self.i_mid,
-                &mut self.k2,
+                self.tmp,
+                self.i_mid,
+                self.k2,
                 b,
                 active,
             );
-            axpy_rows::<L>(&self.state, &self.k2, 0.5 * dt, &mut self.tmp, b, active);
+            axpy_rows::<L>(self.state, self.k2, 0.5 * dt, self.tmp, b, active);
             derivative_rows::<L>(
                 self.coeffs,
                 source,
-                &self.tmp,
-                &self.i_mid,
-                &mut self.k3,
+                self.tmp,
+                self.i_mid,
+                self.k3,
                 b,
                 active,
             );
-            axpy_rows::<L>(&self.state, &self.k3, dt, &mut self.tmp, b, active);
+            axpy_rows::<L>(self.state, self.k3, dt, self.tmp, b, active);
             derivative_rows::<L>(
                 self.coeffs,
                 source,
-                &self.tmp,
-                &self.i_end,
-                &mut self.k4,
+                self.tmp,
+                self.i_end,
+                self.k4,
                 b,
                 active,
             );
 
             rk4_combine_rows::<L>(
-                &mut self.state,
-                &self.k1,
-                &self.k2,
-                &self.k3,
-                &self.k4,
-                dt,
-                b,
-                active,
+                self.state, self.k1, self.k2, self.k3, self.k4, dt, b, active,
             );
 
             let t_now = Seconds::new(t + dt);
-            exits.clear();
+            self.exits.clear();
             for (col, run) in self.cols.iter_mut().enumerate().take(active) {
-                let out = &mut self.outs[run.lane];
+                let out = &mut self.results[run.lane];
                 let v_die = Volts::new(self.state[(2 * n - 1) * b + col]);
-                out.t_exit = t_now.value();
+                self.t_exit[run.lane] = t_now.value();
                 if v_die < out.v_min {
                     out.v_min = v_die;
                     out.t_min = t_now;
@@ -346,7 +473,7 @@ impl Kernel<'_> {
                     if (v_die.value() - run.v_settle_target).abs() <= run.settle_tol {
                         run.in_band += 1;
                         if run.in_band >= self.settle_steps {
-                            exits.push(col);
+                            self.exits.push(col);
                         }
                     } else {
                         run.in_band = 0;
@@ -356,11 +483,11 @@ impl Kernel<'_> {
             // Retire settled lanes: record final state, then swap the last
             // active column into the vacated slot. Descending column order
             // guarantees every swapped-in column survived this step.
-            for &col in exits.iter().rev() {
+            for &col in self.exits.iter().rev() {
                 let lane = self.cols[col].lane;
-                let out = &mut self.outs[lane];
+                let out = &mut self.results[lane];
                 out.v_final = Volts::new(self.state[(2 * n - 1) * b + col]);
-                push_final_sample(&mut out.samples, out.t_exit, out.v_final);
+                push_final_sample(&mut out.samples, self.t_exit[lane], out.v_final);
                 let last = active - 1;
                 if col != last {
                     for row in self.state.chunks_exact_mut(b) {
@@ -375,9 +502,9 @@ impl Kernel<'_> {
         // Survivors ran the full window (their t_exit is the last step's
         // timestamp, exactly as before early-exit retirement).
         for (col, run) in self.cols.iter().enumerate().take(active) {
-            let out = &mut self.outs[run.lane];
+            let out = &mut self.results[run.lane];
             out.v_final = Volts::new(self.state[(2 * n - 1) * b + col]);
-            push_final_sample(&mut out.samples, out.t_exit, out.v_final);
+            push_final_sample(&mut out.samples, self.t_exit[run.lane], out.v_final);
         }
     }
 }

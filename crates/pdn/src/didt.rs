@@ -210,6 +210,40 @@ pub fn droop_sweep_with_progress(
     .collect()
 }
 
+/// The retired end-to-end sweep path, kept as the executable baseline for
+/// `bench-pdn`'s end-to-end row: chunk-barrier scheduling
+/// ([`dg_engine::par_map_progress_barrier`]), capability-widest kernel
+/// dispatch ([`crate::simd::KernelWidth::detect`]), and a fresh heap
+/// workspace per lane group — exactly the scheduling, dispatch, and
+/// allocation profile the streaming rewrite replaced. Results are
+/// bit-identical to [`droop_sweep`], which the bench asserts before
+/// timing.
+pub fn droop_sweep_barrier_reference(
+    ladder: &Ladder,
+    sim: &TransientSim,
+    quiescent: Amps,
+    deltas: &[Amps],
+    slew: Seconds,
+) -> Vec<Volts> {
+    let steps = sweep_steps(quiescent, deltas, slew);
+    let groups: Vec<&[LoadStep]> = steps.chunks(SWEEP_LANES).collect();
+    dg_engine::par_map_progress_barrier(
+        &groups,
+        PROGRESS_GROUPS,
+        |_, group| {
+            let mut ws = crate::batch::BatchWorkspace::new();
+            sim.run_batch_in(ladder, group, crate::simd::KernelWidth::detect(), &mut ws)
+                .iter()
+                .map(TransientResult::droop)
+                .collect::<Vec<Volts>>()
+        },
+        |_, _| {},
+    )
+    .into_iter()
+    .flatten()
+    .collect()
+}
+
 /// Expands a delta grid into the load steps [`analyze`] applies (ramp
 /// start at 1 µs, shared slew).
 fn sweep_steps(quiescent: Amps, deltas: &[Amps], slew: Seconds) -> Vec<LoadStep> {
@@ -224,12 +258,17 @@ fn sweep_steps(quiescent: Amps, deltas: &[Amps], slew: Seconds) -> Vec<LoadStep>
         .collect()
 }
 
-/// Integrates one lane group as a lockstep batch and reduces to droops.
+/// Integrates one lane group as a lockstep batch and reduces to droops —
+/// through the calling worker's warm [`crate::batch::BatchWorkspace`], so
+/// a steady-state sweep's inner loop performs no heap allocation beyond
+/// the droop vector itself.
 fn droop_group(ladder: &Ladder, sim: &TransientSim, group: &[LoadStep]) -> Vec<Volts> {
-    sim.run_batch(ladder, group)
-        .iter()
-        .map(TransientResult::droop)
-        .collect()
+    crate::batch::with_thread_workspace(|ws| {
+        sim.run_batch_in(ladder, group, crate::simd::KernelWidth::dispatch(), ws)
+            .iter()
+            .map(TransientResult::droop)
+            .collect()
+    })
 }
 
 #[cfg(test)]

@@ -16,7 +16,9 @@
 //! * **One dispatch seam.** [`KernelWidth::detect`] is the only place in the
 //!   workspace allowed to query CPU features at runtime (enforced by
 //!   `dg-analyze`'s determinism-hygiene rule); the kernel picks a width once
-//!   per batch and the remainder columns run the scalar implementation.
+//!   per batch — [`KernelWidth::dispatch`], which clamps AVX-512 hosts to
+//!   the measured-faster x4 kernel — and the remainder columns run the
+//!   scalar implementation.
 //!
 //! The newtypes are plain `[f64; N]` arrays, not `std::arch` intrinsics: the
 //! batch kernel's width-specific entry points are compiled under
@@ -84,6 +86,30 @@ impl KernelWidth {
             }
         }
         KernelWidth::Scalar
+    }
+
+    /// The *calibrated* default width — what [`detect`](Self::detect)
+    /// supports, corrected for the known AVX-512 pathology.
+    ///
+    /// `BENCH_pdn.json` measures the x8 kernel consistently *slower* than
+    /// x4 on AVX-512 hosts (5.2× vs 7.0× over scalar on the reference
+    /// machine): 512-bit execution triggers frequency downclocking, and the
+    /// batched RK4 kernel is dense enough in zmm µops to sit squarely in
+    /// the licence-throttled regime. So the default dispatch clamps X8 to
+    /// X4 — AVX2 at full clocks beats AVX-512 at reduced ones — while
+    /// [`detect`](Self::detect) keeps reporting true capability for the
+    /// safety gates of the `#[target_feature]` entry points and for callers
+    /// that explicitly want the widest kernel (the bench sweeps every
+    /// width regardless). All widths are bit-identical, so this choice is
+    /// pure throughput policy; `tests/width_dispatch.rs` pins that the
+    /// dispatched width is never the measured-slowest row of
+    /// `BENCH_pdn.json`.
+    #[must_use]
+    pub fn dispatch() -> Self {
+        match KernelWidth::detect() {
+            KernelWidth::X8 => KernelWidth::X4,
+            w => w,
+        }
     }
 }
 

@@ -1,0 +1,82 @@
+//! Regression tests for the calibrated kernel-width dispatch
+//! ([`dg_pdn::KernelWidth::dispatch`]).
+//!
+//! PR 9's bench surfaced an AVX-512 pathology: `detect()` picks the x8
+//! kernel on capable hosts, but `BENCH_pdn.json` measures it *slower*
+//! than x4 there (frequency downclocking). These tests pin the fix from
+//! two directions: structurally (dispatch never returns X8, never
+//! exceeds capability) and empirically (the dispatched width is never
+//! the measured-slowest row of the committed bench payload).
+
+use dg_pdn::KernelWidth;
+
+#[test]
+fn dispatch_never_exceeds_capability_and_clamps_x8() {
+    let detected = KernelWidth::detect();
+    let dispatched = KernelWidth::dispatch();
+    assert!(
+        dispatched <= detected,
+        "dispatch {:?} wider than the CPU supports ({:?})",
+        dispatched,
+        detected
+    );
+    assert_ne!(
+        dispatched,
+        KernelWidth::X8,
+        "dispatch must clamp the downclock-prone x8 kernel to x4"
+    );
+    match detected {
+        KernelWidth::X8 => assert_eq!(dispatched, KernelWidth::X4),
+        other => assert_eq!(dispatched, other),
+    }
+}
+
+/// Pulls `(width, speedup)` rows out of the committed BENCH_pdn.json
+/// without a JSON dependency: the payload is machine-written by
+/// `bench-pdn --json` in a fixed key order, so scanning for the two keys
+/// inside each `rows` object is exact.
+fn bench_rows(text: &str) -> Vec<(String, f64)> {
+    let mut rows = Vec::new();
+    for obj in text.split("{\"width\":").skip(1) {
+        let Some(width) = obj.split('"').nth(1) else {
+            continue;
+        };
+        let Some(tail) = obj.split("\"speedup\":").nth(1) else {
+            continue;
+        };
+        let num: String = tail
+            .chars()
+            .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+            .collect();
+        if let Ok(speedup) = num.parse::<f64>() {
+            rows.push((width.to_string(), speedup));
+        }
+    }
+    rows
+}
+
+#[test]
+fn dispatched_width_is_never_the_measured_slowest() {
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pdn.json");
+    let Ok(text) = std::fs::read_to_string(path) else {
+        // A fresh checkout before the first bench run has no payload to
+        // cross-check; the structural test above still pins the clamp.
+        eprintln!("skipping: {path} not found");
+        return;
+    };
+    let rows = bench_rows(&text);
+    assert!(
+        rows.len() >= 2,
+        "BENCH_pdn.json rows not parseable: {rows:?}"
+    );
+    let slowest = rows
+        .iter()
+        .min_by(|a, b| a.1.total_cmp(&b.1))
+        .map(|(w, _)| w.clone())
+        .unwrap_or_default();
+    let dispatched = KernelWidth::dispatch().label();
+    assert_ne!(
+        dispatched, slowest,
+        "dispatch picked the measured-slowest kernel width ({slowest}); rows: {rows:?}"
+    );
+}

@@ -408,6 +408,12 @@ impl Router {
     /// it and integrates [`didt::SWEEP_LANES`]-wide batches through the
     /// explicit-SIMD kernel, emitting one progress line per finished wave
     /// with the fresh droops in lane order.
+    ///
+    /// Waves ride `dg_engine`'s barrier-free streaming scheduler: an
+    /// NDJSON line flushes as soon as its prefix of lane groups seals,
+    /// without waiting on stragglers deeper in the grid — and the *bytes*
+    /// stay identical to the retired barrier scheduler's for any thread
+    /// count, which the route's to_bits oracle tests pin.
     fn plan_droop_sweep(&self, req: &Request) -> StreamPlan<'_> {
         let params = match body_json_of(&req.body) {
             Ok(params) => params,
